@@ -1,0 +1,40 @@
+//! # orianna-apps
+//!
+//! The paper's benchmark robotic applications (Tbl. 4) and their
+//! synthetic workloads:
+//!
+//! * [`robots`] — MobileRobot, Manipulator, AutoVehicle, Quadrotor, each
+//!   with localization + planning + control factor graphs matching the
+//!   variable dimensions and factor types of Tbl. 4,
+//! * [`workload`] — trajectory and sensor-noise generators (the
+//!   substitution for physical robot data, DESIGN.md §1),
+//! * [`sphere`] — the multi-layer sphere validation benchmark of Fig. 9 /
+//!   Tbl. 1, including the dedicated SE(3) comparator solver,
+//! * [`mission`] — randomized end-to-end missions and success rates
+//!   (Tbl. 5), runnable on both the software and compiled pipelines.
+//!
+//! ## Example
+//!
+//! ```
+//! use orianna_apps::robots::quadrotor;
+//! use orianna_solver::GaussNewton;
+//!
+//! let app = quadrotor(42);
+//! let mut loc = app.algorithm("localization").graph.clone();
+//! let report = GaussNewton::default().optimize(&mut loc).expect("solves");
+//! assert!(report.final_error < report.initial_error);
+//! ```
+
+pub mod metrics;
+pub mod mission;
+pub mod robots;
+pub mod sphere;
+pub mod workload;
+
+pub use metrics::{ate_2d, ate_3d, rpe_2d, rpe_3d, ErrorStats};
+pub use mission::{run_mission, success_rate, MissionOutcome, Pipeline, SuccessRate};
+pub use robots::{
+    all_apps, auto_vehicle, manipulator, mobile_robot, quadrotor, Algorithm, RobotApp,
+};
+pub use sphere::{run_sphere, AteStats, SphereResult};
+pub use workload::Noise;

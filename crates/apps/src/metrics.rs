@@ -1,0 +1,155 @@
+//! Trajectory accuracy metrics: absolute trajectory error (ATE) and
+//! relative pose error (RPE) — the standard SLAM evaluation measures used
+//! by Tbl. 1 and the mission criteria.
+
+use orianna_lie::{Pose2, Pose3};
+
+/// Summary statistics of a per-pose error series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Maximum error.
+    pub max: f64,
+    /// Mean error.
+    pub mean: f64,
+    /// Minimum error.
+    pub min: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics of a non-empty error series.
+    ///
+    /// # Panics
+    /// Panics when `errors` is empty.
+    pub fn of(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "error series must be non-empty");
+        let n = errors.len() as f64;
+        let mean = errors.iter().sum::<f64>() / n;
+        let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        Self {
+            max: errors.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            min: errors.iter().copied().fold(f64::INFINITY, f64::min),
+            std: var.sqrt(),
+            rmse,
+        }
+    }
+}
+
+/// Absolute trajectory error of a planar estimate vs ground truth
+/// (position component).
+///
+/// # Panics
+/// Panics on length mismatch or empty trajectories.
+pub fn ate_2d(estimate: &[Pose2], truth: &[Pose2]) -> ErrorStats {
+    assert_eq!(estimate.len(), truth.len(), "trajectory length mismatch");
+    let errors: Vec<f64> =
+        estimate.iter().zip(truth).map(|(e, t)| e.translation_distance(t)).collect();
+    ErrorStats::of(&errors)
+}
+
+/// Absolute trajectory error of a spatial estimate vs ground truth.
+///
+/// # Panics
+/// Panics on length mismatch or empty trajectories.
+pub fn ate_3d(estimate: &[Pose3], truth: &[Pose3]) -> ErrorStats {
+    assert_eq!(estimate.len(), truth.len(), "trajectory length mismatch");
+    let errors: Vec<f64> =
+        estimate.iter().zip(truth).map(|(e, t)| e.translation_distance(t)).collect();
+    ErrorStats::of(&errors)
+}
+
+/// Relative pose error over steps of `delta` frames: compares the motion
+/// `est_i ⊖ est_{i+δ}` against `truth_i ⊖ truth_{i+δ}`, isolating local
+/// drift from accumulated global error.
+///
+/// # Panics
+/// Panics when fewer than `delta + 1` poses are given.
+pub fn rpe_2d(estimate: &[Pose2], truth: &[Pose2], delta: usize) -> ErrorStats {
+    assert_eq!(estimate.len(), truth.len(), "trajectory length mismatch");
+    assert!(estimate.len() > delta, "trajectory shorter than delta");
+    let errors: Vec<f64> = (0..estimate.len() - delta)
+        .map(|i| {
+            let est_motion = estimate[i + delta].between(&estimate[i]);
+            let true_motion = truth[i + delta].between(&truth[i]);
+            est_motion.translation_distance(&true_motion)
+        })
+        .collect();
+    ErrorStats::of(&errors)
+}
+
+/// Relative pose error for spatial trajectories.
+///
+/// # Panics
+/// Panics when fewer than `delta + 1` poses are given.
+pub fn rpe_3d(estimate: &[Pose3], truth: &[Pose3], delta: usize) -> ErrorStats {
+    assert_eq!(estimate.len(), truth.len(), "trajectory length mismatch");
+    assert!(estimate.len() > delta, "trajectory shorter than delta");
+    let errors: Vec<f64> = (0..estimate.len() - delta)
+        .map(|i| {
+            let est_motion = estimate[i + delta].between(&estimate[i]);
+            let true_motion = truth[i + delta].between(&truth[i]);
+            est_motion.translation_distance(&true_motion)
+        })
+        .collect();
+    ErrorStats::of(&errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_series() {
+        let s = ErrorStats::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.rmse, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.min, 2.0);
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_ate() {
+        let t: Vec<Pose2> = (0..5).map(|i| Pose2::new(0.1, i as f64, 0.0)).collect();
+        let s = ate_2d(&t, &t);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn ate_sees_global_drift_rpe_does_not() {
+        // Estimate = truth shifted by a constant offset: big ATE, zero RPE.
+        let truth: Vec<Pose2> = (0..6).map(|i| Pose2::new(0.0, i as f64, 0.0)).collect();
+        let est: Vec<Pose2> = truth.iter().map(|p| Pose2::new(0.0, p.x() + 3.0, p.y())).collect();
+        assert!((ate_2d(&est, &truth).mean - 3.0).abs() < 1e-12);
+        assert!(rpe_2d(&est, &truth, 1).max < 1e-12);
+    }
+
+    #[test]
+    fn rpe_sees_local_noise() {
+        let truth: Vec<Pose2> = (0..6).map(|i| Pose2::new(0.0, i as f64, 0.0)).collect();
+        let mut est = truth.clone();
+        est[3] = Pose2::new(0.0, 3.3, 0.0); // one bad pose
+        assert!(rpe_2d(&est, &truth, 1).max > 0.29);
+    }
+
+    #[test]
+    fn three_d_variants_work() {
+        let truth: Vec<Pose3> =
+            (0..4).map(|i| Pose3::from_parts([0.0; 3], [i as f64, 0.0, 0.0])).collect();
+        assert_eq!(ate_3d(&truth, &truth).max, 0.0);
+        assert_eq!(rpe_3d(&truth, &truth, 2).max, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a: Vec<Pose2> = vec![Pose2::identity()];
+        let b: Vec<Pose2> = vec![Pose2::identity(), Pose2::identity()];
+        ate_2d(&a, &b);
+    }
+}

@@ -1,0 +1,410 @@
+//! The four benchmark robotic applications of the paper's Tbl. 4.
+//!
+//! | Application | Localization | Planning | Control |
+//! |---|---|---|---|
+//! | MobileRobot | dim 3, LiDAR+GPS | dim 6, Collision+Smooth | dims (3,2), Dynamics |
+//! | Manipulator | dim 2, Prior | dim 4, Collision+Smooth | dims (2,2), Dynamics |
+//! | AutoVehicle | dim 3, LiDAR+GPS | dim 6, Collision+Kinematics | dims (5,2), Kin.+Dyn. |
+//! | Quadrotor | dim 6, Camera+IMU | dim 12, Collision+Kinematics | dims (12,5), Kin.+Dyn. |
+//!
+//! Every algorithm is built as a compilable factor graph (no opaque
+//! factors) with a synthetic but realistic workload: noisy sensors for
+//! localization, obstacle fields for planning, reference tracking for
+//! control.
+
+use crate::workload::{arc_trajectory_2d, odometry_2d, Noise};
+use orianna_graph::{
+    BetweenFactor, CameraFactor, CameraModel, CollisionFactor, DynamicsFactor, FactorGraph,
+    GpsFactor, ImuFactor, KinematicsFactor, LidarFactor, PriorFactor, SmoothFactor,
+    VectorPriorFactor,
+};
+use orianna_lie::Pose3;
+use orianna_math::{Mat, Vec64};
+
+/// One optimization-based algorithm of an application.
+#[derive(Debug)]
+pub struct Algorithm {
+    /// "localization", "planning", or "control".
+    pub name: &'static str,
+    /// The factor graph (with noisy initial estimates).
+    pub graph: FactorGraph,
+    /// Gauss-Newton iterations per processed frame.
+    pub iterations: u64,
+    /// Frames of this algorithm in flight per scheduling window: the
+    /// algorithms of one application run at different frequencies
+    /// (Sec. 6.3: "the planning algorithm exhibiting a much lower
+    /// frequency than the localization and control algorithms"), which is
+    /// what lets one shared accelerator replace three dedicated ones.
+    pub frames_in_flight: usize,
+}
+
+/// A robotic application: several algorithms sharing one accelerator.
+#[derive(Debug)]
+pub struct RobotApp {
+    /// Application name.
+    pub name: &'static str,
+    /// The algorithms, in Tbl. 4 order.
+    pub algorithms: Vec<Algorithm>,
+}
+
+impl RobotApp {
+    /// Finds an algorithm by name.
+    ///
+    /// # Panics
+    /// Panics if no algorithm with that name exists.
+    pub fn algorithm(&self, name: &str) -> &Algorithm {
+        self.algorithms
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("no algorithm {name} in {}", self.name))
+    }
+}
+
+/// Builds every application with a common seed.
+pub fn all_apps(seed: u64) -> Vec<RobotApp> {
+    vec![mobile_robot(seed), manipulator(seed), auto_vehicle(seed), quadrotor(seed)]
+}
+
+/// Two-wheeled robot on a plane (Künhe et al.): LiDAR+GPS localization,
+/// collision/smooth planning, differential-drive dynamics control.
+pub fn mobile_robot(seed: u64) -> RobotApp {
+    let mut noise = Noise::new(seed ^ 0x1001);
+    let loc = planar_localization(&mut noise, 40, true);
+    let plan = vector_planning(&mut noise, 25, 3, true, false);
+    let ctrl = vector_control(&mut noise, 15, 3, 2, false);
+    RobotApp {
+        name: "MobileRobot",
+        algorithms: vec![
+            Algorithm { name: "localization", graph: loc, iterations: 4, frames_in_flight: 4 },
+            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
+            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+        ],
+    }
+}
+
+/// Two-link robot arm (Murray et al.): joint-angle estimation with prior
+/// measurements, joint-space planning, torque control.
+pub fn manipulator(seed: u64) -> RobotApp {
+    let mut noise = Noise::new(seed ^ 0x2002);
+    // Localization: joint states (dim 2) with encoder priors + smoothness.
+    let mut loc = FactorGraph::new();
+    let mut prev = None;
+    for k in 0..20 {
+        let truth = [0.1 * k as f64, -0.05 * k as f64];
+        let meas = [truth[0] + noise.gaussian(0.02), truth[1] + noise.gaussian(0.02)];
+        let id = loc.add_vector(Vec64::from_slice(&[
+            truth[0] + noise.gaussian(0.1),
+            truth[1] + noise.gaussian(0.1),
+        ]));
+        loc.add_factor(VectorPriorFactor::new(id, Vec64::from_slice(&meas), 0.05));
+        if let Some(p) = prev {
+            // Encoder-rate consistency between consecutive joint states.
+            loc.add_factor(KinematicsFactor::transition(p, id, Mat::identity(2), 0.2));
+        }
+        prev = Some(id);
+    }
+    let plan = vector_planning(&mut noise, 20, 2, true, false);
+    let ctrl = vector_control(&mut noise, 12, 2, 2, false);
+    RobotApp {
+        name: "Manipulator",
+        algorithms: vec![
+            Algorithm { name: "localization", graph: loc, iterations: 3, frames_in_flight: 4 },
+            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
+            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+        ],
+    }
+}
+
+/// Four-wheeled vehicle with car dynamics (Junietz et al.).
+pub fn auto_vehicle(seed: u64) -> RobotApp {
+    let mut noise = Noise::new(seed ^ 0x3003);
+    let loc = planar_localization(&mut noise, 60, true);
+    let plan = vector_planning(&mut noise, 30, 3, true, true);
+    let ctrl = vector_control(&mut noise, 15, 5, 2, true);
+    RobotApp {
+        name: "AutoVehicle",
+        algorithms: vec![
+            Algorithm { name: "localization", graph: loc, iterations: 4, frames_in_flight: 4 },
+            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
+            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+        ],
+    }
+}
+
+/// Four-rotor micro drone (Alexis et al.): visual-inertial localization
+/// with landmarks, 12-dim state planning, 12/5 control.
+pub fn quadrotor(seed: u64) -> RobotApp {
+    let mut noise = Noise::new(seed ^ 0x4004);
+    // Visual-inertial localization: Pose3 keyframes + Point3 landmarks,
+    // Camera + IMU factors (the paper's Fig. 4 topology).
+    let mut loc = FactorGraph::new();
+    let model = CameraModel::default();
+    let n_kf = 20;
+    let truth: Vec<Pose3> = (0..n_kf)
+        .map(|k| Pose3::from_parts([0.0, 0.0, 0.05 * k as f64], [0.5 * k as f64, 0.1 * k as f64, 1.0]))
+        .collect();
+    let kf_ids: Vec<_> = truth
+        .iter()
+        .map(|p| loc.add_pose3(noise.perturb_pose3(p, 0.02, 0.08)))
+        .collect();
+    loc.add_factor(PriorFactor::pose3(kf_ids[0], truth[0].clone(), 1e-3));
+    for (k, w) in truth.windows(2).enumerate() {
+        let z = noise.perturb_pose3(&w[1].between(&w[0]), 0.01, 0.03);
+        loc.add_factor(ImuFactor::pose3(kf_ids[k], kf_ids[k + 1], z, 0.05));
+    }
+    // Landmarks ahead of the trajectory, each observed by three
+    // consecutive keyframes (the sliding-window structure of Fig. 4).
+    let landmarks: Vec<[f64; 3]> = (0..14)
+        .map(|k| {
+            [
+                0.6 * k as f64,
+                if k % 2 == 0 { 0.8 } else { -0.8 },
+                4.0 + (k % 3) as f64,
+            ]
+        })
+        .collect();
+    for (li, lm) in landmarks.iter().enumerate() {
+        let lm_id = loc.add_point3([
+            lm[0] + noise.gaussian(0.2),
+            lm[1] + noise.gaussian(0.2),
+            lm[2] + noise.gaussian(0.4),
+        ]);
+        let base = (li * (n_kf - 3)) / landmarks.len();
+        for k in base..(base + 3).min(n_kf) {
+            let t = truth[k].translation();
+            let pc = truth[k]
+                .rotation()
+                .transpose()
+                .rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
+            if let Some(uv) = model.project(pc) {
+                let uv_noisy = [uv[0] + noise.gaussian(1.0), uv[1] + noise.gaussian(1.0)];
+                loc.add_factor(CameraFactor::new(kf_ids[k], lm_id, uv_noisy, model, 1.5));
+            }
+        }
+    }
+    let plan = vector_planning(&mut noise, 20, 6, true, true);
+    let ctrl = vector_control(&mut noise, 12, 12, 5, true);
+    RobotApp {
+        name: "Quadrotor",
+        algorithms: vec![
+            Algorithm { name: "localization", graph: loc, iterations: 5, frames_in_flight: 4 },
+            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
+            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+        ],
+    }
+}
+
+/// Planar LiDAR+GPS localization graph over an arc trajectory.
+fn planar_localization(noise: &mut Noise, n: usize, with_gps: bool) -> FactorGraph {
+    let truth = arc_trajectory_2d(n, 1.0, 0.05);
+    let odo = odometry_2d(&truth, noise, 0.01, 0.04);
+    let mut g = FactorGraph::new();
+    let ids: Vec<_> = truth
+        .iter()
+        .map(|p| g.add_pose2(noise.perturb_pose2(p, 0.05, 0.15)))
+        .collect();
+    g.add_factor(PriorFactor::pose2(ids[0], truth[0], 1e-3));
+    for (k, z) in odo.iter().enumerate() {
+        g.add_factor(LidarFactor::pose2(ids[k], ids[k + 1], *z, 0.05));
+    }
+    if with_gps {
+        for (k, p) in truth.iter().enumerate().step_by(3) {
+            let fix = [p.x() + noise.gaussian(0.1), p.y() + noise.gaussian(0.1)];
+            g.add_factor(GpsFactor::new(ids[k], &fix, 0.2));
+        }
+    }
+    // One loop-closure to exercise non-chain topology.
+    if n > 6 {
+        let z = noise.perturb_pose2(&truth[n - 2].between(&truth[1]), 0.01, 0.05);
+        g.add_factor(BetweenFactor::pose2(ids[1], ids[n - 2], z, 0.1));
+    }
+    g
+}
+
+/// Trajectory-planning graph: states `[position | velocity]` of dimension
+/// `2 * pos_dim`, smooth/kinematic transitions, obstacle hinge factors,
+/// and start/goal priors.
+fn vector_planning(
+    noise: &mut Noise,
+    n_states: usize,
+    pos_dim: usize,
+    with_collision: bool,
+    kinematic_transition: bool,
+) -> FactorGraph {
+    let dt = 0.5;
+    let n = 2 * pos_dim;
+    let mut g = FactorGraph::new();
+    let goal_x = (n_states - 1) as f64 * dt;
+    let ids: Vec<_> = (0..n_states)
+        .map(|k| {
+            // Straight-line initialization with noise.
+            let mut s = vec![0.0; n];
+            s[0] = k as f64 * dt + noise.gaussian(0.1);
+            s[1] = noise.gaussian(0.1);
+            s[pos_dim] = 1.0;
+            g.add_vector(Vec64::from_slice(&s))
+        })
+        .collect();
+    let mut start = vec![0.0; n];
+    start[pos_dim] = 1.0;
+    let mut goal = vec![0.0; n];
+    goal[0] = goal_x;
+    goal[pos_dim] = 1.0;
+    g.add_factor(VectorPriorFactor::new(ids[0], Vec64::from_slice(&start), 0.01));
+    g.add_factor(VectorPriorFactor::new(ids[n_states - 1], Vec64::from_slice(&goal), 0.01));
+    for w in ids.windows(2) {
+        if kinematic_transition {
+            let mut f = Mat::identity(n);
+            for i in 0..pos_dim {
+                f[(i, pos_dim + i)] = dt;
+            }
+            g.add_factor(KinematicsFactor::transition(w[0], w[1], f, 0.1));
+        } else {
+            g.add_factor(SmoothFactor::new(w[0], w[1], pos_dim, dt, 0.1));
+        }
+    }
+    if with_collision {
+        // An obstacle near the straight-line path.
+        let obstacles = vec![([goal_x * 0.5, 0.05], 0.3), ([goal_x * 0.75, -0.2], 0.2)];
+        for &id in ids.iter().skip(1).take(n_states - 2) {
+            g.add_factor(CollisionFactor::new(id, pos_dim, obstacles.clone(), 0.2, 0.3));
+        }
+    }
+    g
+}
+
+/// Finite-horizon LQR-style control graph (Fig. 7b): states `x_k`
+/// (dimension `nx`) and inputs `u_k` (dimension `nu`) linked by dynamics
+/// factors, with state/input cost factors.
+fn vector_control(
+    noise: &mut Noise,
+    horizon: usize,
+    nx: usize,
+    nu: usize,
+    with_kinematics: bool,
+) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    // Stable-ish random system.
+    let mut a = Mat::identity(nx);
+    for r in 0..nx {
+        for c in 0..nx {
+            if r != c {
+                a[(r, c)] = 0.1 * noise.gaussian(0.5);
+            } else {
+                a[(r, c)] = 0.95;
+            }
+        }
+    }
+    let mut b = Mat::zeros(nx, nu);
+    for r in 0..nx {
+        for c in 0..nu {
+            b[(r, c)] = 0.2 + 0.05 * noise.gaussian(1.0);
+        }
+    }
+    let x0: Vec64 = (0..nx).map(|_| noise.gaussian(1.0)).collect();
+    let mut xs = Vec::with_capacity(horizon + 1);
+    let mut us = Vec::with_capacity(horizon);
+    for k in 0..=horizon {
+        let init: Vec64 = (0..nx).map(|_| noise.gaussian(0.1)).collect();
+        let id = g.add_vector(if k == 0 { x0.clone() } else { init });
+        xs.push(id);
+    }
+    for _ in 0..horizon {
+        us.push(g.add_vector(Vec64::zeros(nu)));
+    }
+    // Initial state is fixed.
+    g.add_factor(VectorPriorFactor::new(xs[0], x0, 1e-3));
+    for k in 0..horizon {
+        g.add_factor(DynamicsFactor::new(xs[k], us[k], xs[k + 1], a.clone(), b.clone(), 0.01));
+        // State cost pulls toward zero (the reference), input cost
+        // regularizes.
+        g.add_factor(VectorPriorFactor::new(xs[k + 1], Vec64::zeros(nx), 1.0));
+        g.add_factor(VectorPriorFactor::new(us[k], Vec64::zeros(nu), 2.0));
+        if with_kinematics {
+            // Rate-limit the state trajectory.
+            g.add_factor(KinematicsFactor::transition(xs[k], xs[k + 1], Mat::identity(nx), 2.0));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_compiler::compile;
+    use orianna_graph::natural_ordering;
+    use orianna_solver::{GaussNewton, GaussNewtonSettings};
+
+    #[test]
+    fn all_apps_have_three_algorithms() {
+        for app in all_apps(11) {
+            assert_eq!(app.algorithms.len(), 3, "{}", app.name);
+            for algo in &app.algorithms {
+                assert!(algo.graph.num_factors() > 0);
+                assert!(algo.graph.num_variables() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_is_solvable() {
+        for app in all_apps(23) {
+            for algo in &app.algorithms {
+                let mut g = algo.graph.clone();
+                let report = GaussNewton::new(GaussNewtonSettings {
+                    max_iterations: 25,
+                    ..Default::default()
+                })
+                .optimize(&mut g)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, algo.name));
+                assert!(
+                    report.final_error <= report.initial_error,
+                    "{}/{} error grew",
+                    app.name,
+                    algo.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_compiles() {
+        for app in all_apps(37) {
+            for algo in &app.algorithms {
+                let prog = compile(&algo.graph, &natural_ordering(&algo.graph))
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, algo.name));
+                assert!(prog.instrs.len() > algo.graph.num_factors());
+            }
+        }
+    }
+
+    #[test]
+    fn table4_dimensions() {
+        let apps = all_apps(5);
+        // MobileRobot localization variables are dim 3.
+        let mr = &apps[0];
+        let v = mr.algorithm("localization").graph.values();
+        assert_eq!(v.get(orianna_graph::VarId(0)).dim(), 3);
+        // Quadrotor localization keyframes are dim 6.
+        let q = &apps[3];
+        let v = q.algorithm("localization").graph.values();
+        assert_eq!(v.get(orianna_graph::VarId(0)).dim(), 6);
+        // Quadrotor planning states dim 12, control states 12 / inputs 5.
+        let vp = q.algorithm("planning").graph.values();
+        assert_eq!(vp.get(orianna_graph::VarId(0)).dim(), 12);
+    }
+
+    #[test]
+    fn quadrotor_has_camera_and_imu_factors() {
+        let q = quadrotor(9);
+        let names: Vec<&str> = q
+            .algorithm("localization")
+            .graph
+            .factors()
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        assert!(names.contains(&"CameraFactor"));
+        assert!(names.contains(&"ImuFactor"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The sphere validation benchmark (paper Sec. 4.3, Fig. 9, Tbl. 1).
+//!
+//! A multi-layer sphere trajectory is corrupted with odometry noise, then
+//! optimized twice: once with the unified `<so(3), T(3)>` representation
+//! (the full ORIANNA pipeline) and once with a dedicated SE(3)/se(3)
+//! pose-graph solver. Tbl. 1 compares the absolute trajectory errors; the
+//! two must coincide (no accuracy loss), while the SE(3) path costs more
+//! MACs (Sec. 4.3's 52.7% saving).
+
+use crate::workload::{odometry_3d, sphere_trajectory, Noise};
+use orianna_graph::{BetweenFactor, FactorGraph, PriorFactor, VarId};
+use orianna_lie::{Pose3, Se3Tangent, SE3};
+use orianna_math::{least_squares, macs, Mat, Vec64};
+use orianna_solver::{GaussNewton, GaussNewtonSettings};
+
+/// Absolute-trajectory-error statistics (Tbl. 1 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AteStats {
+    /// Maximum position error (m).
+    pub max: f64,
+    /// Mean position error (m).
+    pub mean: f64,
+    /// Minimum position error (m).
+    pub min: f64,
+    /// Standard deviation (m).
+    pub std: f64,
+}
+
+impl AteStats {
+    /// Computes statistics from per-pose position errors.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        let n = errors.len().max(1) as f64;
+        let mean = errors.iter().sum::<f64>() / n;
+        let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        Self {
+            max: errors.iter().copied().fold(0.0, f64::max),
+            mean,
+            min: errors.iter().copied().fold(f64::INFINITY, f64::min),
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Outcome of the sphere benchmark.
+#[derive(Debug, Clone)]
+pub struct SphereResult {
+    /// Error of the noisy (unoptimized) trajectory.
+    pub initial: AteStats,
+    /// Error after optimization with `<so(3), T(3)>`.
+    pub unified: AteStats,
+    /// Error after optimization with SE(3).
+    pub se3: AteStats,
+    /// MACs per between-factor linearization under the unified
+    /// representation.
+    pub unified_macs_per_factor: u64,
+    /// MACs per between-factor linearization under SE(3)/se(3).
+    pub se3_macs_per_factor: u64,
+}
+
+impl SphereResult {
+    /// Fraction of construction MACs the unified representation saves.
+    pub fn mac_saving(&self) -> f64 {
+        1.0 - self.unified_macs_per_factor as f64 / self.se3_macs_per_factor as f64
+    }
+}
+
+/// Builds and runs the sphere benchmark.
+///
+/// `layers × per_layer` poses on a sphere of `radius` meters; odometry
+/// noise `sigma_phi`/`sigma_t`; loop-closure factors between vertically
+/// adjacent layers pin down the global shape.
+pub fn run_sphere(
+    seed: u64,
+    layers: usize,
+    per_layer: usize,
+    radius: f64,
+    sigma_phi: f64,
+    sigma_t: f64,
+) -> SphereResult {
+    let truth = sphere_trajectory(layers, per_layer, radius);
+    let mut noise = Noise::new(seed);
+    let odo = odometry_3d(&truth, &mut noise, sigma_phi, sigma_t);
+
+    // Dead-reckoned initialization from a *noisier* proprioceptive sensor
+    // (the paper's Fig. 9a "initial trajectory obtained from a sensor
+    // with noise"): drift accumulates multiplicatively, so the initial
+    // ATE is large while the graph's measurement edges stay accurate.
+    let init_odo = odometry_3d(&truth, &mut noise, sigma_phi * 8.0, sigma_t * 8.0);
+    let mut init = vec![truth[0].clone()];
+    for z in &init_odo {
+        let last = init.last().unwrap().clone();
+        init.push(last.compose(z));
+    }
+    let initial = ate(&init, &truth);
+
+    // Loop closures: same index on adjacent layers (ring-to-ring), with
+    // much smaller noise than odometry (they are what pins the sphere's
+    // shape back down, Fig. 9b).
+    let mut closures: Vec<(usize, usize, Pose3)> = Vec::new();
+    for l in 1..layers {
+        for k in 0..per_layer {
+            let i = (l - 1) * per_layer + k;
+            let j = l * per_layer + k;
+            let z = noise.perturb_pose3(&truth[j].between(&truth[i]), sigma_phi * 0.02, sigma_t * 0.02);
+            closures.push((i, j, z));
+        }
+    }
+
+    // ---- Unified <so(3), T(3)> optimization ----
+    let mut g = FactorGraph::new();
+    let ids: Vec<VarId> = init.iter().map(|p| g.add_pose3(p.clone())).collect();
+    g.add_factor(PriorFactor::pose3(ids[0], truth[0].clone(), 1e-3));
+    for (k, z) in odo.iter().enumerate() {
+        g.add_factor(BetweenFactor::pose3(ids[k], ids[k + 1], z.clone(), 0.05));
+    }
+    for (i, j, z) in &closures {
+        g.add_factor(BetweenFactor::pose3(ids[*i], ids[*j], z.clone(), 0.01));
+    }
+    let unified_macs_per_factor = compiled_between_macs(&init[0], &init[1], &odo[0]);
+    GaussNewton::new(GaussNewtonSettings { max_iterations: 30, ..Default::default() })
+        .optimize(&mut g)
+        .expect("sphere optimizes");
+    let optimized: Vec<Pose3> =
+        ids.iter().map(|id| g.values().get(*id).as_pose3().clone()).collect();
+    let unified = ate(&optimized, &truth);
+
+    // ---- SE(3) optimization (dedicated solver below) ----
+    let (se3_poses, se3_macs_per_factor) =
+        se3_pose_graph(&init, &odo, &closures, &truth[0]);
+    let se3 = ate(&se3_poses, &truth);
+
+    SphereResult { initial, unified, se3, unified_macs_per_factor, se3_macs_per_factor }
+}
+
+fn ate(estimate: &[Pose3], truth: &[Pose3]) -> AteStats {
+    let errors: Vec<f64> =
+        estimate.iter().zip(truth).map(|(e, t)| e.translation_distance(t)).collect();
+    AteStats::from_errors(&errors)
+}
+
+/// A dedicated SE(3) pose-graph Gauss-Newton solver: poses stored as 4×4
+/// homogeneous matrices, retraction `T ← T·Exp(δ)` with δ ∈ se(3), and
+/// numeric Jacobians. This is the "traditional SE(3)" comparator of
+/// Tbl. 1; it shares nothing with the unified pipeline beyond the
+/// measurements. Returns the optimized trajectory and the measured MACs
+/// of one factor linearization.
+fn se3_pose_graph(
+    init: &[Pose3],
+    odo: &[Pose3],
+    closures: &[(usize, usize, Pose3)],
+    anchor: &Pose3,
+) -> (Vec<Pose3>, u64) {
+    let mut poses: Vec<SE3> = init.iter().map(SE3::from_unified).collect();
+    let n = poses.len();
+    struct Edge {
+        i: usize,
+        j: usize,
+        z: SE3,
+        w: f64,
+    }
+    let mut edges: Vec<Edge> = Vec::new();
+    for (k, z) in odo.iter().enumerate() {
+        edges.push(Edge { i: k, j: k + 1, z: SE3::from_unified(z), w: 1.0 / 0.05 });
+    }
+    for (i, j, z) in closures {
+        edges.push(Edge { i: *i, j: *j, z: SE3::from_unified(z), w: 1.0 / 0.01 });
+    }
+    let anchor_se3 = SE3::from_unified(anchor);
+
+    // Error of one edge: Log(z⁻¹ · Tᵢ⁻¹ · Tⱼ) ∈ se(3).
+    let edge_error = |ti: &SE3, tj: &SE3, z: &SE3| -> [f64; 6] {
+        z.inverse().compose(&ti.inverse().compose(tj)).log().coords()
+    };
+
+    // MAC cost of one *analytic* SE(3) edge linearization (what an
+    // efficient SE(3) implementation performs; the FD Jacobians below are
+    // only used to drive this comparator solver, not charged).
+    let (_, se3_macs) = macs::measure(|| se3_analytic_linearize(&poses[0], &poses[1], &edges[0].z));
+
+    let h = 1e-6;
+    for _ in 0..12 {
+        // Assemble dense J / r over 6n variables (anchor fixed via prior).
+        let rows = 6 * edges.len() + 6;
+        let cols = 6 * n;
+        let mut a = Mat::zeros(rows, cols);
+        let mut b = Vec64::zeros(rows);
+        for (ei, e) in edges.iter().enumerate() {
+            let err = edge_error(&poses[e.i], &poses[e.j], &e.z);
+            for r in 0..6 {
+                b[6 * ei + r] = -e.w * err[r];
+            }
+            // Numeric Jacobians w.r.t. both endpoints.
+            for (which, idx) in [(0usize, e.i), (1, e.j)] {
+                for d in 0..6 {
+                    let mut delta = [0.0; 6];
+                    delta[d] = h;
+                    let pert = Se3Tangent::new(
+                        [delta[0], delta[1], delta[2]],
+                        [delta[3], delta[4], delta[5]],
+                    )
+                    .exp();
+                    let (ti, tj) = if which == 0 {
+                        (poses[e.i].compose(&pert), poses[e.j].clone())
+                    } else {
+                        (poses[e.i].clone(), poses[e.j].compose(&pert))
+                    };
+                    let ep = edge_error(&ti, &tj, &e.z);
+                    for r in 0..6 {
+                        a[(6 * ei + r, 6 * idx + d)] = e.w * (ep[r] - err[r]) / h;
+                    }
+                }
+            }
+        }
+        // Anchor prior on pose 0.
+        let prior_row = 6 * edges.len();
+        let err0 = edge_error(&anchor_se3, &poses[0], &SE3::identity());
+        for d in 0..6 {
+            a[(prior_row + d, d)] = 1e3;
+            b[prior_row + d] = -1e3 * err0[d];
+        }
+        let Some(delta) = least_squares(&a, &b) else { break };
+        let step: f64 = delta.norm();
+        for (k, pose) in poses.iter_mut().enumerate() {
+            let d = Se3Tangent::new(
+                [delta[6 * k], delta[6 * k + 1], delta[6 * k + 2]],
+                [delta[6 * k + 3], delta[6 * k + 4], delta[6 * k + 5]],
+            );
+            *pose = pose.compose(&d.exp());
+        }
+        if step < 1e-8 {
+            break;
+        }
+    }
+    (poses.iter().map(SE3::to_unified).collect(), se3_macs)
+}
+
+/// Measures the MACs of one between-factor linearization on the *compiled*
+/// unified path: the construction-phase instructions the accelerator
+/// executes (rotations materialized once, errors forward, derivatives
+/// backward). This is the Sec. 4.3 "our representation" cost.
+fn compiled_between_macs(xi: &Pose3, xj: &Pose3, z: &Pose3) -> u64 {
+    use orianna_compiler::{compile, execute, Phase};
+    use orianna_graph::natural_ordering;
+    // Measure (prior + between) − (prior) so the elimination stays
+    // well-posed in both compilations and the difference isolates the
+    // between factor's construction instructions.
+    let construct_macs = |with_between: bool| -> u64 {
+        let mut g = FactorGraph::new();
+        let a = g.add_pose3(xi.clone());
+        let b = g.add_pose3(xj.clone());
+        g.add_factor(PriorFactor::pose3(a, xi.clone(), 0.05));
+        g.add_factor(PriorFactor::pose3(b, xj.clone(), 0.05));
+        if with_between {
+            g.add_factor(BetweenFactor::pose3(a, b, z.clone(), 0.05));
+        }
+        let mut prog = compile(&g, &natural_ordering(&g)).expect("compiles");
+        // Keep only construction-phase instructions (errors + derivatives).
+        prog.instrs.retain(|i| i.phase == Phase::Construct);
+        prog.elimination.clear();
+        prog.back_subs.clear();
+        let (_, macs) = macs::measure(|| execute(&prog, g.values()).expect("construct executes"));
+        macs
+    };
+    construct_macs(true) - construct_macs(false)
+}
+
+/// One analytic SE(3) between-edge linearization, performed with real
+/// matrix arithmetic so the MAC counters observe its true cost: error
+/// `e = Log(z⁻¹ Tᵢ⁻¹ Tⱼ)` plus the standard pose-graph Jacobians
+/// `J_j = Jr₆⁻¹(e)` and `J_i = −Jr₆⁻¹(e) · Ad(Tⱼ⁻¹Tᵢ)`, where `Jr₆⁻¹`
+/// needs the 3×3 `Q`-block chain of the 6-dimensional right Jacobian and
+/// `Ad` is the 6×6 adjoint — the "6-dimensional exponential and
+/// logarithmic mapping" overhead of Sec. 4.1.
+fn se3_analytic_linearize(ti: &SE3, tj: &SE3, z: &SE3) -> (Mat, Mat) {
+    let rel = z.inverse().compose(&ti.inverse().compose(tj));
+    let e = rel.log();
+    // Jr₆⁻¹(e): block upper-triangular [[Jr₃⁻¹, Q], [0, Jr₃⁻¹]] with
+    // Q = −Jr₃⁻¹ · Q_v(ρ, φ) · Jr₃⁻¹ (Q_v from skew products).
+    let jr3 = orianna_lie::so3::right_jacobian_inv(e.phi);
+    let rho_hat = Mat::from_rows(&[
+        &orianna_lie::so3::hat(e.rho)[0],
+        &orianna_lie::so3::hat(e.rho)[1],
+        &orianna_lie::so3::hat(e.rho)[2],
+    ]);
+    let phi_hat = Mat::from_rows(&[
+        &orianna_lie::so3::hat(e.phi)[0],
+        &orianna_lie::so3::hat(e.phi)[1],
+        &orianna_lie::so3::hat(e.phi)[2],
+    ]);
+    // Full Q-block of the SE(3) right Jacobian (Barfoot, *State
+    // Estimation for Robotics*, eq. 7.86 mirrored for the right
+    // Jacobian): five skew-product terms with trigonometric coefficients.
+    let theta2 = e.phi[0] * e.phi[0] + e.phi[1] * e.phi[1] + e.phi[2] * e.phi[2];
+    let theta = theta2.sqrt();
+    let (c1, c2, c3) = if theta < 1e-6 {
+        (1.0 / 6.0, 1.0 / 24.0, 1.0 / 120.0)
+    } else {
+        let (s, c) = (theta.sin(), theta.cos());
+        (
+            (theta - s) / (theta2 * theta),
+            (1.0 - theta2 / 2.0 - c) / (theta2 * theta2),
+            ((1.0 - theta2 / 2.0 - c) / (theta2 * theta2)
+                - 3.0 * (theta - s - theta2 * theta / 6.0) / (theta2 * theta2 * theta))
+                / 2.0,
+        )
+    };
+    let pr = phi_hat.mul_mat(&rho_hat);
+    let rp = rho_hat.mul_mat(&phi_hat);
+    let prp = pr.mul_mat(&phi_hat);
+    let ppr = phi_hat.mul_mat(&pr);
+    let rpp = rp.mul_mat(&phi_hat);
+    let prpp = prp.mul_mat(&phi_hat);
+    let pprp = ppr.mul_mat(&phi_hat);
+    let qv = &(&(&rho_hat.scale(0.5) + &(&(&pr + &rp) + &prp).scale(c1))
+        - &(&(&ppr + &rpp) - &prp.scale(3.0)).scale(c2))
+        + &(&prpp + &pprp).scale(c3);
+    let q = jr3.mul_mat(&qv).mul_mat(&jr3).scale(-1.0);
+    let mut jr6 = Mat::zeros(6, 6);
+    jr6.set_block(0, 0, &jr3);
+    jr6.set_block(0, 3, &q);
+    jr6.set_block(3, 3, &jr3);
+    // Ad(Tⱼ⁻¹Tᵢ) = [[R, t^R], [0, R]].
+    let rel_ji = tj.inverse().compose(ti);
+    let r = rel_ji.rotation().to_mat();
+    let t_hat = Mat::from_rows(&[
+        &orianna_lie::so3::hat(rel_ji.translation())[0],
+        &orianna_lie::so3::hat(rel_ji.translation())[1],
+        &orianna_lie::so3::hat(rel_ji.translation())[2],
+    ]);
+    let tr = t_hat.mul_mat(&r);
+    let mut ad = Mat::zeros(6, 6);
+    ad.set_block(0, 0, &r);
+    ad.set_block(0, 3, &tr);
+    ad.set_block(3, 3, &r);
+    let j_i = jr6.mul_mat(&ad).scale(-1.0);
+    // Whitening of both 6×6 blocks and the 6-vector.
+    let j_j = jr6.scale(1.0 / 0.05);
+    let j_i = j_i.scale(1.0 / 0.05);
+    (j_i, j_j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_optimization_recovers_trajectory() {
+        let r = run_sphere(42, 5, 14, 10.0, 0.002, 0.02);
+        assert!(r.initial.mean > 20.0 * r.unified.mean, "{:?}", r);
+        assert!(r.unified.mean < 0.1, "{:?}", r.unified);
+    }
+
+    #[test]
+    fn unified_matches_se3_accuracy() {
+        // Tbl. 1: the two representations agree to millimeters.
+        let r = run_sphere(42, 4, 10, 10.0, 0.002, 0.02);
+        assert!((r.unified.mean - r.se3.mean).abs() < 0.01, "{:?} vs {:?}", r.unified, r.se3);
+    }
+
+    #[test]
+    fn unified_saves_macs() {
+        // Sec. 4.3: the unified representation saves roughly half of the
+        // construction MACs relative to SE(3) (paper: 52.7%).
+        let r = run_sphere(7, 3, 8, 10.0, 0.002, 0.02);
+        assert!(
+            (0.25..0.75).contains(&r.mac_saving()),
+            "saving {} ({} vs {})",
+            r.mac_saving(),
+            r.unified_macs_per_factor,
+            r.se3_macs_per_factor
+        );
+    }
+
+    #[test]
+    fn ate_stats_formulas() {
+        let s = AteStats::from_errors(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

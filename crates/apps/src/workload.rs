@@ -1,0 +1,173 @@
+//! Synthetic sensor workload generation.
+//!
+//! Substitutes for the paper's physical robot data (DESIGN.md §1): ground
+//! truth trajectories with configurable Gaussian sensor noise, preserving
+//! the graph topologies and block dimensions that drive every result.
+
+use orianna_lie::{Pose2, Pose3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded noise source for reproducible workloads.
+#[derive(Debug)]
+pub struct Noise {
+    rng: StdRng,
+}
+
+impl Noise {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One sample of zero-mean Gaussian noise with standard deviation
+    /// `sigma` (Box–Muller).
+    pub fn gaussian(&mut self, sigma: f64) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Perturbs a planar pose with independent Gaussian noise on heading
+    /// and position.
+    pub fn perturb_pose2(&mut self, p: &Pose2, sigma_theta: f64, sigma_t: f64) -> Pose2 {
+        Pose2::new(
+            p.theta() + self.gaussian(sigma_theta),
+            p.x() + self.gaussian(sigma_t),
+            p.y() + self.gaussian(sigma_t),
+        )
+    }
+
+    /// Perturbs a spatial pose with tangent-space Gaussian noise.
+    pub fn perturb_pose3(&mut self, p: &Pose3, sigma_phi: f64, sigma_t: f64) -> Pose3 {
+        let delta = [
+            self.gaussian(sigma_phi),
+            self.gaussian(sigma_phi),
+            self.gaussian(sigma_phi),
+            self.gaussian(sigma_t),
+            self.gaussian(sigma_t),
+            self.gaussian(sigma_t),
+        ];
+        p.retract(&delta)
+    }
+}
+
+/// Ground-truth planar trajectory: an arc of `n` poses with per-step
+/// forward motion `step` and heading increment `dtheta`.
+pub fn arc_trajectory_2d(n: usize, step: f64, dtheta: f64) -> Vec<Pose2> {
+    let mut poses = Vec::with_capacity(n);
+    let mut cur = Pose2::identity();
+    poses.push(cur);
+    let motion = Pose2::new(dtheta, step, 0.0);
+    for _ in 1..n {
+        cur = cur.compose(&motion);
+        poses.push(cur);
+    }
+    poses
+}
+
+/// Ground-truth multi-layer sphere trajectory (paper Fig. 9): `layers`
+/// stacked circles of `per_layer` poses each, ascending from bottom to
+/// top of a sphere of radius `radius`.
+pub fn sphere_trajectory(layers: usize, per_layer: usize, radius: f64) -> Vec<Pose3> {
+    let mut poses = Vec::with_capacity(layers * per_layer);
+    for l in 0..layers {
+        // Polar angle from near-south-pole to near-north-pole.
+        let polar = std::f64::consts::PI * (l as f64 + 1.0) / (layers as f64 + 1.0);
+        let z = radius * polar.cos();
+        let r = radius * polar.sin();
+        for k in 0..per_layer {
+            let az = 2.0 * std::f64::consts::PI * k as f64 / per_layer as f64;
+            // Heading tangent to the circle.
+            let yaw = az + std::f64::consts::FRAC_PI_2;
+            poses.push(Pose3::from_parts(
+                [0.0, 0.0, yaw],
+                [r * az.cos(), r * az.sin(), z],
+            ));
+        }
+    }
+    poses
+}
+
+/// Relative-pose odometry measurements along a planar trajectory, with
+/// noise.
+pub fn odometry_2d(truth: &[Pose2], noise: &mut Noise, sigma_theta: f64, sigma_t: f64) -> Vec<Pose2> {
+    truth
+        .windows(2)
+        .map(|w| {
+            let z = w[1].between(&w[0]);
+            noise.perturb_pose2(&z, sigma_theta, sigma_t)
+        })
+        .collect()
+}
+
+/// Relative-pose odometry measurements along a spatial trajectory.
+pub fn odometry_3d(truth: &[Pose3], noise: &mut Noise, sigma_phi: f64, sigma_t: f64) -> Vec<Pose3> {
+    truth
+        .windows(2)
+        .map(|w| {
+            let z = w[1].between(&w[0]);
+            noise.perturb_pose3(&z, sigma_phi, sigma_t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_reproducible() {
+        let mut a = Noise::new(7);
+        let mut b = Noise::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.gaussian(1.0), b.gaussian(1.0));
+        }
+    }
+
+    #[test]
+    fn gaussian_has_sane_moments() {
+        let mut n = Noise::new(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.gaussian(2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "{mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "{}", var.sqrt());
+    }
+
+    #[test]
+    fn arc_trajectory_moves_forward() {
+        let t = arc_trajectory_2d(10, 1.0, 0.0);
+        assert_eq!(t.len(), 10);
+        assert!((t[9].x() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_trajectory_lies_on_sphere() {
+        let t = sphere_trajectory(6, 20, 10.0);
+        assert_eq!(t.len(), 120);
+        for p in &t {
+            let [x, y, z] = p.translation();
+            let r = (x * x + y * y + z * z).sqrt();
+            assert!((r - 10.0).abs() < 1e-9, "{r}");
+        }
+    }
+
+    #[test]
+    fn noiseless_odometry_recovers_truth() {
+        let t = arc_trajectory_2d(5, 1.0, 0.1);
+        let mut n = Noise::new(1);
+        let odo = odometry_2d(&t, &mut n, 0.0, 0.0);
+        let mut cur = t[0];
+        for z in &odo {
+            cur = cur.compose(z);
+        }
+        assert!(cur.translation_distance(&t[4]) < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! The VANILLA-HLS baseline: a programmable dense-matrix accelerator
+//! built from the *same* unit templates as ORIANNA (systolic array, QR
+//! unit) but without the factor-graph abstraction (paper Sec. 7.1,
+//! "Accelerator for dense matrix operations").
+//!
+//! Consequences of lacking the abstraction, reflected in the model:
+//!
+//! * the linear system is assembled and QR-decomposed **densely** — the
+//!   full `m×n` of Fig. 17's "VANILLA" bars, most of whose entries are
+//!   structural zeros (Fig. 18),
+//! * the construction phase runs as sequentially scheduled matrix kernels
+//!   (HLS loop pipelines, no cross-factor out-of-order issue), so it
+//!   costs the *serial* construction work of the same instruction trace.
+
+use crate::models::BaselineResult;
+use crate::profile::AlgoProfile;
+use orianna_hw::templates::{BOARD_STATIC_W, E_MAC_NJ, STATIC_W_PER_UNIT, SYSTOLIC_DIM};
+use orianna_hw::{HwConfig, Resources, CLOCK_MHZ};
+
+/// Fraction of peak systolic throughput a dense large-matrix pipeline
+/// sustains (fill/drain and row remainders).
+const DENSE_UTILIZATION: f64 = 0.5;
+
+/// Resource overhead of the dense design relative to a generated ORIANNA
+/// configuration: without the factor-graph abstraction the dense datapath
+/// needs wider buffers and address generators. Calibrated to the paper's
+/// Fig. 16c (ORIANNA saves ~20% of resources vs VANILLA-HLS).
+const RESOURCE_OVERHEAD: f64 = 1.25;
+
+/// Latency and energy of the dense-matrix accelerator on a profile.
+///
+/// `construct_serial_cycles` is the serial construction work of the same
+/// workload (the in-order sum of construction-instruction latencies),
+/// which the HLS design also has to perform.
+pub fn vanilla_hls(
+    profile: &AlgoProfile,
+    config: &HwConfig,
+    construct_serial_cycles: u64,
+) -> BaselineResult {
+    let peak = (SYSTOLIC_DIM * SYSTOLIC_DIM) as f64
+        * config.count(orianna_compiler::UnitClass::MatMul) as f64;
+    let dense_solve_macs =
+        (profile.solve_macs_dense * profile.iterations) as f64;
+    let solve_cycles = dense_solve_macs / (peak * DENSE_UTILIZATION);
+    let cycles = solve_cycles + construct_serial_cycles as f64;
+    let time_s = cycles / (CLOCK_MHZ * 1e6);
+    let dynamic_mj = dense_solve_macs * E_MAC_NJ * 1e-6;
+    let static_mj = (BOARD_STATIC_W
+        + STATIC_W_PER_UNIT * config.total_units() as f64 * RESOURCE_OVERHEAD)
+        * time_s
+        * 1e3;
+    BaselineResult { time_ms: time_s * 1e3, energy_mj: dynamic_mj + static_mj }
+}
+
+/// Resource consumption of the dense design (for Fig. 16c).
+pub fn vanilla_hls_resources(orianna: &Resources) -> Resources {
+    Resources {
+        lut: (orianna.lut as f64 * RESOURCE_OVERHEAD) as u64,
+        ff: (orianna.ff as f64 * RESOURCE_OVERHEAD) as u64,
+        bram: (orianna.bram as f64 * RESOURCE_OVERHEAD) as u64,
+        dsp: (orianna.dsp as f64 * RESOURCE_OVERHEAD) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> AlgoProfile {
+        AlgoProfile {
+            construct_macs: 40_000,
+            solve_macs_sparse: 200_000,
+            solve_macs_dense: 30_000_000,
+            kernel_calls: 600,
+            rows: 700,
+            cols: 300,
+            density: 0.05,
+            iterations: 4,
+        }
+    }
+
+    #[test]
+    fn dense_accelerator_pays_for_blind_sparsity() {
+        let cfg = HwConfig::minimal();
+        let v = vanilla_hls(&profile(), &cfg, 10_000);
+        // Sparse work at a comparable effective rate would take far less.
+        let sparse_cycles = profile().total_macs_sparse() as f64 / 32.0;
+        let sparse_ms = sparse_cycles / (CLOCK_MHZ * 1e3);
+        assert!(v.time_ms > 10.0 * sparse_ms, "{} vs {}", v.time_ms, sparse_ms);
+    }
+
+    #[test]
+    fn construct_cycles_add_latency() {
+        let cfg = HwConfig::minimal();
+        let a = vanilla_hls(&profile(), &cfg, 0);
+        let b = vanilla_hls(&profile(), &cfg, 100_000);
+        assert!(b.time_ms > a.time_ms);
+    }
+
+    #[test]
+    fn resources_scale_by_overhead() {
+        let base = Resources { lut: 100, ff: 200, bram: 40, dsp: 80 };
+        let v = vanilla_hls_resources(&base);
+        assert_eq!(v.lut, 125);
+        assert_eq!(v.dsp, 100);
+    }
+}

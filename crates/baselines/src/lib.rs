@@ -1,0 +1,42 @@
+//! # orianna-baselines
+//!
+//! The six comparison systems of the paper's evaluation (Sec. 7.1),
+//! modeled analytically from *measured* operation traces of the same
+//! workloads the generated accelerator runs (DESIGN.md §1 documents the
+//! substitution of models for physical hardware):
+//!
+//! | Baseline | Paper hardware | Model |
+//! |---|---|---|
+//! | `Intel` | i7-11700 @2.5 GHz | effective-MAC-rate CPU model |
+//! | `ORIANNA-SW` | same, unified pose repr. | construction MACs reduced 52.7% |
+//! | `ARM` | Cortex-A57 @1.9 GHz | effective-MAC-rate CPU model |
+//! | `GPU` | Jetson TX1 Maxwell | kernel-launch-dominated model |
+//! | `VANILLA-HLS` | dense-matrix FPGA design | dense QR on the same templates |
+//! | `STACK` | 3 dedicated accelerators | per-algorithm generated configs |
+//!
+//! ## Example
+//!
+//! ```
+//! use orianna_baselines::{models, profile_graph};
+//! use orianna_graph::{natural_ordering, FactorGraph, PriorFactor};
+//! use orianna_lie::Pose2;
+//!
+//! let mut g = FactorGraph::new();
+//! let x = g.add_pose2(Pose2::new(0.1, 0.4, 0.0));
+//! g.add_factor(PriorFactor::pose2(x, Pose2::identity(), 0.1));
+//! let prof = profile_graph(&g, &natural_ordering(&g), 4);
+//! let intel = models::intel(&prof);
+//! let arm = models::arm(&prof);
+//! assert!(intel.time_ms < arm.time_ms);
+//! ```
+
+pub mod calib;
+pub mod hls;
+pub mod models;
+pub mod profile;
+pub mod stack;
+
+pub use hls::{vanilla_hls, vanilla_hls_resources};
+pub use models::{sum, BaselineResult};
+pub use profile::{profile_graph, AlgoProfile};
+pub use stack::{stack, StackResult};

@@ -1,0 +1,107 @@
+//! The STACK baseline: three dedicated factor-graph accelerators —
+//! localization, planning, control — stacked side by side (paper
+//! Sec. 7.1, modeled after the authors' prior per-algorithm designs).
+//!
+//! Each dedicated accelerator is sized for its own algorithm (its own
+//! generated configuration), and the three run concurrently on disjoint
+//! hardware. Performance therefore matches or slightly beats a shared
+//! ORIANNA instance, but resources and static energy triple — the paper's
+//! Fig. 16 trade-off.
+
+use crate::models::BaselineResult;
+use orianna_compiler::Program;
+use orianna_hw::{generate, simulate, IssuePolicy, Objective, Resources, Workload};
+
+/// Result of evaluating the stacked dedicated accelerators.
+#[derive(Debug, Clone)]
+pub struct StackResult {
+    /// Frame latency: the slowest dedicated accelerator (they run in
+    /// parallel).
+    pub time_ms: f64,
+    /// Total energy across the three accelerators.
+    pub energy_mj: f64,
+    /// Combined resource consumption.
+    pub resources: Resources,
+    /// Per-algorithm `(name, time_ms)` details.
+    pub per_algorithm: Vec<(&'static str, f64)>,
+}
+
+impl StackResult {
+    /// Collapses to the common `(time, energy)` shape.
+    pub fn as_baseline(&self) -> BaselineResult {
+        BaselineResult { time_ms: self.time_ms, energy_mj: self.energy_mj }
+    }
+}
+
+/// Evaluates the STACK baseline: one dedicated generated accelerator per
+/// algorithm, each given `per_algo_budget` resources.
+pub fn stack(
+    algorithms: &[(&'static str, &Program)],
+    per_algo_budget: &Resources,
+    frames: usize,
+) -> StackResult {
+    let frames = frames.max(1);
+    let mut time_ms: f64 = 0.0;
+    let mut energy_mj = 0.0;
+    let mut resources = Resources::default();
+    let mut per_algorithm = Vec::with_capacity(algorithms.len());
+    for (name, prog) in algorithms {
+        // Each dedicated accelerator pipelines `frames` independent
+        // frames of its own algorithm, like the shared ORIANNA instance.
+        let wl = Workload {
+            streams: (0..frames)
+                .map(|_| orianna_hw::Stream { name, program: prog })
+                .collect(),
+        };
+        let gen = generate(&wl, per_algo_budget, Objective::Latency);
+        let report = simulate(&wl, &gen.config, IssuePolicy::OutOfOrder);
+        let per_frame = report.time_ms / frames as f64;
+        time_ms = time_ms.max(per_frame);
+        energy_mj += report.energy_mj / frames as f64;
+        resources = resources.plus(&gen.config.resources());
+        per_algorithm.push((*name, per_frame));
+    }
+    StackResult { time_ms, energy_mj, resources, per_algorithm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_compiler::compile;
+    use orianna_graph::{natural_ordering, BetweenFactor, FactorGraph, PriorFactor};
+    use orianna_hw::HwConfig;
+    use orianna_lie::Pose2;
+
+    fn prog(n: usize) -> Program {
+        let mut g = FactorGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1))).collect();
+        g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
+        for w in ids.windows(2) {
+            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+        }
+        compile(&g, &natural_ordering(&g)).unwrap()
+    }
+
+    #[test]
+    fn stack_uses_more_resources_than_one_shared_accelerator() {
+        let p1 = prog(8);
+        let p2 = prog(10);
+        let p3 = prog(6);
+        let budget = Resources { lut: 80_000, ff: 90_000, bram: 100, dsp: 300 };
+        let s = stack(&[("loc", &p1), ("plan", &p2), ("ctrl", &p3)], &budget, 2);
+        let shared_min = HwConfig::minimal().resources();
+        assert!(s.resources.lut > 2 * shared_min.lut);
+        assert_eq!(s.per_algorithm.len(), 3);
+        assert!(s.time_ms > 0.0);
+    }
+
+    #[test]
+    fn stack_latency_is_max_of_algorithms() {
+        let p1 = prog(4);
+        let p2 = prog(16);
+        let budget = Resources { lut: 80_000, ff: 90_000, bram: 100, dsp: 300 };
+        let s = stack(&[("a", &p1), ("b", &p2)], &budget, 2);
+        let slowest = s.per_algorithm.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+        assert_eq!(s.time_ms, slowest);
+    }
+}

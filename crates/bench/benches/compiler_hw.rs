@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the compiler and the cycle-level simulator:
+//! compilation throughput, functional execution, and the OoO-vs-in-order
+//! scheduling ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orianna_apps::all_apps;
+use orianna_compiler::{compile, execute};
+use orianna_graph::natural_ordering;
+use orianna_hw::{simulate, HwConfig, IssuePolicy, Workload};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for app in all_apps(2024) {
+        let algo = app.algorithm("localization");
+        group.bench_function(BenchmarkId::from_parameter(app.name), |b| {
+            b.iter(|| compile(&algo.graph, &natural_ordering(&algo.graph)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa_execute");
+    group.sample_size(10);
+    let apps = all_apps(2024);
+    let app = &apps[0];
+    let algo = app.algorithm("localization");
+    let prog = compile(&algo.graph, &natural_ordering(&algo.graph)).unwrap();
+    group.bench_function("mobile_robot_localization", |b| {
+        b.iter(|| execute(&prog, algo.graph.values()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    let apps = all_apps(2024);
+    let app = &apps[3]; // quadrotor: largest instruction stream
+    let programs: Vec<_> = app
+        .algorithms
+        .iter()
+        .map(|a| (a.name, compile(&a.graph, &natural_ordering(&a.graph)).unwrap()))
+        .collect();
+    let wl = Workload {
+        streams: programs
+            .iter()
+            .map(|(n, p)| orianna_hw::Stream { name: n, program: p })
+            .collect(),
+    };
+    let cfg = HwConfig::minimal();
+    group.bench_function("quadrotor_ooo", |b| {
+        b.iter(|| simulate(&wl, &cfg, IssuePolicy::OutOfOrder))
+    });
+    group.bench_function("quadrotor_in_order", |b| {
+        b.iter(|| simulate(&wl, &cfg, IssuePolicy::InOrder))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_execute, bench_scheduler);
+criterion_main!(benches);

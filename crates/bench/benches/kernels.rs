@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the math/Lie kernels the ORIANNA
+//! pipeline is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orianna_lie::{so3, Pose3, Rot3, SE3};
+use orianna_math::{givens_qr, householder_qr, Mat};
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    let mut m = Mat::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m[(r, c)] = next();
+        }
+    }
+    m
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    for n in [6usize, 12, 24, 48] {
+        let a = random_mat(n, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("householder", n), &a, |b, a| {
+            b.iter(|| householder_qr(a))
+        });
+        group.bench_with_input(BenchmarkId::new("givens", n), &a, |b, a| {
+            b.iter(|| givens_qr(a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [3usize, 6, 12] {
+        let a = random_mat(n, n, 7);
+        let b2 = random_mat(n, n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.mul_mat(&b2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lie");
+    let phi = [0.3, -0.2, 0.5];
+    group.bench_function("so3_exp", |b| b.iter(|| Rot3::exp(std::hint::black_box(phi))));
+    let r = Rot3::exp(phi);
+    group.bench_function("so3_log", |b| b.iter(|| std::hint::black_box(&r).log()));
+    group.bench_function("right_jacobian", |b| {
+        b.iter(|| so3::right_jacobian(std::hint::black_box(phi)))
+    });
+    let p = Pose3::from_parts(phi, [1.0, 2.0, 3.0]);
+    let q = Pose3::from_parts([-0.1, 0.4, 0.2], [0.5, -0.5, 1.0]);
+    group.bench_function("pose3_compose_unified", |b| b.iter(|| p.compose(&q)));
+    let sp = SE3::from_unified(&p);
+    let sq = SE3::from_unified(&q);
+    group.bench_function("pose3_compose_se3", |b| b.iter(|| sp.compose(&sq)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_qr, bench_matmul, bench_lie);
+criterion_main!(benches);

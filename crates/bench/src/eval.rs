@@ -1,0 +1,309 @@
+//! The per-application evaluation pipeline.
+//!
+//! For one benchmark application this module runs the complete ORIANNA
+//! flow — compile each algorithm, generate an accelerator under the ZC706
+//! budget, simulate OoO and in-order execution of a full frame — and
+//! evaluates every baseline on the *same measured operation traces*, so
+//! all of Figs. 13–20 read from one [`AppEvaluation`].
+
+use orianna_apps::RobotApp;
+use orianna_baselines::{models, profile_graph, stack, AlgoProfile, BaselineResult, StackResult};
+use orianna_compiler::{compile, Instruction, Op, Program, Reg};
+use orianna_graph::natural_ordering;
+use orianna_hw::{
+    generate, simulate, GeneratorResult, HwConfig, IssuePolicy, Objective, Resources, SimReport,
+    Stream, Workload,
+};
+use orianna_solver::{eliminate, EliminationStats};
+
+/// Evaluation artifacts of one algorithm within an application.
+#[derive(Debug)]
+pub struct AlgoEval {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Compiled single-iteration program.
+    pub program: Program,
+    /// The frame program: `iterations` chained copies.
+    pub frame_program: Program,
+    /// Measured operation trace (one frame).
+    pub profile: AlgoProfile,
+    /// Per-variable elimination statistics (Fig. 17/18 samples).
+    pub elim_stats: EliminationStats,
+    /// Dense assembled system shape `(rows, cols)` and density.
+    pub dense_shape: (usize, usize, f64),
+}
+
+/// Number of in-flight frames the pipelined accelerator overlaps (the
+/// paper's Sec. 6.3: "the ORIANNA hardware is always fully pipelined");
+/// per-frame figures are amortized over this window.
+pub const FRAMES: usize = 4;
+
+/// Full evaluation of one application.
+#[derive(Debug)]
+pub struct AppEvaluation {
+    /// Application name.
+    pub name: &'static str,
+    /// Per-algorithm artifacts.
+    pub algos: Vec<AlgoEval>,
+    /// The generated accelerator configuration (ZC706 budget).
+    pub generated: GeneratorResult,
+    /// Frame simulation, out-of-order issue.
+    pub ooo: SimReport,
+    /// Frame simulation, in-order issue.
+    pub io: SimReport,
+    /// Intel CPU baseline (frame).
+    pub intel: BaselineResult,
+    /// ARM CPU baseline.
+    pub arm: BaselineResult,
+    /// GPU baseline.
+    pub gpu: BaselineResult,
+    /// ORIANNA-SW baseline.
+    pub orianna_sw: BaselineResult,
+    /// VANILLA-HLS dense accelerator baseline.
+    pub vanilla: BaselineResult,
+    /// STACK stacked dedicated accelerators.
+    pub stack: StackResult,
+}
+
+impl AppEvaluation {
+    /// Speedup of ORIANNA-OoO over a baseline time (ms).
+    pub fn speedup_over(&self, baseline_ms: f64) -> f64 {
+        baseline_ms / self.ooo.time_ms
+    }
+
+    /// Energy reduction of ORIANNA-OoO relative to a baseline (mJ).
+    pub fn energy_reduction_over(&self, baseline_mj: f64) -> f64 {
+        baseline_mj / self.ooo.energy_mj
+    }
+}
+
+/// Chains `times` copies of a compiled program into one frame program:
+/// registers are renamed per copy, and every `Input` instruction of copy
+/// `k+1` gains dependences on the `BSUB` results of copy `k` — modeling
+/// the Gauss-Newton outer loop, where the next iteration's linearization
+/// point is the retracted state (Fig. 3).
+pub fn repeat_program(prog: &Program, times: u64) -> Program {
+    let times = times.max(1) as usize;
+    let mut out = Program::default();
+    out.var_dims = prog.var_dims.clone();
+    let base_regs = prog.num_regs();
+    // Pre-allocate renamed registers.
+    for _ in 0..base_regs * times {
+        out.fresh_reg();
+    }
+    // Per-variable chaining: the next iteration's `Input` of variable v
+    // depends only on v's own back-substitution result from the previous
+    // iteration (the retraction x_v ← x_v ⊕ Δ_v), so late eliminations of
+    // iteration k overlap with early construction of iteration k+1 — the
+    // accelerator's natural pipelining.
+    let mut prev_bsub_of: std::collections::HashMap<orianna_graph::VarId, Reg> =
+        std::collections::HashMap::new();
+    for copy in 0..times {
+        let off = copy * base_regs;
+        let rename = |r: Reg| Reg(r.0 + off);
+        let mut bsub_of = std::collections::HashMap::new();
+        for instr in &prog.instrs {
+            let mut srcs: Vec<Reg> = instr.srcs.iter().map(|r| rename(*r)).collect();
+            if let Op::Input { var, .. } = &instr.op {
+                if let Some(&r) = prev_bsub_of.get(var) {
+                    srcs.push(r);
+                }
+            }
+            let op = remap_op(&instr.op, off);
+            let dst = rename(instr.dst);
+            if let Op::Bsub { var, .. } = &instr.op {
+                bsub_of.insert(*var, dst);
+            }
+            out.push(Instruction {
+                id: 0,
+                op,
+                dst,
+                srcs,
+                level: instr.level,
+                factor: instr.factor,
+                phase: instr.phase,
+                dims: instr.dims,
+            });
+        }
+        prev_bsub_of = bsub_of;
+    }
+    out
+}
+
+fn remap_op(op: &Op, off: usize) -> Op {
+    match op {
+        Op::Qrd { frontal, frontal_dim, seps, gather, new_factor_deps, rows } => Op::Qrd {
+            frontal: *frontal,
+            frontal_dim: *frontal_dim,
+            seps: seps.clone(),
+            gather: gather
+                .iter()
+                .map(|g| orianna_compiler::program::GatherFactor {
+                    key_regs: g.key_regs.iter().map(|(v, r)| (*v, Reg(r.0 + off))).collect(),
+                    rhs_reg: Reg(g.rhs_reg.0 + off),
+                    rows: g.rows,
+                })
+                .collect(),
+            // Instruction-id deps are positional within one copy; the
+            // timing simulator only uses register deps, so ids are left
+            // untouched (they are not used by `repeat_program` consumers).
+            new_factor_deps: new_factor_deps.clone(),
+            rows: *rows,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Runs the full evaluation pipeline on one application.
+///
+/// # Panics
+/// Panics if an algorithm fails to compile or eliminate — the benchmark
+/// applications are constructed to be well-posed.
+pub fn evaluate_app(app: &RobotApp, budget: &Resources) -> AppEvaluation {
+    let mut algos = Vec::new();
+    let mut frames_of: Vec<usize> = Vec::new();
+    for a in &app.algorithms {
+        frames_of.push(a.frames_in_flight);
+        let ordering = natural_ordering(&a.graph);
+        let program = compile(&a.graph, &ordering)
+            .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, a.name));
+        let frame_program = repeat_program(&program, a.iterations);
+        let profile = profile_graph(&a.graph, &ordering, a.iterations);
+        let sys = a.graph.linearize();
+        let (_, elim_stats) = eliminate(&sys, &ordering)
+            .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, a.name));
+        let dense_shape = (sys.total_rows(), sys.total_cols(), sys.density());
+        algos.push(AlgoEval {
+            name: a.name,
+            program,
+            frame_program,
+            profile,
+            elim_stats,
+            dense_shape,
+        });
+    }
+
+    // FRAMES independent frames per algorithm are in flight at once:
+    // frames are separate sensor windows (independent problems), so the
+    // controller overlaps them freely while iterations *within* a frame
+    // stay chained.
+    let workload = Workload {
+        streams: algos
+            .iter()
+            .zip(&frames_of)
+            .flat_map(|(a, &frames)| {
+                (0..frames).map(move |_| Stream { name: a.name, program: &a.frame_program })
+            })
+            .collect(),
+    };
+    let generated = generate(&workload, budget, Objective::Latency);
+    let mut ooo = simulate(&workload, &generated.config, IssuePolicy::OutOfOrder);
+    let mut io = simulate(&workload, &generated.config, IssuePolicy::InOrder);
+    // Amortize to per-frame figures.
+    for r in [&mut ooo, &mut io] {
+        r.time_ms /= FRAMES as f64;
+        r.energy_mj /= FRAMES as f64;
+        r.cycles /= FRAMES as u64;
+    }
+
+    let profiles: Vec<&AlgoProfile> = algos.iter().map(|a| &a.profile).collect();
+    let sum_over = |f: &dyn Fn(&AlgoProfile) -> BaselineResult| {
+        models::sum(&profiles.iter().map(|p| f(p)).collect::<Vec<_>>())
+    };
+    let intel = sum_over(&models::intel);
+    let arm = sum_over(&models::arm);
+    let gpu = sum_over(&models::gpu);
+    let orianna_sw = sum_over(&models::orianna_sw);
+    let vanilla = models::sum(
+        &algos
+            .iter()
+            .map(|a| {
+                // Serial construction work of the same trace (HLS loop
+                // pipelines issue kernels sequentially).
+                let solo = simulate(
+                    &Workload::single(a.name, &a.frame_program),
+                    &generated.config,
+                    IssuePolicy::InOrder,
+                );
+                let construct = *solo.phase_work.get("construct").unwrap_or(&0);
+                orianna_baselines::vanilla_hls(&a.profile, &generated.config, construct)
+            })
+            .collect::<Vec<_>>(),
+    );
+    let stack_algos: Vec<(&'static str, &Program)> =
+        algos.iter().map(|a| (a.name, &a.frame_program)).collect();
+    let stack = stack(&stack_algos, budget, FRAMES);
+
+    AppEvaluation {
+        name: app.name,
+        algos,
+        generated,
+        ooo,
+        io,
+        intel,
+        arm,
+        gpu,
+        orianna_sw,
+        vanilla,
+        stack,
+    }
+}
+
+/// Evaluates a single algorithm stream alone on a given configuration
+/// (used by the Fig. 15 per-algorithm breakdown).
+pub fn simulate_algo(algo: &AlgoEval, config: &HwConfig) -> SimReport {
+    // Same pipelining window as the shared evaluation: FRAMES independent
+    // frames in flight, amortized to per-frame figures.
+    let wl = Workload {
+        streams: (0..FRAMES)
+            .map(|_| Stream { name: algo.name, program: &algo.frame_program })
+            .collect(),
+    };
+    let mut r = simulate(&wl, config, IssuePolicy::OutOfOrder);
+    r.time_ms /= FRAMES as f64;
+    r.energy_mj /= FRAMES as f64;
+    r.cycles /= FRAMES as u64;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_apps::mobile_robot;
+    use orianna_compiler::execute;
+
+    #[test]
+    fn repeat_program_chains_iterations() {
+        let app = mobile_robot(3);
+        let a = &app.algorithms[0];
+        let prog = compile(&a.graph, &natural_ordering(&a.graph)).unwrap();
+        let frame = repeat_program(&prog, 3);
+        assert_eq!(frame.instrs.len(), 3 * prog.instrs.len());
+        // The repeated program still executes functionally (each copy
+        // recomputes the same iteration-1 step since state memory is
+        // external).
+        let result = execute(&frame, a.graph.values());
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn evaluate_mobile_robot_end_to_end() {
+        let app = mobile_robot(5);
+        let eval = evaluate_app(&app, &Resources::zc706());
+        assert_eq!(eval.algos.len(), 3);
+        // Core shape properties of the paper.
+        assert!(eval.ooo.cycles < eval.io.cycles, "OoO must beat in-order");
+        assert!(eval.intel.time_ms < eval.arm.time_ms, "Intel beats ARM");
+        assert!(
+            eval.ooo.time_ms < eval.intel.time_ms,
+            "accelerator beats Intel: {} vs {}",
+            eval.ooo.time_ms,
+            eval.intel.time_ms
+        );
+        assert!(eval.vanilla.time_ms > eval.ooo.time_ms, "dense design is slower");
+        assert!(
+            eval.stack.resources.lut > 2 * eval.generated.config.resources().lut,
+            "stack uses ~3x resources"
+        );
+    }
+}

@@ -1,0 +1,537 @@
+//! Functional (ISA-level) simulator for compiled ORIANNA programs.
+//!
+//! Executes the instruction stream over a register file of small
+//! matrices, given the current variable estimates as state memory. This is
+//! the *behavioral* model of the accelerator: the cycle-level model in
+//! `orianna-hw` schedules the same instructions in time, while this module
+//! defines what each instruction computes.
+//!
+//! The key correctness property of the whole compiler — asserted
+//! extensively in tests — is that executing a compiled program yields
+//! exactly the same whitened Jacobians, RHS, and solution Δ as the
+//! analytic reference solver in `orianna-solver`.
+
+use crate::program::{Op, Program, Reg, VarComp};
+use orianna_graph::{LinearFactor, Values, VarId, Variable};
+use orianna_lie::{so2, so3, Rot2, Rot3};
+use orianna_math::{householder_qr, Mat, Vec64};
+use std::collections::HashMap;
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An instruction read a register that was never written.
+    UnwrittenRegister(Reg),
+    /// A diagonal block was singular during elimination/back-substitution.
+    Singular(VarId),
+    /// Malformed operand shapes at runtime.
+    Shape(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnwrittenRegister(r) => write!(f, "read of unwritten register {r}"),
+            ExecError::Singular(v) => write!(f, "singular elimination block for {v}"),
+            ExecError::Shape(s) => write!(f, "shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of executing a program.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Final register values (matrices).
+    pub regs: Vec<Option<Mat>>,
+    /// The stacked solution Δ (same layout as the solver's).
+    pub delta: Vec64,
+    /// Per-variable solution segments.
+    pub delta_of: HashMap<VarId, Vec64>,
+}
+
+impl ExecResult {
+    /// Value of a register.
+    ///
+    /// # Panics
+    /// Panics if the register was never written.
+    pub fn reg(&self, r: Reg) -> &Mat {
+        self.regs[r.0].as_ref().expect("register written")
+    }
+}
+
+/// Executes `prog` against the given state estimates.
+///
+/// # Errors
+/// Returns [`ExecError`] on unwritten registers, singular eliminations, or
+/// shape violations.
+pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError> {
+    let mut regs: Vec<Option<Mat>> = vec![None; prog.num_regs()];
+    // Elimination state.
+    let mut new_factors: HashMap<usize, LinearFactor> = HashMap::new();
+    let mut conditionals: HashMap<VarId, (Mat, Vec<(VarId, Mat)>, Vec64)> = HashMap::new();
+    let mut delta_of: HashMap<VarId, Vec64> = HashMap::new();
+
+    let get = |regs: &Vec<Option<Mat>>, r: Reg| -> Result<Mat, ExecError> {
+        regs[r.0].clone().ok_or(ExecError::UnwrittenRegister(r))
+    };
+
+    for instr in &prog.instrs {
+        let out: Mat = match &instr.op {
+            Op::Input { var, comp } => input_value(values, *var, *comp)?,
+            Op::Const(m) => m.clone(),
+            Op::Exp => {
+                let v = get(&regs, instr.srcs[0])?;
+                match v.rows() {
+                    1 => Rot2::exp(v[(0, 0)]).to_mat(),
+                    3 => Rot3::exp([v[(0, 0)], v[(1, 0)], v[(2, 0)]]).to_mat(),
+                    n => return Err(ExecError::Shape(format!("Exp of dim {n}"))),
+                }
+            }
+            Op::Log => {
+                let m = get(&regs, instr.srcs[0])?;
+                match m.rows() {
+                    2 => {
+                        let r = Rot2::exp(m[(1, 0)].atan2(m[(0, 0)]));
+                        Mat::from_row_major(1, 1, &[r.log()])
+                    }
+                    3 => {
+                        let r = rot3_of(&m);
+                        let l = r.log();
+                        Mat::from_row_major(3, 1, &l)
+                    }
+                    n => return Err(ExecError::Shape(format!("Log of dim {n}"))),
+                }
+            }
+            Op::Rt => get(&regs, instr.srcs[0])?.transpose(),
+            Op::Rr | Op::Mm => {
+                let a = get(&regs, instr.srcs[0])?;
+                let b = get(&regs, instr.srcs[1])?;
+                if a.cols() != b.rows() {
+                    return Err(ExecError::Shape(format!(
+                        "MM {}x{} * {}x{}",
+                        a.rows(),
+                        a.cols(),
+                        b.rows(),
+                        b.cols()
+                    )));
+                }
+                a.mul_mat(&b)
+            }
+            Op::Rv => {
+                let a = get(&regs, instr.srcs[0])?;
+                let b = get(&regs, instr.srcs[1])?;
+                a.mul_mat(&b)
+            }
+            Op::Vp { sub } => {
+                let a = get(&regs, instr.srcs[0])?;
+                let b = get(&regs, instr.srcs[1])?;
+                if a.shape() != b.shape() {
+                    return Err(ExecError::Shape("VP shape mismatch".into()));
+                }
+                if *sub {
+                    &a - &b
+                } else {
+                    &a + &b
+                }
+            }
+            Op::Skew => {
+                let v = get(&regs, instr.srcs[0])?;
+                match v.rows() {
+                    3 => {
+                        let h = so3::hat([v[(0, 0)], v[(1, 0)], v[(2, 0)]]);
+                        Mat::from_rows(&[&h[0], &h[1], &h[2]])
+                    }
+                    2 => {
+                        // 2D: J·v (a 2×1 vector).
+                        so2::generator().mul_mat(&v)
+                    }
+                    n => return Err(ExecError::Shape(format!("Skew of dim {n}"))),
+                }
+            }
+            Op::Jr => {
+                let v = get(&regs, instr.srcs[0])?;
+                match v.rows() {
+                    3 => so3::right_jacobian([v[(0, 0)], v[(1, 0)], v[(2, 0)]]),
+                    1 => Mat::identity(1),
+                    n => return Err(ExecError::Shape(format!("Jr of dim {n}"))),
+                }
+            }
+            Op::JrInv => {
+                let v = get(&regs, instr.srcs[0])?;
+                match v.rows() {
+                    3 => so3::right_jacobian_inv([v[(0, 0)], v[(1, 0)], v[(2, 0)]]),
+                    1 => Mat::identity(1),
+                    n => return Err(ExecError::Shape(format!("JrInv of dim {n}"))),
+                }
+            }
+            Op::Scale(s) => get(&regs, instr.srcs[0])?.scale(*s),
+            Op::Pack { horizontal } => {
+                let parts: Result<Vec<Mat>, _> =
+                    instr.srcs.iter().map(|r| get(&regs, *r)).collect();
+                let parts = parts?;
+                pack(&parts, *horizontal)?
+            }
+            Op::Slice { start, len } => {
+                let v = get(&regs, instr.srcs[0])?;
+                v.block(*start, 0, *len, 1)
+            }
+            Op::Proj { fx, fy, cx, cy } => {
+                let p = get(&regs, instr.srcs[0])?;
+                let z = p[(2, 0)].max(1e-3);
+                Mat::from_row_major(
+                    2,
+                    1,
+                    &[fx * p[(0, 0)] / z + cx, fy * p[(1, 0)] / z + cy],
+                )
+            }
+            Op::ProjJac { fx, fy } => {
+                let p = get(&regs, instr.srcs[0])?;
+                let z = p[(2, 0)].max(1e-3);
+                Mat::from_rows(&[
+                    &[fx / z, 0.0, -fx * p[(0, 0)] / (z * z)],
+                    &[0.0, fy / z, -fy * p[(1, 0)] / (z * z)],
+                ])
+            }
+            Op::Norm => {
+                let v = get(&regs, instr.srcs[0])?;
+                let n: f64 = v.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt();
+                Mat::from_row_major(1, 1, &[n])
+            }
+            Op::Hinge(c) => {
+                let x = get(&regs, instr.srcs[0])?[(0, 0)];
+                Mat::from_row_major(1, 1, &[(c - x).max(0.0)])
+            }
+            Op::HingeJac(c) => {
+                let v = get(&regs, instr.srcs[0])?;
+                let n = get(&regs, instr.srcs[1])?[(0, 0)];
+                let active = n < *c && n > 1e-9;
+                let mut j = Mat::zeros(1, v.rows());
+                if active {
+                    for i in 0..v.rows() {
+                        j[(0, i)] = -v[(i, 0)] / n;
+                    }
+                }
+                j
+            }
+            Op::Qrd { frontal, frontal_dim, seps, gather, new_factor_deps, rows } => {
+                // Materialize the gathered linear factors.
+                let mut factors: Vec<LinearFactor> = Vec::new();
+                for g in gather {
+                    let blocks: Result<Vec<Mat>, _> =
+                        g.key_regs.iter().map(|(_, r)| get(&regs, *r)).collect();
+                    let rhs_m = get(&regs, g.rhs_reg)?;
+                    factors.push(LinearFactor {
+                        keys: g.key_regs.iter().map(|(v, _)| *v).collect(),
+                        blocks: blocks?,
+                        rhs: col_to_vec(&rhs_m),
+                    });
+                }
+                for dep in new_factor_deps {
+                    factors.push(
+                        new_factors
+                            .get(dep)
+                            .cloned()
+                            .ok_or(ExecError::UnwrittenRegister(Reg(usize::MAX)))?,
+                    );
+                }
+                let (cond, new_factor, r_view) = eliminate_one(
+                    *frontal,
+                    *frontal_dim,
+                    seps,
+                    &factors,
+                    *rows,
+                )?;
+                conditionals.insert(*frontal, cond);
+                if let Some(nf) = new_factor {
+                    new_factors.insert(instr.id, nf);
+                }
+                r_view
+            }
+            Op::Bsub { var, parents } => {
+                let (r, parent_blocks, rhs) = conditionals
+                    .get(var)
+                    .cloned()
+                    .ok_or(ExecError::Singular(*var))?;
+                let mut b = rhs.clone();
+                for (p, s) in &parent_blocks {
+                    let dp = delta_of.get(p).ok_or(ExecError::Singular(*p))?;
+                    b = &b - &s.mul_vec(dp);
+                }
+                let dv = orianna_math::triangular::back_substitute(&r, &b)
+                    .ok_or(ExecError::Singular(*var))?;
+                delta_of.insert(*var, dv.clone());
+                let _ = parents;
+                dv.to_col_mat()
+            }
+        };
+        if out.shape() != instr.dims
+            && !matches!(instr.op, Op::Qrd { .. } | Op::Bsub { .. } | Op::HingeJac(_) | Op::Mm)
+        {
+            return Err(ExecError::Shape(format!(
+                "instruction {} ({}) produced {:?}, expected {:?}",
+                instr.id,
+                instr.op.mnemonic(),
+                out.shape(),
+                instr.dims
+            )));
+        }
+        regs[instr.dst.0] = Some(out);
+    }
+
+    // Stack Δ in variable-id order.
+    let mut offsets = Vec::with_capacity(prog.var_dims.len());
+    let mut acc = 0;
+    for &d in &prog.var_dims {
+        offsets.push(acc);
+        acc += d;
+    }
+    let mut delta = Vec64::zeros(acc);
+    for (v, dv) in &delta_of {
+        delta.set_segment(offsets[v.0], dv);
+    }
+    Ok(ExecResult { regs, delta, delta_of })
+}
+
+fn input_value(values: &Values, var: VarId, comp: VarComp) -> Result<Mat, ExecError> {
+    let out = match (values.get(var), comp) {
+        (Variable::Pose2(p), VarComp::Phi) => Mat::from_row_major(1, 1, &[p.theta()]),
+        (Variable::Pose2(p), VarComp::Trans) => Mat::from_row_major(2, 1, &p.translation()),
+        (Variable::Pose3(p), VarComp::Phi) => Mat::from_row_major(3, 1, &p.phi()),
+        (Variable::Pose3(p), VarComp::Trans) => Mat::from_row_major(3, 1, &p.translation()),
+        (Variable::Point2(p), VarComp::Full) => Mat::from_row_major(2, 1, p),
+        (Variable::Point3(p), VarComp::Full) => Mat::from_row_major(3, 1, p),
+        (Variable::Vector(v), VarComp::Full) => Mat::from_row_major(v.len(), 1, v.as_slice()),
+        (v, c) => {
+            return Err(ExecError::Shape(format!("invalid input {c:?} of {v:?}")));
+        }
+    };
+    Ok(out)
+}
+
+fn rot3_of(m: &Mat) -> Rot3 {
+    Rot3::from_matrix([
+        [m[(0, 0)], m[(0, 1)], m[(0, 2)]],
+        [m[(1, 0)], m[(1, 1)], m[(1, 2)]],
+        [m[(2, 0)], m[(2, 1)], m[(2, 2)]],
+    ])
+}
+
+fn col_to_vec(m: &Mat) -> Vec64 {
+    Vec64::from_slice(m.as_slice())
+}
+
+fn pack(parts: &[Mat], horizontal: bool) -> Result<Mat, ExecError> {
+    if parts.is_empty() {
+        return Err(ExecError::Shape("empty pack".into()));
+    }
+    if horizontal {
+        let rows = parts[0].rows();
+        let cols: usize = parts.iter().map(Mat::cols).sum();
+        let mut out = Mat::zeros(rows, cols);
+        let mut at = 0;
+        for p in parts {
+            if p.rows() != rows {
+                return Err(ExecError::Shape("hpack row mismatch".into()));
+            }
+            out.set_block(0, at, p);
+            at += p.cols();
+        }
+        Ok(out)
+    } else {
+        let cols = parts[0].cols();
+        let rows: usize = parts.iter().map(Mat::rows).sum();
+        let mut out = Mat::zeros(rows, cols);
+        let mut at = 0;
+        for p in parts {
+            if p.cols() != cols {
+                return Err(ExecError::Shape("vpack col mismatch".into()));
+            }
+            out.set_block(at, 0, p);
+            at += p.rows();
+        }
+        Ok(out)
+    }
+}
+
+type CondData = (Mat, Vec<(VarId, Mat)>, Vec64);
+
+/// Runs one variable elimination (Fig. 5): returns the conditional, the
+/// optional new factor, and the triangularized `Ā` for the register.
+fn eliminate_one(
+    frontal: VarId,
+    dv: usize,
+    seps: &[(VarId, usize)],
+    factors: &[LinearFactor],
+    expected_rows: usize,
+) -> Result<(CondData, Option<LinearFactor>, Mat), ExecError> {
+    let sep_cols: usize = seps.iter().map(|(_, d)| d).sum();
+    let cols = dv + sep_cols;
+    let total_rows: usize = factors.iter().map(LinearFactor::rows).sum();
+    if total_rows != expected_rows {
+        return Err(ExecError::Shape(format!(
+            "QRD expected {expected_rows} rows, gathered {total_rows}"
+        )));
+    }
+    let col_of = |v: VarId| -> Option<usize> {
+        if v == frontal {
+            return Some(0);
+        }
+        let mut off = dv;
+        for (s, d) in seps {
+            if *s == v {
+                return Some(off);
+            }
+            off += d;
+        }
+        None
+    };
+    let mut abar = Mat::zeros(total_rows, cols + 1);
+    let mut row = 0;
+    for f in factors {
+        for (k, blk) in f.keys.iter().zip(&f.blocks) {
+            let c0 = col_of(*k)
+                .ok_or_else(|| ExecError::Shape(format!("variable {k} not in QRD columns")))?;
+            abar.set_block(row, c0, blk);
+        }
+        for r in 0..f.rows() {
+            abar[(row + r, cols)] = f.rhs[r];
+        }
+        row += f.rows();
+    }
+    if total_rows < dv {
+        return Err(ExecError::Singular(frontal));
+    }
+    let r_full = householder_qr(&abar).r;
+    let r_diag = r_full.block(0, 0, dv, dv);
+    for d in 0..dv {
+        if r_diag[(d, d)].abs() < 1e-12 {
+            return Err(ExecError::Singular(frontal));
+        }
+    }
+    let mut parents = Vec::with_capacity(seps.len());
+    let mut off = dv;
+    for (s, d) in seps {
+        parents.push((*s, r_full.block(0, off, dv, *d)));
+        off += d;
+    }
+    let mut rhs = Vec64::zeros(dv);
+    for d in 0..dv {
+        rhs[d] = r_full[(d, cols)];
+    }
+    let cond = (r_diag, parents, rhs);
+
+    // New factor: rows dv .. dv + min(total_rows − dv, sep_cols + 1).
+    let new_factor = if !seps.is_empty() {
+        let nr = total_rows.saturating_sub(dv).min(sep_cols + 1);
+        if nr > 0 {
+            let mut blocks = Vec::with_capacity(seps.len());
+            let mut off = dv;
+            for (_, d) in seps {
+                blocks.push(r_full.block(dv, off, nr, *d));
+                off += d;
+            }
+            let mut nrhs = Vec64::zeros(nr);
+            for r in 0..nr {
+                nrhs[r] = r_full[(dv + r, cols)];
+            }
+            Some(LinearFactor { keys: seps.iter().map(|(s, _)| *s).collect(), blocks, rhs: nrhs })
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    Ok((cond, new_factor, r_full))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Instruction, Phase};
+
+    fn instr(op: Op, dst: Reg, srcs: Vec<Reg>, dims: (usize, usize)) -> Instruction {
+        Instruction { id: 0, op, dst, srcs, level: 0, factor: None, phase: Phase::Construct, dims }
+    }
+
+    #[test]
+    fn unwritten_register_is_reported() {
+        let mut prog = Program::default();
+        let a = prog.fresh_reg();
+        let b = prog.fresh_reg();
+        prog.push(instr(Op::Rt, b, vec![a], (3, 3))); // a never written
+        let err = execute(&prog, &Values::new()).unwrap_err();
+        assert!(matches!(err, ExecError::UnwrittenRegister(r) if r == a));
+    }
+
+    #[test]
+    fn shape_mismatch_in_vp_is_reported() {
+        let mut prog = Program::default();
+        let a = prog.fresh_reg();
+        let b = prog.fresh_reg();
+        let c = prog.fresh_reg();
+        prog.push(instr(Op::Const(Mat::zeros(3, 1)), a, vec![], (3, 1)));
+        prog.push(instr(Op::Const(Mat::zeros(2, 1)), b, vec![], (2, 1)));
+        prog.push(instr(Op::Vp { sub: false }, c, vec![a, b], (3, 1)));
+        let err = execute(&prog, &Values::new()).unwrap_err();
+        assert!(matches!(err, ExecError::Shape(_)), "{err:?}");
+    }
+
+    #[test]
+    fn exp_of_bad_dimension_is_reported() {
+        let mut prog = Program::default();
+        let a = prog.fresh_reg();
+        let b = prog.fresh_reg();
+        prog.push(instr(Op::Const(Mat::zeros(2, 1)), a, vec![], (2, 1)));
+        prog.push(instr(Op::Exp, b, vec![a], (2, 2)));
+        let err = execute(&prog, &Values::new()).unwrap_err();
+        assert!(matches!(err, ExecError::Shape(_)));
+    }
+
+    #[test]
+    fn declared_dims_are_enforced() {
+        // An instruction lying about its output dims is caught.
+        let mut prog = Program::default();
+        let a = prog.fresh_reg();
+        prog.push(instr(Op::Const(Mat::zeros(3, 1)), a, vec![], (4, 1)));
+        let err = execute(&prog, &Values::new()).unwrap_err();
+        assert!(matches!(err, ExecError::Shape(_)));
+    }
+
+    #[test]
+    fn singular_qrd_is_reported() {
+        use crate::program::GatherFactor;
+        use orianna_graph::Variable;
+        // One factor with a rank-deficient block over a 2-dim variable.
+        let mut values = Values::new();
+        let v = values.insert(Variable::Point2([0.0, 0.0]));
+        let mut prog = Program::default();
+        prog.var_dims = vec![2];
+        let j = prog.fresh_reg();
+        let rhs = prog.fresh_reg();
+        let q = prog.fresh_reg();
+        prog.push(instr(
+            Op::Const(Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]])),
+            j,
+            vec![],
+            (2, 2),
+        ));
+        prog.push(instr(Op::Const(Mat::zeros(2, 1)), rhs, vec![], (2, 1)));
+        prog.push(instr(
+            Op::Qrd {
+                frontal: v,
+                frontal_dim: 2,
+                seps: vec![],
+                gather: vec![GatherFactor { key_regs: vec![(v, j)], rhs_reg: rhs, rows: 2 }],
+                new_factor_deps: vec![],
+                rows: 2,
+            },
+            q,
+            vec![j, rhs],
+            (2, 3),
+        ));
+        let err = execute(&prog, &values).unwrap_err();
+        assert!(matches!(err, ExecError::Singular(_)), "{err:?}");
+    }
+}

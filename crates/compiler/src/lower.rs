@@ -1,0 +1,249 @@
+//! Lowering factor descriptions to error expressions.
+//!
+//! Each supported [`FactorKind`] maps to one or more [`Expr`] roots over
+//! the Tbl. 3 primitives — e.g. the paper's Equ. 3 between-factor becomes
+//! the Equ. 4 pair `(e_o, e_p)` whose MO-DFG is Fig. 11. The rotations of
+//! pose variables enter as `Exp(φ)` nodes because the accelerator stores
+//! state in the unified `<so(n), T(n)>` representation and materializes
+//! rotation matrices on its special-function unit.
+
+use crate::modfg::Expr;
+use orianna_graph::{FactorKind, VarId};
+use orianna_math::Mat;
+
+/// A factor lowered to expression form.
+#[derive(Debug, Clone)]
+pub struct LoweredFactor {
+    /// Error-component roots (concatenated vertically to form the factor
+    /// error).
+    pub roots: Vec<Expr>,
+    /// Spatial dimension (2 or 3) of pose variables in the expressions.
+    pub space_dim: usize,
+}
+
+/// Errors raised during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The factor kind carries no structural description
+    /// ([`FactorKind::Opaque`]); the compiler cannot emit instructions
+    /// for it.
+    Opaque,
+    /// The factor key count does not match the kind's arity.
+    Arity {
+        /// Expected key count.
+        expected: usize,
+        /// Actual key count.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::Opaque => write!(f, "factor has no structural description (opaque)"),
+            LowerError::Arity { expected, actual } => {
+                write!(f, "factor arity mismatch: expected {expected} keys, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn rot(v: VarId) -> Expr {
+    Expr::Exp(Box::new(Expr::VarPhi(v)))
+}
+
+fn col(values: &[f64]) -> Mat {
+    Mat::from_row_major(values.len(), 1, values)
+}
+
+/// Lowers a factor kind (with its keys) to error expressions.
+///
+/// # Errors
+/// Returns [`LowerError::Opaque`] for factors without a structural
+/// description and [`LowerError::Arity`] when `keys` has the wrong length.
+pub fn lower_factor(kind: &FactorKind, keys: &[VarId]) -> Result<LoweredFactor, LowerError> {
+    let need = |n: usize| {
+        if keys.len() == n {
+            Ok(())
+        } else {
+            Err(LowerError::Arity { expected: n, actual: keys.len() })
+        }
+    };
+    match kind {
+        FactorKind::PriorPose2 { z } => {
+            need(1)?;
+            let x = keys[0];
+            let rz = z.rotation().to_mat();
+            let tz = col(&z.translation());
+            Ok(LoweredFactor { roots: prior_pose_exprs(x, rz, tz), space_dim: 2 })
+        }
+        FactorKind::PriorPose3 { z } => {
+            need(1)?;
+            let x = keys[0];
+            let rz = z.rotation().to_mat();
+            let tz = col(&z.translation());
+            Ok(LoweredFactor { roots: prior_pose_exprs(x, rz, tz), space_dim: 3 })
+        }
+        FactorKind::BetweenPose2 { z } => {
+            need(2)?;
+            let rz = z.rotation().to_mat();
+            let tz = col(&z.translation());
+            Ok(LoweredFactor { roots: between_pose_exprs(keys[0], keys[1], rz, tz), space_dim: 2 })
+        }
+        FactorKind::BetweenPose3 { z } => {
+            need(2)?;
+            let rz = z.rotation().to_mat();
+            let tz = col(&z.translation());
+            Ok(LoweredFactor { roots: between_pose_exprs(keys[0], keys[1], rz, tz), space_dim: 3 })
+        }
+        FactorKind::Gps { z } => {
+            need(1)?;
+            let dim = z.len();
+            let e = Expr::Sub(
+                Box::new(Expr::VarTrans(keys[0])),
+                Box::new(Expr::Const(col(z.as_slice()))),
+            );
+            Ok(LoweredFactor { roots: vec![e], space_dim: dim })
+        }
+        FactorKind::Camera { pixel, fx, fy, cx, cy } => {
+            need(2)?;
+            let x = keys[0];
+            let l = keys[1];
+            // p_c = Rᵀ (l − t); e = π(p_c) − uv.
+            let pc = Expr::Rv(
+                Box::new(Expr::Rt(Box::new(rot(x)))),
+                Box::new(Expr::Sub(Box::new(Expr::VarVec(l)), Box::new(Expr::VarTrans(x)))),
+            );
+            let e = Expr::Sub(
+                Box::new(Expr::Proj { fx: *fx, fy: *fy, cx: *cx, cy: *cy, src: Box::new(pc) }),
+                Box::new(Expr::Const(col(pixel))),
+            );
+            Ok(LoweredFactor { roots: vec![e], space_dim: 3 })
+        }
+        FactorKind::LinearVector { blocks, rhs } => {
+            need(blocks.len())?;
+            let mut acc: Option<Expr> = None;
+            for (k, a) in keys.iter().zip(blocks) {
+                let term = Expr::MatVec(a.clone(), Box::new(Expr::VarVec(*k)));
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => Expr::Add(Box::new(prev), Box::new(term)),
+                });
+            }
+            let sum = acc.expect("at least one block");
+            let e = if rhs.as_slice().iter().all(|x| *x == 0.0) {
+                sum
+            } else {
+                Expr::Sub(Box::new(sum), Box::new(Expr::Const(col(rhs.as_slice()))))
+            };
+            Ok(LoweredFactor { roots: vec![e], space_dim: 2 })
+        }
+        FactorKind::Collision { obstacles, safety } => {
+            need(1)?;
+            let x = keys[0];
+            let mut roots = Vec::with_capacity(obstacles.len());
+            for (c, r) in obstacles {
+                let p = Expr::Slice { start: 0, len: 2, src: Box::new(Expr::VarVec(x)) };
+                let d = Expr::Norm(Box::new(Expr::Sub(
+                    Box::new(p),
+                    Box::new(Expr::Const(col(c))),
+                )));
+                roots.push(Expr::Hinge(r + safety, Box::new(d)));
+            }
+            Ok(LoweredFactor { roots, space_dim: 2 })
+        }
+        FactorKind::Opaque => Err(LowerError::Opaque),
+    }
+}
+
+fn prior_pose_exprs(x: VarId, rz: Mat, tz: Mat) -> Vec<Expr> {
+    // e_o = Log(Rzᵀ Rx);  e_p = Rzᵀ (t − tz).
+    let rzt = Expr::Rt(Box::new(Expr::Const(rz)));
+    let e_o = Expr::Log(Box::new(Expr::Rr(Box::new(rzt.clone()), Box::new(rot(x)))));
+    let e_p = Expr::Rv(
+        Box::new(rzt),
+        Box::new(Expr::Sub(Box::new(Expr::VarTrans(x)), Box::new(Expr::Const(tz)))),
+    );
+    vec![e_o, e_p]
+}
+
+fn between_pose_exprs(i: VarId, j: VarId, rz: Mat, tz: Mat) -> Vec<Expr> {
+    // Equ. 4: e_o = Log(ΔRᵀ Rᵢᵀ Rⱼ); e_p = ΔRᵀ (Rᵢᵀ(tⱼ − tᵢ) − Δt).
+    let rit = Expr::Rt(Box::new(rot(i)));
+    let dzt = Expr::Rt(Box::new(Expr::Const(rz)));
+    let e_o = Expr::Log(Box::new(Expr::Rr(
+        Box::new(dzt.clone()),
+        Box::new(Expr::Rr(Box::new(rit.clone()), Box::new(rot(j)))),
+    )));
+    let diff = Expr::Sub(Box::new(Expr::VarTrans(j)), Box::new(Expr::VarTrans(i)));
+    let e_p = Expr::Rv(
+        Box::new(dzt),
+        Box::new(Expr::Sub(
+            Box::new(Expr::Rv(Box::new(rit), Box::new(diff))),
+            Box::new(Expr::Const(tz)),
+        )),
+    );
+    vec![e_o, e_p]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modfg::ModFg;
+    use orianna_lie::{Pose2, Pose3};
+    use orianna_math::Vec64;
+
+    #[test]
+    fn lowers_prior_pose3() {
+        let kind = FactorKind::PriorPose3 {
+            z: Pose3::from_parts([0.1, 0.0, 0.0], [1.0, 2.0, 3.0]),
+        };
+        let lf = lower_factor(&kind, &[VarId(0)]).unwrap();
+        assert_eq!(lf.roots.len(), 2);
+        let g = ModFg::from_exprs(&lf.roots, lf.space_dim).unwrap();
+        assert!(g.len() > 4);
+    }
+
+    #[test]
+    fn lowers_between_pose2() {
+        let kind = FactorKind::BetweenPose2 { z: Pose2::new(0.1, 1.0, 0.0) };
+        let lf = lower_factor(&kind, &[VarId(0), VarId(1)]).unwrap();
+        let g = ModFg::from_exprs(&lf.roots, 2).unwrap();
+        // Both orientation inputs present.
+        assert_eq!(g.variable_leaves().iter().filter(|(v, _)| v.0 == 0).count(), 2);
+    }
+
+    #[test]
+    fn lowers_linear_vector() {
+        let kind = FactorKind::LinearVector {
+            blocks: vec![Mat::identity(2), Mat::identity(2).scale(-1.0)],
+            rhs: Vec64::zeros(2),
+        };
+        let lf = lower_factor(&kind, &[VarId(0), VarId(1)]).unwrap();
+        assert_eq!(lf.roots.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let kind = FactorKind::Gps { z: Vec64::zeros(2) };
+        let err = lower_factor(&kind, &[VarId(0), VarId(1)]).unwrap_err();
+        assert_eq!(err, LowerError::Arity { expected: 1, actual: 2 });
+    }
+
+    #[test]
+    fn opaque_is_rejected() {
+        assert_eq!(lower_factor(&FactorKind::Opaque, &[]).unwrap_err(), LowerError::Opaque);
+    }
+
+    #[test]
+    fn collision_emits_one_root_per_obstacle() {
+        let kind = FactorKind::Collision {
+            obstacles: vec![([0.0, 0.0], 1.0), ([5.0, 5.0], 2.0)],
+            safety: 0.5,
+        };
+        let lf = lower_factor(&kind, &[VarId(0)]).unwrap();
+        assert_eq!(lf.roots.len(), 2);
+    }
+}

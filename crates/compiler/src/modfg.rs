@@ -1,0 +1,602 @@
+//! Factor error expressions and matrix-operation data-flow graphs
+//! (MO-DFGs, paper Sec. 5.2).
+//!
+//! A factor's error function is written as an [`Expr`] tree over the
+//! primitive operations of Tbl. 3 (plus the sensor-model extensions). The
+//! compiler converts the tree to postfix, then parses the postfix with a
+//! stack to build the [`ModFg`] — the exact pipeline the paper describes —
+//! performing common-subexpression elimination along the way so shared
+//! subterms (`R_iᵀ` appearing in both the orientation and position error,
+//! Fig. 11) become single DFG nodes.
+//!
+//! Each node later becomes one instruction; BFS levels over the DFG give
+//! the parallelism structure shown in Fig. 11.
+
+use orianna_graph::VarId;
+use orianna_math::Mat;
+use std::collections::HashMap;
+
+/// A factor error expression over the unified pose representation.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Orientation (so(n) vector) of a pose variable.
+    VarPhi(VarId),
+    /// Translation of a pose variable.
+    VarTrans(VarId),
+    /// A point/vector variable (landmark, trajectory state, control).
+    VarVec(VarId),
+    /// Constant matrix (rotations are n×n, vectors n×1).
+    Const(Mat),
+    /// `Exp`: so(n) → SO(n). Source must be a Lie-algebra vector.
+    Exp(Box<Expr>),
+    /// `Log`: SO(n) → so(n).
+    Log(Box<Expr>),
+    /// `RT`: rotation transpose.
+    Rt(Box<Expr>),
+    /// `RR`: rotation composition.
+    Rr(Box<Expr>, Box<Expr>),
+    /// `RV`: rotation applied to a vector.
+    Rv(Box<Expr>, Box<Expr>),
+    /// `VP`: vector addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// `VP`: vector subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Constant-matrix × vector product (linear constraint factors).
+    MatVec(Mat, Box<Expr>),
+    /// Pinhole projection (camera factors).
+    Proj {
+        /// Focal x.
+        fx: f64,
+        /// Focal y.
+        fy: f64,
+        /// Principal x.
+        cx: f64,
+        /// Principal y.
+        cy: f64,
+        /// 3×1 camera-frame point.
+        src: Box<Expr>,
+    },
+    /// Euclidean norm (1×1 result).
+    Norm(Box<Expr>),
+    /// `max(0, c − x)` hinge on a scalar.
+    Hinge(f64, Box<Expr>),
+    /// Row slice of a vector.
+    Slice {
+        /// First row.
+        start: usize,
+        /// Row count.
+        len: usize,
+        /// Source vector.
+        src: Box<Expr>,
+    },
+}
+
+/// Kind (and dimension) of a value flowing through the MO-DFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValKind {
+    /// An SO(n) rotation matrix (n = 2 or 3).
+    Rot(usize),
+    /// An n×1 vector.
+    Vec(usize),
+}
+
+impl ValKind {
+    /// Tangent dimension: 1 for SO(2), 3 for SO(3), n for vectors.
+    pub fn tangent_dim(&self) -> usize {
+        match self {
+            ValKind::Rot(2) => 1,
+            ValKind::Rot(3) => 3,
+            ValKind::Rot(n) => n * (n - 1) / 2,
+            ValKind::Vec(n) => *n,
+        }
+    }
+
+    /// Shape of the value as stored in a register.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            ValKind::Rot(n) => (*n, *n),
+            ValKind::Vec(n) => (*n, 1),
+        }
+    }
+}
+
+/// Id of a node within a [`ModFg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Operation performed by a MO-DFG node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeOp {
+    /// Orientation input of a pose variable.
+    InputPhi(VarId),
+    /// Translation input of a pose variable.
+    InputTrans(VarId),
+    /// Vector-variable input.
+    InputVec(VarId),
+    /// Constant payload.
+    Const(Mat),
+    /// `Exp` primitive.
+    Exp,
+    /// `Log` primitive.
+    Log,
+    /// `RT` primitive.
+    Rt,
+    /// `RR` primitive.
+    Rr,
+    /// `RV` primitive.
+    Rv,
+    /// `VP` add.
+    Add,
+    /// `VP` subtract.
+    Sub,
+    /// Constant-matrix × vector product.
+    MatVec(Mat),
+    /// Pinhole projection.
+    Proj {
+        /// Focal x.
+        fx: f64,
+        /// Focal y.
+        fy: f64,
+        /// Principal x.
+        cx: f64,
+        /// Principal y.
+        cy: f64,
+    },
+    /// Euclidean norm.
+    Norm,
+    /// Hinge `max(0, c − x)`.
+    Hinge(f64),
+    /// Row slice.
+    Slice {
+        /// First row.
+        start: usize,
+        /// Row count.
+        len: usize,
+    },
+}
+
+/// One MO-DFG node: an operation, its operand nodes, its value kind, and
+/// its BFS level (forward-traversal depth).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operation.
+    pub op: NodeOp,
+    /// Operand node ids.
+    pub args: Vec<NodeId>,
+    /// Kind/shape of the produced value.
+    pub kind: ValKind,
+    /// BFS level (0 = inputs/constants).
+    pub level: usize,
+}
+
+/// A matrix-operation data-flow graph for one factor error expression.
+#[derive(Debug, Clone, Default)]
+pub struct ModFg {
+    nodes: Vec<Node>,
+    cse: HashMap<String, NodeId>,
+    roots: Vec<NodeId>,
+}
+
+/// Errors raised while building a MO-DFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MO-DFG shape error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl ModFg {
+    /// Builds a MO-DFG from one or more root expressions (e.g. `[e_o, e_p]`
+    /// for a pose factor). `space_dim` is 2 or 3 and fixes the rotation
+    /// dimensions of pose inputs.
+    ///
+    /// The build goes through the paper's pipeline: expression → postfix →
+    /// stack parse, with common subexpressions merged.
+    ///
+    /// # Errors
+    /// Returns [`ShapeError`] on kind/shape mismatches (e.g. `Log` of a
+    /// vector).
+    pub fn from_exprs(exprs: &[Expr], space_dim: usize) -> Result<Self, ShapeError> {
+        let mut g = ModFg::default();
+        for e in exprs {
+            let tokens = to_postfix(e);
+            let root = g.parse_postfix(&tokens, space_dim)?;
+            g.roots.push(root);
+        }
+        Ok(g)
+    }
+
+    /// The root (error output) nodes, in expression order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Borrow of a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Maximum BFS level (the forward critical-path depth of Fig. 11).
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Ids of the leaf input nodes for each variable (phi/trans/vec).
+    pub fn variable_leaves(&self) -> Vec<(VarId, NodeId)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.op {
+                NodeOp::InputPhi(v) | NodeOp::InputTrans(v) | NodeOp::InputVec(v) => {
+                    Some((v, NodeId(i)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Stack-based postfix parse (the paper's Sec. 5.2: "generate the
+    /// postfix expressions … and parse the postfix expressions using a
+    /// stack data structure to get the MO-DFG").
+    fn parse_postfix(&mut self, tokens: &[PostfixTok], space_dim: usize) -> Result<NodeId, ShapeError> {
+        let mut stack: Vec<NodeId> = Vec::new();
+        for tok in tokens {
+            match tok {
+                PostfixTok::Leaf(op) => {
+                    let id = self.intern_leaf(op.clone(), space_dim)?;
+                    stack.push(id);
+                }
+                PostfixTok::Unary(op) => {
+                    let a = stack.pop().ok_or_else(|| ShapeError("stack underflow".into()))?;
+                    let id = self.intern_op(op.clone(), vec![a])?;
+                    stack.push(id);
+                }
+                PostfixTok::Binary(op) => {
+                    let b = stack.pop().ok_or_else(|| ShapeError("stack underflow".into()))?;
+                    let a = stack.pop().ok_or_else(|| ShapeError("stack underflow".into()))?;
+                    let id = self.intern_op(op.clone(), vec![a, b])?;
+                    stack.push(id);
+                }
+            }
+        }
+        if stack.len() != 1 {
+            return Err(ShapeError(format!("postfix left {} values on the stack", stack.len())));
+        }
+        Ok(stack.pop().unwrap())
+    }
+
+    fn intern_leaf(&mut self, op: NodeOp, space_dim: usize) -> Result<NodeId, ShapeError> {
+        let kind = match &op {
+            NodeOp::InputPhi(_) => ValKind::Vec(if space_dim == 2 { 1 } else { 3 }),
+            NodeOp::InputTrans(_) => ValKind::Vec(space_dim),
+            // Vector-variable dims are resolved at codegen; here we mark
+            // them with dimension 0 and fix up via `set_vec_dim`.
+            NodeOp::InputVec(_) => ValKind::Vec(0),
+            NodeOp::Const(m) => {
+                if m.cols() == 1 {
+                    ValKind::Vec(m.rows())
+                } else if m.rows() == m.cols() {
+                    ValKind::Rot(m.rows())
+                } else {
+                    ValKind::Vec(m.rows()) // treated as payload; MatVec carries its own matrix
+                }
+            }
+            other => return Err(ShapeError(format!("{other:?} is not a leaf"))),
+        };
+        self.intern(op, vec![], kind, 0)
+    }
+
+    fn intern_op(&mut self, op: NodeOp, args: Vec<NodeId>) -> Result<NodeId, ShapeError> {
+        let kinds: Vec<ValKind> = args.iter().map(|a| self.nodes[a.0].kind).collect();
+        let kind = infer_kind(&op, &kinds)?;
+        let level = 1 + args.iter().map(|a| self.nodes[a.0].level).max().unwrap_or(0);
+        self.intern(op, args, kind, level)
+    }
+
+    fn intern(
+        &mut self,
+        op: NodeOp,
+        args: Vec<NodeId>,
+        kind: ValKind,
+        level: usize,
+    ) -> Result<NodeId, ShapeError> {
+        let key = cse_key(&op, &args);
+        if let Some(&id) = self.cse.get(&key) {
+            return Ok(id);
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { op, args, kind, level });
+        self.cse.insert(key, id);
+        Ok(id)
+    }
+
+    /// Sets the dimension of a vector-variable leaf (dims come from the
+    /// graph's `Values`, not the expression).
+    pub fn set_vec_dim(&mut self, var: VarId, dim: usize) {
+        let mut changed = vec![false; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            if matches!(self.nodes[i].op, NodeOp::InputVec(v) if v == var) {
+                self.nodes[i].kind = ValKind::Vec(dim);
+                changed[i] = true;
+            }
+        }
+        // Re-infer downstream kinds in topological (id) order: interning
+        // guarantees args precede uses.
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].args.is_empty() {
+                continue;
+            }
+            let kinds: Vec<ValKind> = self.nodes[i].args.iter().map(|a| self.nodes[a.0].kind).collect();
+            if let Ok(k) = infer_kind(&self.nodes[i].op, &kinds) {
+                self.nodes[i].kind = k;
+            }
+        }
+    }
+}
+
+fn infer_kind(op: &NodeOp, args: &[ValKind]) -> Result<ValKind, ShapeError> {
+    let err = |m: &str| Err(ShapeError(m.to_string()));
+    match op {
+        NodeOp::Exp => match args[0] {
+            ValKind::Vec(1) => Ok(ValKind::Rot(2)),
+            ValKind::Vec(3) => Ok(ValKind::Rot(3)),
+            _ => err("Exp expects an so(n) vector (dim 1 or 3)"),
+        },
+        NodeOp::Log => match args[0] {
+            ValKind::Rot(2) => Ok(ValKind::Vec(1)),
+            ValKind::Rot(3) => Ok(ValKind::Vec(3)),
+            _ => err("Log expects a rotation"),
+        },
+        NodeOp::Rt => match args[0] {
+            ValKind::Rot(n) => Ok(ValKind::Rot(n)),
+            _ => err("RT expects a rotation"),
+        },
+        NodeOp::Rr => match (args[0], args[1]) {
+            (ValKind::Rot(a), ValKind::Rot(b)) if a == b => Ok(ValKind::Rot(a)),
+            _ => err("RR expects two same-dimension rotations"),
+        },
+        NodeOp::Rv => match (args[0], args[1]) {
+            // Dimension 0 marks a vector-variable leaf whose size is
+            // resolved later from the graph (`set_vec_dim`).
+            (ValKind::Rot(a), ValKind::Vec(b)) if a == b || b == 0 => Ok(ValKind::Vec(a)),
+            _ => err("RV expects a rotation and a matching vector"),
+        },
+        NodeOp::Add | NodeOp::Sub => match (args[0], args[1]) {
+            (ValKind::Vec(a), ValKind::Vec(b)) if a == b => Ok(ValKind::Vec(a)),
+            (ValKind::Vec(0), ValKind::Vec(b)) => Ok(ValKind::Vec(b)),
+            (ValKind::Vec(a), ValKind::Vec(0)) => Ok(ValKind::Vec(a)),
+            _ => err("VP expects two same-length vectors"),
+        },
+        NodeOp::MatVec(m) => match args[0] {
+            ValKind::Vec(n) if n == m.cols() || n == 0 => Ok(ValKind::Vec(m.rows())),
+            _ => err("MatVec dimension mismatch"),
+        },
+        NodeOp::Proj { .. } => match args[0] {
+            ValKind::Vec(3) => Ok(ValKind::Vec(2)),
+            _ => err("Proj expects a 3-vector"),
+        },
+        NodeOp::Norm => match args[0] {
+            ValKind::Vec(_) => Ok(ValKind::Vec(1)),
+            _ => err("Norm expects a vector"),
+        },
+        NodeOp::Hinge(_) => match args[0] {
+            ValKind::Vec(1) => Ok(ValKind::Vec(1)),
+            _ => err("Hinge expects a scalar"),
+        },
+        NodeOp::Slice { start, len } => match args[0] {
+            ValKind::Vec(n) if start + len <= n || n == 0 => Ok(ValKind::Vec(*len)),
+            _ => err("Slice out of range"),
+        },
+        NodeOp::InputPhi(_)
+        | NodeOp::InputTrans(_)
+        | NodeOp::InputVec(_)
+        | NodeOp::Const(_) => err("leaf ops have no args"),
+    }
+}
+
+fn cse_key(op: &NodeOp, args: &[NodeId]) -> String {
+    let arg_str: Vec<String> = args.iter().map(|a| a.0.to_string()).collect();
+    match op {
+        NodeOp::Const(m) => {
+            // Constants are deduplicated by exact bit pattern.
+            let bits: Vec<String> =
+                m.as_slice().iter().map(|x| x.to_bits().to_string()).collect();
+            format!("C{}x{}:{}", m.rows(), m.cols(), bits.join(","))
+        }
+        NodeOp::MatVec(m) => {
+            let bits: Vec<String> =
+                m.as_slice().iter().map(|x| x.to_bits().to_string()).collect();
+            format!("MV{}x{}:{}|{}", m.rows(), m.cols(), bits.join(","), arg_str.join(","))
+        }
+        other => format!("{other:?}|{}", arg_str.join(",")),
+    }
+}
+
+/// Postfix token stream of an expression (paper Sec. 5.2).
+#[derive(Debug, Clone)]
+pub enum PostfixTok {
+    /// A leaf node (inputs, constants).
+    Leaf(NodeOp),
+    /// A unary operation.
+    Unary(NodeOp),
+    /// A binary operation.
+    Binary(NodeOp),
+}
+
+/// Converts an expression tree to postfix tokens.
+pub fn to_postfix(e: &Expr) -> Vec<PostfixTok> {
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
+fn walk(e: &Expr, out: &mut Vec<PostfixTok>) {
+    match e {
+        Expr::VarPhi(v) => out.push(PostfixTok::Leaf(NodeOp::InputPhi(*v))),
+        Expr::VarTrans(v) => out.push(PostfixTok::Leaf(NodeOp::InputTrans(*v))),
+        Expr::VarVec(v) => out.push(PostfixTok::Leaf(NodeOp::InputVec(*v))),
+        Expr::Const(m) => out.push(PostfixTok::Leaf(NodeOp::Const(m.clone()))),
+        Expr::Exp(a) => {
+            walk(a, out);
+            out.push(PostfixTok::Unary(NodeOp::Exp));
+        }
+        Expr::Log(a) => {
+            walk(a, out);
+            out.push(PostfixTok::Unary(NodeOp::Log));
+        }
+        Expr::Rt(a) => {
+            walk(a, out);
+            out.push(PostfixTok::Unary(NodeOp::Rt));
+        }
+        Expr::Rr(a, b) => {
+            walk(a, out);
+            walk(b, out);
+            out.push(PostfixTok::Binary(NodeOp::Rr));
+        }
+        Expr::Rv(a, b) => {
+            walk(a, out);
+            walk(b, out);
+            out.push(PostfixTok::Binary(NodeOp::Rv));
+        }
+        Expr::Add(a, b) => {
+            walk(a, out);
+            walk(b, out);
+            out.push(PostfixTok::Binary(NodeOp::Add));
+        }
+        Expr::Sub(a, b) => {
+            walk(a, out);
+            walk(b, out);
+            out.push(PostfixTok::Binary(NodeOp::Sub));
+        }
+        Expr::MatVec(m, a) => {
+            walk(a, out);
+            out.push(PostfixTok::Unary(NodeOp::MatVec(m.clone())));
+        }
+        Expr::Proj { fx, fy, cx, cy, src } => {
+            walk(src, out);
+            out.push(PostfixTok::Unary(NodeOp::Proj { fx: *fx, fy: *fy, cx: *cx, cy: *cy }));
+        }
+        Expr::Norm(a) => {
+            walk(a, out);
+            out.push(PostfixTok::Unary(NodeOp::Norm));
+        }
+        Expr::Hinge(c, a) => {
+            walk(a, out);
+            out.push(PostfixTok::Unary(NodeOp::Hinge(*c)));
+        }
+        Expr::Slice { start, len, src } => {
+            walk(src, out);
+            out.push(PostfixTok::Unary(NodeOp::Slice { start: *start, len: *len }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_lie::Rot3;
+
+    fn between_exprs(i: VarId, j: VarId, z_rot: Mat, z_t: Mat) -> [Expr; 2] {
+        // Equ. 4: e_o = Log(ΔR^T R_i^T R_j)   [measured j-in-i frame]
+        //         e_p = ΔR^T (R_i^T (t_j − t_i) − Δt)
+        let ri = Expr::Exp(Box::new(Expr::VarPhi(i)));
+        let rj = Expr::Exp(Box::new(Expr::VarPhi(j)));
+        let rit = Expr::Rt(Box::new(ri.clone()));
+        let dzt = Expr::Rt(Box::new(Expr::Const(z_rot)));
+        let e_o = Expr::Log(Box::new(Expr::Rr(
+            Box::new(dzt.clone()),
+            Box::new(Expr::Rr(Box::new(rit.clone()), Box::new(rj))),
+        )));
+        let diff = Expr::Sub(Box::new(Expr::VarTrans(j)), Box::new(Expr::VarTrans(i)));
+        let e_p = Expr::Rv(
+            Box::new(dzt),
+            Box::new(Expr::Sub(Box::new(Expr::Rv(Box::new(rit), Box::new(diff))), Box::new(Expr::Const(z_t)))),
+        );
+        [e_o, e_p]
+    }
+
+    #[test]
+    fn builds_between_modfg_with_cse() {
+        let z_rot = Rot3::exp([0.1, 0.0, 0.0]).to_mat();
+        let z_t = Mat::from_row_major(3, 1, &[1.0, 0.0, 0.0]);
+        let exprs = between_exprs(VarId(0), VarId(1), z_rot, z_t);
+        let g = ModFg::from_exprs(&exprs, 3).unwrap();
+        assert_eq!(g.roots().len(), 2);
+        // CSE: Exp(phi_i), Rt(Exp(phi_i)), Rt(ConstRot) each appear once.
+        let rt_count = g.nodes().iter().filter(|n| n.op == NodeOp::Rt).count();
+        assert_eq!(rt_count, 2, "R_i^T and ΔR^T each interned once");
+        let exp_count = g.nodes().iter().filter(|n| n.op == NodeOp::Exp).count();
+        assert_eq!(exp_count, 2);
+    }
+
+    #[test]
+    fn levels_reflect_dependency_depth() {
+        let e = Expr::Log(Box::new(Expr::Exp(Box::new(Expr::VarPhi(VarId(0))))));
+        let g = ModFg::from_exprs(&[e], 3).unwrap();
+        let root = g.node(g.roots()[0]);
+        assert_eq!(root.level, 2); // input(0) → Exp(1) → Log(2)
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        // Log of a vector is invalid.
+        let e = Expr::Log(Box::new(Expr::VarTrans(VarId(0))));
+        assert!(ModFg::from_exprs(&[e], 3).is_err());
+        // RV with mismatched dims.
+        let e2 = Expr::Rv(
+            Box::new(Expr::Exp(Box::new(Expr::VarPhi(VarId(0))))),
+            Box::new(Expr::Const(Mat::from_row_major(2, 1, &[1.0, 2.0]))),
+        );
+        assert!(ModFg::from_exprs(&[e2], 3).is_err());
+    }
+
+    #[test]
+    fn postfix_roundtrip_structure() {
+        let e = Expr::Sub(
+            Box::new(Expr::VarTrans(VarId(1))),
+            Box::new(Expr::VarTrans(VarId(0))),
+        );
+        let toks = to_postfix(&e);
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(toks[0], PostfixTok::Leaf(_)));
+        assert!(matches!(toks[2], PostfixTok::Binary(NodeOp::Sub)));
+    }
+
+    #[test]
+    fn two_d_dims() {
+        let e = Expr::Log(Box::new(Expr::Exp(Box::new(Expr::VarPhi(VarId(0))))));
+        let g = ModFg::from_exprs(&[e], 2).unwrap();
+        assert_eq!(g.node(g.roots()[0]).kind, ValKind::Vec(1));
+    }
+
+    #[test]
+    fn vec_dim_fixup() {
+        let e = Expr::Slice { start: 2, len: 2, src: Box::new(Expr::VarVec(VarId(0))) };
+        let mut g = ModFg::from_exprs(&[e], 2).unwrap();
+        g.set_vec_dim(VarId(0), 4);
+        let leaf = g.variable_leaves();
+        assert_eq!(leaf.len(), 1);
+        assert_eq!(g.node(leaf[0].1).kind, ValKind::Vec(4));
+        assert_eq!(g.node(g.roots()[0]).kind, ValKind::Vec(2));
+    }
+}

@@ -1,0 +1,405 @@
+//! The ORIANNA instruction set architecture.
+//!
+//! The compiler lowers factor-graph programs to a register-based stream of
+//! *matrix instructions*. The primitive opcodes are exactly the paper's
+//! Tbl. 3 (`VP`, `RT`, `Log`, `RR`, `RV`, `Exp`, `(·)^`, `Jr`, `Jr⁻¹`)
+//! plus:
+//!
+//! * `Mm` — general small matrix–matrix multiply used by the backward
+//!   derivative chains; executes on the same systolic-array unit as `RR`
+//!   (the paper's footnote 1 notes that regular matrix–vector products
+//!   reuse `RV`; general products reuse the same array),
+//! * bookkeeping ops (`Input`, `Const`, `Pack`, `Scale`, `Slice`) that are
+//!   memory/vector-lane operations,
+//! * nonlinear sensor-model extensions (`Proj`, `Norm`, `Hinge`) executed
+//!   by the special-function unit alongside `Exp`/`Log`,
+//! * the solving-phase instructions `Qrd` (partial QR variable
+//!   elimination, Fig. 5) and `Bsub` (back-substitution, Fig. 6).
+//!
+//! Every instruction names its destination and source registers; data
+//! dependencies — and therefore the legal out-of-order schedules of
+//! Sec. 6.3 — are exactly the register dependences.
+
+use orianna_graph::VarId;
+use orianna_math::Mat;
+
+/// A virtual register holding a small matrix (vectors are `n×1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub usize);
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Which component of a state variable an [`Op::Input`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarComp {
+    /// The so(n) orientation vector of a pose.
+    Phi,
+    /// The translation vector of a pose.
+    Trans,
+    /// The whole flat vector of a vector/point variable.
+    Full,
+}
+
+/// Pipeline phase an instruction belongs to (paper Fig. 12: the factor
+/// computing block constructs the linear equations; the factor graph
+/// inference block solves them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Linear-equation construction (errors + derivatives).
+    Construct,
+    /// Variable elimination (partial QR decompositions).
+    Eliminate,
+    /// Back-substitution.
+    BackSub,
+}
+
+/// One original linearized factor gathered by a [`Op::Qrd`] elimination:
+/// the registers holding its Jacobian blocks (key order) and its RHS.
+#[derive(Debug, Clone)]
+pub struct GatherFactor {
+    /// `(variable, jacobian register)` pairs.
+    pub key_regs: Vec<(VarId, Reg)>,
+    /// Register of the whitened RHS (`−e`), an `m×1` value.
+    pub rhs_reg: Reg,
+    /// Row count of this factor.
+    pub rows: usize,
+}
+
+/// Opcodes of the ORIANNA ISA.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Reads a component of state variable `var` from state memory.
+    Input {
+        /// The state variable to read.
+        var: VarId,
+        /// Which component.
+        comp: VarComp,
+    },
+    /// Loads an immediate matrix.
+    Const(Mat),
+    /// `Exp`: so(n) vector → SO(n) matrix.
+    Exp,
+    /// `Log`: SO(n) matrix → so(n) vector.
+    Log,
+    /// `RT`: rotation transpose.
+    Rt,
+    /// `RR`: rotation–rotation product.
+    Rr,
+    /// `RV`: rotation–vector product.
+    Rv,
+    /// `VP`: vector add (`sub = false`) or subtract (`sub = true`).
+    Vp {
+        /// Subtract instead of add.
+        sub: bool,
+    },
+    /// `(·)^`: skew-symmetric matrix of a 3-vector (or the 2D generator
+    /// application `J` when the source is 1-dimensional).
+    Skew,
+    /// `Jr`: right Jacobian of an so(3) vector.
+    Jr,
+    /// `Jr⁻¹`: inverse right Jacobian.
+    JrInv,
+    /// General small matrix–matrix multiply (derivative chains); shares
+    /// the systolic unit with `Rr`/`Rv`.
+    Mm,
+    /// Scales by an immediate (whitening `1/σ`, sign flips).
+    Scale(f64),
+    /// Concatenates sources vertically (error vectors) or horizontally
+    /// (Jacobian blocks `[J_φ | J_t]`), a pure data-movement op.
+    Pack {
+        /// `true` = horizontal concatenation, `false` = vertical.
+        horizontal: bool,
+    },
+    /// Extracts `len` rows starting at `start` from an `n×1` source.
+    Slice {
+        /// First row.
+        start: usize,
+        /// Row count.
+        len: usize,
+    },
+    /// Pinhole projection of a 3×1 camera-frame point to pixel
+    /// coordinates (special-function extension for camera factors).
+    Proj {
+        /// Focal x.
+        fx: f64,
+        /// Focal y.
+        fy: f64,
+        /// Principal x.
+        cx: f64,
+        /// Principal y.
+        cy: f64,
+    },
+    /// Jacobian of [`Op::Proj`] at the source point (2×3).
+    ProjJac {
+        /// Focal x.
+        fx: f64,
+        /// Focal y.
+        fy: f64,
+    },
+    /// Euclidean norm of an `n×1` source (1×1 result).
+    Norm,
+    /// `max(0, c − x)` hinge of a 1×1 source.
+    Hinge(f64),
+    /// Derivative selector of the hinge/norm chain: emits
+    /// `−vᵀ/|v|` (1×n) when the hinge at `c` is active for `|v|`,
+    /// zeros otherwise. Sources: `[v, |v|]`.
+    HingeJac(f64),
+    /// Partial-QR variable elimination (Fig. 5). Sources are every
+    /// register in `gather` plus the results of `new_factor_deps`.
+    Qrd {
+        /// The frontal (eliminated) variable.
+        frontal: VarId,
+        /// Tangent dimension of the frontal variable.
+        frontal_dim: usize,
+        /// Separator variables with their dimensions, in column order.
+        seps: Vec<(VarId, usize)>,
+        /// Original linearized factors gathered here.
+        gather: Vec<GatherFactor>,
+        /// Ids of earlier `Qrd` instructions whose *new factors* this
+        /// elimination also gathers.
+        new_factor_deps: Vec<usize>,
+        /// Total gathered rows.
+        rows: usize,
+    },
+    /// Back-substitution of one variable (Fig. 6). Sources: the `Qrd`
+    /// result of `var` and the `Bsub` results of `parents`.
+    Bsub {
+        /// The variable being solved.
+        var: VarId,
+        /// Parent variables whose solutions this step consumes.
+        parents: Vec<VarId>,
+    },
+}
+
+impl Op {
+    /// Short mnemonic for traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Input { .. } => "LD",
+            Op::Const(_) => "LDI",
+            Op::Exp => "EXP",
+            Op::Log => "LOG",
+            Op::Rt => "RT",
+            Op::Rr => "RR",
+            Op::Rv => "RV",
+            Op::Vp { sub: false } => "VP+",
+            Op::Vp { sub: true } => "VP-",
+            Op::Skew => "SKEW",
+            Op::Jr => "JR",
+            Op::JrInv => "JRI",
+            Op::Mm => "MM",
+            Op::Scale(_) => "SCL",
+            Op::Pack { .. } => "PACK",
+            Op::Slice { .. } => "SLC",
+            Op::Proj { .. } => "PROJ",
+            Op::ProjJac { .. } => "PROJJ",
+            Op::Norm => "NORM",
+            Op::Hinge(_) => "HINGE",
+            Op::HingeJac(_) => "HINGEJ",
+            Op::Qrd { .. } => "QRD",
+            Op::Bsub { .. } => "BSUB",
+        }
+    }
+
+    /// The hardware functional-unit class that executes this opcode (used
+    /// by the generator's resource allocation and the cycle simulator).
+    pub fn unit_class(&self) -> UnitClass {
+        match self {
+            Op::Rr | Op::Rv | Op::Mm => UnitClass::MatMul,
+            Op::Vp { .. } | Op::Scale(_) | Op::Pack { .. } | Op::Slice { .. } => UnitClass::Vector,
+            Op::Exp
+            | Op::Log
+            | Op::Jr
+            | Op::JrInv
+            | Op::Skew
+            | Op::Rt
+            | Op::Proj { .. }
+            | Op::ProjJac { .. }
+            | Op::Norm
+            | Op::Hinge(_)
+            | Op::HingeJac(_) => UnitClass::Special,
+            Op::Input { .. } | Op::Const(_) => UnitClass::Memory,
+            Op::Qrd { .. } => UnitClass::Qr,
+            Op::Bsub { .. } => UnitClass::BackSub,
+        }
+    }
+}
+
+/// Functional-unit classes of the generated accelerator (Sec. 6.1
+/// templates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitClass {
+    /// Systolic-array matrix multiplier (`RR`/`RV`/`MM`).
+    MatMul,
+    /// Vector ALU (`VP`, scaling, packing).
+    Vector,
+    /// Special-function unit (`Exp`/`Log`/`Jr`/… CORDIC-class).
+    Special,
+    /// On-chip buffer / state memory port.
+    Memory,
+    /// Givens-rotation QR decomposition unit.
+    Qr,
+    /// Back-substitution unit.
+    BackSub,
+}
+
+impl UnitClass {
+    /// All classes, in a stable order.
+    pub const ALL: [UnitClass; 6] = [
+        UnitClass::MatMul,
+        UnitClass::Vector,
+        UnitClass::Special,
+        UnitClass::Memory,
+        UnitClass::Qr,
+        UnitClass::BackSub,
+    ];
+}
+
+impl std::fmt::Display for UnitClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            UnitClass::MatMul => "matmul",
+            UnitClass::Vector => "vector",
+            UnitClass::Special => "special",
+            UnitClass::Memory => "memory",
+            UnitClass::Qr => "qr",
+            UnitClass::BackSub => "backsub",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One ORIANNA instruction.
+#[derive(Debug, Clone)]
+pub struct Instruction {
+    /// Position in the program (program order).
+    pub id: usize,
+    /// Operation.
+    pub op: Op,
+    /// Destination register.
+    pub dst: Reg,
+    /// Source registers.
+    pub srcs: Vec<Reg>,
+    /// BFS level within the owning MO-DFG (paper Fig. 11: instructions on
+    /// the same level are dependence-free and may issue in parallel).
+    pub level: usize,
+    /// Index of the owning factor, when applicable.
+    pub factor: Option<usize>,
+    /// Pipeline phase.
+    pub phase: Phase,
+    /// Output `(rows, cols)` — drives unit latency models.
+    pub dims: (usize, usize),
+}
+
+/// A compiled ORIANNA program: the instruction stream plus the result
+/// registers the runtime needs to locate errors, Jacobians and the
+/// solution.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Instructions in program order.
+    pub instrs: Vec<Instruction>,
+    /// For each factor index: register of its whitened, packed RHS
+    /// (`−e`, `m×1`).
+    pub factor_rhs: Vec<Reg>,
+    /// For each factor index: `(variable, register)` of each whitened,
+    /// packed Jacobian block.
+    pub factor_jacobians: Vec<Vec<(VarId, Reg)>>,
+    /// `Qrd` instruction id per eliminated variable, in elimination order.
+    pub elimination: Vec<(VarId, usize)>,
+    /// `Bsub` instruction id per variable, in back-substitution order.
+    pub back_subs: Vec<(VarId, usize)>,
+    /// Tangent dimension per variable id.
+    pub var_dims: Vec<usize>,
+    next_reg: usize,
+}
+
+impl Program {
+    /// Allocates a fresh register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Number of registers allocated.
+    pub fn num_regs(&self) -> usize {
+        self.next_reg
+    }
+
+    /// Appends an instruction, assigning its id; returns the id.
+    pub fn push(&mut self, mut instr: Instruction) -> usize {
+        instr.id = self.instrs.len();
+        let id = instr.id;
+        self.instrs.push(instr);
+        id
+    }
+
+    /// Count of instructions per unit class.
+    pub fn histogram(&self) -> std::collections::BTreeMap<UnitClass, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for i in &self.instrs {
+            *h.entry(i.op.unit_class()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Producer instruction id of every register (by scanning the stream).
+    pub fn producers(&self) -> Vec<Option<usize>> {
+        let mut prod = vec![None; self.num_regs()];
+        for i in &self.instrs {
+            prod[i.dst.0] = Some(i.id);
+        }
+        prod
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_classes_cover_paper_primitives() {
+        assert_eq!(Op::Rr.unit_class(), UnitClass::MatMul);
+        assert_eq!(Op::Rv.unit_class(), UnitClass::MatMul);
+        assert_eq!(Op::Vp { sub: true }.unit_class(), UnitClass::Vector);
+        assert_eq!(Op::Exp.unit_class(), UnitClass::Special);
+        assert_eq!(Op::Log.unit_class(), UnitClass::Special);
+        assert_eq!(Op::Jr.unit_class(), UnitClass::Special);
+        assert_eq!(Op::JrInv.unit_class(), UnitClass::Special);
+        assert_eq!(Op::Skew.unit_class(), UnitClass::Special);
+        assert_eq!(Op::Rt.unit_class(), UnitClass::Special);
+    }
+
+    #[test]
+    fn program_register_allocation_is_monotonic() {
+        let mut p = Program::default();
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        assert_ne!(a, b);
+        assert_eq!(p.num_regs(), 2);
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut p = Program::default();
+        let r = p.fresh_reg();
+        let mk = |dst| Instruction {
+            id: 0,
+            op: Op::Norm,
+            dst,
+            srcs: vec![],
+            level: 0,
+            factor: None,
+            phase: Phase::Construct,
+            dims: (1, 1),
+        };
+        assert_eq!(p.push(mk(r)), 0);
+        let r2 = p.fresh_reg();
+        assert_eq!(p.push(mk(r2)), 1);
+        assert_eq!(p.producers()[r2.0], Some(1));
+    }
+}

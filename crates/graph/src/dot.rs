@@ -1,0 +1,91 @@
+//! GraphViz DOT export of factor graphs.
+//!
+//! Renders the bipartite variable/factor structure the paper draws in
+//! Fig. 4/7: variable nodes as circles, factor nodes as filled squares,
+//! one edge per (factor, variable) incidence. Useful for debugging graph
+//! construction and for documentation.
+
+use crate::graph::FactorGraph;
+use std::fmt::Write as _;
+
+/// Renders the graph in GraphViz DOT syntax.
+///
+/// Variables are labeled `x<i>` with their kind and tangent dimension;
+/// factors are labeled with their type name.
+///
+/// # Example
+/// ```
+/// use orianna_graph::{dot::to_dot, FactorGraph, PriorFactor};
+/// use orianna_lie::Pose2;
+/// let mut g = FactorGraph::new();
+/// let x = g.add_pose2(Pose2::identity());
+/// g.add_factor(PriorFactor::pose2(x, Pose2::identity(), 0.1));
+/// let rendered = to_dot(&g);
+/// assert!(rendered.contains("graph factor_graph"));
+/// ```
+pub fn to_dot(graph: &FactorGraph) -> String {
+    let mut s = String::from("graph factor_graph {\n  rankdir=LR;\n");
+    for (id, var) in graph.values().iter() {
+        let kind = match var {
+            crate::variable::Variable::Pose2(_) => "Pose2",
+            crate::variable::Variable::Pose3(_) => "Pose3",
+            crate::variable::Variable::Point2(_) => "Point2",
+            crate::variable::Variable::Point3(_) => "Point3",
+            crate::variable::Variable::Vector(_) => "Vector",
+        };
+        writeln!(
+            s,
+            "  v{} [shape=circle, label=\"x{}\\n{} d{}\"];",
+            id.0,
+            id.0,
+            kind,
+            var.dim()
+        )
+        .unwrap();
+    }
+    for (fi, f) in graph.factors().iter().enumerate() {
+        writeln!(
+            s,
+            "  f{fi} [shape=box, style=filled, fillcolor=gray80, label=\"{}\"];",
+            f.name()
+        )
+        .unwrap();
+        for k in f.keys() {
+            writeln!(s, "  f{fi} -- v{};", k.0).unwrap();
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::{BetweenFactor, PriorFactor};
+    use orianna_lie::Pose2;
+
+    #[test]
+    fn dot_lists_all_nodes_and_edges() {
+        let mut g = FactorGraph::new();
+        let a = g.add_pose2(Pose2::identity());
+        let b = g.add_pose2(Pose2::identity());
+        g.add_factor(PriorFactor::pose2(a, Pose2::identity(), 0.1));
+        g.add_factor(BetweenFactor::pose2(a, b, Pose2::identity(), 0.1));
+        let d = to_dot(&g);
+        assert!(d.contains("v0 [shape=circle"));
+        assert!(d.contains("v1 [shape=circle"));
+        assert!(d.contains("f0 [shape=box"));
+        assert!(d.contains("f1 -- v0;"));
+        assert!(d.contains("f1 -- v1;"));
+        // 1 prior edge + 2 between edges.
+        assert_eq!(d.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let g = FactorGraph::new();
+        let d = to_dot(&g);
+        assert!(d.starts_with("graph factor_graph {"));
+        assert!(d.ends_with("}\n"));
+    }
+}

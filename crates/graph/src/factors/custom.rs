@@ -1,0 +1,177 @@
+//! User-defined factors (paper Sec. 5.1, "Customized factors").
+//!
+//! Users extend the factor library by providing only an error function; the
+//! framework supplies the derivatives. In the software path the Jacobians
+//! come from central finite differences; when the same error is expressible
+//! in the compiler's expression language, the ORIANNA compiler instead
+//! derives exact derivative instructions by backward propagation
+//! (`orianna-compiler`), mirroring the paper's Equ. 3 workflow.
+
+use crate::factor::{Factor, FactorKind};
+use crate::values::Values;
+use crate::variable::VarId;
+use orianna_math::{Mat, Vec64};
+use std::sync::Arc;
+
+/// Type of the user-supplied error closure.
+pub type ErrorFn = dyn Fn(&Values, &[VarId]) -> Vec64 + Send + Sync;
+
+/// A factor defined by an arbitrary error function.
+///
+/// # Example
+/// ```
+/// use orianna_graph::{CustomFactor, FactorGraph, Factor};
+/// use orianna_math::Vec64;
+///
+/// let mut g = FactorGraph::new();
+/// let x = g.add_vector(Vec64::from_slice(&[2.0]));
+/// // Enforce x² = 4 as a least-squares constraint.
+/// let f = CustomFactor::new(vec![x], 1, 1.0, move |vals, keys| {
+///     let v = vals.get(keys[0]).as_vector();
+///     Vec64::from_slice(&[v[0] * v[0] - 4.0])
+/// });
+/// assert!(f.error(g.values()).norm() < 1e-12);
+/// ```
+#[derive(Clone)]
+pub struct CustomFactor {
+    keys: Vec<VarId>,
+    dim: usize,
+    sigma: f64,
+    error_fn: Arc<ErrorFn>,
+    fd_step: f64,
+}
+
+impl std::fmt::Debug for CustomFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CustomFactor")
+            .field("keys", &self.keys)
+            .field("dim", &self.dim)
+            .field("sigma", &self.sigma)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CustomFactor {
+    /// Creates a custom factor from an error closure.
+    ///
+    /// `dim` is the error dimension; the closure receives the current
+    /// values and this factor's keys.
+    pub fn new(
+        keys: Vec<VarId>,
+        dim: usize,
+        sigma: f64,
+        error_fn: impl Fn(&Values, &[VarId]) -> Vec64 + Send + Sync + 'static,
+    ) -> Self {
+        Self { keys, dim, sigma, error_fn: Arc::new(error_fn), fd_step: 1e-6 }
+    }
+
+    /// Overrides the finite-difference step used for Jacobians.
+    pub fn with_fd_step(mut self, h: f64) -> Self {
+        self.fd_step = h;
+        self
+    }
+}
+
+impl Factor for CustomFactor {
+    fn keys(&self) -> &[VarId] {
+        &self.keys
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn error(&self, values: &Values) -> Vec64 {
+        let e = (self.error_fn)(values, &self.keys);
+        assert_eq!(e.len(), self.dim, "custom error returned wrong dimension");
+        e
+    }
+
+    fn jacobians(&self, values: &Values) -> Vec<Mat> {
+        let h = self.fd_step;
+        let mut out = Vec::with_capacity(self.keys.len());
+        for &key in &self.keys {
+            let var = values.get(key);
+            let dim = var.dim();
+            let mut j = Mat::zeros(self.dim, dim);
+            for d in 0..dim {
+                let mut dplus = vec![0.0; dim];
+                dplus[d] = h;
+                let mut dminus = vec![0.0; dim];
+                dminus[d] = -h;
+                let mut vp = values.clone();
+                vp.set(key, var.retract(&dplus));
+                let mut vm = values.clone();
+                vm.set(key, var.retract(&dminus));
+                let ep = self.error(&vp);
+                let em = self.error(&vm);
+                for r in 0..self.dim {
+                    j[(r, d)] = (ep[r] - em[r]) / (2.0 * h);
+                }
+            }
+            out.push(j);
+        }
+        out
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "CustomFactor"
+    }
+
+    fn kind(&self) -> FactorKind {
+        FactorKind::Opaque
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::Variable;
+    use orianna_lie::Pose2;
+
+    #[test]
+    fn quadratic_custom_factor() {
+        let mut vals = Values::new();
+        let x = vals.insert(Variable::Vector(Vec64::from_slice(&[3.0])));
+        let f = CustomFactor::new(vec![x], 1, 1.0, |vals, keys| {
+            let v = vals.get(keys[0]).as_vector();
+            Vec64::from_slice(&[v[0] * v[0] - 4.0])
+        });
+        assert!((f.error(&vals)[0] - 5.0).abs() < 1e-12);
+        // d(x²−4)/dx = 2x = 6.
+        let j = f.jacobians(&vals);
+        assert!((j[0][(0, 0)] - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn custom_pose_constraint_matches_between_semantics() {
+        // The paper's Equ. 3: f(x_i, x_j) = (x_i ⊖ x_j) ⊖ z_ij.
+        let mut vals = Values::new();
+        let zij = Pose2::new(0.2, 0.5, -0.1);
+        let xj = Pose2::new(0.3, 1.0, 2.0);
+        let xi = xj.compose(&zij);
+        let i = vals.insert(Variable::Pose2(xi));
+        let j = vals.insert(Variable::Pose2(xj));
+        let z = zij;
+        let f = CustomFactor::new(vec![i, j], 3, 1.0, move |vals, keys| {
+            let a = vals.get(keys[0]).as_pose2();
+            let b = vals.get(keys[1]).as_pose2();
+            let e = a.between(b).between(&z);
+            Vec64::from_slice(&[e.theta(), e.x(), e.y()])
+        });
+        assert!(f.error(&vals).norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn wrong_dimension_detected() {
+        let mut vals = Values::new();
+        let x = vals.insert(Variable::Vector(Vec64::from_slice(&[1.0])));
+        let f = CustomFactor::new(vec![x], 2, 1.0, |_, _| Vec64::zeros(1));
+        f.error(&vals);
+    }
+}

@@ -1,0 +1,136 @@
+//! GPS / absolute-position factors.
+
+use crate::factor::{Factor, FactorKind};
+use crate::values::Values;
+use crate::variable::{VarId, Variable};
+use orianna_math::{Mat, Vec64};
+
+/// Observes the absolute position of a pose variable:
+/// `e = t(x) − z`, where `t(x)` is the translation component.
+///
+/// Works for both [`Variable::Pose2`] (2D fix) and [`Variable::Pose3`]
+/// (3D fix).
+///
+/// # Example
+/// ```
+/// use orianna_graph::{FactorGraph, GpsFactor};
+/// use orianna_lie::Pose2;
+/// let mut g = FactorGraph::new();
+/// let x = g.add_pose2(Pose2::new(0.0, 0.9, 2.1));
+/// g.add_factor(GpsFactor::new(x, &[1.0, 2.0], 0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpsFactor {
+    keys: [VarId; 1],
+    z: Vec64,
+    sigma: f64,
+}
+
+impl GpsFactor {
+    /// Creates a position observation; `z.len()` must be 2 for planar poses
+    /// and 3 for spatial poses (validated at linearization).
+    pub fn new(key: VarId, z: &[f64], sigma: f64) -> Self {
+        Self { keys: [key], z: Vec64::from_slice(z), sigma }
+    }
+}
+
+impl Factor for GpsFactor {
+    fn keys(&self) -> &[VarId] {
+        &self.keys
+    }
+
+    fn dim(&self) -> usize {
+        self.z.len()
+    }
+
+    fn error(&self, values: &Values) -> Vec64 {
+        match values.get(self.keys[0]) {
+            Variable::Pose2(p) => {
+                assert_eq!(self.z.len(), 2, "planar GPS fix must be 2D");
+                let t = p.translation();
+                Vec64::from_slice(&[t[0] - self.z[0], t[1] - self.z[1]])
+            }
+            Variable::Pose3(p) => {
+                assert_eq!(self.z.len(), 3, "spatial GPS fix must be 3D");
+                let t = p.translation();
+                Vec64::from_slice(&[t[0] - self.z[0], t[1] - self.z[1], t[2] - self.z[2]])
+            }
+            other => panic!("GpsFactor expects a pose variable, found {other:?}"),
+        }
+    }
+
+    fn jacobians(&self, values: &Values) -> Vec<Mat> {
+        // t ← t + R δt  ⇒  de/dδt = R; orientation does not move t.
+        match values.get(self.keys[0]) {
+            Variable::Pose2(p) => {
+                let rm = p.rotation().matrix();
+                let mut j = Mat::zeros(2, 3);
+                for r in 0..2 {
+                    for c in 0..2 {
+                        j[(r, 1 + c)] = rm[r][c];
+                    }
+                }
+                vec![j]
+            }
+            Variable::Pose3(p) => {
+                let rm = p.rotation().to_mat();
+                let mut j = Mat::zeros(3, 6);
+                j.set_block(0, 3, &rm);
+                vec![j]
+            }
+            other => panic!("GpsFactor expects a pose variable, found {other:?}"),
+        }
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "GpsFactor"
+    }
+
+    fn kind(&self) -> FactorKind {
+        FactorKind::Gps { z: self.z.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::check_jacobians;
+    use orianna_lie::{Pose2, Pose3};
+
+    #[test]
+    fn zero_error_at_fix() {
+        let mut vals = Values::new();
+        let x = vals.insert(Variable::Pose2(Pose2::new(0.7, 1.0, 2.0)));
+        let f = GpsFactor::new(x, &[1.0, 2.0], 0.5);
+        assert!(f.error(&vals).norm() < 1e-12);
+    }
+
+    #[test]
+    fn pose2_jacobian_matches_fd() {
+        let mut vals = Values::new();
+        let x = vals.insert(Variable::Pose2(Pose2::new(0.7, 1.0, 2.0)));
+        let f = GpsFactor::new(x, &[0.0, 0.0], 1.0);
+        assert!(check_jacobians(&f, &vals, 1e-6) < 1e-7);
+    }
+
+    #[test]
+    fn pose3_jacobian_matches_fd() {
+        let mut vals = Values::new();
+        let x = vals.insert(Variable::Pose3(Pose3::from_parts([0.2, -0.1, 0.4], [1.0, 2.0, 3.0])));
+        let f = GpsFactor::new(x, &[0.5, 1.5, 2.5], 1.0);
+        assert!(check_jacobians(&f, &vals, 1e-6) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "planar GPS fix must be 2D")]
+    fn dimension_mismatch_panics() {
+        let mut vals = Values::new();
+        let x = vals.insert(Variable::Pose2(Pose2::identity()));
+        let f = GpsFactor::new(x, &[0.0, 0.0, 0.0], 1.0);
+        f.error(&vals);
+    }
+}

@@ -1,0 +1,27 @@
+//! Concrete factor implementations (the paper's Tbl. 2 factor library).
+//!
+//! Measurement factors (localization): [`PriorFactor`], [`BetweenFactor`],
+//! [`LidarFactor`], [`ImuFactor`], [`GpsFactor`], [`CameraFactor`].
+//! Constraint factors (planning/control): [`SmoothFactor`],
+//! [`CollisionFactor`], [`KinematicsFactor`], [`DynamicsFactor`],
+//! [`VectorPriorFactor`]. User-extensible: [`CustomFactor`].
+
+mod between;
+mod camera;
+mod collision;
+mod container;
+mod custom;
+mod gps;
+mod prior;
+mod robust;
+mod vector;
+
+pub use between::{BetweenFactor, ImuFactor, LidarFactor};
+pub use camera::{CameraFactor, CameraModel};
+pub use collision::CollisionFactor;
+pub use container::LinearContainerFactor;
+pub use custom::CustomFactor;
+pub use gps::GpsFactor;
+pub use prior::PriorFactor;
+pub use robust::{Loss, RobustFactor};
+pub use vector::{DynamicsFactor, KinematicsFactor, SmoothFactor, VectorPriorFactor};

@@ -1,0 +1,135 @@
+//! The container mapping variable ids to current estimates.
+
+use crate::variable::{VarId, Variable};
+use orianna_math::Vec64;
+
+/// Current estimates for every variable node in a factor graph.
+///
+/// Variable ids are dense indices assigned at insertion time, so lookup is
+/// O(1). A [`Values`] can be updated in bulk from a stacked tangent-space
+/// step vector, which is how Gauss-Newton applies the solution Δ of the
+/// linear system (paper Fig. 3, `x ← x ⊕ Δ`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Values {
+    vars: Vec<Variable>,
+}
+
+impl Values {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a variable, returning its id.
+    pub fn insert(&mut self, var: Variable) -> VarId {
+        self.vars.push(var);
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Borrow of the variable with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: VarId) -> &Variable {
+        &self.vars[id.0]
+    }
+
+    /// Replaces the value of an existing variable.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range or the kinds/dimensions differ.
+    pub fn set(&mut self, id: VarId, var: Variable) {
+        assert_eq!(self.vars[id.0].dim(), var.dim(), "set() must preserve dimension");
+        self.vars[id.0] = var;
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterator over `(id, variable)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.vars.iter().enumerate().map(|(i, v)| (VarId(i), v))
+    }
+
+    /// Total tangent dimension of all variables (the length of Δ).
+    pub fn total_dim(&self) -> usize {
+        self.vars.iter().map(Variable::dim).sum()
+    }
+
+    /// Tangent-space offset of each variable in the stacked Δ vector,
+    /// in id order.
+    pub fn offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.vars.len());
+        let mut acc = 0;
+        for v in &self.vars {
+            offs.push(acc);
+            acc += v.dim();
+        }
+        offs
+    }
+
+    /// Retracts every variable by its slice of the stacked step `delta`.
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != self.total_dim()`.
+    pub fn retract_all(&self, delta: &Vec64) -> Values {
+        assert_eq!(delta.len(), self.total_dim(), "step length mismatch");
+        let mut out = Vec::with_capacity(self.vars.len());
+        let mut at = 0;
+        for v in &self.vars {
+            let d = v.dim();
+            out.push(v.retract(&delta.as_slice()[at..at + d]));
+            at += d;
+        }
+        Values { vars: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_lie::Pose2;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut vals = Values::new();
+        let id = vals.insert(Variable::Pose2(Pose2::new(0.1, 1.0, 2.0)));
+        assert_eq!(vals.get(id).as_pose2().x(), 1.0);
+        assert_eq!(vals.len(), 1);
+    }
+
+    #[test]
+    fn offsets_and_total_dim() {
+        let mut vals = Values::new();
+        vals.insert(Variable::Pose2(Pose2::identity())); // dim 3
+        vals.insert(Variable::Point3([0.0; 3])); // dim 3
+        vals.insert(Variable::Vector(Vec64::zeros(2))); // dim 2
+        assert_eq!(vals.total_dim(), 8);
+        assert_eq!(vals.offsets(), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn retract_all_applies_per_variable_slices() {
+        let mut vals = Values::new();
+        let a = vals.insert(Variable::Point2([0.0, 0.0]));
+        let b = vals.insert(Variable::Point2([1.0, 1.0]));
+        let stepped = vals.retract_all(&Vec64::from_slice(&[0.5, 0.0, 0.0, -1.0]));
+        assert_eq!(stepped.get(a).as_point2(), [0.5, 0.0]);
+        assert_eq!(stepped.get(b).as_point2(), [1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step length mismatch")]
+    fn retract_all_rejects_bad_length() {
+        let mut vals = Values::new();
+        vals.insert(Variable::Point2([0.0, 0.0]));
+        vals.retract_all(&Vec64::zeros(3));
+    }
+}

@@ -1,0 +1,405 @@
+//! Cycle-level simulator of the generated accelerator (the paper's
+//! runtime controller, Sec. 6.3).
+//!
+//! The simulator schedules compiled instruction streams onto the
+//! configured functional units. Two issue policies mirror the paper's
+//! variants:
+//!
+//! * **Out-of-order** (ORIANNA-OoO): any instruction whose register
+//!   dependences are satisfied may issue to a free unit. Because the
+//!   streams of *different algorithms* share no registers, this policy
+//!   subsumes both the fine-grained OoO inside one MO-DFG and the
+//!   coarse-grained OoO across algorithms (Sec. 6.3); likewise
+//!   consecutive variable eliminations without common adjacent factors
+//!   have disjoint `QRD` sources and reorder freely.
+//! * **In-order** (ORIANNA-IO): a simple controller that dispatches one
+//!   instruction at a time in program order, starting each after the
+//!   previous one completes.
+//!
+//! This is the substitute for the paper's FPGA prototype: all reported
+//! results are ratios between configurations simulated under identical
+//! latency/energy models (see DESIGN.md §1).
+
+use crate::config::HwConfig;
+use crate::templates::{energy_nj, latency, BOARD_STATIC_W, STATIC_W_PER_UNIT};
+use orianna_compiler::{Phase, Program, UnitClass};
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Instruction-issue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssuePolicy {
+    /// Scoreboarded out-of-order issue (ORIANNA-OoO).
+    OutOfOrder,
+    /// Serial in-order dispatch (ORIANNA-IO).
+    InOrder,
+}
+
+/// One compiled algorithm stream within a robotic application.
+#[derive(Debug)]
+pub struct Stream<'a> {
+    /// Human-readable name ("localization", "planning", …).
+    pub name: &'static str,
+    /// The compiled program.
+    pub program: &'a Program,
+}
+
+/// A robotic application workload: one or more algorithm streams executed
+/// on the same generated accelerator.
+#[derive(Debug, Default)]
+pub struct Workload<'a> {
+    /// The streams.
+    pub streams: Vec<Stream<'a>>,
+}
+
+impl<'a> Workload<'a> {
+    /// Single-stream convenience constructor.
+    pub fn single(name: &'static str, program: &'a Program) -> Self {
+        Self { streams: vec![Stream { name, program }] }
+    }
+
+    /// Total instruction count.
+    pub fn num_instructions(&self) -> usize {
+        self.streams.iter().map(|s| s.program.instrs.len()).sum()
+    }
+}
+
+/// Cycle-accurate simulation result.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total makespan in cycles.
+    pub cycles: u64,
+    /// Wall-clock at the configured frequency (milliseconds).
+    pub time_ms: f64,
+    /// Total energy (dynamic + static), millijoules.
+    pub energy_mj: f64,
+    /// Busy cycles per unit class (summed over instances).
+    pub unit_busy: BTreeMap<UnitClass, u64>,
+    /// Cycles instructions spent ready-but-waiting for a free unit, per
+    /// class — the contention signal the generator optimizes against.
+    pub contention: BTreeMap<UnitClass, u64>,
+    /// Sum of instruction latencies per phase (work breakdown: the
+    /// paper's Sec. 7.3 latency split).
+    pub phase_work: BTreeMap<&'static str, u64>,
+    /// Instructions simulated.
+    pub instructions: usize,
+    /// `(rows, cols)` of every QRD in the trace (Fig. 17 samples).
+    pub qrd_shapes: Vec<(usize, usize)>,
+    /// `(rows, cols)` of every construction-phase matmul-class op.
+    pub mm_shapes: Vec<(usize, usize)>,
+}
+
+impl SimReport {
+    /// Fraction of total phase work spent in a phase.
+    pub fn phase_fraction(&self, phase: &'static str) -> f64 {
+        let total: u64 = self.phase_work.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.phase_work.get(phase).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+fn phase_name(p: Phase) -> &'static str {
+    match p {
+        Phase::Construct => "construct",
+        Phase::Eliminate => "eliminate",
+        Phase::BackSub => "backsub",
+    }
+}
+
+/// Dependence-only critical path of a workload in cycles: the makespan an
+/// accelerator with unlimited units of every class would achieve. Lower
+/// bound for every simulated schedule; the gap to the simulated makespan
+/// measures resource contention.
+pub fn critical_path_cycles(workload: &Workload<'_>) -> u64 {
+    let mut best: u64 = 0;
+    for s in &workload.streams {
+        let producers = s.program.producers();
+        let mut finish = vec![0u64; s.program.instrs.len()];
+        for instr in &s.program.instrs {
+            let ready = instr
+                .srcs
+                .iter()
+                .filter_map(|r| producers[r.0])
+                .map(|p| finish[p])
+                .max()
+                .unwrap_or(0);
+            finish[instr.id] = ready + latency(&instr.op, instr.dims).max(1);
+        }
+        best = best.max(finish.iter().copied().max().unwrap_or(0));
+    }
+    best
+}
+
+/// Simulates a workload on a configuration under the given policy.
+pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy) -> SimReport {
+    // Flatten instructions with global ids; deps resolved per stream.
+    struct Node {
+        lat: u64,
+        class: UnitClass,
+        phase: Phase,
+        deps: Vec<usize>, // global ids
+        energy: f64,
+        dims: (usize, usize),
+        is_qrd: bool,
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(workload.num_instructions());
+    let mut global_of: Vec<Vec<usize>> = Vec::new();
+    for (si, s) in workload.streams.iter().enumerate() {
+        let producers = s.program.producers();
+        let mut ids = Vec::with_capacity(s.program.instrs.len());
+        for instr in &s.program.instrs {
+            let deps: Vec<usize> = instr
+                .srcs
+                .iter()
+                .filter_map(|r| producers[r.0])
+                .map(|local| global_of[si][local])
+                .collect();
+            let gid = nodes.len();
+            nodes.push(Node {
+                lat: latency(&instr.op, instr.dims).max(1),
+                class: instr.op.unit_class(),
+                phase: instr.phase,
+                deps,
+                energy: energy_nj(&instr.op, instr.dims),
+                dims: instr.dims,
+                is_qrd: matches!(instr.op, orianna_compiler::Op::Qrd { .. }),
+            });
+            ids.push(gid);
+            if global_of.len() == si {
+                global_of.push(Vec::new());
+            }
+            global_of[si].push(gid);
+        }
+        let _ = ids;
+        if global_of.len() == si {
+            global_of.push(Vec::new());
+        }
+    }
+
+    let mut finish = vec![0u64; nodes.len()];
+    let mut unit_busy: BTreeMap<UnitClass, u64> = BTreeMap::new();
+    let mut contention: BTreeMap<UnitClass, u64> = BTreeMap::new();
+    let mut phase_work: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut qrd_shapes = Vec::new();
+    let mut mm_shapes = Vec::new();
+    let mut dyn_energy_nj = 0.0;
+    let mut makespan = 0u64;
+
+    for n in &nodes {
+        *phase_work.entry(phase_name(n.phase)).or_insert(0) += n.lat;
+        dyn_energy_nj += n.energy;
+        if n.is_qrd {
+            qrd_shapes.push(n.dims);
+        } else if n.class == UnitClass::MatMul && n.phase == Phase::Construct {
+            mm_shapes.push(n.dims);
+        }
+    }
+
+    match policy {
+        IssuePolicy::InOrder => {
+            // Serial dispatch in stream-concatenated order.
+            let mut t = 0u64;
+            for (gid, n) in nodes.iter().enumerate() {
+                let ready = n.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+                let start = t.max(ready);
+                let end = start + n.lat;
+                finish[gid] = end;
+                t = end;
+                *unit_busy.entry(n.class).or_insert(0) += n.lat;
+            }
+            makespan = t;
+        }
+        IssuePolicy::OutOfOrder => {
+            // List scheduling: process in order of ready time; each class
+            // has `count` units tracked as a min-heap of free times.
+            use std::cmp::Reverse;
+            let mut free: BTreeMap<UnitClass, BinaryHeap<Reverse<u64>>> = BTreeMap::new();
+            for c in UnitClass::ALL {
+                let mut h = BinaryHeap::new();
+                for _ in 0..config.count(c) {
+                    h.push(Reverse(0u64));
+                }
+                free.insert(c, h);
+            }
+            // Kahn-style: indegree counting, ready min-heap by ready time.
+            let mut indeg: Vec<usize> = nodes.iter().map(|n| n.deps.len()).collect();
+            let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+            for (gid, n) in nodes.iter().enumerate() {
+                for &d in &n.deps {
+                    dependents[d].push(gid);
+                }
+            }
+            let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+            let mut ready_time = vec![0u64; nodes.len()];
+            for (gid, n) in nodes.iter().enumerate() {
+                if n.deps.is_empty() {
+                    ready.push(Reverse((0, gid)));
+                }
+            }
+            // Deduplicate: a node may gain ready time once (all deps done).
+            while let Some(Reverse((rt, gid))) = ready.pop() {
+                let n = &nodes[gid];
+                let pool = free.get_mut(&n.class).expect("class pool");
+                let Reverse(unit_free) = pool.pop().expect("unit");
+                let start = rt.max(unit_free);
+                let end = start + n.lat;
+                pool.push(Reverse(end));
+                finish[gid] = end;
+                makespan = makespan.max(end);
+                *unit_busy.entry(n.class).or_insert(0) += n.lat;
+                *contention.entry(n.class).or_insert(0) += start.saturating_sub(rt);
+                for &dep in &dependents[gid] {
+                    indeg[dep] -= 1;
+                    ready_time[dep] = ready_time[dep].max(end);
+                    if indeg[dep] == 0 {
+                        ready.push(Reverse((ready_time[dep], dep)));
+                    }
+                }
+            }
+        }
+    }
+
+    let time_ms = makespan as f64 / (config.clock_mhz * 1e3);
+    let static_mj = (BOARD_STATIC_W + STATIC_W_PER_UNIT * config.total_units() as f64)
+        * (time_ms / 1e3)
+        * 1e3;
+    SimReport {
+        cycles: makespan,
+        time_ms,
+        energy_mj: dyn_energy_nj * 1e-6 + static_mj,
+        unit_busy,
+        contention,
+        phase_work,
+        instructions: nodes.len(),
+        qrd_shapes,
+        mm_shapes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_compiler::compile;
+    use orianna_graph::{natural_ordering, BetweenFactor, FactorGraph, PriorFactor};
+    use orianna_lie::Pose2;
+
+    fn chain_program(n: usize) -> Program {
+        let mut g = FactorGraph::new();
+        let ids: Vec<_> =
+            (0..n).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1))).collect();
+        g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
+        for w in ids.windows(2) {
+            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+        }
+        compile(&g, &natural_ordering(&g)).unwrap()
+    }
+
+    #[test]
+    fn ooo_is_faster_than_in_order() {
+        let prog = chain_program(8);
+        let wl = Workload::single("loc", &prog);
+        let cfg = HwConfig::minimal();
+        let ooo = simulate(&wl, &cfg, IssuePolicy::OutOfOrder);
+        let io = simulate(&wl, &cfg, IssuePolicy::InOrder);
+        assert!(ooo.cycles < io.cycles, "{} vs {}", ooo.cycles, io.cycles);
+        assert_eq!(ooo.instructions, io.instructions);
+    }
+
+    #[test]
+    fn ooo_respects_dependencies() {
+        // Makespan can never be shorter than the critical path of any
+        // single chain; sanity: the QRD of the last variable must finish
+        // before its BSUB, so makespan > longest QRD latency.
+        let prog = chain_program(5);
+        let wl = Workload::single("loc", &prog);
+        let r = simulate(&wl, &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        assert!(r.cycles > 0);
+        let total_work: u64 = r.unit_busy.values().sum();
+        assert!(r.cycles <= total_work, "makespan cannot exceed serial work");
+    }
+
+    #[test]
+    fn more_units_do_not_hurt() {
+        let prog = chain_program(10);
+        let wl = Workload::single("loc", &prog);
+        let base = simulate(&wl, &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        let more = simulate(
+            &wl,
+            &HwConfig::minimal().plus_one(UnitClass::Qr).plus_one(UnitClass::MatMul),
+            IssuePolicy::OutOfOrder,
+        );
+        assert!(more.cycles <= base.cycles);
+    }
+
+    #[test]
+    fn coarse_grained_ooo_across_streams() {
+        // Two independent algorithms interleave on one accelerator: the
+        // makespan is far below the sum of their serial makespans.
+        let p1 = chain_program(8);
+        let p2 = chain_program(8);
+        let wl = Workload { streams: vec![
+            Stream { name: "loc", program: &p1 },
+            Stream { name: "plan", program: &p2 },
+        ]};
+        let cfg = HwConfig::with_counts(&[(UnitClass::Qr, 2), (UnitClass::MatMul, 2), (UnitClass::Special, 2), (UnitClass::Vector, 2), (UnitClass::Memory, 2), (UnitClass::BackSub, 2)]);
+        let merged = simulate(&wl, &cfg, IssuePolicy::OutOfOrder);
+        let single = simulate(&Workload::single("loc", &p1), &cfg, IssuePolicy::OutOfOrder);
+        assert!(merged.cycles < 2 * single.cycles, "{} vs 2*{}", merged.cycles, single.cycles);
+    }
+
+    #[test]
+    fn phase_work_breakdown_present() {
+        let prog = chain_program(12);
+        let wl = Workload::single("loc", &prog);
+        let r = simulate(&wl, &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        let c = r.phase_fraction("construct");
+        let e = r.phase_fraction("eliminate");
+        let b = r.phase_fraction("backsub");
+        assert!((c + e + b - 1.0).abs() < 1e-12);
+        assert!(c > 0.0 && e > 0.0 && b > 0.0);
+    }
+
+    #[test]
+    fn elimination_share_grows_with_problem_size() {
+        // The paper's drone application spends 74% in decomposition; the
+        // decomposition share must grow with graph size (construction is
+        // linear in factors, elimination superlinear in fill).
+        let small = chain_program(4);
+        let large = chain_program(40);
+        let rs = simulate(&Workload::single("l", &small), &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        let rl = simulate(&Workload::single("l", &large), &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        assert!(
+            rl.phase_fraction("eliminate") > rs.phase_fraction("eliminate"),
+            "{} vs {}",
+            rl.phase_fraction("eliminate"),
+            rs.phase_fraction("eliminate")
+        );
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_critical_path() {
+        let prog = chain_program(10);
+        let wl = Workload::single("loc", &prog);
+        let cp = critical_path_cycles(&wl);
+        let ooo = simulate(&wl, &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        let io = simulate(&wl, &HwConfig::minimal(), IssuePolicy::InOrder);
+        assert!(ooo.cycles >= cp, "{} vs cp {}", ooo.cycles, cp);
+        assert!(io.cycles >= cp);
+        // With an enormous configuration the OoO schedule approaches the
+        // critical path.
+        let big = HwConfig::with_counts(&UnitClass::ALL.map(|c| (c, 64)));
+        let fast = simulate(&wl, &big, IssuePolicy::OutOfOrder);
+        assert!(fast.cycles as f64 <= cp as f64 * 1.05, "{} vs cp {}", fast.cycles, cp);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let prog = chain_program(6);
+        let wl = Workload::single("loc", &prog);
+        let r = simulate(&wl, &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        assert!(r.energy_mj > 0.0);
+        assert!(!r.qrd_shapes.is_empty());
+        assert!(!r.mm_shapes.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Hardware functional-unit templates (paper Sec. 6.1).
+//!
+//! ORIANNA generates accelerators from a fixed library of templates — a
+//! systolic-array matrix multiplier, a Givens-rotation QR decomposition
+//! unit, a vector ALU, a CORDIC-style special-function unit, a
+//! back-substitution unit, and on-chip buffer ports. Each template carries:
+//!
+//! * a **latency model** — cycles as a function of operand dimensions,
+//! * an **energy model** — nanojoules per operation plus static power,
+//! * a **resource cost** — LUT/FF/BRAM/DSP per instance, in the class of
+//!   the paper's Zynq-7000 ZC706 prototype.
+//!
+//! These constants are *inputs* to the experiments (documented here and in
+//! DESIGN.md §6); every figure of the evaluation is a ratio between
+//! configurations sharing them.
+
+use orianna_compiler::{Op, UnitClass};
+
+/// FPGA resource vector (ZC706-style: LUTs, flip-flops, BRAM36 blocks,
+/// DSP48 slices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// Block RAMs (36 Kb).
+    pub bram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+impl Resources {
+    /// Component-wise sum.
+    pub fn plus(&self, o: &Resources) -> Resources {
+        Resources {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            bram: self.bram + o.bram,
+            dsp: self.dsp + o.dsp,
+        }
+    }
+
+    /// Scales all components by an integer count.
+    pub fn times(&self, n: u64) -> Resources {
+        Resources { lut: self.lut * n, ff: self.ff * n, bram: self.bram * n, dsp: self.dsp * n }
+    }
+
+    /// True when every component fits within `budget`.
+    pub fn fits(&self, budget: &Resources) -> bool {
+        self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.bram <= budget.bram
+            && self.dsp <= budget.dsp
+    }
+
+    /// The Xilinx Zynq-7000 ZC706 (XC7Z045) device capacity — the paper's
+    /// prototype platform.
+    pub fn zc706() -> Resources {
+        Resources { lut: 218_600, ff: 437_200, bram: 545, dsp: 900 }
+    }
+}
+
+/// Systolic-array edge length of the matrix-multiply template.
+pub const SYSTOLIC_DIM: usize = 8;
+/// Vector-ALU lane count.
+pub const VECTOR_LANES: usize = 4;
+/// CORDIC iteration depth of the special-function unit.
+pub const CORDIC_DEPTH: u64 = 16;
+
+/// Energy per multiply–accumulate on the FPGA fabric (nanojoules).
+pub const E_MAC_NJ: f64 = 0.012;
+/// Energy per element moved through the vector ALU (nanojoules).
+pub const E_VEC_NJ: f64 = 0.004;
+/// Energy per on-chip buffer element access (nanojoules).
+pub const E_MEM_NJ: f64 = 0.002;
+/// Static power per instantiated unit (watts) — clock tree + idle fabric.
+pub const STATIC_W_PER_UNIT: f64 = 0.3;
+/// Board-level static power (watts): PS subsystem, DDR, regulators — the
+/// wall-measured operating point of a ZC706-class board, which is what
+/// the paper's Vivado-reported energy comparisons are normalized against.
+pub const BOARD_STATIC_W: f64 = 20.0;
+
+/// Per-instance resource cost of one template unit.
+pub fn unit_resources(class: UnitClass) -> Resources {
+    match class {
+        UnitClass::MatMul => Resources { lut: 12_000, ff: 15_000, bram: 8, dsp: 64 },
+        UnitClass::Vector => Resources { lut: 3_000, ff: 3_000, bram: 2, dsp: 8 },
+        UnitClass::Special => Resources { lut: 8_000, ff: 7_000, bram: 2, dsp: 12 },
+        UnitClass::Memory => Resources { lut: 1_500, ff: 1_000, bram: 16, dsp: 0 },
+        UnitClass::Qr => Resources { lut: 15_000, ff: 14_000, bram: 8, dsp: 32 },
+        UnitClass::BackSub => Resources { lut: 4_000, ff: 3_500, bram: 4, dsp: 8 },
+    }
+}
+
+/// Latency (cycles) of an instruction on its unit, given the output and
+/// operand dimensions recorded by the compiler.
+pub fn latency(op: &Op, dims: (usize, usize)) -> u64 {
+    let (m, n) = dims;
+    match op {
+        // Systolic array: dims ≤ S stream through in ~m+n+k cycles; larger
+        // operands tile. k is approximated by the larger of the output
+        // dims (operands in this ISA are near-square small matrices).
+        Op::Rr | Op::Rv | Op::Mm => {
+            let k = m.max(n);
+            let s = SYSTOLIC_DIM;
+            let tiles = m.div_ceil(s) * n.div_ceil(s) * k.div_ceil(s);
+            (tiles as u64 - 1) * (s as u64) + (m + n + k) as u64
+        }
+        // Vector ALU: lane-parallel elementwise.
+        Op::Vp { .. } | Op::Scale(_) | Op::Pack { .. } | Op::Slice { .. } => {
+            1 + ((m * n).div_ceil(VECTOR_LANES)) as u64
+        }
+        // CORDIC-class iterative special functions.
+        Op::Exp | Op::Log => CORDIC_DEPTH + 4,
+        Op::Jr | Op::JrInv => CORDIC_DEPTH + 8,
+        Op::Skew | Op::Rt => 2,
+        Op::Proj { .. } => 20,
+        Op::ProjJac { .. } => 24,
+        Op::Norm => 12,
+        Op::Hinge(_) => 2,
+        Op::HingeJac(_) => 12,
+        // Buffer access.
+        Op::Input { .. } | Op::Const(_) => 2,
+        // Pipelined Givens QR of an m×n gathered block: one rotation per
+        // sub-diagonal entry; each rotation updates its row pair through
+        // an 8-lane datapath, with successive rotations overlapped one
+        // lane-beat apart.
+        Op::Qrd { rows, .. } => {
+            let cols = n; // dims = (rows, frontal+sep+1)
+            let lanes = 8u64;
+            let mut cycles: u64 = 4;
+            for c in 0..cols.min(rows.saturating_sub(1)) {
+                let rot = (rows - 1 - c) as u64;
+                let beats = ((cols - c) as u64).div_ceil(lanes).max(1);
+                cycles += rot * beats;
+            }
+            cycles + 2 * cols as u64
+        }
+        // Back-substitution of a d-dim variable with parent width p:
+        // d serial rows, each a dot product over (d + p) entries.
+        Op::Bsub { .. } => {
+            let d = m as u64;
+            4 + d * (2 + (n as u64).max(1))
+        }
+    }
+}
+
+/// Dynamic energy (nanojoules) of an instruction.
+pub fn energy_nj(op: &Op, dims: (usize, usize)) -> f64 {
+    let (m, n) = dims;
+    let elems = (m * n) as f64;
+    match op {
+        Op::Rr | Op::Rv | Op::Mm => {
+            let k = m.max(n) as f64;
+            m as f64 * n as f64 * k * E_MAC_NJ
+        }
+        Op::Vp { .. } | Op::Scale(_) | Op::Pack { .. } | Op::Slice { .. } => elems * E_VEC_NJ,
+        Op::Exp | Op::Log | Op::Jr | Op::JrInv => CORDIC_DEPTH as f64 * 9.0 * E_MAC_NJ,
+        Op::Skew | Op::Rt => elems * E_VEC_NJ,
+        Op::Proj { .. } | Op::ProjJac { .. } => 40.0 * E_MAC_NJ,
+        Op::Norm | Op::HingeJac(_) => 16.0 * E_MAC_NJ,
+        Op::Hinge(_) => 2.0 * E_VEC_NJ,
+        Op::Input { .. } | Op::Const(_) => elems * E_MEM_NJ,
+        Op::Qrd { rows, .. } => {
+            let cols = n as f64;
+            // ~4 MACs per rotated element.
+            let mut rot_elems = 0.0;
+            for c in 0..n.min(rows.saturating_sub(1)) {
+                rot_elems += (rows - 1 - c) as f64 * (cols - c as f64);
+            }
+            rot_elems * 4.0 * E_MAC_NJ
+        }
+        Op::Bsub { .. } => m as f64 * (n as f64 + 2.0) * E_MAC_NJ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resources_arithmetic() {
+        let a = Resources { lut: 1, ff: 2, bram: 3, dsp: 4 };
+        let b = a.times(2);
+        assert_eq!(b.dsp, 8);
+        assert_eq!(a.plus(&b).lut, 3);
+        assert!(a.fits(&b));
+        assert!(!b.fits(&a));
+    }
+
+    #[test]
+    fn zc706_capacity_matches_datasheet_class() {
+        let z = Resources::zc706();
+        assert_eq!(z.dsp, 900);
+        assert_eq!(z.bram, 545);
+    }
+
+    #[test]
+    fn small_matmul_latency_is_pipeline_fill() {
+        // 3×3 · 3×3 fits the systolic array: ≈ m+n+k cycles.
+        let l = latency(&Op::Rr, (3, 3));
+        assert_eq!(l, 9);
+    }
+
+    #[test]
+    fn large_matmul_tiles() {
+        let small = latency(&Op::Mm, (8, 8));
+        let large = latency(&Op::Mm, (32, 32));
+        assert!(large > 10 * small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn qr_latency_grows_with_rows_and_cols() {
+        let small = latency(&Op::Qrd { frontal: orianna_graph::VarId(0), frontal_dim: 3, seps: vec![], gather: vec![], new_factor_deps: vec![], rows: 6 }, (6, 7));
+        let large = latency(&Op::Qrd { frontal: orianna_graph::VarId(0), frontal_dim: 3, seps: vec![], gather: vec![], new_factor_deps: vec![], rows: 24 }, (24, 25));
+        assert!(large > 8 * small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let e1 = energy_nj(&Op::Mm, (3, 3));
+        let e2 = energy_nj(&Op::Mm, (6, 6));
+        assert!(e2 > 4.0 * e1);
+    }
+
+    #[test]
+    fn every_class_has_resources() {
+        for c in UnitClass::ALL {
+            let r = unit_resources(c);
+            assert!(r.lut > 0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # orianna-lie
+//!
+//! Lie-group machinery and the **unified pose representation** of the
+//! ORIANNA paper (Sec. 4).
+//!
+//! Optimization-based robotic algorithms traditionally mix pose
+//! representations — quaternions + translation for localization, SE(n) /
+//! se(n) for planning — which prevents a common abstraction and adds
+//! padded-zero arithmetic. ORIANNA instead represents every pose as
+//! `<so(n), T(n)>`: a Lie-algebra vector for the orientation plus a plain
+//! translation vector, with composition (⊕) and difference (⊖) defined by
+//! Equ. 2 of the paper:
+//!
+//! ```text
+//! ξ₁ ⊕ ξ₂ = < Log(R₁R₂),  t₁ + R₁t₂ >
+//! ξ₁ ⊖ ξ₂ = < Log(R₂ᵀR₁), R₂ᵀ(t₁ − t₂) >      Rᵢ = Exp(φᵢ)
+//! ```
+//!
+//! This crate provides:
+//! * [`so2`] / [`so3`] — rotation groups with `Exp`/`Log`, hat/vee, and the
+//!   right Jacobian `Jr` and its inverse (primitives of Tbl. 3),
+//! * [`pose`] — [`Pose2`] and [`Pose3`] in the unified representation,
+//!   including the retraction used by the Gauss-Newton solvers,
+//! * [`se3`] — the classic homogeneous SE(3)/se(3) representation, used to
+//!   validate equivalence (Fig. 8) and to measure the MAC overhead the
+//!   unified representation avoids (Sec. 4.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use orianna_lie::Pose3;
+//!
+//! let a = Pose3::from_parts([0.0, 0.0, std::f64::consts::FRAC_PI_2], [1.0, 0.0, 0.0]);
+//! let b = Pose3::from_parts([0.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+//! let c = a.compose(&b); // a ⊕ b: walk 1m forward after a 90° yaw
+//! assert!((c.translation()[1] - 1.0).abs() < 1e-12);
+//! let d = c.between(&a);  // c ⊖ a recovers b
+//! assert!((d.translation()[0] - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod pose;
+pub mod quat;
+pub mod se3;
+pub mod so2;
+pub mod so3;
+
+pub use pose::{Pose2, Pose3};
+pub use quat::Quat;
+pub use se3::{Se3Tangent, SE3};
+pub use so2::Rot2;
+pub use so3::Rot3;
+
+/// Angle below which Taylor expansions replace closed-form trigonometric
+/// Lie formulas for numerical stability.
+pub(crate) const SMALL_ANGLE: f64 = 1e-8;

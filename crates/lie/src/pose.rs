@@ -1,0 +1,342 @@
+//! The unified pose representation `<so(n), T(n)>` (paper Sec. 4.2).
+//!
+//! A pose stores its orientation as a Lie-algebra vector (`so(n)`) and its
+//! position as a plain translation vector (`T(n)`). Composition `⊕` and
+//! difference `⊖` are the paper's Equ. 2, treated as *primitive operations*
+//! from which all robot kinematics in the factor library are built:
+//!
+//! ```text
+//! ξ₁ ⊕ ξ₂ = < Log(R₁R₂),  t₁ + R₁t₂ >
+//! ξ₁ ⊖ ξ₂ = < Log(R₂ᵀR₁), R₂ᵀ(t₁ − t₂) >
+//! ```
+//!
+//! Tangent-vector convention throughout the workspace: orientation
+//! components first, then translation — `[δφ | δt]`, giving dimension 3 for
+//! [`Pose2`] and 6 for [`Pose3`]. The retraction used by Gauss-Newton is
+//! right-multiplicative: `retract(x, δ) = x ⊕ <δφ, δt>`.
+
+use crate::so2::Rot2;
+use crate::so3::Rot3;
+
+/// A planar pose in the unified representation: `<so(2), T(2)>`.
+///
+/// # Example
+/// ```
+/// use orianna_lie::Pose2;
+/// let a = Pose2::new(std::f64::consts::FRAC_PI_2, 0.0, 0.0);
+/// let b = Pose2::new(0.0, 1.0, 0.0);
+/// let c = a.compose(&b);
+/// assert!((c.y() - 1.0).abs() < 1e-12); // forward motion rotated 90°
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose2 {
+    theta: f64,
+    t: [f64; 2],
+}
+
+impl Pose2 {
+    /// Tangent dimension (1 orientation + 2 translation).
+    pub const DIM: usize = 3;
+
+    /// Creates a pose from heading `theta` and position `(x, y)`.
+    pub fn new(theta: f64, x: f64, y: f64) -> Self {
+        Self { theta, t: [x, y] }
+    }
+
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Heading angle (the so(2) component).
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// X position.
+    pub fn x(&self) -> f64 {
+        self.t[0]
+    }
+
+    /// Y position.
+    pub fn y(&self) -> f64 {
+        self.t[1]
+    }
+
+    /// Translation component.
+    pub fn translation(&self) -> [f64; 2] {
+        self.t
+    }
+
+    /// Rotation component as an SO(2) element.
+    pub fn rotation(&self) -> Rot2 {
+        Rot2::exp(self.theta)
+    }
+
+    /// Pose composition `self ⊕ rhs` (Equ. 2).
+    pub fn compose(&self, rhs: &Pose2) -> Pose2 {
+        let r1 = self.rotation();
+        let r2 = rhs.rotation();
+        let rt = r1.rotate(rhs.t);
+        Pose2 {
+            theta: r1.compose(&r2).log(),
+            t: [self.t[0] + rt[0], self.t[1] + rt[1]],
+        }
+    }
+
+    /// Pose difference `self ⊖ rhs` (Equ. 2): the motion that takes `rhs`
+    /// to `self`, expressed in `rhs`'s frame.
+    pub fn between(&self, rhs: &Pose2) -> Pose2 {
+        let r1 = self.rotation();
+        let r2t = rhs.rotation().transpose();
+        let dt = [self.t[0] - rhs.t[0], self.t[1] - rhs.t[1]];
+        Pose2 { theta: r2t.compose(&r1).log(), t: r2t.rotate(dt) }
+    }
+
+    /// Group inverse: `p.inverse().compose(&p)` is the identity.
+    pub fn inverse(&self) -> Pose2 {
+        Pose2::identity().between(self)
+    }
+
+    /// Right-multiplicative retraction: `self ⊕ <δ[0], (δ[1], δ[2])>`.
+    pub fn retract(&self, delta: &[f64]) -> Pose2 {
+        debug_assert_eq!(delta.len(), Self::DIM);
+        self.compose(&Pose2::new(delta[0], delta[1], delta[2]))
+    }
+
+    /// Local coordinates of `other` relative to `self`
+    /// (inverse of [`Pose2::retract`]).
+    pub fn local(&self, other: &Pose2) -> [f64; 3] {
+        let d = other.between(self);
+        [d.theta, d.t[0], d.t[1]]
+    }
+
+    /// Euclidean distance between positions.
+    pub fn translation_distance(&self, other: &Pose2) -> f64 {
+        let dx = self.t[0] - other.t[0];
+        let dy = self.t[1] - other.t[1];
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A spatial pose in the unified representation: `<so(3), T(3)>`.
+///
+/// # Example
+/// ```
+/// use orianna_lie::Pose3;
+/// let p = Pose3::from_parts([0.1, 0.0, 0.0], [1.0, 2.0, 3.0]);
+/// let q = p.compose(&p.inverse());
+/// assert!(q.translation().iter().all(|v| v.abs() < 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pose3 {
+    phi: [f64; 3],
+    t: [f64; 3],
+}
+
+impl Pose3 {
+    /// Tangent dimension (3 orientation + 3 translation).
+    pub const DIM: usize = 6;
+
+    /// Creates a pose from an so(3) vector and a translation.
+    pub fn from_parts(phi: [f64; 3], t: [f64; 3]) -> Self {
+        Self { phi, t }
+    }
+
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Orientation as an so(3) vector.
+    pub fn phi(&self) -> [f64; 3] {
+        self.phi
+    }
+
+    /// Translation component.
+    pub fn translation(&self) -> [f64; 3] {
+        self.t
+    }
+
+    /// Rotation component as an SO(3) element.
+    pub fn rotation(&self) -> Rot3 {
+        Rot3::exp(self.phi)
+    }
+
+    /// Pose composition `self ⊕ rhs` (Equ. 2).
+    pub fn compose(&self, rhs: &Pose3) -> Pose3 {
+        let r1 = self.rotation();
+        let r2 = rhs.rotation();
+        let rt = r1.rotate(rhs.t);
+        Pose3 {
+            phi: r1.compose(&r2).log(),
+            t: [self.t[0] + rt[0], self.t[1] + rt[1], self.t[2] + rt[2]],
+        }
+    }
+
+    /// Pose difference `self ⊖ rhs` (Equ. 2).
+    pub fn between(&self, rhs: &Pose3) -> Pose3 {
+        let r1 = self.rotation();
+        let r2t = rhs.rotation().transpose();
+        let dt = [self.t[0] - rhs.t[0], self.t[1] - rhs.t[1], self.t[2] - rhs.t[2]];
+        Pose3 { phi: r2t.compose(&r1).log(), t: r2t.rotate(dt) }
+    }
+
+    /// Group inverse.
+    pub fn inverse(&self) -> Pose3 {
+        Pose3::identity().between(self)
+    }
+
+    /// Right-multiplicative retraction:
+    /// `self ⊕ <(δ[0..3]), (δ[3..6])>`.
+    pub fn retract(&self, delta: &[f64]) -> Pose3 {
+        debug_assert_eq!(delta.len(), Self::DIM);
+        self.compose(&Pose3::from_parts(
+            [delta[0], delta[1], delta[2]],
+            [delta[3], delta[4], delta[5]],
+        ))
+    }
+
+    /// Local coordinates of `other` relative to `self`
+    /// (inverse of [`Pose3::retract`]).
+    pub fn local(&self, other: &Pose3) -> [f64; 6] {
+        let d = other.between(self);
+        [d.phi[0], d.phi[1], d.phi[2], d.t[0], d.t[1], d.t[2]]
+    }
+
+    /// Euclidean distance between positions.
+    pub fn translation_distance(&self, other: &Pose3) -> f64 {
+        let dx = self.t[0] - other.t[0];
+        let dy = self.t[1] - other.t[1];
+        let dz = self.t[2] - other.t[2];
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Rotational distance: the angle of the relative rotation.
+    pub fn rotation_distance(&self, other: &Pose3) -> f64 {
+        let d = self.between(other).phi;
+        (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    fn approx_pose2(a: &Pose2, b: &Pose2) -> bool {
+        (a.theta() - b.theta()).abs() < TOL && a.translation_distance(b) < TOL
+    }
+
+    fn approx_pose3(a: &Pose3, b: &Pose3) -> bool {
+        a.rotation_distance(b) < TOL && a.translation_distance(b) < TOL
+    }
+
+    #[test]
+    fn pose2_identity_is_neutral() {
+        let p = Pose2::new(0.3, 1.0, -2.0);
+        assert!(approx_pose2(&p.compose(&Pose2::identity()), &p));
+        assert!(approx_pose2(&Pose2::identity().compose(&p), &p));
+    }
+
+    #[test]
+    fn pose2_between_inverts_compose() {
+        let a = Pose2::new(0.3, 1.0, 2.0);
+        let b = Pose2::new(-0.8, -0.5, 0.7);
+        let c = a.compose(&b);
+        assert!(approx_pose2(&c.between(&a), &b));
+    }
+
+    #[test]
+    fn pose2_inverse() {
+        let p = Pose2::new(1.1, 3.0, -1.0);
+        assert!(approx_pose2(&p.compose(&p.inverse()), &Pose2::identity()));
+        assert!(approx_pose2(&p.inverse().compose(&p), &Pose2::identity()));
+    }
+
+    #[test]
+    fn pose2_associativity() {
+        let a = Pose2::new(0.2, 1.0, 0.0);
+        let b = Pose2::new(-0.4, 0.0, 1.0);
+        let c = Pose2::new(0.9, -1.0, 2.0);
+        let lhs = a.compose(&b).compose(&c);
+        let rhs = a.compose(&b.compose(&c));
+        assert!(approx_pose2(&lhs, &rhs));
+    }
+
+    #[test]
+    fn pose2_retract_local_roundtrip() {
+        let p = Pose2::new(0.5, 1.0, 2.0);
+        let delta = [0.01, -0.02, 0.03];
+        let q = p.retract(&delta);
+        let back = p.local(&q);
+        for i in 0..3 {
+            assert!((back[i] - delta[i]).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn pose3_identity_is_neutral() {
+        let p = Pose3::from_parts([0.1, -0.2, 0.3], [1.0, 2.0, 3.0]);
+        assert!(approx_pose3(&p.compose(&Pose3::identity()), &p));
+        assert!(approx_pose3(&Pose3::identity().compose(&p), &p));
+    }
+
+    #[test]
+    fn pose3_between_inverts_compose() {
+        let a = Pose3::from_parts([0.3, 0.1, -0.2], [1.0, 2.0, 3.0]);
+        let b = Pose3::from_parts([-0.1, 0.4, 0.2], [-0.5, 0.7, 1.1]);
+        let c = a.compose(&b);
+        assert!(approx_pose3(&c.between(&a), &b));
+    }
+
+    #[test]
+    fn pose3_inverse() {
+        let p = Pose3::from_parts([0.5, -0.6, 0.7], [3.0, -1.0, 2.0]);
+        assert!(approx_pose3(&p.compose(&p.inverse()), &Pose3::identity()));
+        assert!(approx_pose3(&p.inverse().compose(&p), &Pose3::identity()));
+    }
+
+    #[test]
+    fn pose3_associativity() {
+        let a = Pose3::from_parts([0.2, 0.0, 0.1], [1.0, 0.0, 0.0]);
+        let b = Pose3::from_parts([-0.4, 0.3, 0.0], [0.0, 1.0, 0.0]);
+        let c = Pose3::from_parts([0.1, -0.1, 0.9], [-1.0, 2.0, 0.5]);
+        let lhs = a.compose(&b).compose(&c);
+        let rhs = a.compose(&b.compose(&c));
+        assert!(approx_pose3(&lhs, &rhs));
+    }
+
+    #[test]
+    fn pose3_retract_local_roundtrip() {
+        let p = Pose3::from_parts([0.4, 0.2, -0.3], [1.0, 2.0, 3.0]);
+        let delta = [0.01, -0.02, 0.03, 0.1, -0.1, 0.2];
+        let q = p.retract(&delta);
+        let back = p.local(&q);
+        for i in 0..6 {
+            assert!((back[i] - delta[i]).abs() < TOL, "{i}");
+        }
+    }
+
+    #[test]
+    fn pose3_between_matches_matrix_algebra() {
+        // Compare a ⊖ b against the homogeneous-matrix computation
+        // T_b⁻¹ T_a.
+        let a = Pose3::from_parts([0.2, -0.1, 0.5], [1.0, -2.0, 0.5]);
+        let b = Pose3::from_parts([-0.3, 0.4, 0.1], [0.3, 0.8, -1.2]);
+        let d = a.between(&b);
+        let rb_t = b.rotation().transpose();
+        let expect_rot = rb_t.compose(&a.rotation());
+        let dt = [
+            a.translation()[0] - b.translation()[0],
+            a.translation()[1] - b.translation()[1],
+            a.translation()[2] - b.translation()[2],
+        ];
+        let expect_t = rb_t.rotate(dt);
+        assert!(d.rotation().transpose().compose(&expect_rot).log().iter().all(|v| v.abs() < TOL));
+        for i in 0..3 {
+            assert!((d.translation()[i] - expect_t[i]).abs() < TOL);
+        }
+    }
+}

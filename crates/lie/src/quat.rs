@@ -1,0 +1,247 @@
+//! Unit quaternions — the traditional localization-pipeline orientation
+//! representation (paper Sec. 4.1: "the localization algorithm may use a
+//! combination of a 4-dimensional quaternion q and 3-dimensional position
+//! vector T(3)").
+//!
+//! Provided for the representation-landscape completeness of Fig. 8:
+//! conversions to/from [`Rot3`] and the unified `<so(3), T(3)>` pose, and
+//! the MAC-count evidence that a quaternion pipeline also carries
+//! conversion overhead relative to the unified representation (each
+//! optimization step must map in and out of the tangent space anyway).
+
+use crate::so3::Rot3;
+use crate::SMALL_ANGLE;
+use orianna_math::macs;
+
+/// A unit quaternion `w + xi + yj + zk` representing a 3D rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// i component.
+    pub x: f64,
+    /// j component.
+    pub y: f64,
+    /// k component.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+    }
+
+    /// Exponential map: so(3) vector → unit quaternion.
+    pub fn exp(phi: [f64; 3]) -> Self {
+        let theta2 = phi[0] * phi[0] + phi[1] * phi[1] + phi[2] * phi[2];
+        let theta = theta2.sqrt();
+        macs::record(8);
+        let (w, s) = if theta < SMALL_ANGLE {
+            (1.0 - theta2 / 8.0, 0.5 - theta2 / 48.0)
+        } else {
+            let half = 0.5 * theta;
+            (half.cos(), half.sin() / theta)
+        };
+        Self { w, x: s * phi[0], y: s * phi[1], z: s * phi[2] }
+    }
+
+    /// Logarithmic map: unit quaternion → so(3) vector.
+    pub fn log(&self) -> [f64; 3] {
+        macs::record(8);
+        let vn = (self.x * self.x + self.y * self.y + self.z * self.z).sqrt();
+        if vn < SMALL_ANGLE {
+            return [2.0 * self.x, 2.0 * self.y, 2.0 * self.z];
+        }
+        // Angle in (−π, π]: use atan2 with the (sign-corrected) scalar.
+        let (w, sx, sy, sz) = if self.w < 0.0 {
+            (-self.w, -self.x, -self.y, -self.z)
+        } else {
+            (self.w, self.x, self.y, self.z)
+        };
+        let theta = 2.0 * vn.atan2(w);
+        let f = theta / vn;
+        [f * sx, f * sy, f * sz]
+    }
+
+    /// Hamilton product `self · rhs` (16 multiplies — the padded
+    /// arithmetic the unified representation's `RR` avoids at 3×3 but the
+    /// quaternion's renormalization and conversion steps reintroduce).
+    pub fn compose(&self, rhs: &Quat) -> Quat {
+        macs::record(16);
+        Quat {
+            w: self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            x: self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            y: self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            z: self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        }
+    }
+
+    /// Conjugate (inverse for unit quaternions).
+    pub fn conjugate(&self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector: `q v q⁻¹` expanded to 30 multiplies.
+    pub fn rotate(&self, v: [f64; 3]) -> [f64; 3] {
+        macs::record(30);
+        // t = 2 q_v × v;  v' = v + w t + q_v × t.
+        let t = [
+            2.0 * (self.y * v[2] - self.z * v[1]),
+            2.0 * (self.z * v[0] - self.x * v[2]),
+            2.0 * (self.x * v[1] - self.y * v[0]),
+        ];
+        [
+            v[0] + self.w * t[0] + self.y * t[2] - self.z * t[1],
+            v[1] + self.w * t[1] + self.z * t[0] - self.x * t[2],
+            v[2] + self.w * t[2] + self.x * t[1] - self.y * t[0],
+        ]
+    }
+
+    /// Norm of the quaternion.
+    pub fn norm(&self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Renormalizes to a unit quaternion (the numerical-hygiene step a
+    /// quaternion pipeline pays every few compositions).
+    pub fn normalized(&self) -> Quat {
+        let n = self.norm();
+        macs::record(8);
+        Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+    }
+
+    /// Conversion to a rotation matrix.
+    pub fn to_rot3(&self) -> Rot3 {
+        macs::record(30);
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Rot3::from_matrix([
+            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
+            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
+            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+        ])
+    }
+
+    /// Conversion from a rotation matrix (Shepperd's method).
+    pub fn from_rot3(r: &Rot3) -> Quat {
+        macs::record(20);
+        let m = r.matrix();
+        let trace = m[0][0] + m[1][1] + m[2][2];
+        let q = if trace > 0.0 {
+            let s = (trace + 1.0).sqrt() * 2.0;
+            Quat {
+                w: 0.25 * s,
+                x: (m[2][1] - m[1][2]) / s,
+                y: (m[0][2] - m[2][0]) / s,
+                z: (m[1][0] - m[0][1]) / s,
+            }
+        } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
+            let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
+            Quat {
+                w: (m[2][1] - m[1][2]) / s,
+                x: 0.25 * s,
+                y: (m[0][1] + m[1][0]) / s,
+                z: (m[0][2] + m[2][0]) / s,
+            }
+        } else if m[1][1] > m[2][2] {
+            let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
+            Quat {
+                w: (m[0][2] - m[2][0]) / s,
+                x: (m[0][1] + m[1][0]) / s,
+                y: 0.25 * s,
+                z: (m[1][2] + m[2][1]) / s,
+            }
+        } else {
+            let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
+            Quat {
+                w: (m[1][0] - m[0][1]) / s,
+                x: (m[0][2] + m[2][0]) / s,
+                y: (m[1][2] + m[2][1]) / s,
+                z: 0.25 * s,
+            }
+        };
+        q.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm3(v: [f64; 3]) -> f64 {
+        (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for phi in [[0.3, -0.2, 0.5], [1.5, 0.0, 0.0], [1e-10, 2e-10, 0.0], [0.0, 0.0, 3.0]] {
+            let back = Quat::exp(phi).log();
+            let err = norm3([back[0] - phi[0], back[1] - phi[1], back[2] - phi[2]]);
+            assert!(err < 1e-9, "{phi:?} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn exp_is_unit() {
+        for phi in [[0.1, 0.2, 0.3], [2.0, -1.0, 0.5]] {
+            assert!((Quat::exp(phi).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_rotation_matrix_composition() {
+        let a = [0.4, -0.1, 0.2];
+        let b = [-0.3, 0.5, 0.1];
+        let q = Quat::exp(a).compose(&Quat::exp(b));
+        let r = Rot3::exp(a).compose(&Rot3::exp(b));
+        let diff = q.to_rot3().transpose().compose(&r).log();
+        assert!(norm3(diff) < 1e-10);
+    }
+
+    #[test]
+    fn rotate_matches_matrix() {
+        let phi = [0.3, 0.7, -0.4];
+        let v = [1.0, -2.0, 0.5];
+        let qv = Quat::exp(phi).rotate(v);
+        let rv = Rot3::exp(phi).rotate(v);
+        assert!(norm3([qv[0] - rv[0], qv[1] - rv[1], qv[2] - rv[2]]) < 1e-12);
+    }
+
+    #[test]
+    fn rot3_roundtrip_all_branches() {
+        // Exercise each branch of Shepperd's method with rotations near
+        // the axes at angle ~π.
+        for phi in [
+            [3.1, 0.0, 0.0],
+            [0.0, 3.1, 0.0],
+            [0.0, 0.0, 3.1],
+            [0.2, 0.1, 0.3],
+        ] {
+            let r = Rot3::exp(phi);
+            let back = Quat::from_rot3(&r).to_rot3();
+            let diff = r.transpose().compose(&back).log();
+            assert!(norm3(diff) < 1e-9, "{phi:?}");
+        }
+    }
+
+    #[test]
+    fn conjugate_is_inverse() {
+        let q = Quat::exp([0.5, -0.2, 0.8]);
+        let i = q.compose(&q.conjugate());
+        assert!((i.w - 1.0).abs() < 1e-12 && norm3([i.x, i.y, i.z]) < 1e-12);
+    }
+
+    #[test]
+    fn double_cover_log_uses_short_arc() {
+        let q = Quat::exp([0.0, 0.0, 0.4]);
+        let nq = Quat { w: -q.w, x: -q.x, y: -q.y, z: -q.z };
+        let back = nq.log();
+        assert!((back[2] - 0.4).abs() < 1e-9, "{back:?}");
+    }
+}

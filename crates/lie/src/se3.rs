@@ -1,0 +1,313 @@
+//! The classic SE(3) / se(3) pose representations.
+//!
+//! These exist to reproduce Fig. 8 of the paper (equivalence between the
+//! unified representation `<so(3), T(3)>`, SE(3), and se(3)) and the
+//! Sec. 4.1/4.3 efficiency argument: SE(3) pads a 4×4 homogeneous matrix
+//! with constant zeros and ones, so composing poses costs 4×4×4 = 64 MACs
+//! instead of the 27 + 9 + 3 the unified representation needs, and se(3)'s
+//! `Exp`/`Log` involve the 3×3 `V` matrix on top of the rotation maps.
+//! The MAC counters in `orianna-math` observe this difference directly.
+
+use crate::pose::Pose3;
+use crate::so3::{hat, mat3_mul, Rot3};
+use crate::SMALL_ANGLE;
+use orianna_math::{macs, Mat};
+
+/// A pose as a 4×4 homogeneous transformation matrix (SE(3)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SE3 {
+    m: [[f64; 4]; 4],
+}
+
+impl Default for SE3 {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl SE3 {
+    /// The identity transformation.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        Self { m }
+    }
+
+    /// Builds from rotation and translation.
+    pub fn from_rt(r: &Rot3, t: [f64; 3]) -> Self {
+        let rm = r.matrix();
+        let mut m = [[0.0; 4]; 4];
+        for i in 0..3 {
+            m[i][..3].copy_from_slice(&rm[i]);
+            m[i][3] = t[i];
+        }
+        m[3][3] = 1.0;
+        Self { m }
+    }
+
+    /// Rotation block.
+    pub fn rotation(&self) -> Rot3 {
+        let mut r = [[0.0; 3]; 3];
+        for i in 0..3 {
+            r[i].copy_from_slice(&self.m[i][..3]);
+        }
+        Rot3::from_matrix(r)
+    }
+
+    /// Translation column.
+    pub fn translation(&self) -> [f64; 3] {
+        [self.m[0][3], self.m[1][3], self.m[2][3]]
+    }
+
+    /// Full 4×4 homogeneous product — the padded-arithmetic composition the
+    /// paper's Sec. 4.1 calls out. Deliberately multiplies the constant
+    /// zero/one row too, so MAC accounting reflects SE(3)'s true cost.
+    pub fn compose(&self, rhs: &SE3) -> SE3 {
+        let mut out = [[0.0; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.m[r][k] * rhs.m[k][c];
+                }
+                out[r][c] = acc;
+            }
+        }
+        macs::record(64);
+        SE3 { m: out }
+    }
+
+    /// Inverse transformation.
+    pub fn inverse(&self) -> SE3 {
+        let rt = self.rotation().transpose();
+        let t = self.translation();
+        let nt = rt.rotate([-t[0], -t[1], -t[2]]);
+        SE3::from_rt(&rt, nt)
+    }
+
+    /// Relative transform `rhs⁻¹ · self`.
+    pub fn between(&self, rhs: &SE3) -> SE3 {
+        rhs.inverse().compose(self)
+    }
+
+    /// Logarithmic map SE(3) → se(3).
+    pub fn log(&self) -> Se3Tangent {
+        let phi = self.rotation().log();
+        let v_inv = v_matrix_inv(phi);
+        let t = self.translation();
+        let rho = [
+            v_inv[0][0] * t[0] + v_inv[0][1] * t[1] + v_inv[0][2] * t[2],
+            v_inv[1][0] * t[0] + v_inv[1][1] * t[1] + v_inv[1][2] * t[2],
+            v_inv[2][0] * t[0] + v_inv[2][1] * t[1] + v_inv[2][2] * t[2],
+        ];
+        macs::record(9);
+        Se3Tangent { rho, phi }
+    }
+
+    /// Conversion to the unified representation (Fig. 8, top edge).
+    pub fn to_unified(&self) -> Pose3 {
+        Pose3::from_parts(self.rotation().log(), self.translation())
+    }
+
+    /// Conversion from the unified representation (Fig. 8, top edge).
+    pub fn from_unified(p: &Pose3) -> SE3 {
+        SE3::from_rt(&p.rotation(), p.translation())
+    }
+
+    /// Dense matrix view (4×4).
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_rows(&[&self.m[0], &self.m[1], &self.m[2], &self.m[3]])
+    }
+}
+
+/// An element of se(3): translation part `ρ` and rotation part `φ`
+/// (6-dimensional Lie-algebra vector `[ρ | φ]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Se3Tangent {
+    /// Translational component.
+    pub rho: [f64; 3],
+    /// Rotational component.
+    pub phi: [f64; 3],
+}
+
+impl Se3Tangent {
+    /// Creates a tangent element from its six coordinates `[ρ | φ]`.
+    pub fn new(rho: [f64; 3], phi: [f64; 3]) -> Self {
+        Self { rho, phi }
+    }
+
+    /// Exponential map se(3) → SE(3): `Exp([ρ|φ]) = [Exp(φ), V(φ)ρ; 0 1]`.
+    pub fn exp(&self) -> SE3 {
+        let r = Rot3::exp(self.phi);
+        let v = v_matrix(self.phi);
+        let t = [
+            v[0][0] * self.rho[0] + v[0][1] * self.rho[1] + v[0][2] * self.rho[2],
+            v[1][0] * self.rho[0] + v[1][1] * self.rho[1] + v[1][2] * self.rho[2],
+            v[2][0] * self.rho[0] + v[2][1] * self.rho[1] + v[2][2] * self.rho[2],
+        ];
+        macs::record(9);
+        SE3::from_rt(&r, t)
+    }
+
+    /// Conversion to the unified representation (Fig. 8, diagonal edge):
+    /// the linear map `J = V(φ)` applied to the position component.
+    pub fn to_unified(&self) -> Pose3 {
+        self.exp().to_unified()
+    }
+
+    /// Conversion from the unified representation.
+    pub fn from_unified(p: &Pose3) -> Se3Tangent {
+        SE3::from_unified(p).log()
+    }
+
+    /// Coordinates as a 6-array `[ρ | φ]`.
+    pub fn coords(&self) -> [f64; 6] {
+        [self.rho[0], self.rho[1], self.rho[2], self.phi[0], self.phi[1], self.phi[2]]
+    }
+}
+
+/// The left Jacobian `V(φ)` of SE(3):
+/// `V = I + (1−cosθ)/θ² φ^ + (θ−sinθ)/θ³ (φ^)²`.
+fn v_matrix(phi: [f64; 3]) -> [[f64; 3]; 3] {
+    let theta2 = phi[0] * phi[0] + phi[1] * phi[1] + phi[2] * phi[2];
+    let theta = theta2.sqrt();
+    let k = hat(phi);
+    let k2 = mat3_mul(&k, &k);
+    let (a, b) = if theta < SMALL_ANGLE {
+        (0.5 - theta2 / 24.0, 1.0 / 6.0 - theta2 / 120.0)
+    } else {
+        ((1.0 - theta.cos()) / theta2, (theta - theta.sin()) / (theta2 * theta))
+    };
+    macs::record(27 + 18 + 6);
+    let mut out = [[0.0; 3]; 3];
+    for r in 0..3 {
+        for c in 0..3 {
+            out[r][c] = if r == c { 1.0 } else { 0.0 } + a * k[r][c] + b * k2[r][c];
+        }
+    }
+    out
+}
+
+/// Inverse of [`v_matrix`]:
+/// `V⁻¹ = I − ½φ^ + (1/θ² − (1+cosθ)/(2θ sinθ)) (φ^)²`.
+fn v_matrix_inv(phi: [f64; 3]) -> [[f64; 3]; 3] {
+    let theta2 = phi[0] * phi[0] + phi[1] * phi[1] + phi[2] * phi[2];
+    let theta = theta2.sqrt();
+    let k = hat(phi);
+    let k2 = mat3_mul(&k, &k);
+    let b = if theta < SMALL_ANGLE {
+        1.0 / 12.0 + theta2 / 720.0
+    } else {
+        1.0 / theta2 - (1.0 + theta.cos()) / (2.0 * theta * theta.sin())
+    };
+    macs::record(27 + 18 + 6);
+    let mut out = [[0.0; 3]; 3];
+    for r in 0..3 {
+        for c in 0..3 {
+            out[r][c] = if r == c { 1.0 } else { 0.0 } - 0.5 * k[r][c] + b * k2[r][c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm3(v: [f64; 3]) -> f64 {
+        (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        let xi = Se3Tangent::new([1.0, -2.0, 0.5], [0.3, 0.2, -0.4]);
+        let back = xi.exp().log();
+        assert!(norm3([
+            back.rho[0] - xi.rho[0],
+            back.rho[1] - xi.rho[1],
+            back.rho[2] - xi.rho[2]
+        ]) < 1e-10);
+        assert!(norm3([
+            back.phi[0] - xi.phi[0],
+            back.phi[1] - xi.phi[1],
+            back.phi[2] - xi.phi[2]
+        ]) < 1e-10);
+    }
+
+    #[test]
+    fn exp_log_small_angle() {
+        let xi = Se3Tangent::new([0.1, 0.2, 0.3], [1e-10, -2e-10, 1e-10]);
+        let back = xi.exp().log();
+        for i in 0..3 {
+            assert!((back.rho[i] - xi.rho[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compose_matches_unified_compose() {
+        // Fig. 8 equivalence: composing in SE(3) and converting equals
+        // composing in the unified representation.
+        let a = Pose3::from_parts([0.2, -0.3, 0.4], [1.0, 2.0, -0.5]);
+        let b = Pose3::from_parts([-0.1, 0.5, 0.2], [0.3, -0.7, 1.2]);
+        let se = SE3::from_unified(&a).compose(&SE3::from_unified(&b)).to_unified();
+        let un = a.compose(&b);
+        assert!(se.rotation_distance(&un) < 1e-10);
+        assert!(se.translation_distance(&un) < 1e-10);
+    }
+
+    #[test]
+    fn between_matches_unified_between() {
+        let a = Pose3::from_parts([0.2, -0.3, 0.4], [1.0, 2.0, -0.5]);
+        let b = Pose3::from_parts([-0.1, 0.5, 0.2], [0.3, -0.7, 1.2]);
+        let se = SE3::from_unified(&a).between(&SE3::from_unified(&b)).to_unified();
+        let un = a.between(&b);
+        assert!(se.rotation_distance(&un) < 1e-10);
+        assert!(se.translation_distance(&un) < 1e-10);
+    }
+
+    #[test]
+    fn unified_se3_roundtrip() {
+        let p = Pose3::from_parts([0.4, 0.1, -0.6], [2.0, -1.0, 0.5]);
+        let back = SE3::from_unified(&p).to_unified();
+        assert!(p.rotation_distance(&back) < 1e-12);
+        assert!(p.translation_distance(&back) < 1e-12);
+    }
+
+    #[test]
+    fn unified_se3_tangent_roundtrip() {
+        let p = Pose3::from_parts([0.4, 0.1, -0.6], [2.0, -1.0, 0.5]);
+        let back = Se3Tangent::from_unified(&p).to_unified();
+        assert!(p.rotation_distance(&back) < 1e-10);
+        assert!(p.translation_distance(&back) < 1e-10);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let p = SE3::from_unified(&Pose3::from_parts([0.3, 0.7, -0.2], [1.0, 0.0, -3.0]));
+        let i = p.compose(&p.inverse());
+        assert!(norm3(i.translation()) < 1e-12);
+        assert!(norm3(i.rotation().log()) < 1e-12);
+    }
+
+    #[test]
+    fn se3_compose_costs_more_macs_than_unified() {
+        // The efficiency claim of Sec. 4.1: SE(3) padding wastes MACs.
+        let a = Pose3::from_parts([0.2, -0.3, 0.4], [1.0, 2.0, -0.5]);
+        let b = Pose3::from_parts([-0.1, 0.5, 0.2], [0.3, -0.7, 1.2]);
+        let sa = SE3::from_unified(&a);
+        let sb = SE3::from_unified(&b);
+        let (_, se3_macs) = macs::measure(|| sa.compose(&sb));
+        // The unified path needs Exp twice + RR + RV + VP + Log; but once
+        // rotations are cached (as the accelerator does within a MO-DFG),
+        // the core composition is RR + RV + VP = 27 + 9 + 3.
+        let ra = a.rotation();
+        let rb = b.rotation();
+        let (_, uni_macs) = macs::measure(|| {
+            let _r = ra.compose(&rb);
+            let _t = ra.rotate(b.translation());
+        });
+        assert!(se3_macs > uni_macs, "{se3_macs} vs {uni_macs}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The planar rotation group SO(2) and its Lie algebra so(2).
+//!
+//! In two dimensions the Lie algebra is one-dimensional (a single angle),
+//! `Exp`/`Log` reduce to trigonometric evaluation/`atan2`, and the right
+//! Jacobian is the 1×1 identity — the paper notes (Sec. 5.2, footnote 2)
+//! that the 2D primitives are the same as the 3D ones "except for slight
+//! differences in the results of back propagation".
+
+use orianna_math::{macs, Mat};
+
+/// A rotation in SO(2), stored as `(cos θ, sin θ)`.
+///
+/// # Example
+/// ```
+/// use orianna_lie::Rot2;
+/// let r = Rot2::exp(std::f64::consts::FRAC_PI_2);
+/// let v = r.rotate([1.0, 0.0]);
+/// assert!((v[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rot2 {
+    c: f64,
+    s: f64,
+}
+
+impl Default for Rot2 {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Rot2 {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Self { c: 1.0, s: 0.0 }
+    }
+
+    /// Exponential map so(2) → SO(2).
+    pub fn exp(theta: f64) -> Self {
+        macs::record(2);
+        Self { c: theta.cos(), s: theta.sin() }
+    }
+
+    /// Logarithmic map SO(2) → so(2); result in `(−π, π]`.
+    pub fn log(&self) -> f64 {
+        macs::record(1);
+        self.s.atan2(self.c)
+    }
+
+    /// Rotation composition (`RR`).
+    pub fn compose(&self, rhs: &Rot2) -> Rot2 {
+        macs::record(4);
+        Rot2 {
+            c: self.c * rhs.c - self.s * rhs.s,
+            s: self.s * rhs.c + self.c * rhs.s,
+        }
+    }
+
+    /// Transpose / inverse rotation (`RT`).
+    pub fn transpose(&self) -> Rot2 {
+        Rot2 { c: self.c, s: -self.s }
+    }
+
+    /// Rotates a 2-vector (`RV`).
+    pub fn rotate(&self, v: [f64; 2]) -> [f64; 2] {
+        macs::record(4);
+        [self.c * v[0] - self.s * v[1], self.s * v[0] + self.c * v[1]]
+    }
+
+    /// Row-major 2×2 matrix view.
+    pub fn matrix(&self) -> [[f64; 2]; 2] {
+        [[self.c, -self.s], [self.s, self.c]]
+    }
+
+    /// Conversion to a dense [`Mat`].
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_rows(&[&[self.c, -self.s], &[self.s, self.c]])
+    }
+}
+
+/// The 2D analogue of the skew operator: the so(2) generator
+/// `J = [[0, −1], [1, 0]]`, satisfying `dR/dθ = R·J`.
+pub fn generator() -> Mat {
+    Mat::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_exp_roundtrip() {
+        for theta in [-3.0, -0.5, 0.0, 0.7, 3.1] {
+            assert!((Rot2::exp(theta).log() - theta).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_wraps_to_principal_branch() {
+        let theta = 3.0 * std::f64::consts::PI; // equivalent to π
+        let back = Rot2::exp(theta).log();
+        assert!((back.abs() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_adds_angles() {
+        let r = Rot2::exp(0.3).compose(&Rot2::exp(0.4));
+        assert!((r.log() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_is_inverse() {
+        let r = Rot2::exp(1.2);
+        assert!(r.compose(&r.transpose()).log().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_preserves_norm() {
+        let r = Rot2::exp(0.9);
+        let v = r.rotate([3.0, 4.0]);
+        assert!(((v[0] * v[0] + v[1] * v[1]).sqrt() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_is_derivative_of_rotation() {
+        // d(Rv)/dθ == R J v
+        let theta: f64 = 0.6;
+        let h = 1e-7;
+        let v = [1.3, -0.4];
+        let r = Rot2::exp(theta);
+        let r2 = Rot2::exp(theta + h);
+        let numeric = [
+            (r2.rotate(v)[0] - r.rotate(v)[0]) / h,
+            (r2.rotate(v)[1] - r.rotate(v)[1]) / h,
+        ];
+        let j = generator();
+        let jv = j.mul_vec(&orianna_math::Vec64::from_slice(&v));
+        let analytic = r.rotate([jv[0], jv[1]]);
+        assert!((numeric[0] - analytic[0]).abs() < 1e-5);
+        assert!((numeric[1] - analytic[1]).abs() < 1e-5);
+    }
+}

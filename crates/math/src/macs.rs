@@ -1,0 +1,89 @@
+//! Multiply–accumulate (MAC) accounting.
+//!
+//! Sec. 4.3 of the paper argues that the unified pose representation
+//! `<so(n), T(n)>` saves 52.7% of MAC operations relative to SE(3). To
+//! reproduce that number — and to feed the analytic CPU/GPU baseline cost
+//! models with *measured* operation counts rather than estimates — every
+//! arithmetic kernel in this workspace reports its MACs here.
+//!
+//! The counter is thread-local so parallel tests do not interfere; scoped
+//! measurement is provided by [`measure`].
+//!
+//! # Example
+//! ```
+//! use orianna_math::{macs, Mat};
+//! let a = Mat::identity(4);
+//! let (_, n) = macs::measure(|| a.mul_mat(&a));
+//! assert_eq!(n, 64); // 4*4*4 multiply-accumulates
+//! ```
+
+use std::cell::Cell;
+
+thread_local! {
+    static COUNTER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `n` MACs to the thread-local counter.
+#[inline]
+pub fn record(n: usize) {
+    COUNTER.with(|c| c.set(c.get() + n as u64));
+}
+
+/// Current thread-local MAC count.
+pub fn count() -> u64 {
+    COUNTER.with(|c| c.get())
+}
+
+/// Resets the thread-local MAC count to zero.
+pub fn reset() {
+    COUNTER.with(|c| c.set(0));
+}
+
+/// Runs `f` and returns its result together with the number of MACs it
+/// performed. Nested measurements compose: the outer measurement includes
+/// the inner one's operations.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = count();
+    let out = f();
+    (out, count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mat, Vec64};
+
+    #[test]
+    fn measure_counts_matvec() {
+        let a = Mat::identity(3);
+        let v = Vec64::zeros(3);
+        let (_, n) = measure(|| a.mul_vec(&v));
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn measure_is_scoped() {
+        let a = Mat::identity(2);
+        let (_, first) = measure(|| a.mul_mat(&a));
+        let (_, second) = measure(|| a.mul_mat(&a));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn nested_measure_composes() {
+        let a = Mat::identity(2);
+        let (inner, outer) = measure(|| {
+            let (_, n) = measure(|| a.mul_mat(&a));
+            n
+        });
+        assert_eq!(inner, 8);
+        assert!(outer >= inner);
+    }
+
+    #[test]
+    fn reset_clears() {
+        record(5);
+        reset();
+        assert_eq!(count(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! QR decompositions.
+//!
+//! Factor-graph inference (Fig. 5 of the paper) eliminates one variable at a
+//! time by running a *partial* QR decomposition on a small dense matrix
+//! gathered from the factors adjacent to that variable. This module provides:
+//!
+//! * [`householder_qr`] — full QR via Householder reflections (reference),
+//! * [`partial_qr`] — triangularizes only the first `k` columns, which is
+//!   exactly the per-variable elimination step,
+//! * [`givens_qr`] — Givens-rotation QR matching the hardware QR template
+//!   (prior factor-graph accelerators use Givens arrays); also reports the
+//!   number of rotations applied, which drives the unit latency model.
+
+use crate::macs;
+use crate::mat::{Mat, Vec64};
+
+/// The result of a full QR decomposition `A = Q · R`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Orthogonal factor, `m×m`.
+    pub q: Mat,
+    /// Upper-triangular (trapezoidal) factor, `m×n`.
+    pub r: Mat,
+}
+
+/// Full Householder QR of `a` (`m×n`, any shape).
+///
+/// # Example
+/// ```
+/// use orianna_math::{householder_qr, Mat};
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+/// let f = householder_qr(&a);
+/// let back = f.q.mul_mat(&f.r);
+/// assert!((&back - &a).norm() < 1e-12);
+/// assert!(f.r.is_upper_triangular(1e-12));
+/// ```
+pub fn householder_qr(a: &Mat) -> QrFactors {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut q = Mat::identity(m);
+    for k in 0..n.min(m.saturating_sub(1)) {
+        if let Some(v) = householder_vector(&r, k) {
+            apply_householder_left(&mut r, &v, k);
+            apply_householder_left(&mut q, &v, k);
+        }
+    }
+    // q currently accumulates Hk ... H1; Q = (Hk ... H1)^T.
+    QrFactors { q: q.transpose(), r: zero_below_diag(r) }
+}
+
+/// Partially triangularizes `a`: after the call, the first
+/// `k.min(m-1)` columns are zero below the diagonal. Returns the updated
+/// matrix (the paper's `Ā` after partial QR in Fig. 5).
+///
+/// For `k >= n` this is a full triangularization.
+pub fn partial_qr(a: &Mat, k: usize) -> Mat {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let limit = k.min(n).min(m.saturating_sub(1));
+    for col in 0..limit {
+        if let Some(v) = householder_vector(&r, col) {
+            apply_householder_left(&mut r, &v, col);
+        }
+        // Explicitly clean the annihilated column to avoid residue.
+        for row in col + 1..m {
+            r[(row, col)] = 0.0;
+        }
+    }
+    r
+}
+
+/// Givens-rotation QR. Returns the triangular factor and the number of
+/// rotations performed (the hardware QR unit's latency is proportional to
+/// this count).
+pub fn givens_qr(a: &Mat) -> (Mat, usize) {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut rotations = 0;
+    for col in 0..n.min(m) {
+        for row in (col + 1..m).rev() {
+            let x = r[(col, col)];
+            let y = r[(row, col)];
+            if y.abs() < 1e-300 {
+                continue;
+            }
+            let (c, s) = givens(x, y);
+            for j in col..n {
+                let rc = r[(col, j)];
+                let rr = r[(row, j)];
+                r[(col, j)] = c * rc + s * rr;
+                r[(row, j)] = -s * rc + c * rr;
+            }
+            macs::record(4 * (n - col));
+            r[(row, col)] = 0.0;
+            rotations += 1;
+        }
+    }
+    (r, rotations)
+}
+
+/// Computes a Givens rotation `(c, s)` such that
+/// `[c s; -s c]^T [x; y] = [r; 0]`.
+fn givens(x: f64, y: f64) -> (f64, f64) {
+    let h = x.hypot(y);
+    macs::record(3);
+    (x / h, y / h)
+}
+
+/// Computes the Householder vector annihilating column `k` of `r` below the
+/// diagonal. Returns `None` when the column is already zero there.
+fn householder_vector(r: &Mat, k: usize) -> Option<Vec64> {
+    let m = r.rows();
+    let mut v = Vec64::zeros(m - k);
+    let mut norm2 = 0.0;
+    for i in k..m {
+        let x = r[(i, k)];
+        v[i - k] = x;
+        norm2 += x * x;
+    }
+    macs::record(m - k);
+    let below: f64 = (k + 1..m).map(|i| r[(i, k)] * r[(i, k)]).sum();
+    if below < 1e-300 {
+        return None;
+    }
+    let alpha = -v[0].signum() * norm2.sqrt();
+    v[0] -= alpha;
+    let vnorm = v.norm();
+    if vnorm < 1e-300 {
+        return None;
+    }
+    Some(v.scale(1.0 / vnorm))
+}
+
+/// Applies `(I - 2 v v^T)` to the rows `k..` of `m`.
+fn apply_householder_left(m: &mut Mat, v: &Vec64, k: usize) {
+    let (rows, cols) = m.shape();
+    debug_assert_eq!(v.len(), rows - k);
+    for c in 0..cols {
+        let mut dot = 0.0;
+        for i in k..rows {
+            dot += v[i - k] * m[(i, c)];
+        }
+        let f = 2.0 * dot;
+        for i in k..rows {
+            m[(i, c)] -= f * v[i - k];
+        }
+        macs::record(2 * (rows - k));
+    }
+}
+
+fn zero_below_diag(mut r: Mat) -> Mat {
+    let (m, n) = r.shape();
+    for row in 1..m {
+        for col in 0..row.min(n) {
+            r[(row, col)] = 0.0;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_like(rows: usize, cols: usize, seed: u64) -> Mat {
+        // Simple deterministic pseudo-random fill (xorshift).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = next();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn householder_reconstructs() {
+        for (rows, cols, seed) in [(4, 4, 1), (6, 3, 2), (3, 5, 3), (8, 8, 4)] {
+            let a = random_like(rows, cols, seed);
+            let f = householder_qr(&a);
+            assert!((&f.q.mul_mat(&f.r) - &a).norm() < 1e-10, "{rows}x{cols}");
+            assert!(f.r.is_upper_triangular(1e-10));
+            // Q orthogonal.
+            let qtq = f.q.transpose().mul_mat(&f.q);
+            assert!((&qtq - &Mat::identity(rows)).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn householder_preserves_column_norms() {
+        let a = random_like(5, 3, 7);
+        let f = householder_qr(&a);
+        // |A e_j| == |R e_j| since Q is orthogonal.
+        for c in 0..3 {
+            let an: f64 = (0..5).map(|r| a[(r, c)] * a[(r, c)]).sum::<f64>().sqrt();
+            let rn: f64 = (0..5).map(|r| f.r[(r, c)] * f.r[(r, c)]).sum::<f64>().sqrt();
+            assert!((an - rn).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn partial_qr_zeroes_leading_columns_only() {
+        let a = random_like(6, 5, 5);
+        let k = 2;
+        let r = partial_qr(&a, k);
+        for col in 0..k {
+            for row in col + 1..6 {
+                assert!(r[(row, col)].abs() < 1e-12);
+            }
+        }
+        // Column norms of the whole matrix preserved (orthogonal transform).
+        for c in 0..5 {
+            let an: f64 = (0..6).map(|r2| a[(r2, c)] * a[(r2, c)]).sum::<f64>().sqrt();
+            let rn: f64 = (0..6).map(|r2| r[(r2, c)] * r[(r2, c)]).sum::<f64>().sqrt();
+            assert!((an - rn).abs() < 1e-10, "col {c}");
+        }
+    }
+
+    #[test]
+    fn partial_qr_full_when_k_large() {
+        let a = random_like(5, 3, 9);
+        let r = partial_qr(&a, 10);
+        assert!(r.is_upper_triangular(1e-10));
+    }
+
+    #[test]
+    fn givens_matches_householder_up_to_sign() {
+        let a = random_like(5, 4, 11);
+        let (rg, rotations) = givens_qr(&a);
+        let rh = householder_qr(&a).r;
+        assert!(rotations > 0);
+        assert!(rg.is_upper_triangular(1e-10));
+        // Rows of R are unique up to sign; compare absolute values.
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(
+                    (rg[(r, c)].abs() - rh[(r, c)].abs()).abs() < 1e-9,
+                    "({r},{c}): {} vs {}",
+                    rg[(r, c)],
+                    rh[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn givens_rotation_count_matches_nonzero_pattern() {
+        // A dense 4x3 requires 3+2+1 annihilations below the diagonal plus
+        // the fourth row in each column: rows below diag per column are
+        // (m-1-col) = 3, 2, 1 → wait m=4,n=3: col0 → rows 1..4 (3), col1 →
+        // rows 2..4 (2), col2 → rows 3..4 (1) → 6 total.
+        let a = random_like(4, 3, 13);
+        let (_, rotations) = givens_qr(&a);
+        assert_eq!(rotations, 6);
+    }
+
+    #[test]
+    fn qr_of_already_triangular_is_noop() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let f = householder_qr(&a);
+        assert!((&f.r - &a).norm() < 1e-12);
+        let (rg, rotations) = givens_qr(&a);
+        assert_eq!(rotations, 0);
+        assert!((&rg - &a).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Dense least-squares reference solvers.
+//!
+//! The factor-graph elimination path (the paper's contribution) is checked
+//! in tests against these straightforward dense solvers: the two must agree
+//! on every linear system because variable elimination is algebraically a
+//! QR factorization of the full Jacobian.
+
+use crate::mat::{Mat, Vec64};
+use crate::qr::householder_qr;
+use crate::triangular::back_substitute;
+
+/// Solves `U x = b` for upper-triangular `U`; convenience re-export of
+/// [`back_substitute`].
+pub fn solve_upper_triangular(u: &Mat, b: &Vec64) -> Option<Vec64> {
+    back_substitute(u, b)
+}
+
+/// Solves the (possibly overdetermined) least-squares problem
+/// `min_x |A x − b|²` via QR decomposition.
+///
+/// Returns `None` when `A` is rank-deficient.
+///
+/// # Panics
+/// Panics when `A` has fewer rows than columns or the RHS length mismatches.
+pub fn least_squares(a: &Mat, b: &Vec64) -> Option<Vec64> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "least_squares requires rows >= cols");
+    assert_eq!(b.len(), m, "rhs length mismatch");
+    let f = householder_qr(a);
+    // R x = Q^T b (top n rows).
+    let qtb = f.q.transpose().mul_vec(b);
+    let r_top = f.r.block(0, 0, n, n);
+    let rhs = qtb.segment(0, n);
+    back_substitute(&r_top, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_system_exact() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x_true = Vec64::from_slice(&[1.0, -1.0]);
+        let b = a.mul_vec(&x_true);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((&x - &x_true).norm() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_matches_normal_equations() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
+        let b = Vec64::from_slice(&[1.0, 2.0, 2.5, 0.5]);
+        let x = least_squares(&a, &b).unwrap();
+        // Normal equations: (A^T A) x = A^T b.
+        let at = a.transpose();
+        let ata = at.mul_mat(&a);
+        let atb = at.mul_vec(&b);
+        let x2 = ata.solve_dense(&atb).unwrap();
+        assert!((&x - &x2).norm() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_returns_none() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = Vec64::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(least_squares(&a, &b).is_none());
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 0.5]]);
+        let b = Vec64::from_slice(&[1.0, 0.0, 2.0]);
+        let x = least_squares(&a, &b).unwrap();
+        let resid = &a.mul_vec(&x) - &b;
+        let atr = a.transpose().mul_vec(&resid);
+        assert!(atr.norm() < 1e-10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Triangular-system substitution kernels.
+//!
+//! Back-substitution is the final stage of factor-graph inference (Fig. 6 of
+//! the paper): once variable elimination has produced an upper-triangular
+//! system, the solution Δ is recovered root-first. The hardware
+//! back-substitution unit's latency model counts one MAC per eliminated
+//! entry, mirroring these loops.
+
+use crate::macs;
+use crate::mat::{Mat, Vec64};
+
+/// Solves `U x = b` for upper-triangular `U`.
+///
+/// Returns `None` when a diagonal entry is numerically zero.
+///
+/// # Panics
+/// Panics if `U` is not square or `b` has the wrong length.
+pub fn back_substitute(u: &Mat, b: &Vec64) -> Option<Vec64> {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "back_substitute requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut x = Vec64::zeros(n);
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in i + 1..n {
+            acc -= u[(i, j)] * x[j];
+        }
+        macs::record(n - i);
+        let d = u[(i, i)];
+        if d.abs() < 1e-13 {
+            return None;
+        }
+        x[i] = acc / d;
+    }
+    Some(x)
+}
+
+/// Solves `L x = b` for lower-triangular `L`.
+///
+/// Returns `None` when a diagonal entry is numerically zero.
+///
+/// # Panics
+/// Panics if `L` is not square or `b` has the wrong length.
+pub fn forward_substitute(l: &Mat, b: &Vec64) -> Option<Vec64> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "forward_substitute requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut x = Vec64::zeros(n);
+    for i in 0..n {
+        let mut acc = b[i];
+        for j in 0..i {
+            acc -= l[(i, j)] * x[j];
+        }
+        macs::record(i + 1);
+        let d = l[(i, i)];
+        if d.abs() < 1e-13 {
+            return None;
+        }
+        x[i] = acc / d;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_substitution_known() {
+        let u = Mat::from_rows(&[&[2.0, 1.0], &[0.0, 4.0]]);
+        let x_true = Vec64::from_slice(&[1.0, 2.0]);
+        let b = u.mul_vec(&x_true);
+        let x = back_substitute(&u, &b).unwrap();
+        assert!((&x - &x_true).norm() < 1e-12);
+    }
+
+    #[test]
+    fn forward_substitution_known() {
+        let l = Mat::from_rows(&[&[3.0, 0.0], &[1.0, 2.0]]);
+        let x_true = Vec64::from_slice(&[-1.0, 5.0]);
+        let b = l.mul_vec(&x_true);
+        let x = forward_substitute(&l, &b).unwrap();
+        assert!((&x - &x_true).norm() < 1e-12);
+    }
+
+    #[test]
+    fn singular_diagonal_is_rejected() {
+        let u = Mat::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(back_substitute(&u, &Vec64::zeros(2)).is_none());
+        let l = Mat::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        assert!(forward_substitute(&l, &Vec64::zeros(2)).is_none());
+    }
+
+    #[test]
+    fn back_substitution_matches_dense_solve() {
+        let u = Mat::from_rows(&[&[3.0, -1.0, 2.0], &[0.0, 2.0, 0.5], &[0.0, 0.0, 1.5]]);
+        let b = Vec64::from_slice(&[1.0, -2.0, 3.0]);
+        let x1 = back_substitute(&u, &b).unwrap();
+        let x2 = u.solve_dense(&b).unwrap();
+        assert!((&x1 - &x2).norm() < 1e-12);
+    }
+}

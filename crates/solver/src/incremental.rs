@@ -1,0 +1,602 @@
+//! Incremental factor-graph inference (iSAM-style).
+//!
+//! The paper's applications run in sliding windows: every frame adds a
+//! handful of factors to a graph that is mostly unchanged. Re-eliminating
+//! the whole graph each frame wastes the structure the Bayes net already
+//! captured. This module extends the batch solver with *incremental
+//! updates* (Kaess et al., iSAM): when new factors arrive,
+//!
+//! 1. the **affected set** is computed — variables the new factors touch,
+//!    closed under conditional dependence (any conditional whose frontal
+//!    or separator intersects the set is affected),
+//! 2. affected conditionals are converted back into linear factors (their
+//!    `[R | S | d]` rows are exactly a square-root information factor),
+//! 3. only the affected sub-problem is re-eliminated,
+//! 4. back-substitution yields the updated solution.
+//!
+//! The linearization point is kept fixed between updates (classic iSAM);
+//! [`IncrementalSolver::relinearize`] re-anchors it. The invariant tested
+//! throughout: the incremental solution equals the batch elimination of
+//! the same linearized factors, to machine precision.
+
+use crate::elimination::{Conditional, SolveError};
+use orianna_graph::{
+    Factor, LinearContainerFactor, LinearFactor, LinearSystem, Values, VarId, Variable,
+};
+use orianna_math::{Mat, Vec64};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An incremental square-root-information solver.
+#[derive(Clone, Default)]
+pub struct IncrementalSolver {
+    /// Linearization-point estimates.
+    lin_point: Values,
+    /// All factors, for relinearization.
+    factors: Vec<Arc<dyn Factor>>,
+    /// Conditionals in elimination order.
+    conditionals: Vec<Conditional>,
+    /// Current solution Δ around the linearization point.
+    delta: Vec64,
+    /// Variables marginalized out of the active window.
+    marginalized: HashSet<VarId>,
+}
+
+impl std::fmt::Debug for IncrementalSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalSolver")
+            .field("variables", &self.lin_point.len())
+            .field("factors", &self.factors.len())
+            .field("conditionals", &self.conditionals.len())
+            .finish()
+    }
+}
+
+impl IncrementalSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables currently tracked.
+    pub fn num_variables(&self) -> usize {
+        self.lin_point.len()
+    }
+
+    /// Number of factors currently tracked.
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Adds a variable with an initial estimate, returning its id.
+    pub fn add_variable(&mut self, init: Variable) -> VarId {
+        let d = init.dim();
+        let id = self.lin_point.insert(init);
+        self.delta.extend(&Vec64::zeros(d));
+        id
+    }
+
+    /// Adds new factors and incrementally updates the solution.
+    ///
+    /// # Errors
+    /// Returns [`SolveError`] when a referenced variable stays
+    /// unconstrained or an elimination block is singular.
+    pub fn update(&mut self, new_factors: Vec<Arc<dyn Factor>>) -> Result<(), SolveError> {
+        if new_factors.is_empty() && self.conditionals.is_empty() && self.factors.is_empty() {
+            return Ok(());
+        }
+        // 1. Linearize the new factors at the linearization point.
+        let mut new_linear: Vec<LinearFactor> = Vec::with_capacity(new_factors.len());
+        for f in &new_factors {
+            let (jacs, err) = f.linearize(&self.lin_point);
+            new_linear.push(LinearFactor { keys: f.keys().to_vec(), blocks: jacs, rhs: -&err });
+        }
+        self.factors.extend(new_factors);
+
+        // 2. Affected set: keys of new factors, closed under conditional
+        //    dependence.
+        let mut affected: HashSet<VarId> = new_linear.iter().flat_map(|f| f.keys.clone()).collect();
+        // Any variable without a conditional yet (newly added) is affected;
+        // marginalized variables stay out of the active window.
+        let has_cond: HashSet<VarId> = self.conditionals.iter().map(|c| c.var).collect();
+        for (v, _) in self.lin_point.iter() {
+            if !has_cond.contains(&v) && !self.marginalized.contains(&v) {
+                affected.insert(v);
+            }
+        }
+        loop {
+            let before = affected.len();
+            for c in &self.conditionals {
+                let touches = affected.contains(&c.var)
+                    || c.parents.iter().any(|(p, _)| affected.contains(p));
+                if touches {
+                    affected.insert(c.var);
+                    for (p, _) in &c.parents {
+                        affected.insert(*p);
+                    }
+                }
+            }
+            if affected.len() == before {
+                break;
+            }
+        }
+
+        // 3. Split conditionals: keep the untouched ones, convert the
+        //    affected ones back into linear factors.
+        let mut kept = Vec::with_capacity(self.conditionals.len());
+        let mut work: Vec<LinearFactor> = new_linear;
+        for c in self.conditionals.drain(..) {
+            if affected.contains(&c.var) {
+                work.push(conditional_to_factor(&c));
+            } else {
+                kept.push(c);
+            }
+        }
+
+        // 4. Re-eliminate the affected sub-problem in id order.
+        let mut order: Vec<VarId> = affected.iter().copied().collect();
+        order.sort();
+        let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, v)| v.dim()).collect();
+        let sub = LinearSystem { factors: work, var_dims: var_dims.clone() };
+        let sub_bn = eliminate_subset(&sub, &order)?;
+        kept.extend(sub_bn);
+        // Restore global elimination order (by variable id — the order we
+        // always eliminate in).
+        kept.sort_by_key(|c| c.var);
+        self.conditionals = kept;
+
+        // 5. Full back-substitution.
+        self.back_substitute()?;
+        Ok(())
+    }
+
+    /// Current solution Δ (stacked by variable id; layout matches
+    /// `Values::offsets`).
+    pub fn delta(&self) -> &Vec64 {
+        &self.delta
+    }
+
+    /// Current estimates: the linearization point retracted by Δ.
+    pub fn estimate(&self) -> Values {
+        self.lin_point.retract_all(&self.delta)
+    }
+
+    /// Re-anchors the linearization point at the current estimate and
+    /// rebuilds the Bayes net from scratch (batch step).
+    ///
+    /// # Errors
+    /// Returns [`SolveError`] if the batch elimination fails.
+    pub fn relinearize(&mut self) -> Result<(), SolveError> {
+        self.lin_point = self.estimate();
+        self.rebuild()
+    }
+
+    /// Marginalizes a variable out of the active window (fixed-lag
+    /// smoothing): its information about the remaining variables is
+    /// captured as a [`LinearContainerFactor`] anchored at the current
+    /// linearization point, and the variable never enters elimination
+    /// again. Marginalize oldest-first so the factors touching `v` do not
+    /// reference already-marginalized variables.
+    ///
+    /// # Errors
+    /// Returns [`SolveError`] when `v` has no factors or its elimination
+    /// block is singular.
+    pub fn marginalize(&mut self, v: VarId) -> Result<(), SolveError> {
+        if self.marginalized.contains(&v) {
+            return Ok(());
+        }
+        // 1. Linearize the factors touching v at the current lin point.
+        let touching: Vec<Arc<dyn Factor>> =
+            self.factors.iter().filter(|f| f.keys().contains(&v)).cloned().collect();
+        if touching.is_empty() {
+            return Err(SolveError::UnconstrainedVariable(v));
+        }
+        let mut linear = Vec::with_capacity(touching.len());
+        for f in &touching {
+            let (jacs, err) = f.linearize(&self.lin_point);
+            linear.push(LinearFactor { keys: f.keys().to_vec(), blocks: jacs, rhs: -&err });
+        }
+        // 2. Eliminate v out of that subset: the remainder is the marginal
+        //    on the separators.
+        let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, x)| x.dim()).collect();
+        let (_cond, marginal) = eliminate_one_var(v, &linear, &var_dims)?;
+        // 3. Swap the touching factors for the container prior.
+        self.factors.retain(|f| !f.keys().contains(&v));
+        if let Some(m) = marginal {
+            let anchors: Vec<Variable> =
+                m.keys.iter().map(|k| self.lin_point.get(*k).clone()).collect();
+            let container =
+                LinearContainerFactor::new(m.keys.clone(), m.blocks, m.rhs, anchors);
+            self.factors.push(Arc::new(container));
+        }
+        self.marginalized.insert(v);
+        // 4. Rebuild the Bayes net at the unchanged linearization point.
+        self.rebuild()
+    }
+
+    /// Variables currently marginalized.
+    pub fn num_marginalized(&self) -> usize {
+        self.marginalized.len()
+    }
+
+    /// Re-eliminates every active variable at the current linearization
+    /// point.
+    fn rebuild(&mut self) -> Result<(), SolveError> {
+        let mut linear = Vec::with_capacity(self.factors.len());
+        for f in &self.factors {
+            let (jacs, err) = f.linearize(&self.lin_point);
+            linear.push(LinearFactor { keys: f.keys().to_vec(), blocks: jacs, rhs: -&err });
+        }
+        let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, v)| v.dim()).collect();
+        let sys = LinearSystem { factors: linear, var_dims };
+        let order: Vec<VarId> = (0..self.lin_point.len())
+            .map(VarId)
+            .filter(|v| !self.marginalized.contains(v))
+            .collect();
+        self.conditionals = eliminate_subset(&sys, &order)?;
+        self.conditionals.sort_by_key(|c| c.var);
+        self.back_substitute()?;
+        Ok(())
+    }
+
+    fn back_substitute(&mut self) -> Result<(), SolveError> {
+        let offsets = self.lin_point.offsets();
+        let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, v)| v.dim()).collect();
+        let mut delta = Vec64::zeros(self.lin_point.total_dim());
+        // Conditionals are sorted by variable id and parents always have
+        // *larger* ids? No: elimination in id order makes parents larger.
+        // Solve from the back (largest id first).
+        for c in self.conditionals.iter().rev() {
+            let mut rhs = c.rhs.clone();
+            for (p, s) in &c.parents {
+                let dp = delta.segment(offsets[p.0], var_dims[p.0]);
+                rhs = &rhs - &s.mul_vec(&dp);
+            }
+            let dv = orianna_math::triangular::back_substitute(&c.r, &rhs)
+                .ok_or(SolveError::SingularVariable(c.var))?;
+            delta.set_segment(offsets[c.var.0], &dv);
+        }
+        self.delta = delta;
+        Ok(())
+    }
+}
+
+/// Converts a conditional back into the square-root-information linear
+/// factor it came from.
+fn conditional_to_factor(c: &Conditional) -> LinearFactor {
+    let mut keys = vec![c.var];
+    let mut blocks: Vec<Mat> = vec![c.r.clone()];
+    for (p, s) in &c.parents {
+        keys.push(*p);
+        blocks.push(s.clone());
+    }
+    LinearFactor { keys, blocks, rhs: c.rhs.clone() }
+}
+
+/// Eliminates only the given subset of variables (the rest must not
+/// appear in `sys.factors` except as separators of the subset — which
+/// cannot happen here because untouched conditionals were removed).
+fn eliminate_subset(
+    sys: &LinearSystem,
+    order: &[VarId],
+) -> Result<Vec<Conditional>, SolveError> {
+    // Reuse the batch eliminator on a restricted ordering by padding the
+    // ordering with the variables the sub-system actually references.
+    let referenced: HashSet<VarId> = sys.factors.iter().flat_map(|f| f.keys.clone()).collect();
+    for v in order {
+        if !referenced.contains(v) {
+            return Err(SolveError::UnconstrainedVariable(*v));
+        }
+    }
+    // Manual sub-elimination: identical to `eliminate` but only over
+    // `order`; remaining factors over non-ordered variables are not
+    // allowed (separators of the last eliminated variable must be inside
+    // the set because the affected set is dependence-closed).
+    let mut work: Vec<Option<LinearFactor>> = sys.factors.iter().cloned().map(Some).collect();
+    let mut conditionals = Vec::with_capacity(order.len());
+    for &v in order {
+        let gathered: Vec<LinearFactor> = work
+            .iter_mut()
+            .filter(|f| f.as_ref().is_some_and(|f| f.keys.contains(&v)))
+            .map(|f| f.take().unwrap())
+            .collect();
+        if gathered.is_empty() {
+            return Err(SolveError::UnconstrainedVariable(v));
+        }
+        let (cond, new_factor) = eliminate_one_var(v, &gathered, &sys.var_dims)?;
+        conditionals.push(cond);
+        if let Some(nf) = new_factor {
+            work.push(Some(nf));
+        }
+    }
+    Ok(conditionals)
+}
+
+fn eliminate_one_var(
+    v: VarId,
+    gathered: &[LinearFactor],
+    var_dims: &[usize],
+) -> Result<(Conditional, Option<LinearFactor>), SolveError> {
+    let mut seps: Vec<VarId> = Vec::new();
+    for f in gathered {
+        for k in &f.keys {
+            if *k != v && !seps.contains(k) {
+                seps.push(*k);
+            }
+        }
+    }
+    seps.sort();
+    let dv = var_dims[v.0];
+    let sep_cols: usize = seps.iter().map(|s| var_dims[s.0]).sum();
+    let total_rows: usize = gathered.iter().map(LinearFactor::rows).sum();
+    if total_rows < dv {
+        return Err(SolveError::SingularVariable(v));
+    }
+    let cols = dv + sep_cols;
+    let mut abar = Mat::zeros(total_rows, cols + 1);
+    let mut row = 0;
+    for f in gathered {
+        for (k, blk) in f.keys.iter().zip(&f.blocks) {
+            let c0 = if *k == v {
+                0
+            } else {
+                let mut off = dv;
+                for s in &seps {
+                    if s == k {
+                        break;
+                    }
+                    off += var_dims[s.0];
+                }
+                off
+            };
+            abar.set_block(row, c0, blk);
+        }
+        for r in 0..f.rows() {
+            abar[(row + r, cols)] = f.rhs[r];
+        }
+        row += f.rows();
+    }
+    let r_full = orianna_math::householder_qr(&abar).r;
+    let r_diag = r_full.block(0, 0, dv, dv);
+    for d in 0..dv {
+        if r_diag[(d, d)].abs() < 1e-12 {
+            return Err(SolveError::SingularVariable(v));
+        }
+    }
+    let mut parents = Vec::with_capacity(seps.len());
+    let mut off = dv;
+    for s in &seps {
+        let ds = var_dims[s.0];
+        parents.push((*s, r_full.block(0, off, dv, ds)));
+        off += ds;
+    }
+    let mut rhs = Vec64::zeros(dv);
+    for d in 0..dv {
+        rhs[d] = r_full[(d, cols)];
+    }
+    let cond = Conditional { var: v, r: r_diag, parents, rhs };
+    let new_factor = if !seps.is_empty() {
+        let nr = (total_rows - dv).min(sep_cols + 1);
+        if nr > 0 {
+            let mut blocks = Vec::with_capacity(seps.len());
+            let mut off = dv;
+            for s in &seps {
+                let ds = var_dims[s.0];
+                blocks.push(r_full.block(dv, off, nr, ds));
+                off += ds;
+            }
+            let mut nrhs = Vec64::zeros(nr);
+            for r in 0..nr {
+                nrhs[r] = r_full[(dv + r, cols)];
+            }
+            Some(LinearFactor { keys: seps, blocks, rhs: nrhs })
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    Ok((cond, new_factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::eliminate;
+    use orianna_graph::{natural_ordering, BetweenFactor, FactorGraph, GpsFactor, PriorFactor};
+    use orianna_lie::Pose2;
+
+    fn batch_delta(graph: &FactorGraph) -> Vec64 {
+        let sys = graph.linearize();
+        eliminate(&sys, &natural_ordering(graph)).unwrap().0.back_substitute().unwrap()
+    }
+
+    #[test]
+    fn single_update_matches_batch() {
+        let mut inc = IncrementalSolver::new();
+        let mut g = FactorGraph::new();
+        let a_init = Pose2::new(0.1, 0.2, -0.1);
+        let a1 = inc.add_variable(Variable::Pose2(a_init));
+        let a2 = g.add_pose2(a_init);
+        assert_eq!(a1, a2);
+        let prior = PriorFactor::pose2(a1, Pose2::identity(), 0.1);
+        g.add_factor(prior.clone());
+        inc.update(vec![Arc::new(prior)]).unwrap();
+        assert!((inc.delta() - &batch_delta(&g)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn growing_chain_matches_batch_after_each_update() {
+        let mut inc = IncrementalSolver::new();
+        let mut g = FactorGraph::new();
+        let init0 = Pose2::new(0.05, 0.1, 0.0);
+        let v0 = inc.add_variable(Variable::Pose2(init0));
+        g.add_pose2(init0);
+        let prior = PriorFactor::pose2(v0, Pose2::identity(), 0.1);
+        g.add_factor(prior.clone());
+        inc.update(vec![Arc::new(prior)]).unwrap();
+
+        let mut prev = v0;
+        for k in 1..8 {
+            let init = Pose2::new(0.0, k as f64 * 0.95, 0.1);
+            let v = inc.add_variable(Variable::Pose2(init));
+            g.add_pose2(init);
+            let odo = BetweenFactor::pose2(prev, v, Pose2::new(0.0, 1.0, 0.0), 0.2);
+            g.add_factor(odo.clone());
+            inc.update(vec![Arc::new(odo)]).unwrap();
+            let diff = (inc.delta() - &batch_delta(&g)).norm();
+            assert!(diff < 1e-9, "step {k}: diff {diff:e}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn loop_closure_updates_affected_subtree() {
+        let mut inc = IncrementalSolver::new();
+        let mut g = FactorGraph::new();
+        let inits: Vec<Pose2> =
+            (0..6).map(|i| Pose2::new(0.02 * i as f64, i as f64, 0.05)).collect();
+        let ids: Vec<VarId> = inits
+            .iter()
+            .map(|p| {
+                g.add_pose2(*p);
+                inc.add_variable(Variable::Pose2(*p))
+            })
+            .collect();
+        let mut batch_factors: Vec<Arc<dyn Factor>> = Vec::new();
+        batch_factors.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
+        for w in ids.windows(2) {
+            batch_factors
+                .push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2)));
+        }
+        for f in &batch_factors {
+            g.add_shared_factor(f.clone());
+        }
+        inc.update(batch_factors).unwrap();
+
+        // Now a loop closure arrives.
+        let closure: Arc<dyn Factor> =
+            Arc::new(BetweenFactor::pose2(ids[0], ids[5], Pose2::new(0.1, 5.0, 0.2), 0.3));
+        g.add_shared_factor(closure.clone());
+        inc.update(vec![closure]).unwrap();
+        assert!((inc.delta() - &batch_delta(&g)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_applies_delta() {
+        let mut inc = IncrementalSolver::new();
+        let v = inc.add_variable(Variable::Pose2(Pose2::new(0.0, 1.0, 1.0)));
+        inc.update(vec![Arc::new(PriorFactor::pose2(v, Pose2::identity(), 0.1))]).unwrap();
+        let est = inc.estimate();
+        // One linear step of this prior moves most of the way to the
+        // target (exact for the position part).
+        assert!(est.get(v).as_pose2().translation_distance(&Pose2::identity()) < 0.2);
+    }
+
+    #[test]
+    fn relinearize_matches_gauss_newton_fixpoint() {
+        let mut inc = IncrementalSolver::new();
+        let mut g = FactorGraph::new();
+        let inits: Vec<Pose2> = (0..4).map(|i| Pose2::new(0.2, i as f64 * 0.8, -0.2)).collect();
+        let ids: Vec<VarId> = inits
+            .iter()
+            .map(|p| {
+                g.add_pose2(*p);
+                inc.add_variable(Variable::Pose2(*p))
+            })
+            .collect();
+        let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
+        fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.05)));
+        for w in ids.windows(2) {
+            fs.push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.1)));
+        }
+        fs.push(Arc::new(GpsFactor::new(ids[3], &[3.0, 0.0], 0.2)));
+        for f in &fs {
+            g.add_shared_factor(f.clone());
+        }
+        inc.update(fs).unwrap();
+        for _ in 0..5 {
+            inc.relinearize().unwrap();
+        }
+        // The incremental estimate must coincide with batch Gauss-Newton.
+        crate::GaussNewton::default().optimize(&mut g).unwrap();
+        let est = inc.estimate();
+        for id in ids {
+            let a = est.get(id).as_pose2();
+            let b = g.values().get(id).as_pose2();
+            assert!(a.translation_distance(b) < 1e-6, "{id}");
+        }
+    }
+
+    #[test]
+    fn marginalization_preserves_remaining_estimates() {
+        // Build a chain, solve, marginalize the oldest pose: the
+        // remaining estimates must be unchanged (exact at the same
+        // linearization point).
+        let mut inc = IncrementalSolver::new();
+        let inits: Vec<Pose2> = (0..5).map(|i| Pose2::new(0.05, i as f64, 0.1)).collect();
+        let ids: Vec<VarId> =
+            inits.iter().map(|p| inc.add_variable(Variable::Pose2(*p))).collect();
+        let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
+        fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
+        for w in ids.windows(2) {
+            fs.push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2)));
+        }
+        inc.update(fs).unwrap();
+        let before = inc.estimate();
+        inc.marginalize(ids[0]).unwrap();
+        assert_eq!(inc.num_marginalized(), 1);
+        let after = inc.estimate();
+        for &id in &ids[1..] {
+            let d = before.get(id).as_pose2().translation_distance(after.get(id).as_pose2());
+            assert!(d < 1e-9, "{id}: moved by {d}");
+        }
+    }
+
+    #[test]
+    fn updates_continue_after_marginalization() {
+        let mut inc = IncrementalSolver::new();
+        let ids: Vec<VarId> = (0..4)
+            .map(|i| inc.add_variable(Variable::Pose2(Pose2::new(0.0, i as f64, 0.05))))
+            .collect();
+        let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
+        fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
+        for w in ids.windows(2) {
+            fs.push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2)));
+        }
+        inc.update(fs).unwrap();
+        inc.marginalize(ids[0]).unwrap();
+        inc.marginalize(ids[1]).unwrap();
+        // Extend the chain: the window keeps sliding.
+        let v = inc.add_variable(Variable::Pose2(Pose2::new(0.0, 4.0, 0.05)));
+        inc.update(vec![Arc::new(BetweenFactor::pose2(
+            ids[3],
+            v,
+            Pose2::new(0.0, 1.0, 0.0),
+            0.2,
+        )) as Arc<dyn Factor>])
+        .unwrap();
+        let est = inc.estimate();
+        assert!(est.get(v).as_pose2().translation_distance(&Pose2::new(0.0, 4.0, 0.0)) < 0.2);
+    }
+
+    #[test]
+    fn marginalizing_unconstrained_variable_errors() {
+        let mut inc = IncrementalSolver::new();
+        let v = inc.add_variable(Variable::Pose2(Pose2::identity()));
+        let err = inc.marginalize(v).unwrap_err();
+        assert!(matches!(err, SolveError::UnconstrainedVariable(_)));
+    }
+
+    #[test]
+    fn unconstrained_new_variable_is_reported() {
+        let mut inc = IncrementalSolver::new();
+        let _v = inc.add_variable(Variable::Pose2(Pose2::identity()));
+        let w = inc.add_variable(Variable::Pose2(Pose2::identity()));
+        // Only w gets a factor; the first variable stays unconstrained.
+        let err = inc
+            .update(vec![Arc::new(PriorFactor::pose2(w, Pose2::identity(), 0.1))])
+            .unwrap_err();
+        assert!(matches!(err, SolveError::UnconstrainedVariable(_)));
+    }
+}

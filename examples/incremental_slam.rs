@@ -1,0 +1,87 @@
+//! Online (incremental) SLAM with the iSAM-style solver: odometry factors
+//! stream in one keyframe at a time, each update re-eliminates only the
+//! affected part of the Bayes net, and periodic relinearization keeps the
+//! estimate at the batch Gauss-Newton fixpoint.
+//!
+//! ```text
+//! cargo run --release --example incremental_slam
+//! ```
+
+use orianna::apps::Noise;
+use orianna::graph::{BetweenFactor, Factor, GpsFactor, PriorFactor, Variable};
+use orianna::lie::Pose2;
+use orianna::solver::IncrementalSolver;
+use std::sync::Arc;
+
+fn main() {
+    let mut noise = Noise::new(42);
+    let mut solver = IncrementalSolver::new();
+
+    // Ground truth: a gentle arc.
+    let mut truth = vec![Pose2::identity()];
+    for _ in 1..25 {
+        let last = *truth.last().unwrap();
+        truth.push(last.compose(&Pose2::new(0.08, 1.0, 0.0)));
+    }
+
+    let v0 = solver.add_variable(Variable::Pose2(truth[0]));
+    solver
+        .update(vec![Arc::new(PriorFactor::pose2(v0, truth[0], 0.01)) as Arc<dyn Factor>])
+        .expect("prior update");
+
+    let mut prev = v0;
+    let mut dead_reckoned = truth[0];
+    for k in 1..truth.len() {
+        // Noisy odometry measurement and dead-reckoned initialization.
+        let z = noise.perturb_pose2(&truth[k].between(&truth[k - 1]), 0.01, 0.05);
+        dead_reckoned = dead_reckoned.compose(&z);
+        let v = solver.add_variable(Variable::Pose2(dead_reckoned));
+
+        let mut batch: Vec<Arc<dyn Factor>> =
+            vec![Arc::new(BetweenFactor::pose2(prev, v, z, 0.05))];
+        // A GPS fix every 5 keyframes.
+        if k % 5 == 0 {
+            let fix = [
+                truth[k].x() + noise.gaussian(0.05),
+                truth[k].y() + noise.gaussian(0.05),
+            ];
+            batch.push(Arc::new(GpsFactor::new(v, &fix, 0.1)));
+        }
+        solver.update(batch).expect("incremental update");
+        if k % 8 == 0 {
+            solver.relinearize().expect("relinearization");
+        }
+        // Fixed-lag smoothing: keep a 12-keyframe window by marginalizing
+        // the oldest pose into a linear container prior.
+        if k >= 12 {
+            solver
+                .marginalize(orianna::graph::VarId(k - 12))
+                .expect("marginalization");
+        }
+
+        let est = solver.estimate();
+        let err = est.get(v).as_pose2().translation_distance(&truth[k]);
+        println!(
+            "keyframe {k:>2}: {} factors, {} marginalized, estimate error {:.3} m \
+             (dead-reckoning {:.3} m)",
+            solver.num_factors(),
+            solver.num_marginalized(),
+            err,
+            dead_reckoned.translation_distance(&truth[k])
+        );
+        prev = v;
+    }
+
+    // Only the active window is still being estimated.
+    let est = solver.estimate();
+    let window: Vec<usize> = (truth.len().saturating_sub(12)..truth.len()).collect();
+    let mean_err: f64 = window
+        .iter()
+        .map(|&i| est.get(orianna::graph::VarId(i)).as_pose2().translation_distance(&truth[i]))
+        .sum::<f64>()
+        / window.len() as f64;
+    println!(
+        "final mean window error: {mean_err:.4} m over the last {} keyframes",
+        window.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! End-to-end ORIANNA flow on the MobileRobot application (paper Tbl. 4):
+//! build the localization/planning/control graphs, compile each to the
+//! matrix-operation ISA, generate an accelerator under the ZC706 resource
+//! budget, and simulate out-of-order vs in-order execution.
+//!
+//! ```text
+//! cargo run --release --example mobile_robot
+//! ```
+
+use orianna::apps::mobile_robot;
+use orianna::compiler::compile;
+use orianna::graph::natural_ordering;
+use orianna::hw::{generate, simulate, IssuePolicy, Objective, Resources, Stream, Workload};
+use orianna::solver::GaussNewton;
+
+fn main() {
+    let app = mobile_robot(7);
+    println!("application: {}", app.name);
+
+    // 1. Solve each algorithm in software (the reference path).
+    for algo in &app.algorithms {
+        let mut g = algo.graph.clone();
+        let report = GaussNewton::default().optimize(&mut g).expect("solvable");
+        println!(
+            "  {:<12} vars={:<4} factors={:<4} error {:.3e} -> {:.3e} ({} iters)",
+            algo.name,
+            algo.graph.num_variables(),
+            algo.graph.num_factors(),
+            report.initial_error,
+            report.final_error,
+            report.iterations
+        );
+    }
+
+    // 2. Compile every algorithm to the ORIANNA ISA.
+    let programs: Vec<_> = app
+        .algorithms
+        .iter()
+        .map(|a| {
+            let prog = compile(&a.graph, &natural_ordering(&a.graph)).expect("compiles");
+            println!(
+                "  compiled {:<12} {} instructions ({} registers)",
+                a.name,
+                prog.instrs.len(),
+                prog.num_regs()
+            );
+            (a.name, prog)
+        })
+        .collect();
+
+    // 3. Generate an accelerator for the whole application.
+    let workload = Workload {
+        streams: programs.iter().map(|(n, p)| Stream { name: n, program: p }).collect(),
+    };
+    let result = generate(&workload, &Resources::zc706(), Objective::Latency);
+    println!("generated configuration:");
+    for (class, count) in result.config.iter() {
+        println!("  {class:<8} x{count}");
+    }
+    let res = result.config.resources();
+    println!("  resources: {} LUT, {} FF, {} BRAM, {} DSP", res.lut, res.ff, res.bram, res.dsp);
+
+    // 4. Compare out-of-order and in-order controllers.
+    let ooo = simulate(&workload, &result.config, IssuePolicy::OutOfOrder);
+    let io = simulate(&workload, &result.config, IssuePolicy::InOrder);
+    println!(
+        "out-of-order: {} cycles ({:.3} ms at 167 MHz), {:.3} mJ",
+        ooo.cycles, ooo.time_ms, ooo.energy_mj
+    );
+    println!(
+        "in-order:     {} cycles ({:.3} ms), OoO speedup {:.1}x",
+        io.cycles,
+        io.time_ms,
+        io.cycles as f64 / ooo.cycles as f64
+    );
+}

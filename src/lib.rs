@@ -1,0 +1,55 @@
+//! # ORIANNA
+//!
+//! A from-scratch Rust reproduction of **"ORIANNA: An Accelerator Generation
+//! Framework for Optimization-based Robotic Applications"** (ASPLOS 2024).
+//!
+//! ORIANNA uses the *factor graph* as a common abstraction to generate one
+//! hardware accelerator for a robotic application containing multiple
+//! optimization-based algorithms (localization, planning, control). The
+//! pipeline:
+//!
+//! 1. **Unified pose representation** `<so(n), T(n)>` ([`lie`]) lets every
+//!    algorithm share one set of primitive matrix operations.
+//! 2. **Factor-graph library** ([`graph`]) — users build applications by
+//!    adding measurement/constraint factors to a graph.
+//! 3. **Compiler** ([`compiler`]) — lowers factor error expressions to
+//!    matrix-operation data-flow graphs (MO-DFGs), differentiates them by
+//!    backward propagation, and emits an instruction stream of primitive
+//!    matrix operations plus elimination/back-substitution steps.
+//! 4. **Hardware generation** ([`hw`]) — instantiates functional-unit
+//!    templates under user resource constraints and executes the instruction
+//!    stream on a cycle-level simulator with out-of-order issue.
+//!
+//! The [`solver`] crate provides the reference software Gauss-Newton path
+//! (the role GTSAM plays in the paper), [`baselines`] models the CPU/GPU/HLS
+//! comparison points, and [`apps`] contains the four benchmark applications
+//! of Tbl. 4 (mobile robot, manipulator, autonomous vehicle, quadrotor).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use orianna::graph::{FactorGraph, PriorFactor, BetweenFactor};
+//! use orianna::lie::Pose2;
+//! use orianna::solver::{GaussNewton, GaussNewtonSettings};
+//!
+//! // A tiny 2D pose-graph: two poses chained by odometry.
+//! let mut graph = FactorGraph::new();
+//! let x1 = graph.add_pose2(Pose2::identity());
+//! let x2 = graph.add_pose2(Pose2::identity());
+//! graph.add_factor(PriorFactor::pose2(x1, Pose2::identity(), 1.0));
+//! graph.add_factor(BetweenFactor::pose2(x1, x2, Pose2::new(0.1, 1.0, 0.0), 1.0));
+//!
+//! let report = GaussNewton::new(GaussNewtonSettings::default())
+//!     .optimize(&mut graph)
+//!     .expect("optimization should converge");
+//! assert!(report.converged);
+//! ```
+
+pub use orianna_apps as apps;
+pub use orianna_baselines as baselines;
+pub use orianna_compiler as compiler;
+pub use orianna_graph as graph;
+pub use orianna_hw as hw;
+pub use orianna_lie as lie;
+pub use orianna_math as math;
+pub use orianna_solver as solver;

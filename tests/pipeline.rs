@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full ORIANNA pipeline from factor
+//! graph to accelerator simulation.
+
+use orianna::apps::{all_apps, run_mission, Pipeline};
+use orianna::compiler::{compile, execute};
+use orianna::graph::{min_degree_ordering, natural_ordering};
+use orianna::hw::{generate, simulate, IssuePolicy, Objective, Resources, Stream, Workload};
+use orianna::solver::{eliminate, GaussNewton, GaussNewtonSettings};
+
+/// The headline correctness property: for every algorithm of every
+/// benchmark application, the compiled instruction stream computes the
+/// same Gauss-Newton step as the analytic software solver.
+#[test]
+fn compiled_path_matches_solver_on_all_apps() {
+    for app in all_apps(101) {
+        for algo in &app.algorithms {
+            let ordering = natural_ordering(&algo.graph);
+            let sys = algo.graph.linearize();
+            let (bn, _) = eliminate(&sys, &ordering)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, algo.name));
+            let reference = bn.back_substitute().unwrap();
+
+            let prog = compile(&algo.graph, &ordering)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, algo.name));
+            let result = execute(&prog, algo.graph.values())
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, algo.name));
+
+            let diff = (&result.delta - &reference).norm();
+            let scale = reference.norm().max(1.0);
+            assert!(
+                diff / scale < 1e-8,
+                "{}/{}: compiled delta deviates by {diff:e}",
+                app.name,
+                algo.name
+            );
+        }
+    }
+}
+
+/// Gauss-Newton converges on every benchmark algorithm and reduces the
+/// objective.
+#[test]
+fn all_benchmark_algorithms_optimize() {
+    for app in all_apps(202) {
+        for algo in &app.algorithms {
+            let mut g = algo.graph.clone();
+            let report = GaussNewton::new(GaussNewtonSettings {
+                max_iterations: 30,
+                ..Default::default()
+            })
+            .optimize(&mut g)
+            .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, algo.name));
+            assert!(
+                report.final_error <= report.initial_error,
+                "{}/{}",
+                app.name,
+                algo.name
+            );
+        }
+    }
+}
+
+/// Elimination order does not change the solution (it is a QR
+/// factorization either way).
+#[test]
+fn ordering_invariance_end_to_end() {
+    let app = &all_apps(303)[0];
+    let algo = app.algorithm("localization");
+    let sys = algo.graph.linearize();
+    let nat = eliminate(&sys, &natural_ordering(&algo.graph))
+        .unwrap()
+        .0
+        .back_substitute()
+        .unwrap();
+    let md = eliminate(&sys, &min_degree_ordering(&algo.graph))
+        .unwrap()
+        .0
+        .back_substitute()
+        .unwrap();
+    assert!((&nat - &md).norm() < 1e-7);
+}
+
+/// Hardware generation respects its budget and the simulation schedules
+/// every instruction.
+#[test]
+fn generation_and_simulation_integrate() {
+    let app = &all_apps(404)[0];
+    let programs: Vec<_> = app
+        .algorithms
+        .iter()
+        .map(|a| (a.name, compile(&a.graph, &natural_ordering(&a.graph)).unwrap()))
+        .collect();
+    let wl = Workload {
+        streams: programs.iter().map(|(n, p)| Stream { name: n, program: p }).collect(),
+    };
+    let budget = Resources::zc706();
+    let gen = generate(&wl, &budget, Objective::Latency);
+    assert!(gen.config.resources().fits(&budget));
+    let ooo = simulate(&wl, &gen.config, IssuePolicy::OutOfOrder);
+    let io = simulate(&wl, &gen.config, IssuePolicy::InOrder);
+    assert_eq!(ooo.instructions, wl.num_instructions());
+    assert!(ooo.cycles <= io.cycles);
+    assert!(ooo.energy_mj > 0.0);
+}
+
+/// Optimization passes preserve the compiled semantics on every benchmark
+/// algorithm.
+#[test]
+fn optimized_programs_match_solver_on_all_apps() {
+    use orianna::compiler::optimize;
+    for app in all_apps(606) {
+        for algo in &app.algorithms {
+            let ordering = natural_ordering(&algo.graph);
+            let prog = compile(&algo.graph, &ordering).unwrap();
+            let (opt, stats) = optimize(&prog);
+            assert!(stats.after <= stats.before);
+            let raw = execute(&prog, algo.graph.values()).unwrap();
+            let fast = execute(&opt, algo.graph.values()).unwrap();
+            assert!(
+                (&raw.delta - &fast.delta).norm() < 1e-12,
+                "{}/{}",
+                app.name,
+                algo.name
+            );
+        }
+    }
+}
+
+/// Missions succeed identically on the software and compiled pipelines
+/// (the Tbl. 5 property).
+#[test]
+fn mission_pipelines_agree() {
+    for app in all_apps(505) {
+        let sw = run_mission(&app, Pipeline::Software);
+        let hw = run_mission(&app, Pipeline::Orianna);
+        assert_eq!(sw.success, hw.success, "{}", app.name);
+    }
+}

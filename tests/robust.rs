@@ -1,0 +1,81 @@
+//! Integration test of the robust-loss extension: IRLS with Huber loss
+//! rejects an outlier loop closure that corrupts the plain least-squares
+//! solution.
+
+use orianna::graph::{BetweenFactor, FactorGraph, Loss, PriorFactor, RobustFactor};
+use orianna::lie::Pose2;
+use orianna::solver::{GaussNewton, GaussNewtonSettings};
+
+fn build(robust: bool) -> (FactorGraph, Vec<orianna::graph::VarId>) {
+    let mut g = FactorGraph::new();
+    let ids: Vec<_> = (0..6).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+    g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
+    for w in ids.windows(2) {
+        g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.05));
+    }
+    // Outlier: claims pose 5 is right next to pose 0.
+    let outlier = BetweenFactor::pose2(ids[0], ids[5], Pose2::new(0.0, 0.5, 0.0), 0.05);
+    if robust {
+        g.add_factor(RobustFactor::new(outlier, Loss::Huber(1.345)));
+    } else {
+        g.add_factor(outlier);
+    }
+    (g, ids)
+}
+
+/// Runs IRLS: single-iteration Gauss-Newton sweeps so the robust weights
+/// refresh at every relinearization.
+fn run(robust: bool) -> f64 {
+    let (mut g, ids) = build(robust);
+    for _ in 0..15 {
+        GaussNewton::new(GaussNewtonSettings {
+            max_iterations: 1,
+            max_step_halvings: 4,
+            ..Default::default()
+        })
+        .optimize(&mut g)
+        .unwrap();
+    }
+    g.values().get(ids[5]).as_pose2().x()
+}
+
+#[test]
+fn huber_rejects_an_outlier_loop_closure() {
+    let l2_x = run(false);
+    let huber_x = run(true);
+    // Truth: pose 5 at x = 5. The L2 fit is pulled strongly toward the
+    // outlier; Huber stays near the truth.
+    assert!((huber_x - 5.0).abs() < 0.5, "huber x = {huber_x}");
+    assert!(
+        (l2_x - 5.0).abs() > 2.0 * (huber_x - 5.0).abs().max(1e-3),
+        "l2 x = {l2_x}, huber x = {huber_x}"
+    );
+}
+
+#[test]
+fn cauchy_also_rejects() {
+    let (mut g, ids) = build(false);
+    // Rebuild with Cauchy manually.
+    let mut gc = FactorGraph::new();
+    let idsc: Vec<_> = (0..6).map(|i| gc.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+    gc.add_factor(PriorFactor::pose2(idsc[0], Pose2::identity(), 0.01));
+    for w in idsc.windows(2) {
+        gc.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.05));
+    }
+    gc.add_factor(RobustFactor::new(
+        BetweenFactor::pose2(idsc[0], idsc[5], Pose2::new(0.0, 0.5, 0.0), 0.05),
+        Loss::Cauchy(1.0),
+    ));
+    for _ in 0..15 {
+        GaussNewton::new(GaussNewtonSettings {
+            max_iterations: 1,
+            max_step_halvings: 4,
+            ..Default::default()
+        })
+        .optimize(&mut gc)
+        .unwrap();
+    }
+    let cauchy_x = gc.values().get(idsc[5]).as_pose2().x();
+    assert!((cauchy_x - 5.0).abs() < 0.2, "cauchy x = {cauchy_x}");
+    let _ = (g.total_error(), ids);
+}
