@@ -47,8 +47,11 @@ impl ErrorStats {
 /// Panics on length mismatch or empty trajectories.
 pub fn ate_2d(estimate: &[Pose2], truth: &[Pose2]) -> ErrorStats {
     assert_eq!(estimate.len(), truth.len(), "trajectory length mismatch");
-    let errors: Vec<f64> =
-        estimate.iter().zip(truth).map(|(e, t)| e.translation_distance(t)).collect();
+    let errors: Vec<f64> = estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| e.translation_distance(t))
+        .collect();
     ErrorStats::of(&errors)
 }
 
@@ -58,8 +61,11 @@ pub fn ate_2d(estimate: &[Pose2], truth: &[Pose2]) -> ErrorStats {
 /// Panics on length mismatch or empty trajectories.
 pub fn ate_3d(estimate: &[Pose3], truth: &[Pose3]) -> ErrorStats {
     assert_eq!(estimate.len(), truth.len(), "trajectory length mismatch");
-    let errors: Vec<f64> =
-        estimate.iter().zip(truth).map(|(e, t)| e.translation_distance(t)).collect();
+    let errors: Vec<f64> = estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| e.translation_distance(t))
+        .collect();
     ErrorStats::of(&errors)
 }
 
@@ -124,7 +130,10 @@ mod tests {
     fn ate_sees_global_drift_rpe_does_not() {
         // Estimate = truth shifted by a constant offset: big ATE, zero RPE.
         let truth: Vec<Pose2> = (0..6).map(|i| Pose2::new(0.0, i as f64, 0.0)).collect();
-        let est: Vec<Pose2> = truth.iter().map(|p| Pose2::new(0.0, p.x() + 3.0, p.y())).collect();
+        let est: Vec<Pose2> = truth
+            .iter()
+            .map(|p| Pose2::new(0.0, p.x() + 3.0, p.y()))
+            .collect();
         assert!((ate_2d(&est, &truth).mean - 3.0).abs() < 1e-12);
         assert!(rpe_2d(&est, &truth, 1).max < 1e-12);
     }
@@ -139,8 +148,9 @@ mod tests {
 
     #[test]
     fn three_d_variants_work() {
-        let truth: Vec<Pose3> =
-            (0..4).map(|i| Pose3::from_parts([0.0; 3], [i as f64, 0.0, 0.0])).collect();
+        let truth: Vec<Pose3> = (0..4)
+            .map(|i| Pose3::from_parts([0.0; 3], [i as f64, 0.0, 0.0]))
+            .collect();
         assert_eq!(ate_3d(&truth, &truth).max, 0.0);
         assert_eq!(rpe_3d(&truth, &truth, 2).max, 0.0);
     }

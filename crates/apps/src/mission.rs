@@ -70,7 +70,9 @@ fn optimize(graph: &mut FactorGraph, iterations: u64, pipeline: Pipeline) -> boo
         .is_ok(),
         Pipeline::Orianna => {
             let ordering = natural_ordering(graph);
-            let Ok(prog) = compile(graph, &ordering) else { return false };
+            let Ok(prog) = compile(graph, &ordering) else {
+                return false;
+            };
             for _ in 0..iterations {
                 match execute(&prog, graph.values()) {
                     Ok(result) => graph.retract_all(&result.delta),
@@ -131,7 +133,10 @@ pub fn success_rate(app_name: &str, n: usize, pipeline: Pipeline) -> SuccessRate
             succeeded += 1;
         }
     }
-    SuccessRate { total: n, succeeded }
+    SuccessRate {
+        total: n,
+        succeeded,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +163,10 @@ mod tests {
 
     #[test]
     fn success_rate_percent() {
-        let r = SuccessRate { total: 30, succeeded: 29 };
+        let r = SuccessRate {
+            total: 30,
+            succeeded: 29,
+        };
         assert!((r.percent() - 96.66666).abs() < 1e-3);
     }
 }

@@ -62,7 +62,12 @@ impl RobotApp {
 
 /// Builds every application with a common seed.
 pub fn all_apps(seed: u64) -> Vec<RobotApp> {
-    vec![mobile_robot(seed), manipulator(seed), auto_vehicle(seed), quadrotor(seed)]
+    vec![
+        mobile_robot(seed),
+        manipulator(seed),
+        auto_vehicle(seed),
+        quadrotor(seed),
+    ]
 }
 
 /// Two-wheeled robot on a plane (Künhe et al.): LiDAR+GPS localization,
@@ -75,9 +80,24 @@ pub fn mobile_robot(seed: u64) -> RobotApp {
     RobotApp {
         name: "MobileRobot",
         algorithms: vec![
-            Algorithm { name: "localization", graph: loc, iterations: 4, frames_in_flight: 4 },
-            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
-            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+            Algorithm {
+                name: "localization",
+                graph: loc,
+                iterations: 4,
+                frames_in_flight: 4,
+            },
+            Algorithm {
+                name: "planning",
+                graph: plan,
+                iterations: 6,
+                frames_in_flight: 1,
+            },
+            Algorithm {
+                name: "control",
+                graph: ctrl,
+                iterations: 3,
+                frames_in_flight: 4,
+            },
         ],
     }
 }
@@ -91,7 +111,10 @@ pub fn manipulator(seed: u64) -> RobotApp {
     let mut prev = None;
     for k in 0..20 {
         let truth = [0.1 * k as f64, -0.05 * k as f64];
-        let meas = [truth[0] + noise.gaussian(0.02), truth[1] + noise.gaussian(0.02)];
+        let meas = [
+            truth[0] + noise.gaussian(0.02),
+            truth[1] + noise.gaussian(0.02),
+        ];
         let id = loc.add_vector(Vec64::from_slice(&[
             truth[0] + noise.gaussian(0.1),
             truth[1] + noise.gaussian(0.1),
@@ -108,9 +131,24 @@ pub fn manipulator(seed: u64) -> RobotApp {
     RobotApp {
         name: "Manipulator",
         algorithms: vec![
-            Algorithm { name: "localization", graph: loc, iterations: 3, frames_in_flight: 4 },
-            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
-            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+            Algorithm {
+                name: "localization",
+                graph: loc,
+                iterations: 3,
+                frames_in_flight: 4,
+            },
+            Algorithm {
+                name: "planning",
+                graph: plan,
+                iterations: 6,
+                frames_in_flight: 1,
+            },
+            Algorithm {
+                name: "control",
+                graph: ctrl,
+                iterations: 3,
+                frames_in_flight: 4,
+            },
         ],
     }
 }
@@ -124,9 +162,24 @@ pub fn auto_vehicle(seed: u64) -> RobotApp {
     RobotApp {
         name: "AutoVehicle",
         algorithms: vec![
-            Algorithm { name: "localization", graph: loc, iterations: 4, frames_in_flight: 4 },
-            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
-            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+            Algorithm {
+                name: "localization",
+                graph: loc,
+                iterations: 4,
+                frames_in_flight: 4,
+            },
+            Algorithm {
+                name: "planning",
+                graph: plan,
+                iterations: 6,
+                frames_in_flight: 1,
+            },
+            Algorithm {
+                name: "control",
+                graph: ctrl,
+                iterations: 3,
+                frames_in_flight: 4,
+            },
         ],
     }
 }
@@ -141,7 +194,12 @@ pub fn quadrotor(seed: u64) -> RobotApp {
     let model = CameraModel::default();
     let n_kf = 20;
     let truth: Vec<Pose3> = (0..n_kf)
-        .map(|k| Pose3::from_parts([0.0, 0.0, 0.05 * k as f64], [0.5 * k as f64, 0.1 * k as f64, 1.0]))
+        .map(|k| {
+            Pose3::from_parts(
+                [0.0, 0.0, 0.05 * k as f64],
+                [0.5 * k as f64, 0.1 * k as f64, 1.0],
+            )
+        })
         .collect();
     let kf_ids: Vec<_> = truth
         .iter()
@@ -172,10 +230,11 @@ pub fn quadrotor(seed: u64) -> RobotApp {
         let base = (li * (n_kf - 3)) / landmarks.len();
         for k in base..(base + 3).min(n_kf) {
             let t = truth[k].translation();
-            let pc = truth[k]
-                .rotation()
-                .transpose()
-                .rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
+            let pc =
+                truth[k]
+                    .rotation()
+                    .transpose()
+                    .rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
             if let Some(uv) = model.project(pc) {
                 let uv_noisy = [uv[0] + noise.gaussian(1.0), uv[1] + noise.gaussian(1.0)];
                 loc.add_factor(CameraFactor::new(kf_ids[k], lm_id, uv_noisy, model, 1.5));
@@ -187,9 +246,24 @@ pub fn quadrotor(seed: u64) -> RobotApp {
     RobotApp {
         name: "Quadrotor",
         algorithms: vec![
-            Algorithm { name: "localization", graph: loc, iterations: 5, frames_in_flight: 4 },
-            Algorithm { name: "planning", graph: plan, iterations: 6, frames_in_flight: 1 },
-            Algorithm { name: "control", graph: ctrl, iterations: 3, frames_in_flight: 4 },
+            Algorithm {
+                name: "localization",
+                graph: loc,
+                iterations: 5,
+                frames_in_flight: 4,
+            },
+            Algorithm {
+                name: "planning",
+                graph: plan,
+                iterations: 6,
+                frames_in_flight: 1,
+            },
+            Algorithm {
+                name: "control",
+                graph: ctrl,
+                iterations: 3,
+                frames_in_flight: 4,
+            },
         ],
     }
 }
@@ -250,8 +324,16 @@ fn vector_planning(
     let mut goal = vec![0.0; n];
     goal[0] = goal_x;
     goal[pos_dim] = 1.0;
-    g.add_factor(VectorPriorFactor::new(ids[0], Vec64::from_slice(&start), 0.01));
-    g.add_factor(VectorPriorFactor::new(ids[n_states - 1], Vec64::from_slice(&goal), 0.01));
+    g.add_factor(VectorPriorFactor::new(
+        ids[0],
+        Vec64::from_slice(&start),
+        0.01,
+    ));
+    g.add_factor(VectorPriorFactor::new(
+        ids[n_states - 1],
+        Vec64::from_slice(&goal),
+        0.01,
+    ));
     for w in ids.windows(2) {
         if kinematic_transition {
             let mut f = Mat::identity(n);
@@ -267,7 +349,13 @@ fn vector_planning(
         // An obstacle near the straight-line path.
         let obstacles = vec![([goal_x * 0.5, 0.05], 0.3), ([goal_x * 0.75, -0.2], 0.2)];
         for &id in ids.iter().skip(1).take(n_states - 2) {
-            g.add_factor(CollisionFactor::new(id, pos_dim, obstacles.clone(), 0.2, 0.3));
+            g.add_factor(CollisionFactor::new(
+                id,
+                pos_dim,
+                obstacles.clone(),
+                0.2,
+                0.3,
+            ));
         }
     }
     g
@@ -315,14 +403,26 @@ fn vector_control(
     // Initial state is fixed.
     g.add_factor(VectorPriorFactor::new(xs[0], x0, 1e-3));
     for k in 0..horizon {
-        g.add_factor(DynamicsFactor::new(xs[k], us[k], xs[k + 1], a.clone(), b.clone(), 0.01));
+        g.add_factor(DynamicsFactor::new(
+            xs[k],
+            us[k],
+            xs[k + 1],
+            a.clone(),
+            b.clone(),
+            0.01,
+        ));
         // State cost pulls toward zero (the reference), input cost
         // regularizes.
         g.add_factor(VectorPriorFactor::new(xs[k + 1], Vec64::zeros(nx), 1.0));
         g.add_factor(VectorPriorFactor::new(us[k], Vec64::zeros(nu), 2.0));
         if with_kinematics {
             // Rate-limit the state trajectory.
-            g.add_factor(KinematicsFactor::transition(xs[k], xs[k + 1], Mat::identity(nx), 2.0));
+            g.add_factor(KinematicsFactor::transition(
+                xs[k],
+                xs[k + 1],
+                Mat::identity(nx),
+                2.0,
+            ));
         }
     }
     g

@@ -101,7 +101,11 @@ pub fn run_sphere(
         for k in 0..per_layer {
             let i = (l - 1) * per_layer + k;
             let j = l * per_layer + k;
-            let z = noise.perturb_pose3(&truth[j].between(&truth[i]), sigma_phi * 0.02, sigma_t * 0.02);
+            let z = noise.perturb_pose3(
+                &truth[j].between(&truth[i]),
+                sigma_phi * 0.02,
+                sigma_t * 0.02,
+            );
             closures.push((i, j, z));
         }
     }
@@ -117,24 +121,37 @@ pub fn run_sphere(
         g.add_factor(BetweenFactor::pose3(ids[*i], ids[*j], z.clone(), 0.01));
     }
     let unified_macs_per_factor = compiled_between_macs(&init[0], &init[1], &odo[0]);
-    GaussNewton::new(GaussNewtonSettings { max_iterations: 30, ..Default::default() })
-        .optimize(&mut g)
-        .expect("sphere optimizes");
-    let optimized: Vec<Pose3> =
-        ids.iter().map(|id| g.values().get(*id).as_pose3().clone()).collect();
+    GaussNewton::new(GaussNewtonSettings {
+        max_iterations: 30,
+        ..Default::default()
+    })
+    .optimize(&mut g)
+    .expect("sphere optimizes");
+    let optimized: Vec<Pose3> = ids
+        .iter()
+        .map(|id| g.values().get(*id).as_pose3().clone())
+        .collect();
     let unified = ate(&optimized, &truth);
 
     // ---- SE(3) optimization (dedicated solver below) ----
-    let (se3_poses, se3_macs_per_factor) =
-        se3_pose_graph(&init, &odo, &closures, &truth[0]);
+    let (se3_poses, se3_macs_per_factor) = se3_pose_graph(&init, &odo, &closures, &truth[0]);
     let se3 = ate(&se3_poses, &truth);
 
-    SphereResult { initial, unified, se3, unified_macs_per_factor, se3_macs_per_factor }
+    SphereResult {
+        initial,
+        unified,
+        se3,
+        unified_macs_per_factor,
+        se3_macs_per_factor,
+    }
 }
 
 fn ate(estimate: &[Pose3], truth: &[Pose3]) -> AteStats {
-    let errors: Vec<f64> =
-        estimate.iter().zip(truth).map(|(e, t)| e.translation_distance(t)).collect();
+    let errors: Vec<f64> = estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| e.translation_distance(t))
+        .collect();
     AteStats::from_errors(&errors)
 }
 
@@ -160,16 +177,29 @@ fn se3_pose_graph(
     }
     let mut edges: Vec<Edge> = Vec::new();
     for (k, z) in odo.iter().enumerate() {
-        edges.push(Edge { i: k, j: k + 1, z: SE3::from_unified(z), w: 1.0 / 0.05 });
+        edges.push(Edge {
+            i: k,
+            j: k + 1,
+            z: SE3::from_unified(z),
+            w: 1.0 / 0.05,
+        });
     }
     for (i, j, z) in closures {
-        edges.push(Edge { i: *i, j: *j, z: SE3::from_unified(z), w: 1.0 / 0.01 });
+        edges.push(Edge {
+            i: *i,
+            j: *j,
+            z: SE3::from_unified(z),
+            w: 1.0 / 0.01,
+        });
     }
     let anchor_se3 = SE3::from_unified(anchor);
 
     // Error of one edge: Log(z⁻¹ · Tᵢ⁻¹ · Tⱼ) ∈ se(3).
     let edge_error = |ti: &SE3, tj: &SE3, z: &SE3| -> [f64; 6] {
-        z.inverse().compose(&ti.inverse().compose(tj)).log().coords()
+        z.inverse()
+            .compose(&ti.inverse().compose(tj))
+            .log()
+            .coords()
     };
 
     // MAC cost of one *analytic* SE(3) edge linearization (what an
@@ -218,7 +248,9 @@ fn se3_pose_graph(
             a[(prior_row + d, d)] = 1e3;
             b[prior_row + d] = -1e3 * err0[d];
         }
-        let Some(delta) = least_squares(&a, &b) else { break };
+        let Some(delta) = least_squares(&a, &b) else {
+            break;
+        };
         let step: f64 = delta.norm();
         for (k, pose) in poses.iter_mut().enumerate() {
             let d = Se3Tangent::new(
@@ -354,7 +386,12 @@ mod tests {
     fn unified_matches_se3_accuracy() {
         // Tbl. 1: the two representations agree to millimeters.
         let r = run_sphere(42, 4, 10, 10.0, 0.002, 0.02);
-        assert!((r.unified.mean - r.se3.mean).abs() < 0.01, "{:?} vs {:?}", r.unified, r.se3);
+        assert!(
+            (r.unified.mean - r.se3.mean).abs() < 0.01,
+            "{:?} vs {:?}",
+            r.unified,
+            r.se3
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub struct Noise {
 impl Noise {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One sample of zero-mean Gaussian noise with standard deviation
@@ -96,7 +98,12 @@ pub fn sphere_trajectory(layers: usize, per_layer: usize, radius: f64) -> Vec<Po
 
 /// Relative-pose odometry measurements along a planar trajectory, with
 /// noise.
-pub fn odometry_2d(truth: &[Pose2], noise: &mut Noise, sigma_theta: f64, sigma_t: f64) -> Vec<Pose2> {
+pub fn odometry_2d(
+    truth: &[Pose2],
+    noise: &mut Noise,
+    sigma_theta: f64,
+    sigma_t: f64,
+) -> Vec<Pose2> {
     truth
         .windows(2)
         .map(|w| {
@@ -135,8 +142,8 @@ mod tests {
         let mut n = Noise::new(3);
         let samples: Vec<f64> = (0..20_000).map(|_| n.gaussian(2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.1, "{mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "{}", var.sqrt());
     }

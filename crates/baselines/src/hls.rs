@@ -39,8 +39,7 @@ pub fn vanilla_hls(
 ) -> BaselineResult {
     let peak = (SYSTOLIC_DIM * SYSTOLIC_DIM) as f64
         * config.count(orianna_compiler::UnitClass::MatMul) as f64;
-    let dense_solve_macs =
-        (profile.solve_macs_dense * profile.iterations) as f64;
+    let dense_solve_macs = (profile.solve_macs_dense * profile.iterations) as f64;
     let solve_cycles = dense_solve_macs / (peak * DENSE_UTILIZATION);
     let cycles = solve_cycles + construct_serial_cycles as f64;
     let time_s = cycles / (CLOCK_MHZ * 1e6);
@@ -49,7 +48,10 @@ pub fn vanilla_hls(
         + STATIC_W_PER_UNIT * config.total_units() as f64 * RESOURCE_OVERHEAD)
         * time_s
         * 1e3;
-    BaselineResult { time_ms: time_s * 1e3, energy_mj: dynamic_mj + static_mj }
+    BaselineResult {
+        time_ms: time_s * 1e3,
+        energy_mj: dynamic_mj + static_mj,
+    }
 }
 
 /// Resource consumption of the dense design (for Fig. 16c).
@@ -86,7 +88,12 @@ mod tests {
         // Sparse work at a comparable effective rate would take far less.
         let sparse_cycles = profile().total_macs_sparse() as f64 / 32.0;
         let sparse_ms = sparse_cycles / (CLOCK_MHZ * 1e3);
-        assert!(v.time_ms > 10.0 * sparse_ms, "{} vs {}", v.time_ms, sparse_ms);
+        assert!(
+            v.time_ms > 10.0 * sparse_ms,
+            "{} vs {}",
+            v.time_ms,
+            sparse_ms
+        );
     }
 
     #[test]
@@ -99,7 +106,12 @@ mod tests {
 
     #[test]
     fn resources_scale_by_overhead() {
-        let base = Resources { lut: 100, ff: 200, bram: 40, dsp: 80 };
+        let base = Resources {
+            lut: 100,
+            ff: 200,
+            bram: 40,
+            dsp: 80,
+        };
         let v = vanilla_hls_resources(&base);
         assert_eq!(v.lut, 125);
         assert_eq!(v.dsp, 100);

@@ -19,7 +19,10 @@ pub struct BaselineResult {
 
 impl BaselineResult {
     fn from_seconds(time_s: f64, power_w: f64) -> Self {
-        Self { time_ms: time_s * 1e3, energy_mj: time_s * power_w * 1e3 }
+        Self {
+            time_ms: time_s * 1e3,
+            energy_mj: time_s * power_w * 1e3,
+        }
     }
 }
 
@@ -66,8 +69,7 @@ pub fn gpu(profile: &AlgoProfile) -> BaselineResult {
 /// co-design to pay off.
 pub fn orianna_sw(profile: &AlgoProfile) -> BaselineResult {
     use calib::intel::*;
-    let construct =
-        profile.construct_macs as f64 * (1.0 - calib::orianna_sw::CONSTRUCT_MAC_SAVING);
+    let construct = profile.construct_macs as f64 * (1.0 - calib::orianna_sw::CONSTRUCT_MAC_SAVING);
     let macs = (construct + profile.solve_macs_sparse as f64) * profile.iterations as f64;
     let mac_time = macs / (FREQ_HZ * MACS_PER_CYCLE);
     let overhead = profile.total_kernel_calls() as f64 * KERNEL_OVERHEAD_S;

@@ -29,7 +29,10 @@ pub struct StackResult {
 impl StackResult {
     /// Collapses to the common `(time, energy)` shape.
     pub fn as_baseline(&self) -> BaselineResult {
-        BaselineResult { time_ms: self.time_ms, energy_mj: self.energy_mj }
+        BaselineResult {
+            time_ms: self.time_ms,
+            energy_mj: self.energy_mj,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ pub fn stack(
         // frames of its own algorithm, like the shared ORIANNA instance.
         let wl = Workload {
             streams: (0..frames)
-                .map(|_| orianna_hw::Stream { name, program: prog })
+                .map(|_| orianna_hw::Stream {
+                    name,
+                    program: prog,
+                })
                 .collect(),
         };
         let gen = generate(&wl, per_algo_budget, Objective::Latency);
@@ -61,7 +67,12 @@ pub fn stack(
         resources = resources.plus(&gen.config.resources());
         per_algorithm.push((*name, per_frame));
     }
-    StackResult { time_ms, energy_mj, resources, per_algorithm }
+    StackResult {
+        time_ms,
+        energy_mj,
+        resources,
+        per_algorithm,
+    }
 }
 
 #[cfg(test)]
@@ -74,10 +85,17 @@ mod tests {
 
     fn prog(n: usize) -> Program {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1))).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
         }
         compile(&g, &natural_ordering(&g)).unwrap()
     }
@@ -87,7 +105,12 @@ mod tests {
         let p1 = prog(8);
         let p2 = prog(10);
         let p3 = prog(6);
-        let budget = Resources { lut: 80_000, ff: 90_000, bram: 100, dsp: 300 };
+        let budget = Resources {
+            lut: 80_000,
+            ff: 90_000,
+            bram: 100,
+            dsp: 300,
+        };
         let s = stack(&[("loc", &p1), ("plan", &p2), ("ctrl", &p3)], &budget, 2);
         let shared_min = HwConfig::minimal().resources();
         assert!(s.resources.lut > 2 * shared_min.lut);
@@ -99,7 +122,12 @@ mod tests {
     fn stack_latency_is_max_of_algorithms() {
         let p1 = prog(4);
         let p2 = prog(16);
-        let budget = Resources { lut: 80_000, ff: 90_000, bram: 100, dsp: 300 };
+        let budget = Resources {
+            lut: 80_000,
+            ff: 90_000,
+            bram: 100,
+            dsp: 300,
+        };
         let s = stack(&[("a", &p1), ("b", &p2)], &budget, 2);
         let slowest = s.per_algorithm.iter().map(|(_, t)| *t).fold(0.0, f64::max);
         assert_eq!(s.time_ms, slowest);

@@ -41,12 +41,20 @@ fn bench_scheduler(c: &mut Criterion) {
     let programs: Vec<_> = app
         .algorithms
         .iter()
-        .map(|a| (a.name, compile(&a.graph, &natural_ordering(&a.graph)).unwrap()))
+        .map(|a| {
+            (
+                a.name,
+                compile(&a.graph, &natural_ordering(&a.graph)).unwrap(),
+            )
+        })
         .collect();
     let wl = Workload {
         streams: programs
             .iter()
-            .map(|(n, p)| orianna_hw::Stream { name: n, program: p })
+            .map(|(n, p)| orianna_hw::Stream {
+                name: n,
+                program: p,
+            })
             .collect(),
     };
     let cfg = HwConfig::minimal();

@@ -51,7 +51,9 @@ fn bench_matmul(c: &mut Criterion) {
 fn bench_lie(c: &mut Criterion) {
     let mut group = c.benchmark_group("lie");
     let phi = [0.3, -0.2, 0.5];
-    group.bench_function("so3_exp", |b| b.iter(|| Rot3::exp(std::hint::black_box(phi))));
+    group.bench_function("so3_exp", |b| {
+        b.iter(|| Rot3::exp(std::hint::black_box(phi)))
+    });
     let r = Rot3::exp(phi);
     group.bench_function("so3_log", |b| b.iter(|| std::hint::black_box(&r).log()));
     group.bench_function("right_jacobian", |b| {

@@ -8,14 +8,22 @@ use orianna_graph::{
     min_degree_ordering, natural_ordering, BetweenFactor, FactorGraph, PriorFactor,
 };
 use orianna_lie::Pose2;
-use orianna_solver::{eliminate, GaussNewton, GaussNewtonSettings};
+use orianna_math::{par::available_threads, Parallelism};
+use orianna_solver::{eliminate, eliminate_with, GaussNewton, GaussNewtonSettings};
 
 fn chain(n: usize) -> FactorGraph {
     let mut g = FactorGraph::new();
-    let ids: Vec<_> = (0..n).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1))).collect();
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1)))
+        .collect();
     g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
     for w in ids.windows(2) {
-        g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+        g.add_factor(BetweenFactor::pose2(
+            w[0],
+            w[1],
+            Pose2::new(0.0, 1.0, 0.0),
+            0.2,
+        ));
     }
     // Loop closures every 10 poses for realistic fill-in.
     for i in (0..n.saturating_sub(10)).step_by(10) {
@@ -84,7 +92,11 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
     group.bench_function("batch_re_eliminate", |b| {
         b.iter(|| {
             let sys = g.linearize();
-            eliminate(&sys, &natural_ordering(&g)).unwrap().0.back_substitute().unwrap()
+            eliminate(&sys, &natural_ordering(&g))
+                .unwrap()
+                .0
+                .back_substitute()
+                .unwrap()
         })
     });
     group.bench_function("isam_update", |b| {
@@ -115,11 +127,86 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
                     Pose2::new(0.0, 1.0, 0.0),
                     0.2,
                 )) as Arc<dyn Factor>])
-                .unwrap()
+                    .unwrap()
             },
             criterion::BatchSize::SmallInput,
         )
     });
+    group.finish();
+}
+
+/// Serial vs parallel linearize + eliminate on the largest benchmark
+/// algorithm (by factor count) across all applications. Report speedup as
+/// serial-time / parallel-time at each thread count; on a multicore host
+/// the ≥ 4-thread configuration should exceed 2×.
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let apps = all_apps(2024);
+    let algo = apps
+        .iter()
+        .flat_map(|a| a.algorithms.iter())
+        .max_by_key(|a| a.graph.num_factors())
+        .expect("benchmark apps are non-empty");
+    let ordering = natural_ordering(&algo.graph);
+    let cores = available_threads();
+
+    let mut group = c.benchmark_group("parallel_linearize_eliminate");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let sys = algo.graph.linearize();
+            eliminate(&sys, &ordering).unwrap()
+        })
+    });
+    for threads in [2usize, 4, cores] {
+        let par = Parallelism::with_threads(threads);
+        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+            b.iter(|| {
+                let sys = algo.graph.linearize_with(&par);
+                eliminate_with(&sys, &ordering, &par).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batched simulation throughput: all compiled benchmark streams
+/// simulated one-by-one vs through `simulate_batch`. Near-linear scaling
+/// up to 4 workloads is expected on a ≥ 4-core host.
+fn bench_simulate_batch(c: &mut Criterion) {
+    use orianna_compiler::compile;
+    use orianna_hw::{simulate, simulate_batch, HwConfig, IssuePolicy, Workload};
+    let apps = all_apps(2024);
+    let programs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            app.algorithms
+                .iter()
+                .map(|a| compile(&a.graph, &natural_ordering(&a.graph)).unwrap())
+        })
+        .collect();
+    let workloads: Vec<Workload<'_>> = programs
+        .iter()
+        .take(4)
+        .map(|p| Workload::single("stream", p))
+        .collect();
+    let cfg = HwConfig::minimal();
+
+    let mut group = c.benchmark_group("simulate_batch_4_workloads");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            workloads
+                .iter()
+                .map(|w| simulate(w, &cfg, IssuePolicy::OutOfOrder))
+                .collect::<Vec<_>>()
+        })
+    });
+    for threads in [2usize, 4] {
+        let par = Parallelism::with_threads(threads);
+        group.bench_function(BenchmarkId::new("batched", threads), |b| {
+            b.iter(|| simulate_batch(&workloads, &cfg, IssuePolicy::OutOfOrder, &par))
+        });
+    }
     group.finish();
 }
 
@@ -128,6 +215,8 @@ criterion_group!(
     bench_elimination_scaling,
     bench_linearize,
     bench_app_gauss_newton,
-    bench_incremental_vs_batch
+    bench_incremental_vs_batch,
+    bench_parallel_speedup,
+    bench_simulate_batch
 );
 criterion_main!(benches);

@@ -13,7 +13,22 @@ use orianna_bench::figures;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["t1", "macs", "t4", "t5", "f13", "f14", "f15", "breakdown", "f16", "f17", "f18", "f19", "f1", "passes"]
+        vec![
+            "t1",
+            "macs",
+            "t4",
+            "t5",
+            "f13",
+            "f14",
+            "f15",
+            "breakdown",
+            "f16",
+            "f17",
+            "f18",
+            "f19",
+            "f1",
+            "passes",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };

@@ -132,14 +132,25 @@ pub fn repeat_program(prog: &Program, times: u64) -> Program {
 
 fn remap_op(op: &Op, off: usize) -> Op {
     match op {
-        Op::Qrd { frontal, frontal_dim, seps, gather, new_factor_deps, rows } => Op::Qrd {
+        Op::Qrd {
+            frontal,
+            frontal_dim,
+            seps,
+            gather,
+            new_factor_deps,
+            rows,
+        } => Op::Qrd {
             frontal: *frontal,
             frontal_dim: *frontal_dim,
             seps: seps.clone(),
             gather: gather
                 .iter()
                 .map(|g| orianna_compiler::program::GatherFactor {
-                    key_regs: g.key_regs.iter().map(|(v, r)| (*v, Reg(r.0 + off))).collect(),
+                    key_regs: g
+                        .key_regs
+                        .iter()
+                        .map(|(v, r)| (*v, Reg(r.0 + off)))
+                        .collect(),
                     rhs_reg: Reg(g.rhs_reg.0 + off),
                     rows: g.rows,
                 })
@@ -165,13 +176,13 @@ pub fn evaluate_app(app: &RobotApp, budget: &Resources) -> AppEvaluation {
     for a in &app.algorithms {
         frames_of.push(a.frames_in_flight);
         let ordering = natural_ordering(&a.graph);
-        let program = compile(&a.graph, &ordering)
-            .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, a.name));
+        let program =
+            compile(&a.graph, &ordering).unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, a.name));
         let frame_program = repeat_program(&program, a.iterations);
         let profile = profile_graph(&a.graph, &ordering, a.iterations);
         let sys = a.graph.linearize();
-        let (_, elim_stats) = eliminate(&sys, &ordering)
-            .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, a.name));
+        let (_, elim_stats) =
+            eliminate(&sys, &ordering).unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, a.name));
         let dense_shape = (sys.total_rows(), sys.total_cols(), sys.density());
         algos.push(AlgoEval {
             name: a.name,
@@ -192,7 +203,10 @@ pub fn evaluate_app(app: &RobotApp, budget: &Resources) -> AppEvaluation {
             .iter()
             .zip(&frames_of)
             .flat_map(|(a, &frames)| {
-                (0..frames).map(move |_| Stream { name: a.name, program: &a.frame_program })
+                (0..frames).map(move |_| Stream {
+                    name: a.name,
+                    program: &a.frame_program,
+                })
             })
             .collect(),
     };
@@ -256,7 +270,10 @@ pub fn simulate_algo(algo: &AlgoEval, config: &HwConfig) -> SimReport {
     // frames in flight, amortized to per-frame figures.
     let wl = Workload {
         streams: (0..FRAMES)
-            .map(|_| Stream { name: algo.name, program: &algo.frame_program })
+            .map(|_| Stream {
+                name: algo.name,
+                program: &algo.frame_program,
+            })
             .collect(),
     };
     let mut r = simulate(&wl, config, IssuePolicy::OutOfOrder);
@@ -300,7 +317,10 @@ mod tests {
             eval.ooo.time_ms,
             eval.intel.time_ms
         );
-        assert!(eval.vanilla.time_ms > eval.ooo.time_ms, "dense design is slower");
+        assert!(
+            eval.vanilla.time_ms > eval.ooo.time_ms,
+            "dense design is slower"
+        );
         assert!(
             eval.stack.resources.lut > 2 * eval.generated.config.resources().lut,
             "stack uses ~3x resources"

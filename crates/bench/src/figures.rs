@@ -17,7 +17,10 @@ pub const SEED: u64 = 2024;
 
 /// Evaluates all four applications under the ZC706 budget.
 pub fn evaluate_all() -> Vec<AppEvaluation> {
-    all_apps(SEED).iter().map(|a| evaluate_app(a, &Resources::zc706())).collect()
+    all_apps(SEED)
+        .iter()
+        .map(|a| evaluate_app(a, &Resources::zc706()))
+        .collect()
 }
 
 fn geo_mean(xs: &[f64]) -> f64 {
@@ -28,13 +31,28 @@ fn geo_mean(xs: &[f64]) -> f64 {
 pub fn tbl1() -> String {
     let r = run_sphere(SEED, 6, 16, 10.0, 0.002, 0.02);
     let mut s = String::new();
-    writeln!(s, "Table 1: absolute trajectory errors (m), sphere benchmark").unwrap();
-    writeln!(s, "{:<16} {:>9} {:>9} {:>9} {:>9}", "", "Max", "Mean", "Min", "Std").unwrap();
-    for (name, a) in
-        [("Initial Error", r.initial), ("<so(3),T(3)>", r.unified), ("SE(3)", r.se3)]
-    {
-        writeln!(s, "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>9.3}", name, a.max, a.mean, a.min, a.std)
-            .unwrap();
+    writeln!(
+        s,
+        "Table 1: absolute trajectory errors (m), sphere benchmark"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<16} {:>9} {:>9} {:>9} {:>9}",
+        "", "Max", "Mean", "Min", "Std"
+    )
+    .unwrap();
+    for (name, a) in [
+        ("Initial Error", r.initial),
+        ("<so(3),T(3)>", r.unified),
+        ("SE(3)", r.se3),
+    ] {
+        writeln!(
+            s,
+            "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            name, a.max, a.mean, a.min, a.std
+        )
+        .unwrap();
     }
     writeln!(
         s,
@@ -90,12 +108,23 @@ pub fn tbl4() -> String {
 /// Tbl. 5 — mission success rates, software vs ORIANNA pipeline.
 pub fn tbl5(missions: usize) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 5: mission success rate over {missions} randomized missions").unwrap();
+    writeln!(
+        s,
+        "Table 5: mission success rate over {missions} randomized missions"
+    )
+    .unwrap();
     writeln!(s, "{:<12} {:>10} {:>10}", "App", "Software", "ORIANNA").unwrap();
     for app in ["MobileRobot", "Manipulator", "AutoVehicle", "Quadrotor"] {
         let sw = success_rate(app, missions, Pipeline::Software);
         let hw = success_rate(app, missions, Pipeline::Orianna);
-        writeln!(s, "{:<12} {:>9.1}% {:>9.1}%", app, sw.percent(), hw.percent()).unwrap();
+        writeln!(
+            s,
+            "{:<12} {:>9.1}% {:>9.1}%",
+            app,
+            sw.percent(),
+            hw.percent()
+        )
+        .unwrap();
     }
     writeln!(s, "(paper: 100/96.7/100/93.3%, identical across pipelines)").unwrap();
     s
@@ -195,9 +224,17 @@ pub fn fig14(evals: &[AppEvaluation]) -> String {
 /// Fig. 15 — per-algorithm speedup over ARM.
 pub fn fig15(evals: &[AppEvaluation]) -> String {
     let mut s = String::new();
-    writeln!(s, "Figure 15: per-algorithm speedup of ORIANNA-OoO over ARM").unwrap();
-    writeln!(s, "{:<12} {:>13} {:>10} {:>9}", "App", "localization", "planning", "control")
-        .unwrap();
+    writeln!(
+        s,
+        "Figure 15: per-algorithm speedup of ORIANNA-OoO over ARM"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<12} {:>13} {:>10} {:>9}",
+        "App", "localization", "planning", "control"
+    )
+    .unwrap();
     let mut per_algo: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
     for e in evals {
         let mut row = format!("{:<12}", e.name);
@@ -220,7 +257,10 @@ pub fn fig15(evals: &[AppEvaluation]) -> String {
 
 /// Sec. 7.3 — latency breakdown of the quadrotor application.
 pub fn breakdown(evals: &[AppEvaluation]) -> String {
-    let e = evals.iter().find(|e| e.name == "Quadrotor").expect("quadrotor evaluated");
+    let e = evals
+        .iter()
+        .find(|e| e.name == "Quadrotor")
+        .expect("quadrotor evaluated");
     format!(
         "Sec 7.3: quadrotor latency breakdown (work share)\n\
          matrix decomposition: {:.1}%  (paper 74.0%)\n\
@@ -281,9 +321,19 @@ pub fn fig16(evals: &[AppEvaluation]) -> String {
     let ori = e.generated.config.resources();
     let van = vanilla_hls_resources(&ori);
     let stk = &e.stack.resources;
-    writeln!(s, "{:<12} {:>9} {:>9} {:>7} {:>6}", "Design", "LUT", "FF", "BRAM", "DSP").unwrap();
+    writeln!(
+        s,
+        "{:<12} {:>9} {:>9} {:>7} {:>6}",
+        "Design", "LUT", "FF", "BRAM", "DSP"
+    )
+    .unwrap();
     for (name, r) in [("ORIANNA", &ori), ("VANILLA-HLS", &van), ("STACK", stk)] {
-        writeln!(s, "{:<12} {:>9} {:>9} {:>7} {:>6}", name, r.lut, r.ff, r.bram, r.dsp).unwrap();
+        writeln!(
+            s,
+            "{:<12} {:>9} {:>9} {:>7} {:>6}",
+            name, r.lut, r.ff, r.bram, r.dsp
+        )
+        .unwrap();
     }
     writeln!(
         s,
@@ -299,10 +349,16 @@ pub fn fig16(evals: &[AppEvaluation]) -> String {
 
 /// Fig. 17 — matrix-operation sizes, dense vs factor-graph.
 pub fn fig17(evals: &[AppEvaluation]) -> String {
-    let e = evals.iter().find(|e| e.name == "MobileRobot").expect("mobile robot evaluated");
+    let e = evals
+        .iter()
+        .find(|e| e.name == "MobileRobot")
+        .expect("mobile robot evaluated");
     let mut s = String::new();
-    writeln!(s, "Figure 17: matrix operation size, VANILLA-HLS vs ORIANNA (mobile robot)")
-        .unwrap();
+    writeln!(
+        s,
+        "Figure 17: matrix operation size, VANILLA-HLS vs ORIANNA (mobile robot)"
+    )
+    .unwrap();
     writeln!(
         s,
         "{:<14} {:>14} {:>16} {:>16} {:>10}",
@@ -312,7 +368,12 @@ pub fn fig17(evals: &[AppEvaluation]) -> String {
     let mut reductions = Vec::new();
     for a in &e.algos {
         let dense = a.dense_shape.0 * a.dense_shape.1;
-        let shapes: Vec<usize> = a.elim_stats.steps.iter().map(|st| st.rows * st.cols).collect();
+        let shapes: Vec<usize> = a
+            .elim_stats
+            .steps
+            .iter()
+            .map(|st| st.rows * st.cols)
+            .collect();
         let max = shapes.iter().copied().max().unwrap_or(0);
         let mean = shapes.iter().sum::<usize>() as f64 / shapes.len().max(1) as f64;
         let red = dense as f64 / max.max(1) as f64;
@@ -324,25 +385,51 @@ pub fn fig17(evals: &[AppEvaluation]) -> String {
         )
         .unwrap();
     }
-    writeln!(s, "mean size reduction {:.1}x (paper: 11.1x average)", geo_mean(&reductions))
-        .unwrap();
+    writeln!(
+        s,
+        "mean size reduction {:.1}x (paper: 11.1x average)",
+        geo_mean(&reductions)
+    )
+    .unwrap();
     s
 }
 
 /// Fig. 18 — matrix-operation density, dense vs factor-graph.
 pub fn fig18(evals: &[AppEvaluation]) -> String {
-    let e = evals.iter().find(|e| e.name == "MobileRobot").expect("mobile robot evaluated");
+    let e = evals
+        .iter()
+        .find(|e| e.name == "MobileRobot")
+        .expect("mobile robot evaluated");
     let mut s = String::new();
-    writeln!(s, "Figure 18: matrix operation density, VANILLA-HLS vs ORIANNA (mobile robot)")
-        .unwrap();
-    writeln!(s, "{:<14} {:>10} {:>12} {:>8}", "Algorithm", "dense", "orianna", "gain").unwrap();
+    writeln!(
+        s,
+        "Figure 18: matrix operation density, VANILLA-HLS vs ORIANNA (mobile robot)"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<14} {:>10} {:>12} {:>8}",
+        "Algorithm", "dense", "orianna", "gain"
+    )
+    .unwrap();
     for a in &e.algos {
         let dense = a.dense_shape.2;
         let ori = a.elim_stats.mean_density();
-        writeln!(s, "{:<14} {:>9.1}% {:>11.1}% {:>7.1}x", a.name, 100.0 * dense, 100.0 * ori, ori / dense)
-            .unwrap();
+        writeln!(
+            s,
+            "{:<14} {:>9.1}% {:>11.1}% {:>7.1}x",
+            a.name,
+            100.0 * dense,
+            100.0 * ori,
+            ori / dense
+        )
+        .unwrap();
     }
-    writeln!(s, "(paper: density improves to 58.5% on average, up to 10.8x)").unwrap();
+    writeln!(
+        s,
+        "(paper: density improves to 58.5% on average, up to 10.8x)"
+    )
+    .unwrap();
     s
 }
 
@@ -356,12 +443,18 @@ pub fn fig19_20() -> String {
     let streams: Vec<_> = eval
         .algos
         .iter()
-        .map(|a| orianna_hw::Stream { name: a.name, program: &a.frame_program })
+        .map(|a| orianna_hw::Stream {
+            name: a.name,
+            program: &a.frame_program,
+        })
         .collect();
     let wl = Workload { streams };
     let mut s = String::new();
-    writeln!(s, "Figure 19/20: generated vs manual designs under DSP constraints (mobile robot)")
-        .unwrap();
+    writeln!(
+        s,
+        "Figure 19/20: generated vs manual designs under DSP constraints (mobile robot)"
+    )
+    .unwrap();
     writeln!(
         s,
         "{:>5} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
@@ -369,14 +462,22 @@ pub fn fig19_20() -> String {
     )
     .unwrap();
     for dsp in [150u64, 250, 400, 600, 900] {
-        let budget = Resources { lut: 218_600, ff: 437_200, bram: 545, dsp };
+        let budget = Resources {
+            lut: 218_600,
+            ff: 437_200,
+            bram: 545,
+            dsp,
+        };
         // Fig. 19: latency-objective generation; Fig. 20: energy-objective.
         let gen_lat = orianna_hw::generate(&wl, &budget, Objective::Latency);
         let gen_energy = orianna_hw::generate(&wl, &budget, Objective::Energy);
         let mut row = format!("{:>5} | {:>9.2}", dsp, intel_ms / gen_lat.report.time_ms);
         let mut energies = vec![gen_energy.report.energy_mj];
-        for cfg in [manual_uniform(&budget), manual_matmul_heavy(&budget), manual_qr_heavy(&budget)]
-        {
+        for cfg in [
+            manual_uniform(&budget),
+            manual_matmul_heavy(&budget),
+            manual_qr_heavy(&budget),
+        ] {
             let r = simulate(&wl, &cfg, IssuePolicy::OutOfOrder);
             write!(row, " {:>9.2}", intel_ms / r.time_ms).unwrap();
             energies.push(r.energy_mj);
@@ -387,7 +488,11 @@ pub fn fig19_20() -> String {
         }
         writeln!(s, "{row}").unwrap();
     }
-    writeln!(s, "(paper: generated designs dominate manual ones at every DSP budget)").unwrap();
+    writeln!(
+        s,
+        "(paper: generated designs dominate manual ones at every DSP budget)"
+    )
+    .unwrap();
     s
 }
 
@@ -398,7 +503,11 @@ pub fn passes_report() -> String {
     use orianna_compiler::{compile, optimize};
     use orianna_graph::natural_ordering;
     let mut s = String::new();
-    writeln!(s, "Compiler pass ablation: instruction counts before/after optimization").unwrap();
+    writeln!(
+        s,
+        "Compiler pass ablation: instruction counts before/after optimization"
+    )
+    .unwrap();
     writeln!(
         s,
         "{:<12} {:<14} {:>8} {:>8} {:>7} {:>7} {:>9}",
@@ -430,21 +539,45 @@ pub fn passes_report() -> String {
 /// summary table from the measured systems.
 pub fn fig1(evals: &[AppEvaluation]) -> String {
     let mut s = String::new();
-    writeln!(s, "Figure 1 (qualitative): performance vs NRE/resource landscape").unwrap();
+    writeln!(
+        s,
+        "Figure 1 (qualitative): performance vs NRE/resource landscape"
+    )
+    .unwrap();
     writeln!(
         s,
         "{:<22} {:>14} {:>16}",
         "System", "speedup/Intel", "resources (LUT)"
     )
     .unwrap();
-    let mean = |f: &dyn Fn(&AppEvaluation) -> f64| geo_mean(&evals.iter().map(f).collect::<Vec<_>>());
+    let mean =
+        |f: &dyn Fn(&AppEvaluation) -> f64| geo_mean(&evals.iter().map(f).collect::<Vec<_>>());
     let ori = mean(&|e| e.intel.time_ms / e.ooo.time_ms);
     let van = mean(&|e| e.intel.time_ms / e.vanilla.time_ms);
     let stk = mean(&|e| e.intel.time_ms / e.stack.time_ms);
     let last = evals.last().expect("evaluations");
-    writeln!(s, "{:<22} {:>14.2} {:>16}", "VANILLA-HLS (low NRE)", van, vanilla_hls_resources(&last.generated.config.resources()).lut).unwrap();
-    writeln!(s, "{:<22} {:>14.2} {:>16}", "STACK (high NRE)", stk, last.stack.resources.lut).unwrap();
-    writeln!(s, "{:<22} {:>14.2} {:>16}", "ORIANNA (generated)", ori, last.generated.config.resources().lut).unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>14.2} {:>16}",
+        "VANILLA-HLS (low NRE)",
+        van,
+        vanilla_hls_resources(&last.generated.config.resources()).lut
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>14.2} {:>16}",
+        "STACK (high NRE)", stk, last.stack.resources.lut
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>14.2} {:>16}",
+        "ORIANNA (generated)",
+        ori,
+        last.generated.config.resources().lut
+    )
+    .unwrap();
     s
 }
 
@@ -466,11 +599,19 @@ mod tests {
             assert!(e.ooo.time_ms < e.io.time_ms, "{}: OoO beats IO", e.name);
             assert!(e.ooo.time_ms < e.intel.time_ms, "{}: beats Intel", e.name);
             assert!(e.ooo.time_ms < e.gpu.time_ms, "{}: beats GPU", e.name);
-            assert!(e.intel.time_ms < e.arm.time_ms, "{}: Intel beats ARM", e.name);
+            assert!(
+                e.intel.time_ms < e.arm.time_ms,
+                "{}: Intel beats ARM",
+                e.name
+            );
             assert!(e.gpu.time_ms < e.arm.time_ms, "{}: GPU beats ARM", e.name);
             // ORIANNA-SW gains little over Intel.
             let gain = (e.intel.time_ms - e.orianna_sw.time_ms) / e.intel.time_ms;
-            assert!((0.0..0.15).contains(&gain), "{}: SW-only gain {gain}", e.name);
+            assert!(
+                (0.0..0.15).contains(&gain),
+                "{}: SW-only gain {gain}",
+                e.name
+            );
         }
     }
 
@@ -487,10 +628,18 @@ mod tests {
     #[test]
     fn fig16_shape_holds() {
         for e in evals() {
-            assert!(e.vanilla.time_ms > e.ooo.time_ms, "{}: dense slower", e.name);
+            assert!(
+                e.vanilla.time_ms > e.ooo.time_ms,
+                "{}: dense slower",
+                e.name
+            );
             // STACK latency comparable to ORIANNA (within 2x either way).
             let ratio = e.ooo.time_ms / e.stack.time_ms;
-            assert!((0.4..2.5).contains(&ratio), "{}: stack ratio {ratio}", e.name);
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{}: stack ratio {ratio}",
+                e.name
+            );
             // STACK resources ~3x.
             let lut_ratio =
                 e.stack.resources.lut as f64 / e.generated.config.resources().lut as f64;

@@ -152,13 +152,26 @@ impl<'g> Codegen<'g> {
         dims: (usize, usize),
     ) -> Reg {
         let dst = self.prog.fresh_reg();
-        self.prog.push(Instruction { id: 0, op, dst, srcs, level, factor, phase, dims });
+        self.prog.push(Instruction {
+            id: 0,
+            op,
+            dst,
+            srcs,
+            level,
+            factor,
+            phase,
+            dims,
+        });
         dst
     }
 
     fn const_reg(&mut self, m: Mat, factor: Option<usize>) -> Reg {
         let key: String = {
-            let bits: Vec<String> = m.as_slice().iter().map(|x| x.to_bits().to_string()).collect();
+            let bits: Vec<String> = m
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits().to_string())
+                .collect();
             format!("{}x{}:{}", m.rows(), m.cols(), bits.join(","))
         };
         if let Some(&r) = self.const_cache.get(&key) {
@@ -187,7 +200,14 @@ impl<'g> Codegen<'g> {
             (v, VarComp::Full) => (v.dim(), 1),
             (v, c) => panic!("invalid component {c:?} for {v:?}"),
         };
-        let r = self.instr(Op::Input { var, comp }, vec![], 0, factor, Phase::Construct, dims);
+        let r = self.instr(
+            Op::Input { var, comp },
+            vec![],
+            0,
+            factor,
+            Phase::Construct,
+            dims,
+        );
         self.input_cache.insert((var, tag), r);
         r
     }
@@ -231,26 +251,61 @@ impl<'g> Codegen<'g> {
                         self.rot_reg(v, Some(fi))
                     } else {
                         let a = val[node.args[0].0].unwrap();
-                        self.instr(Op::Exp, vec![a], node.level, Some(fi), Phase::Construct, dims)
+                        self.instr(
+                            Op::Exp,
+                            vec![a],
+                            node.level,
+                            Some(fi),
+                            Phase::Construct,
+                            dims,
+                        )
                     }
                 }
                 NodeOp::Log => {
                     let a = val[node.args[0].0].unwrap();
-                    self.instr(Op::Log, vec![a], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Log,
+                        vec![a],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Rt => {
                     let a = val[node.args[0].0].unwrap();
-                    self.instr(Op::Rt, vec![a], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Rt,
+                        vec![a],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Rr => {
                     let a = val[node.args[0].0].unwrap();
                     let b = val[node.args[1].0].unwrap();
-                    self.instr(Op::Rr, vec![a, b], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Rr,
+                        vec![a, b],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Rv => {
                     let a = val[node.args[0].0].unwrap();
                     let b = val[node.args[1].0].unwrap();
-                    self.instr(Op::Rv, vec![a, b], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Rv,
+                        vec![a, b],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Add => {
                     let a = val[node.args[0].0].unwrap();
@@ -279,12 +334,24 @@ impl<'g> Codegen<'g> {
                 NodeOp::MatVec(m) => {
                     let c = self.const_reg(m.clone(), Some(fi));
                     let a = val[node.args[0].0].unwrap();
-                    self.instr(Op::Mm, vec![c, a], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Mm,
+                        vec![c, a],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Proj { fx, fy, cx, cy } => {
                     let a = val[node.args[0].0].unwrap();
                     self.instr(
-                        Op::Proj { fx: *fx, fy: *fy, cx: *cx, cy: *cy },
+                        Op::Proj {
+                            fx: *fx,
+                            fy: *fy,
+                            cx: *cx,
+                            cy: *cy,
+                        },
                         vec![a],
                         node.level,
                         Some(fi),
@@ -294,16 +361,33 @@ impl<'g> Codegen<'g> {
                 }
                 NodeOp::Norm => {
                     let a = val[node.args[0].0].unwrap();
-                    self.instr(Op::Norm, vec![a], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Norm,
+                        vec![a],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Hinge(c) => {
                     let a = val[node.args[0].0].unwrap();
-                    self.instr(Op::Hinge(*c), vec![a], node.level, Some(fi), Phase::Construct, dims)
+                    self.instr(
+                        Op::Hinge(*c),
+                        vec![a],
+                        node.level,
+                        Some(fi),
+                        Phase::Construct,
+                        dims,
+                    )
                 }
                 NodeOp::Slice { start, len } => {
                     let a = val[node.args[0].0].unwrap();
                     self.instr(
-                        Op::Slice { start: *start, len: *len },
+                        Op::Slice {
+                            start: *start,
+                            len: *len,
+                        },
                         vec![a],
                         node.level,
                         Some(fi),
@@ -378,10 +462,8 @@ impl<'g> Codegen<'g> {
                     (0, _, None) => self.const_reg(Mat::zeros(m_k, d), Some(fi)),
                     (_, None, None) => self.const_reg(Mat::zeros(m_k, d), Some(fi)),
                     (_, p, t) => {
-                        let pr = p.unwrap_or_else(|| {
-                            // Zero placeholder resolved below.
-                            Reg(usize::MAX)
-                        });
+                        // usize::MAX is a zero placeholder resolved below.
+                        let pr = p.unwrap_or(Reg(usize::MAX));
                         let pr = if pr.0 == usize::MAX {
                             self.const_reg(Mat::zeros(m_k, dphi), Some(fi))
                         } else {
@@ -510,7 +592,8 @@ impl<'g> Codegen<'g> {
             // Interior node: propagate to each argument.
             let locals = self.local_jacs(fi, dfg, NodeId(ni), val)?;
             for (arg, local) in node.args.iter().zip(locals) {
-                let contrib = self.combine(a_state, local, m_k, dfg.node(*arg).kind.tangent_dim(), fi);
+                let contrib =
+                    self.combine(a_state, local, m_k, dfg.node(*arg).kind.tangent_dim(), fi);
                 self.add_adj(&mut adj, dfg, *arg, contrib, m_k, fi);
             }
         }
@@ -907,14 +990,17 @@ impl<'g> Codegen<'g> {
                 work[gi].live = false;
                 match work[gi].src {
                     SymSrc::Orig(fi) => {
-                        let key_regs: Vec<(VarId, Reg)> =
-                            self.prog.factor_jacobians[fi].clone();
+                        let key_regs: Vec<(VarId, Reg)> = self.prog.factor_jacobians[fi].clone();
                         let rhs_reg = self.prog.factor_rhs[fi];
                         for (_, r) in &key_regs {
                             srcs.push(*r);
                         }
                         srcs.push(rhs_reg);
-                        gather.push(GatherFactor { key_regs, rhs_reg, rows: work[gi].rows });
+                        gather.push(GatherFactor {
+                            key_regs,
+                            rhs_reg,
+                            rows: work[gi].rows,
+                        });
                     }
                     SymSrc::New(qid) => {
                         new_deps.push(qid);

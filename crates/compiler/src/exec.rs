@@ -17,6 +17,10 @@ use orianna_lie::{so2, so3, Rot2, Rot3};
 use orianna_math::{householder_qr, Mat, Vec64};
 use std::collections::HashMap;
 
+/// Per-variable conditional as recovered during execution:
+/// `(R, [(parent, S)], d)`.
+type CondEntry = (Mat, Vec<(VarId, Mat)>, Vec64);
+
 /// Execution failures.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
@@ -70,7 +74,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
     let mut regs: Vec<Option<Mat>> = vec![None; prog.num_regs()];
     // Elimination state.
     let mut new_factors: HashMap<usize, LinearFactor> = HashMap::new();
-    let mut conditionals: HashMap<VarId, (Mat, Vec<(VarId, Mat)>, Vec64)> = HashMap::new();
+    let mut conditionals: HashMap<VarId, CondEntry> = HashMap::new();
     let mut delta_of: HashMap<VarId, Vec64> = HashMap::new();
 
     let get = |regs: &Vec<Option<Mat>>, r: Reg| -> Result<Mat, ExecError> {
@@ -180,11 +184,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
             Op::Proj { fx, fy, cx, cy } => {
                 let p = get(&regs, instr.srcs[0])?;
                 let z = p[(2, 0)].max(1e-3);
-                Mat::from_row_major(
-                    2,
-                    1,
-                    &[fx * p[(0, 0)] / z + cx, fy * p[(1, 0)] / z + cy],
-                )
+                Mat::from_row_major(2, 1, &[fx * p[(0, 0)] / z + cx, fy * p[(1, 0)] / z + cy])
             }
             Op::ProjJac { fx, fy } => {
                 let p = get(&regs, instr.srcs[0])?;
@@ -215,7 +215,14 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                 }
                 j
             }
-            Op::Qrd { frontal, frontal_dim, seps, gather, new_factor_deps, rows } => {
+            Op::Qrd {
+                frontal,
+                frontal_dim,
+                seps,
+                gather,
+                new_factor_deps,
+                rows,
+            } => {
                 // Materialize the gathered linear factors.
                 let mut factors: Vec<LinearFactor> = Vec::new();
                 for g in gather {
@@ -236,13 +243,8 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                             .ok_or(ExecError::UnwrittenRegister(Reg(usize::MAX)))?,
                     );
                 }
-                let (cond, new_factor, r_view) = eliminate_one(
-                    *frontal,
-                    *frontal_dim,
-                    seps,
-                    &factors,
-                    *rows,
-                )?;
+                let (cond, new_factor, r_view) =
+                    eliminate_one(*frontal, *frontal_dim, seps, &factors, *rows)?;
                 conditionals.insert(*frontal, cond);
                 if let Some(nf) = new_factor {
                     new_factors.insert(instr.id, nf);
@@ -267,7 +269,10 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
             }
         };
         if out.shape() != instr.dims
-            && !matches!(instr.op, Op::Qrd { .. } | Op::Bsub { .. } | Op::HingeJac(_) | Op::Mm)
+            && !matches!(
+                instr.op,
+                Op::Qrd { .. } | Op::Bsub { .. } | Op::HingeJac(_) | Op::Mm
+            )
         {
             return Err(ExecError::Shape(format!(
                 "instruction {} ({}) produced {:?}, expected {:?}",
@@ -291,7 +296,11 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
     for (v, dv) in &delta_of {
         delta.set_segment(offsets[v.0], dv);
     }
-    Ok(ExecResult { regs, delta, delta_of })
+    Ok(ExecResult {
+        regs,
+        delta,
+        delta_of,
+    })
 }
 
 fn input_value(values: &Values, var: VarId, comp: VarComp) -> Result<Mat, ExecError> {
@@ -436,7 +445,11 @@ fn eliminate_one(
             for r in 0..nr {
                 nrhs[r] = r_full[(dv + r, cols)];
             }
-            Some(LinearFactor { keys: seps.iter().map(|(s, _)| *s).collect(), blocks, rhs: nrhs })
+            Some(LinearFactor {
+                keys: seps.iter().map(|(s, _)| *s).collect(),
+                blocks,
+                rhs: nrhs,
+            })
         } else {
             None
         }
@@ -452,7 +465,16 @@ mod tests {
     use crate::program::{Instruction, Phase};
 
     fn instr(op: Op, dst: Reg, srcs: Vec<Reg>, dims: (usize, usize)) -> Instruction {
-        Instruction { id: 0, op, dst, srcs, level: 0, factor: None, phase: Phase::Construct, dims }
+        Instruction {
+            id: 0,
+            op,
+            dst,
+            srcs,
+            level: 0,
+            factor: None,
+            phase: Phase::Construct,
+            dims,
+        }
     }
 
     #[test]
@@ -523,7 +545,11 @@ mod tests {
                 frontal: v,
                 frontal_dim: 2,
                 seps: vec![],
-                gather: vec![GatherFactor { key_regs: vec![(v, j)], rhs_reg: rhs, rows: 2 }],
+                gather: vec![GatherFactor {
+                    key_regs: vec![(v, j)],
+                    rhs_reg: rhs,
+                    rows: 2,
+                }],
                 new_factor_deps: vec![],
                 rows: 2,
             },

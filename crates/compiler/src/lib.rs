@@ -49,10 +49,10 @@ pub mod passes;
 pub mod program;
 
 pub use codegen::{compile, CompileError};
-pub use passes::{disassemble, optimize, PassStats};
 pub use exec::{execute, ExecError, ExecResult};
 pub use lower::{lower_factor, LowerError, LoweredFactor};
 pub use modfg::{Expr, ModFg, NodeOp, ValKind};
+pub use passes::{disassemble, optimize, PassStats};
 pub use program::{Instruction, Op, Phase, Program, Reg, UnitClass, VarComp};
 
 #[cfg(test)]
@@ -110,11 +110,17 @@ mod tests {
     #[test]
     fn pose2_chain_matches() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> =
-            (0..4).map(|i| g.add_pose2(Pose2::new(0.1 * i as f64, i as f64 * 0.9, 0.2))).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| g.add_pose2(Pose2::new(0.1 * i as f64, i as f64 * 0.9, 0.2)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.05, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.05, 1.0, 0.0),
+                0.2,
+            ));
         }
         g.add_factor(GpsFactor::new(ids[2], &[2.0, 0.1], 0.5));
         assert_compiler_matches_solver(&g, 1e-9);
@@ -155,7 +161,11 @@ mod tests {
         // A second camera observation from another pose so the landmark is
         // fully constrained.
         let x2 = g.add_pose3(Pose3::from_parts([0.0, 0.1, 0.0], [1.0, 0.0, 0.0]));
-        g.add_factor(PriorFactor::pose3(x2, Pose3::from_parts([0.0, 0.1, 0.0], [1.0, 0.0, 0.0]), 0.05));
+        g.add_factor(PriorFactor::pose3(
+            x2,
+            Pose3::from_parts([0.0, 0.1, 0.0], [1.0, 0.0, 0.0]),
+            0.05,
+        ));
         g.add_factor(CameraFactor::new(x2, l, [300.0, 255.0], model, 1.0));
         assert_compiler_matches_solver(&g, 1e-8);
     }
@@ -193,10 +203,15 @@ mod tests {
     fn opaque_factor_rejected() {
         let mut g = FactorGraph::new();
         let x = g.add_vector(Vec64::from_slice(&[1.0]));
-        g.add_factor(orianna_graph::CustomFactor::new(vec![x], 1, 1.0, |vals, keys| {
-            let v = vals.get(keys[0]).as_vector();
-            Vec64::from_slice(&[v[0] * v[0]])
-        }));
+        g.add_factor(orianna_graph::CustomFactor::new(
+            vec![x],
+            1,
+            1.0,
+            |vals, keys| {
+                let v = vals.get(keys[0]).as_vector();
+                Vec64::from_slice(&[v[0] * v[0]])
+            },
+        ));
         let err = compile(&g, &natural_ordering(&g)).unwrap_err();
         assert!(matches!(err, CompileError::Lower { .. }));
     }
@@ -215,7 +230,9 @@ mod tests {
         ));
         let prog = compile(&g, &natural_ordering(&g)).unwrap();
         let names: Vec<&str> = prog.instrs.iter().map(|i| i.op.mnemonic()).collect();
-        for expect in ["EXP", "LOG", "RT", "RR", "RV", "VP-", "JRI", "SKEW", "QRD", "BSUB"] {
+        for expect in [
+            "EXP", "LOG", "RT", "RR", "RV", "VP-", "JRI", "SKEW", "QRD", "BSUB",
+        ] {
             assert!(names.contains(&expect), "missing {expect}: {names:?}");
         }
         // Exactly one QRD per variable, one BSUB per variable.

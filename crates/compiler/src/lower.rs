@@ -42,7 +42,10 @@ impl std::fmt::Display for LowerError {
         match self {
             LowerError::Opaque => write!(f, "factor has no structural description (opaque)"),
             LowerError::Arity { expected, actual } => {
-                write!(f, "factor arity mismatch: expected {expected} keys, got {actual}")
+                write!(
+                    f,
+                    "factor arity mismatch: expected {expected} keys, got {actual}"
+                )
             }
         }
     }
@@ -68,7 +71,10 @@ pub fn lower_factor(kind: &FactorKind, keys: &[VarId]) -> Result<LoweredFactor, 
         if keys.len() == n {
             Ok(())
         } else {
-            Err(LowerError::Arity { expected: n, actual: keys.len() })
+            Err(LowerError::Arity {
+                expected: n,
+                actual: keys.len(),
+            })
         }
     };
     match kind {
@@ -77,26 +83,38 @@ pub fn lower_factor(kind: &FactorKind, keys: &[VarId]) -> Result<LoweredFactor, 
             let x = keys[0];
             let rz = z.rotation().to_mat();
             let tz = col(&z.translation());
-            Ok(LoweredFactor { roots: prior_pose_exprs(x, rz, tz), space_dim: 2 })
+            Ok(LoweredFactor {
+                roots: prior_pose_exprs(x, rz, tz),
+                space_dim: 2,
+            })
         }
         FactorKind::PriorPose3 { z } => {
             need(1)?;
             let x = keys[0];
             let rz = z.rotation().to_mat();
             let tz = col(&z.translation());
-            Ok(LoweredFactor { roots: prior_pose_exprs(x, rz, tz), space_dim: 3 })
+            Ok(LoweredFactor {
+                roots: prior_pose_exprs(x, rz, tz),
+                space_dim: 3,
+            })
         }
         FactorKind::BetweenPose2 { z } => {
             need(2)?;
             let rz = z.rotation().to_mat();
             let tz = col(&z.translation());
-            Ok(LoweredFactor { roots: between_pose_exprs(keys[0], keys[1], rz, tz), space_dim: 2 })
+            Ok(LoweredFactor {
+                roots: between_pose_exprs(keys[0], keys[1], rz, tz),
+                space_dim: 2,
+            })
         }
         FactorKind::BetweenPose3 { z } => {
             need(2)?;
             let rz = z.rotation().to_mat();
             let tz = col(&z.translation());
-            Ok(LoweredFactor { roots: between_pose_exprs(keys[0], keys[1], rz, tz), space_dim: 3 })
+            Ok(LoweredFactor {
+                roots: between_pose_exprs(keys[0], keys[1], rz, tz),
+                space_dim: 3,
+            })
         }
         FactorKind::Gps { z } => {
             need(1)?;
@@ -105,22 +123,43 @@ pub fn lower_factor(kind: &FactorKind, keys: &[VarId]) -> Result<LoweredFactor, 
                 Box::new(Expr::VarTrans(keys[0])),
                 Box::new(Expr::Const(col(z.as_slice()))),
             );
-            Ok(LoweredFactor { roots: vec![e], space_dim: dim })
+            Ok(LoweredFactor {
+                roots: vec![e],
+                space_dim: dim,
+            })
         }
-        FactorKind::Camera { pixel, fx, fy, cx, cy } => {
+        FactorKind::Camera {
+            pixel,
+            fx,
+            fy,
+            cx,
+            cy,
+        } => {
             need(2)?;
             let x = keys[0];
             let l = keys[1];
             // p_c = Rᵀ (l − t); e = π(p_c) − uv.
             let pc = Expr::Rv(
                 Box::new(Expr::Rt(Box::new(rot(x)))),
-                Box::new(Expr::Sub(Box::new(Expr::VarVec(l)), Box::new(Expr::VarTrans(x)))),
+                Box::new(Expr::Sub(
+                    Box::new(Expr::VarVec(l)),
+                    Box::new(Expr::VarTrans(x)),
+                )),
             );
             let e = Expr::Sub(
-                Box::new(Expr::Proj { fx: *fx, fy: *fy, cx: *cx, cy: *cy, src: Box::new(pc) }),
+                Box::new(Expr::Proj {
+                    fx: *fx,
+                    fy: *fy,
+                    cx: *cx,
+                    cy: *cy,
+                    src: Box::new(pc),
+                }),
                 Box::new(Expr::Const(col(pixel))),
             );
-            Ok(LoweredFactor { roots: vec![e], space_dim: 3 })
+            Ok(LoweredFactor {
+                roots: vec![e],
+                space_dim: 3,
+            })
         }
         FactorKind::LinearVector { blocks, rhs } => {
             need(blocks.len())?;
@@ -138,21 +177,31 @@ pub fn lower_factor(kind: &FactorKind, keys: &[VarId]) -> Result<LoweredFactor, 
             } else {
                 Expr::Sub(Box::new(sum), Box::new(Expr::Const(col(rhs.as_slice()))))
             };
-            Ok(LoweredFactor { roots: vec![e], space_dim: 2 })
+            Ok(LoweredFactor {
+                roots: vec![e],
+                space_dim: 2,
+            })
         }
         FactorKind::Collision { obstacles, safety } => {
             need(1)?;
             let x = keys[0];
             let mut roots = Vec::with_capacity(obstacles.len());
             for (c, r) in obstacles {
-                let p = Expr::Slice { start: 0, len: 2, src: Box::new(Expr::VarVec(x)) };
+                let p = Expr::Slice {
+                    start: 0,
+                    len: 2,
+                    src: Box::new(Expr::VarVec(x)),
+                };
                 let d = Expr::Norm(Box::new(Expr::Sub(
                     Box::new(p),
                     Box::new(Expr::Const(col(c))),
                 )));
                 roots.push(Expr::Hinge(r + safety, Box::new(d)));
             }
-            Ok(LoweredFactor { roots, space_dim: 2 })
+            Ok(LoweredFactor {
+                roots,
+                space_dim: 2,
+            })
         }
         FactorKind::Opaque => Err(LowerError::Opaque),
     }
@@ -164,7 +213,10 @@ fn prior_pose_exprs(x: VarId, rz: Mat, tz: Mat) -> Vec<Expr> {
     let e_o = Expr::Log(Box::new(Expr::Rr(Box::new(rzt.clone()), Box::new(rot(x)))));
     let e_p = Expr::Rv(
         Box::new(rzt),
-        Box::new(Expr::Sub(Box::new(Expr::VarTrans(x)), Box::new(Expr::Const(tz)))),
+        Box::new(Expr::Sub(
+            Box::new(Expr::VarTrans(x)),
+            Box::new(Expr::Const(tz)),
+        )),
     );
     vec![e_o, e_p]
 }
@@ -208,11 +260,16 @@ mod tests {
 
     #[test]
     fn lowers_between_pose2() {
-        let kind = FactorKind::BetweenPose2 { z: Pose2::new(0.1, 1.0, 0.0) };
+        let kind = FactorKind::BetweenPose2 {
+            z: Pose2::new(0.1, 1.0, 0.0),
+        };
         let lf = lower_factor(&kind, &[VarId(0), VarId(1)]).unwrap();
         let g = ModFg::from_exprs(&lf.roots, 2).unwrap();
         // Both orientation inputs present.
-        assert_eq!(g.variable_leaves().iter().filter(|(v, _)| v.0 == 0).count(), 2);
+        assert_eq!(
+            g.variable_leaves().iter().filter(|(v, _)| v.0 == 0).count(),
+            2
+        );
     }
 
     #[test]
@@ -229,12 +286,21 @@ mod tests {
     fn arity_checked() {
         let kind = FactorKind::Gps { z: Vec64::zeros(2) };
         let err = lower_factor(&kind, &[VarId(0), VarId(1)]).unwrap_err();
-        assert_eq!(err, LowerError::Arity { expected: 1, actual: 2 });
+        assert_eq!(
+            err,
+            LowerError::Arity {
+                expected: 1,
+                actual: 2
+            }
+        );
     }
 
     #[test]
     fn opaque_is_rejected() {
-        assert_eq!(lower_factor(&FactorKind::Opaque, &[]).unwrap_err(), LowerError::Opaque);
+        assert_eq!(
+            lower_factor(&FactorKind::Opaque, &[]).unwrap_err(),
+            LowerError::Opaque
+        );
     }
 
     #[test]

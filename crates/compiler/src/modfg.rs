@@ -257,7 +257,11 @@ impl ModFg {
     /// Stack-based postfix parse (the paper's Sec. 5.2: "generate the
     /// postfix expressions … and parse the postfix expressions using a
     /// stack data structure to get the MO-DFG").
-    fn parse_postfix(&mut self, tokens: &[PostfixTok], space_dim: usize) -> Result<NodeId, ShapeError> {
+    fn parse_postfix(
+        &mut self,
+        tokens: &[PostfixTok],
+        space_dim: usize,
+    ) -> Result<NodeId, ShapeError> {
         let mut stack: Vec<NodeId> = Vec::new();
         for tok in tokens {
             match tok {
@@ -266,20 +270,29 @@ impl ModFg {
                     stack.push(id);
                 }
                 PostfixTok::Unary(op) => {
-                    let a = stack.pop().ok_or_else(|| ShapeError("stack underflow".into()))?;
+                    let a = stack
+                        .pop()
+                        .ok_or_else(|| ShapeError("stack underflow".into()))?;
                     let id = self.intern_op(op.clone(), vec![a])?;
                     stack.push(id);
                 }
                 PostfixTok::Binary(op) => {
-                    let b = stack.pop().ok_or_else(|| ShapeError("stack underflow".into()))?;
-                    let a = stack.pop().ok_or_else(|| ShapeError("stack underflow".into()))?;
+                    let b = stack
+                        .pop()
+                        .ok_or_else(|| ShapeError("stack underflow".into()))?;
+                    let a = stack
+                        .pop()
+                        .ok_or_else(|| ShapeError("stack underflow".into()))?;
                     let id = self.intern_op(op.clone(), vec![a, b])?;
                     stack.push(id);
                 }
             }
         }
         if stack.len() != 1 {
-            return Err(ShapeError(format!("postfix left {} values on the stack", stack.len())));
+            return Err(ShapeError(format!(
+                "postfix left {} values on the stack",
+                stack.len()
+            )));
         }
         Ok(stack.pop().unwrap())
     }
@@ -308,7 +321,11 @@ impl ModFg {
     fn intern_op(&mut self, op: NodeOp, args: Vec<NodeId>) -> Result<NodeId, ShapeError> {
         let kinds: Vec<ValKind> = args.iter().map(|a| self.nodes[a.0].kind).collect();
         let kind = infer_kind(&op, &kinds)?;
-        let level = 1 + args.iter().map(|a| self.nodes[a.0].level).max().unwrap_or(0);
+        let level = 1 + args
+            .iter()
+            .map(|a| self.nodes[a.0].level)
+            .max()
+            .unwrap_or(0);
         self.intern(op, args, kind, level)
     }
 
@@ -324,7 +341,12 @@ impl ModFg {
             return Ok(id);
         }
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { op, args, kind, level });
+        self.nodes.push(Node {
+            op,
+            args,
+            kind,
+            level,
+        });
         self.cse.insert(key, id);
         Ok(id)
     }
@@ -333,10 +355,10 @@ impl ModFg {
     /// graph's `Values`, not the expression).
     pub fn set_vec_dim(&mut self, var: VarId, dim: usize) {
         let mut changed = vec![false; self.nodes.len()];
-        for i in 0..self.nodes.len() {
-            if matches!(self.nodes[i].op, NodeOp::InputVec(v) if v == var) {
-                self.nodes[i].kind = ValKind::Vec(dim);
-                changed[i] = true;
+        for (node, ch) in self.nodes.iter_mut().zip(changed.iter_mut()) {
+            if matches!(node.op, NodeOp::InputVec(v) if v == var) {
+                node.kind = ValKind::Vec(dim);
+                *ch = true;
             }
         }
         // Re-infer downstream kinds in topological (id) order: interning
@@ -345,7 +367,11 @@ impl ModFg {
             if self.nodes[i].args.is_empty() {
                 continue;
             }
-            let kinds: Vec<ValKind> = self.nodes[i].args.iter().map(|a| self.nodes[a.0].kind).collect();
+            let kinds: Vec<ValKind> = self.nodes[i]
+                .args
+                .iter()
+                .map(|a| self.nodes[a.0].kind)
+                .collect();
             if let Ok(k) = infer_kind(&self.nodes[i].op, &kinds) {
                 self.nodes[i].kind = k;
             }
@@ -406,10 +432,9 @@ fn infer_kind(op: &NodeOp, args: &[ValKind]) -> Result<ValKind, ShapeError> {
             ValKind::Vec(n) if start + len <= n || n == 0 => Ok(ValKind::Vec(*len)),
             _ => err("Slice out of range"),
         },
-        NodeOp::InputPhi(_)
-        | NodeOp::InputTrans(_)
-        | NodeOp::InputVec(_)
-        | NodeOp::Const(_) => err("leaf ops have no args"),
+        NodeOp::InputPhi(_) | NodeOp::InputTrans(_) | NodeOp::InputVec(_) | NodeOp::Const(_) => {
+            err("leaf ops have no args")
+        }
     }
 }
 
@@ -418,14 +443,26 @@ fn cse_key(op: &NodeOp, args: &[NodeId]) -> String {
     match op {
         NodeOp::Const(m) => {
             // Constants are deduplicated by exact bit pattern.
-            let bits: Vec<String> =
-                m.as_slice().iter().map(|x| x.to_bits().to_string()).collect();
+            let bits: Vec<String> = m
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits().to_string())
+                .collect();
             format!("C{}x{}:{}", m.rows(), m.cols(), bits.join(","))
         }
         NodeOp::MatVec(m) => {
-            let bits: Vec<String> =
-                m.as_slice().iter().map(|x| x.to_bits().to_string()).collect();
-            format!("MV{}x{}:{}|{}", m.rows(), m.cols(), bits.join(","), arg_str.join(","))
+            let bits: Vec<String> = m
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits().to_string())
+                .collect();
+            format!(
+                "MV{}x{}:{}|{}",
+                m.rows(),
+                m.cols(),
+                bits.join(","),
+                arg_str.join(",")
+            )
         }
         other => format!("{other:?}|{}", arg_str.join(",")),
     }
@@ -491,9 +528,20 @@ fn walk(e: &Expr, out: &mut Vec<PostfixTok>) {
             walk(a, out);
             out.push(PostfixTok::Unary(NodeOp::MatVec(m.clone())));
         }
-        Expr::Proj { fx, fy, cx, cy, src } => {
+        Expr::Proj {
+            fx,
+            fy,
+            cx,
+            cy,
+            src,
+        } => {
             walk(src, out);
-            out.push(PostfixTok::Unary(NodeOp::Proj { fx: *fx, fy: *fy, cx: *cx, cy: *cy }));
+            out.push(PostfixTok::Unary(NodeOp::Proj {
+                fx: *fx,
+                fy: *fy,
+                cx: *cx,
+                cy: *cy,
+            }));
         }
         Expr::Norm(a) => {
             walk(a, out);
@@ -505,7 +553,10 @@ fn walk(e: &Expr, out: &mut Vec<PostfixTok>) {
         }
         Expr::Slice { start, len, src } => {
             walk(src, out);
-            out.push(PostfixTok::Unary(NodeOp::Slice { start: *start, len: *len }));
+            out.push(PostfixTok::Unary(NodeOp::Slice {
+                start: *start,
+                len: *len,
+            }));
         }
     }
 }
@@ -529,7 +580,10 @@ mod tests {
         let diff = Expr::Sub(Box::new(Expr::VarTrans(j)), Box::new(Expr::VarTrans(i)));
         let e_p = Expr::Rv(
             Box::new(dzt),
-            Box::new(Expr::Sub(Box::new(Expr::Rv(Box::new(rit), Box::new(diff))), Box::new(Expr::Const(z_t)))),
+            Box::new(Expr::Sub(
+                Box::new(Expr::Rv(Box::new(rit), Box::new(diff))),
+                Box::new(Expr::Const(z_t)),
+            )),
         );
         [e_o, e_p]
     }
@@ -591,7 +645,11 @@ mod tests {
 
     #[test]
     fn vec_dim_fixup() {
-        let e = Expr::Slice { start: 2, len: 2, src: Box::new(Expr::VarVec(VarId(0))) };
+        let e = Expr::Slice {
+            start: 2,
+            len: 2,
+            src: Box::new(Expr::VarVec(VarId(0))),
+        };
         let mut g = ModFg::from_exprs(&[e], 2).unwrap();
         g.set_vec_dim(VarId(0), 4);
         let leaf = g.variable_leaves();

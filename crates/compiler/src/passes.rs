@@ -51,7 +51,10 @@ impl PassStats {
 /// Runs the full pass pipeline (fold → peephole → DCE) and returns the
 /// optimized program with statistics.
 pub fn optimize(prog: &Program) -> (Program, PassStats) {
-    let mut stats = PassStats { before: prog.instrs.len(), ..Default::default() };
+    let mut stats = PassStats {
+        before: prog.instrs.len(),
+        ..Default::default()
+    };
     let (p1, folded) = fold_constants(prog);
     stats.constants_folded = folded;
     let (p2, peeped) = peephole(&p1);
@@ -112,8 +115,8 @@ pub fn fold_constants(prog: &Program) -> (Program, usize) {
     let mut out = clone_header(prog);
     let mut folded = 0;
     for instr in &prog.instrs {
-        let all_const = !instr.srcs.is_empty()
-            && instr.srcs.iter().all(|r| const_val.contains_key(r));
+        let all_const =
+            !instr.srcs.is_empty() && instr.srcs.iter().all(|r| const_val.contains_key(r));
         let fold = if all_const {
             match &instr.op {
                 Op::Scale(s) => Some(const_val[&instr.srcs[0]].scale(*s)),
@@ -241,7 +244,10 @@ fn push_mapped(out: &mut Program, instr: &Instruction, id_map: &mut HashMap<usiz
 /// Rewrites every `Qrd::new_factor_deps` through the id mapping.
 fn remap_qrd_deps(out: &mut Program, id_map: &HashMap<usize, usize>) {
     for instr in &mut out.instrs {
-        if let Op::Qrd { new_factor_deps, .. } = &mut instr.op {
+        if let Op::Qrd {
+            new_factor_deps, ..
+        } = &mut instr.op
+        {
             for d in new_factor_deps {
                 *d = *id_map.get(d).expect("QRD dependency survived the pass");
             }
@@ -371,7 +377,11 @@ mod tests {
 
     #[test]
     fn pass_stats_reduction() {
-        let s = PassStats { before: 100, after: 80, ..Default::default() };
+        let s = PassStats {
+            before: 100,
+            after: 80,
+            ..Default::default()
+        };
         assert!((s.reduction() - 0.2).abs() < 1e-12);
     }
 }

@@ -51,7 +51,11 @@ pub trait Factor: Send + Sync {
     /// builds `A Δ = b` with `b = −e` from these blocks.
     fn linearize(&self, values: &Values) -> (Vec<Mat>, Vec64) {
         let w = 1.0 / self.sigma();
-        let jacs = self.jacobians(values).into_iter().map(|j| j.scale(w)).collect();
+        let jacs = self
+            .jacobians(values)
+            .into_iter()
+            .map(|j| j.scale(w))
+            .collect();
         let err = self.error(values).scale(w);
         (jacs, err)
     }
@@ -83,12 +87,21 @@ pub enum FactorKind {
     /// Position observation `e = t(x) − z` (GPS-class), `n`-dimensional.
     Gps { z: Vec64 },
     /// Pinhole camera observation of a 3D landmark from a spatial pose.
-    Camera { pixel: [f64; 2], fx: f64, fy: f64, cx: f64, cy: f64 },
+    Camera {
+        pixel: [f64; 2],
+        fx: f64,
+        fy: f64,
+        cx: f64,
+        cy: f64,
+    },
     /// Linear factor `e = Σᵢ Aᵢ xᵢ − b` over vector variables (smoothness,
     /// kinematic transition, dynamics, vector priors).
     LinearVector { blocks: Vec<Mat>, rhs: Vec64 },
     /// Hinge obstacle-distance factor (collision avoidance).
-    Collision { obstacles: Vec<([f64; 2], f64)>, safety: f64 },
+    Collision {
+        obstacles: Vec<([f64; 2], f64)>,
+        safety: f64,
+    },
     /// No structural description available; the compiler falls back to a
     /// numeric lowering for such factors.
     Opaque,

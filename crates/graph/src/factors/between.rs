@@ -49,12 +49,22 @@ impl BetweenFactor {
     /// Planar relative-pose factor: `z` is the measured pose of `j` in
     /// `i`'s frame.
     pub fn pose2(i: VarId, j: VarId, z: Pose2, sigma: f64) -> Self {
-        Self { keys: [i, j], z: BetweenTarget::Pose2(z), sigma, name: "BetweenFactor" }
+        Self {
+            keys: [i, j],
+            z: BetweenTarget::Pose2(z),
+            sigma,
+            name: "BetweenFactor",
+        }
     }
 
     /// Spatial relative-pose factor.
     pub fn pose3(i: VarId, j: VarId, z: Pose3, sigma: f64) -> Self {
-        Self { keys: [i, j], z: BetweenTarget::Pose3(z), sigma, name: "BetweenFactor" }
+        Self {
+            keys: [i, j],
+            z: BetweenTarget::Pose3(z),
+            sigma,
+            name: "BetweenFactor",
+        }
     }
 
     fn with_name(mut self, name: &'static str) -> Self {
@@ -125,7 +135,10 @@ impl Factor for BetweenFactor {
                 //   e_p: dδt_j = Rz^T R_i^T R_j
                 let mut jj = Mat::zeros(3, 3);
                 jj[(0, 0)] = 1.0;
-                let rr = rzt.compose(&ri.transpose()).compose(&xj.rotation()).matrix();
+                let rr = rzt
+                    .compose(&ri.transpose())
+                    .compose(&xj.rotation())
+                    .matrix();
                 for r in 0..2 {
                     for c in 0..2 {
                         jj[(1 + r, 1 + c)] = rr[r][c];
@@ -148,15 +161,12 @@ impl Factor for BetweenFactor {
                 //   e_o: −Jr⁻¹(e_o) · R_jᵀ R_i
                 //   e_p: dδφ_i = Rzᵀ · hat(t_D);  dδt_i = −Rzᵀ
                 let rjt_ri = rj.transpose().compose(&ri).to_mat();
-                let deo_dphii = (&jri.mul_mat(&rjt_ri)).scale(-1.0);
-                let hat_td = Mat::from_rows(&[
-                    &so3::hat(td)[0],
-                    &so3::hat(td)[1],
-                    &so3::hat(td)[2],
-                ]);
+                let deo_dphii = jri.mul_mat(&rjt_ri).scale(-1.0);
+                let hat_td =
+                    Mat::from_rows(&[&so3::hat(td)[0], &so3::hat(td)[1], &so3::hat(td)[2]]);
                 let rzt_m = rzt.to_mat();
                 let dep_dphii = rzt_m.mul_mat(&hat_td);
-                let dep_dti = (&rzt_m).scale(-1.0);
+                let dep_dti = rzt_m.scale(-1.0);
                 let mut ji = Mat::zeros(6, 6);
                 ji.set_block(0, 0, &deo_dphii);
                 ji.set_block(3, 0, &dep_dphii);
@@ -266,9 +276,20 @@ mod tests {
     #[test]
     fn pose3_between_jacobian_matches_fd() {
         let mut vals = Values::new();
-        let i = vals.insert(Variable::Pose3(Pose3::from_parts([0.3, -0.1, 0.2], [1.0, 2.0, 3.0])));
-        let j = vals.insert(Variable::Pose3(Pose3::from_parts([-0.2, 0.4, 0.1], [0.0, 1.0, 2.5])));
-        let f = BetweenFactor::pose3(i, j, Pose3::from_parts([0.1, 0.0, -0.1], [0.4, 0.2, 0.0]), 1.0);
+        let i = vals.insert(Variable::Pose3(Pose3::from_parts(
+            [0.3, -0.1, 0.2],
+            [1.0, 2.0, 3.0],
+        )));
+        let j = vals.insert(Variable::Pose3(Pose3::from_parts(
+            [-0.2, 0.4, 0.1],
+            [0.0, 1.0, 2.5],
+        )));
+        let f = BetweenFactor::pose3(
+            i,
+            j,
+            Pose3::from_parts([0.1, 0.0, -0.1], [0.4, 0.2, 0.0]),
+            1.0,
+        );
         assert!(check_jacobians(&f, &vals, 1e-6) < 5e-6);
     }
 

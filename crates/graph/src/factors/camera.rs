@@ -27,7 +27,12 @@ pub struct CameraModel {
 
 impl Default for CameraModel {
     fn default() -> Self {
-        Self { fx: 500.0, fy: 500.0, cx: 320.0, cy: 240.0 }
+        Self {
+            fx: 500.0,
+            fy: 500.0,
+            cx: 320.0,
+            cy: 240.0,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ impl CameraModel {
         if p[2] <= 1e-6 {
             return None;
         }
-        Some([self.fx * p[0] / p[2] + self.cx, self.fy * p[1] / p[2] + self.cy])
+        Some([
+            self.fx * p[0] / p[2] + self.cx,
+            self.fy * p[1] / p[2] + self.cy,
+        ])
     }
 }
 
@@ -57,8 +65,19 @@ pub struct CameraFactor {
 
 impl CameraFactor {
     /// Creates a reprojection factor for pixel measurement `pixel`.
-    pub fn new(pose: VarId, landmark: VarId, pixel: [f64; 2], model: CameraModel, sigma: f64) -> Self {
-        Self { keys: [pose, landmark], pixel, model, sigma }
+    pub fn new(
+        pose: VarId,
+        landmark: VarId,
+        pixel: [f64; 2],
+        model: CameraModel,
+        sigma: f64,
+    ) -> Self {
+        Self {
+            keys: [pose, landmark],
+            pixel,
+            model,
+            sigma,
+        }
     }
 
     /// Landmark position in the camera (body) frame.
@@ -66,7 +85,9 @@ impl CameraFactor {
         let x = values.get(self.keys[0]).as_pose3();
         let l = values.get(self.keys[1]).as_point3();
         let t = x.translation();
-        x.rotation().transpose().rotate([l[0] - t[0], l[1] - t[1], l[2] - t[2]])
+        x.rotation()
+            .transpose()
+            .rotate([l[0] - t[0], l[1] - t[1], l[2] - t[2]])
     }
 }
 
@@ -103,11 +124,7 @@ impl Factor for CameraFactor {
         //   δφ (R ← R·Exp(δ)): p_c ← Exp(−δ)·p_c ⇒ ∂p_c/∂δφ = hat(p_c)
         //   δt (t ← t + R δt): p_c ← p_c − δt   ⇒ ∂p_c/∂δt = −I
         //   landmark:                              ∂p_c/∂l  = Rᵀ
-        let hat_pc = Mat::from_rows(&[
-            &so3::hat(pc)[0],
-            &so3::hat(pc)[1],
-            &so3::hat(pc)[2],
-        ]);
+        let hat_pc = Mat::from_rows(&[&so3::hat(pc)[0], &so3::hat(pc)[1], &so3::hat(pc)[2]]);
         let mut jpose = Mat::zeros(2, 6);
         jpose.set_block(0, 0, &jproj.mul_mat(&hat_pc));
         jpose.set_block(0, 3, &jproj.scale(-1.0));
@@ -151,7 +168,10 @@ mod tests {
         let model = CameraModel::default();
         // Perfect measurement.
         let t = pose.translation();
-        let pc = pose.rotation().transpose().rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
+        let pc = pose
+            .rotation()
+            .transpose()
+            .rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
         let pixel = model.project(pc).unwrap();
         (vals, CameraFactor::new(x, l, pixel, model, 1.0))
     }
@@ -165,7 +185,11 @@ mod tests {
     #[test]
     fn jacobians_match_fd() {
         let (vals, f) = setup();
-        assert!(check_jacobians(&f, &vals, 1e-6) < 1e-4, "{}", check_jacobians(&f, &vals, 1e-6));
+        assert!(
+            check_jacobians(&f, &vals, 1e-6) < 1e-4,
+            "{}",
+            check_jacobians(&f, &vals, 1e-6)
+        );
     }
 
     #[test]

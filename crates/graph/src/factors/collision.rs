@@ -50,7 +50,13 @@ impl CollisionFactor {
     ) -> Self {
         assert!(pos_dim >= 2, "need at least a 2D position slice");
         assert!(!obstacles.is_empty(), "at least one obstacle required");
-        Self { keys: [key], pos_dim, obstacles, safety, sigma }
+        Self {
+            keys: [key],
+            pos_dim,
+            obstacles,
+            safety,
+            sigma,
+        }
     }
 
     fn position(&self, values: &Values) -> [f64; 2] {
@@ -110,7 +116,10 @@ impl Factor for CollisionFactor {
     }
 
     fn kind(&self) -> FactorKind {
-        FactorKind::Collision { obstacles: self.obstacles.clone(), safety: self.safety }
+        FactorKind::Collision {
+            obstacles: self.obstacles.clone(),
+            safety: self.safety,
+        }
     }
 }
 
@@ -121,7 +130,9 @@ mod tests {
 
     fn state(xy: [f64; 2]) -> (Values, VarId) {
         let mut vals = Values::new();
-        let id = vals.insert(Variable::Vector(Vec64::from_slice(&[xy[0], xy[1], 0.0, 0.0])));
+        let id = vals.insert(Variable::Vector(Vec64::from_slice(&[
+            xy[0], xy[1], 0.0, 0.0,
+        ])));
         (vals, id)
     }
 
@@ -149,13 +160,7 @@ mod tests {
     #[test]
     fn multiple_obstacles_stack_rows() {
         let (vals, id) = state([0.0, 0.0]);
-        let f = CollisionFactor::new(
-            id,
-            2,
-            vec![([0.5, 0.0], 1.0), ([5.0, 5.0], 1.0)],
-            0.2,
-            1.0,
-        );
+        let f = CollisionFactor::new(id, 2, vec![([0.5, 0.0], 1.0), ([5.0, 5.0], 1.0)], 0.2, 1.0);
         let e = f.error(&vals);
         assert_eq!(e.len(), 2);
         assert!(e[0] > 0.0 && e[1] == 0.0);

@@ -38,7 +38,12 @@ impl LinearContainerFactor {
             assert_eq!(b.rows(), rhs.len(), "block row mismatch");
             assert_eq!(b.cols(), a.dim(), "block column mismatch");
         }
-        Self { keys, blocks, rhs, anchors }
+        Self {
+            keys,
+            blocks,
+            rhs,
+            anchors,
+        }
     }
 
     /// The anchor value of the `i`-th key.

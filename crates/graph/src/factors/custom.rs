@@ -62,7 +62,13 @@ impl CustomFactor {
         sigma: f64,
         error_fn: impl Fn(&Values, &[VarId]) -> Vec64 + Send + Sync + 'static,
     ) -> Self {
-        Self { keys, dim, sigma, error_fn: Arc::new(error_fn), fd_step: 1e-6 }
+        Self {
+            keys,
+            dim,
+            sigma,
+            error_fn: Arc::new(error_fn),
+            fd_step: 1e-6,
+        }
     }
 
     /// Overrides the finite-difference step used for Jacobians.

@@ -30,7 +30,11 @@ impl GpsFactor {
     /// Creates a position observation; `z.len()` must be 2 for planar poses
     /// and 3 for spatial poses (validated at linearization).
     pub fn new(key: VarId, z: &[f64], sigma: f64) -> Self {
-        Self { keys: [key], z: Vec64::from_slice(z), sigma }
+        Self {
+            keys: [key],
+            z: Vec64::from_slice(z),
+            sigma,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ mod tests {
     #[test]
     fn pose3_jacobian_matches_fd() {
         let mut vals = Values::new();
-        let x = vals.insert(Variable::Pose3(Pose3::from_parts([0.2, -0.1, 0.4], [1.0, 2.0, 3.0])));
+        let x = vals.insert(Variable::Pose3(Pose3::from_parts(
+            [0.2, -0.1, 0.4],
+            [1.0, 2.0, 3.0],
+        )));
         let f = GpsFactor::new(x, &[0.5, 1.5, 2.5], 1.0);
         assert!(check_jacobians(&f, &vals, 1e-6) < 1e-7);
     }

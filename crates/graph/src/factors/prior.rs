@@ -39,22 +39,38 @@ enum PriorTarget {
 impl PriorFactor {
     /// Prior on a planar pose.
     pub fn pose2(key: VarId, z: Pose2, sigma: f64) -> Self {
-        Self { keys: [key], target: PriorTarget::Pose2(z), sigma }
+        Self {
+            keys: [key],
+            target: PriorTarget::Pose2(z),
+            sigma,
+        }
     }
 
     /// Prior on a spatial pose.
     pub fn pose3(key: VarId, z: Pose3, sigma: f64) -> Self {
-        Self { keys: [key], target: PriorTarget::Pose3(z), sigma }
+        Self {
+            keys: [key],
+            target: PriorTarget::Pose3(z),
+            sigma,
+        }
     }
 
     /// Prior on a 2D point.
     pub fn point2(key: VarId, z: [f64; 2], sigma: f64) -> Self {
-        Self { keys: [key], target: PriorTarget::Point2(z), sigma }
+        Self {
+            keys: [key],
+            target: PriorTarget::Point2(z),
+            sigma,
+        }
     }
 
     /// Prior on a 3D point.
     pub fn point3(key: VarId, z: [f64; 3], sigma: f64) -> Self {
-        Self { keys: [key], target: PriorTarget::Point3(z), sigma }
+        Self {
+            keys: [key],
+            target: PriorTarget::Point3(z),
+            sigma,
+        }
     }
 }
 
@@ -143,8 +159,12 @@ impl Factor for PriorFactor {
         match &self.target {
             PriorTarget::Pose2(z) => FactorKind::PriorPose2 { z: *z },
             PriorTarget::Pose3(z) => FactorKind::PriorPose3 { z: z.clone() },
-            PriorTarget::Point2(z) => FactorKind::Gps { z: Vec64::from_slice(z) },
-            PriorTarget::Point3(z) => FactorKind::Gps { z: Vec64::from_slice(z) },
+            PriorTarget::Point2(z) => FactorKind::Gps {
+                z: Vec64::from_slice(z),
+            },
+            PriorTarget::Point3(z) => FactorKind::Gps {
+                z: Vec64::from_slice(z),
+            },
         }
     }
 }
@@ -188,8 +208,15 @@ mod tests {
     #[test]
     fn pose3_prior_jacobian_matches_fd() {
         let mut vals = Values::new();
-        let x = vals.insert(Variable::Pose3(Pose3::from_parts([0.3, 0.1, -0.4], [1.0, 0.0, 2.0])));
-        let f = PriorFactor::pose3(x, Pose3::from_parts([-0.1, 0.2, 0.1], [0.5, 1.0, -0.5]), 1.0);
+        let x = vals.insert(Variable::Pose3(Pose3::from_parts(
+            [0.3, 0.1, -0.4],
+            [1.0, 0.0, 2.0],
+        )));
+        let f = PriorFactor::pose3(
+            x,
+            Pose3::from_parts([-0.1, 0.2, 0.1], [0.5, 1.0, -0.5]),
+            1.0,
+        );
         assert!(check_jacobians(&f, &vals, 1e-6) < 1e-6);
     }
 

@@ -93,7 +93,10 @@ impl<F: Factor> RobustFactor<F> {
     }
 
     fn whitened_norm(&self, values: &Values) -> f64 {
-        self.inner.error(values).scale(1.0 / self.inner.sigma()).norm()
+        self.inner
+            .error(values)
+            .scale(1.0 / self.inner.sigma())
+            .norm()
     }
 }
 
@@ -134,7 +137,10 @@ impl<F: Factor> Factor for RobustFactor<F> {
         if sw == 1.0 {
             return (jacs, err);
         }
-        (jacs.into_iter().map(|j| j.scale(sw)).collect(), err.scale(sw))
+        (
+            jacs.into_iter().map(|j| j.scale(sw)).collect(),
+            err.scale(sw),
+        )
     }
 
     fn weighted_squared_error(&self, values: &Values) -> f64 {
@@ -146,7 +152,7 @@ impl<F: Factor> Factor for RobustFactor<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::factors::{BetweenFactor, PriorFactor};
+    use crate::factors::PriorFactor;
     use crate::graph::FactorGraph;
     use orianna_lie::Pose2;
 
@@ -179,11 +185,9 @@ mod tests {
         assert!((&e1 - &e2).norm() < 1e-15);
         assert!((&j1[0] - &j2[0]).max_abs() < 1e-15);
         assert!(
-            (plain.weighted_squared_error(g.values())
-                - wrapped.weighted_squared_error(g.values()))
-            .abs()
+            (plain.weighted_squared_error(g.values()) - wrapped.weighted_squared_error(g.values()))
+                .abs()
                 < 1e-12
         );
     }
-
 }

@@ -95,7 +95,10 @@ impl Factor for SmoothFactor {
         self.0.name
     }
     fn kind(&self) -> FactorKind {
-        FactorKind::LinearVector { blocks: self.0.blocks.clone(), rhs: self.0.rhs.clone() }
+        FactorKind::LinearVector {
+            blocks: self.0.blocks.clone(),
+            rhs: self.0.rhs.clone(),
+        }
     }
 }
 
@@ -114,7 +117,13 @@ pub struct KinematicsFactor {
 #[derive(Debug, Clone)]
 enum KinematicsInner {
     Transition(AffineCore),
-    SpeedLimit { keys: [VarId; 1], vel_start: usize, vel_len: usize, vmax: f64, sigma: f64 },
+    SpeedLimit {
+        keys: [VarId; 1],
+        vel_start: usize,
+        vel_len: usize,
+        vmax: f64,
+        sigma: f64,
+    },
 }
 
 impl KinematicsFactor {
@@ -137,9 +146,21 @@ impl KinematicsFactor {
     }
 
     /// Soft speed limit on `state[vel_start .. vel_start + vel_len]`.
-    pub fn speed_limit(key: VarId, vel_start: usize, vel_len: usize, vmax: f64, sigma: f64) -> Self {
+    pub fn speed_limit(
+        key: VarId,
+        vel_start: usize,
+        vel_len: usize,
+        vmax: f64,
+        sigma: f64,
+    ) -> Self {
         Self {
-            inner: KinematicsInner::SpeedLimit { keys: [key], vel_start, vel_len, vmax, sigma },
+            inner: KinematicsInner::SpeedLimit {
+                keys: [key],
+                vel_start,
+                vel_len,
+                vmax,
+                sigma,
+            },
         }
     }
 }
@@ -162,7 +183,13 @@ impl Factor for KinematicsFactor {
     fn error(&self, values: &Values) -> Vec64 {
         match &self.inner {
             KinematicsInner::Transition(c) => c.error(values),
-            KinematicsInner::SpeedLimit { keys, vel_start, vel_len, vmax, .. } => {
+            KinematicsInner::SpeedLimit {
+                keys,
+                vel_start,
+                vel_len,
+                vmax,
+                ..
+            } => {
                 let x = values.get(keys[0]).as_vector();
                 let speed = x.segment(*vel_start, *vel_len).norm();
                 Vec64::from_slice(&[(speed - vmax).max(0.0)])
@@ -173,7 +200,13 @@ impl Factor for KinematicsFactor {
     fn jacobians(&self, values: &Values) -> Vec<Mat> {
         match &self.inner {
             KinematicsInner::Transition(c) => c.blocks.clone(),
-            KinematicsInner::SpeedLimit { keys, vel_start, vel_len, vmax, .. } => {
+            KinematicsInner::SpeedLimit {
+                keys,
+                vel_start,
+                vel_len,
+                vmax,
+                ..
+            } => {
                 let x = values.get(keys[0]).as_vector();
                 let v = x.segment(*vel_start, *vel_len);
                 let speed = v.norm();
@@ -201,9 +234,10 @@ impl Factor for KinematicsFactor {
 
     fn kind(&self) -> FactorKind {
         match &self.inner {
-            KinematicsInner::Transition(c) => {
-                FactorKind::LinearVector { blocks: c.blocks.clone(), rhs: c.rhs.clone() }
-            }
+            KinematicsInner::Transition(c) => FactorKind::LinearVector {
+                blocks: c.blocks.clone(),
+                rhs: c.rhs.clone(),
+            },
             KinematicsInner::SpeedLimit { .. } => FactorKind::Opaque,
         }
     }
@@ -253,7 +287,10 @@ impl Factor for DynamicsFactor {
         self.0.name
     }
     fn kind(&self) -> FactorKind {
-        FactorKind::LinearVector { blocks: self.0.blocks.clone(), rhs: self.0.rhs.clone() }
+        FactorKind::LinearVector {
+            blocks: self.0.blocks.clone(),
+            rhs: self.0.rhs.clone(),
+        }
     }
 }
 
@@ -316,7 +353,10 @@ impl Factor for VectorPriorFactor {
         self.0.name
     }
     fn kind(&self) -> FactorKind {
-        FactorKind::LinearVector { blocks: self.0.blocks.clone(), rhs: self.0.rhs.clone() }
+        FactorKind::LinearVector {
+            blocks: self.0.blocks.clone(),
+            rhs: self.0.rhs.clone(),
+        }
     }
 }
 
@@ -328,7 +368,10 @@ mod tests {
 
     fn values_with_vectors(vs: &[&[f64]]) -> (Values, Vec<VarId>) {
         let mut vals = Values::new();
-        let ids = vs.iter().map(|v| vals.insert(Variable::Vector(Vec64::from_slice(v)))).collect();
+        let ids = vs
+            .iter()
+            .map(|v| vals.insert(Variable::Vector(Vec64::from_slice(v))))
+            .collect();
         (vals, ids)
     }
 
@@ -382,8 +425,7 @@ mod tests {
         let x0 = Vec64::from_slice(&[1.0, -1.0]);
         let u0 = Vec64::from_slice(&[0.5]);
         let x1 = &a.mul_vec(&x0) + &b.mul_vec(&u0);
-        let (vals, ids) =
-            values_with_vectors(&[x0.as_slice(), u0.as_slice(), x1.as_slice()]);
+        let (vals, ids) = values_with_vectors(&[x0.as_slice(), u0.as_slice(), x1.as_slice()]);
         let f = DynamicsFactor::new(ids[0], ids[1], ids[2], a, b, 1.0);
         assert!(f.error(&vals).norm() < 1e-12);
         assert!(check_jacobians(&f, &vals, 1e-6) < 1e-9);

@@ -5,6 +5,7 @@ use crate::linear::{LinearFactor, LinearSystem};
 use crate::values::Values;
 use crate::variable::{VarId, Variable};
 use orianna_lie::{Pose2, Pose3};
+use orianna_math::par::{run_tasks, Parallelism};
 use orianna_math::Vec64;
 use std::sync::Arc;
 
@@ -78,7 +79,10 @@ impl FactorGraph {
     /// Panics if the factor references an unknown variable.
     pub fn add_factor(&mut self, factor: impl Factor + 'static) {
         for k in factor.keys() {
-            assert!(k.0 < self.values.len(), "factor references unknown variable {k}");
+            assert!(
+                k.0 < self.values.len(),
+                "factor references unknown variable {k}"
+            );
         }
         self.factors.push(Arc::new(factor));
     }
@@ -86,7 +90,10 @@ impl FactorGraph {
     /// Adds an already-shared factor (used when cloning graph topologies).
     pub fn add_shared_factor(&mut self, factor: Arc<dyn Factor>) {
         for k in factor.keys() {
-            assert!(k.0 < self.values.len(), "factor references unknown variable {k}");
+            assert!(
+                k.0 < self.values.len(),
+                "factor references unknown variable {k}"
+            );
         }
         self.factors.push(factor);
     }
@@ -119,23 +126,78 @@ impl FactorGraph {
     /// Total whitened squared error `Σ |fᵢ(x)/σᵢ|²` — the Gauss-Newton
     /// objective (paper Equ. 1).
     pub fn total_error(&self) -> f64 {
-        self.factors.iter().map(|f| f.weighted_squared_error(&self.values)).sum()
+        self.total_error_with(&self.values)
+    }
+
+    /// The Gauss-Newton objective evaluated at `values` instead of the
+    /// stored estimates. Lets a line search score trial steps without
+    /// cloning the factor storage (the factors are topology, not state).
+    pub fn total_error_with(&self, values: &Values) -> f64 {
+        self.factors
+            .iter()
+            .map(|f| f.weighted_squared_error(values))
+            .sum()
     }
 
     /// Linearizes every factor at the current estimates, producing the
     /// block-sparse `A Δ = b` (paper Fig. 4; `b = −e`).
     pub fn linearize(&self) -> LinearSystem {
-        let mut lin = Vec::with_capacity(self.factors.len());
-        for f in &self.factors {
-            let (jacs, err) = f.linearize(&self.values);
-            lin.push(LinearFactor {
-                keys: f.keys().to_vec(),
-                blocks: jacs,
-                rhs: -&err,
-            });
+        let lin = self
+            .factors
+            .iter()
+            .map(|f| linearize_factor(f.as_ref(), &self.values))
+            .collect();
+        let var_dims = self.values.iter().map(|(_, v)| v.dim()).collect();
+        LinearSystem {
+            factors: lin,
+            var_dims,
+        }
+    }
+
+    /// [`FactorGraph::linearize`] with per-factor parallelism.
+    ///
+    /// Every factor's Jacobian/residual depends only on the (shared,
+    /// read-only) estimates, so factors linearize independently: the
+    /// factor list is split into contiguous chunks, chunks run on worker
+    /// threads, and results merge back in factor order. Because each
+    /// factor runs the exact serial code on the exact same inputs and the
+    /// merge is ordered, the result is **bitwise identical** to
+    /// [`FactorGraph::linearize`] for every thread count (asserted by
+    /// `tests/parallel.rs`).
+    pub fn linearize_with(&self, par: &Parallelism) -> LinearSystem {
+        // Below this size, dispatch overhead outweighs the work.
+        const MIN_PARALLEL_FACTORS: usize = 32;
+        if !par.is_parallel() || self.factors.len() < MIN_PARALLEL_FACTORS {
+            return self.linearize();
+        }
+        let values = Arc::new(self.values.clone());
+        let n = self.factors.len();
+        // Over-partition relative to the thread count so uneven factor
+        // costs (camera vs. prior) still balance.
+        let chunk_len = n.div_ceil((par.threads * 4).min(n)).max(1);
+        let tasks: Vec<Box<dyn FnOnce() -> Vec<LinearFactor> + Send>> = self
+            .factors
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let factors: Vec<Arc<dyn Factor>> = chunk.to_vec();
+                let values = Arc::clone(&values);
+                Box::new(move || {
+                    factors
+                        .iter()
+                        .map(|f| linearize_factor(f.as_ref(), &values))
+                        .collect()
+                }) as Box<dyn FnOnce() -> Vec<LinearFactor> + Send>
+            })
+            .collect();
+        let mut lin = Vec::with_capacity(n);
+        for chunk in run_tasks(par.threads, tasks) {
+            lin.extend(chunk);
         }
         let var_dims = self.values.iter().map(|(_, v)| v.dim()).collect();
-        LinearSystem { factors: lin, var_dims }
+        LinearSystem {
+            factors: lin,
+            var_dims,
+        }
     }
 
     /// For each variable, the indices of the factors adjacent to it.
@@ -152,6 +214,17 @@ impl FactorGraph {
     /// Applies a stacked tangent step to all variables: `x ← x ⊕ Δ`.
     pub fn retract_all(&mut self, delta: &Vec64) {
         self.values = self.values.retract_all(delta);
+    }
+}
+
+/// Linearizes one factor at `values`. Shared by the serial and parallel
+/// paths so both run byte-for-byte the same arithmetic.
+fn linearize_factor(f: &dyn Factor, values: &Values) -> LinearFactor {
+    let (jacs, err) = f.linearize(values);
+    LinearFactor {
+        keys: f.keys().to_vec(),
+        blocks: jacs,
+        rhs: -&err,
     }
 }
 
@@ -202,6 +275,45 @@ mod tests {
     fn unknown_key_rejected() {
         let mut g = FactorGraph::new();
         g.add_factor(PriorFactor::pose2(VarId(3), Pose2::identity(), 0.1));
+    }
+
+    #[test]
+    fn parallel_linearize_is_bitwise_identical() {
+        // Build a chain long enough to clear the parallel threshold.
+        let mut g = FactorGraph::new();
+        let mut prev = g.add_pose2(Pose2::identity());
+        g.add_factor(PriorFactor::pose2(prev, Pose2::identity(), 0.1));
+        for i in 1..64 {
+            let next = g.add_pose2(Pose2::new(i as f64 * 1.01, 0.02 * i as f64, 0.01));
+            g.add_factor(BetweenFactor::pose2(
+                prev,
+                next,
+                Pose2::new(1.0, 0.0, 0.0),
+                0.1,
+            ));
+            prev = next;
+        }
+        let serial = g.linearize();
+        for threads in [2, 4, 8] {
+            let par = g.linearize_with(&Parallelism::with_threads(threads));
+            assert_eq!(par.factors.len(), serial.factors.len());
+            assert_eq!(par.var_dims, serial.var_dims);
+            for (p, s) in par.factors.iter().zip(&serial.factors) {
+                assert_eq!(p.keys, s.keys);
+                assert_eq!(p.rhs.as_slice(), s.rhs.as_slice(), "rhs bitwise");
+                for (pb, sb) in p.blocks.iter().zip(&s.blocks) {
+                    assert_eq!(pb.as_slice(), sb.as_slice(), "jacobian bitwise");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_error_with_matches_stored_values() {
+        let mut g = FactorGraph::new();
+        let a = g.add_pose2(Pose2::new(0.3, -0.2, 0.1));
+        g.add_factor(PriorFactor::pose2(a, Pose2::identity(), 0.1));
+        assert_eq!(g.total_error(), g.total_error_with(&g.values().clone()));
     }
 
     #[test]

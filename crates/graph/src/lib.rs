@@ -58,9 +58,8 @@ pub mod variable;
 pub use factor::{check_jacobians, Factor, FactorKind};
 pub use factors::{
     BetweenFactor, CameraFactor, CameraModel, CollisionFactor, CustomFactor, DynamicsFactor,
-    GpsFactor, ImuFactor, KinematicsFactor, LidarFactor, LinearContainerFactor, Loss,
-    PriorFactor, RobustFactor,
-    SmoothFactor, VectorPriorFactor,
+    GpsFactor, ImuFactor, KinematicsFactor, LidarFactor, LinearContainerFactor, Loss, PriorFactor,
+    RobustFactor, SmoothFactor, VectorPriorFactor,
 };
 pub use graph::FactorGraph;
 pub use linear::{LinearFactor, LinearSystem};

@@ -48,7 +48,9 @@ impl Ordering {
 
 /// Natural (insertion) ordering: variables are eliminated in id order.
 pub fn natural_ordering(graph: &FactorGraph) -> Ordering {
-    Ordering { order: (0..graph.num_variables()).map(VarId).collect() }
+    Ordering {
+        order: (0..graph.num_variables()).map(VarId).collect(),
+    }
 }
 
 /// Greedy minimum-degree ordering on the variable-adjacency ("interaction")
@@ -79,7 +81,11 @@ pub fn min_degree_ordering(graph: &FactorGraph) -> Ordering {
         eliminated[v] = true;
         order.push(VarId(v));
         // Clique the remaining neighbors (fill-in simulation).
-        let live: Vec<usize> = nbrs[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+        let live: Vec<usize> = nbrs[v]
+            .iter()
+            .copied()
+            .filter(|&u| !eliminated[u])
+            .collect();
         for i in 0..live.len() {
             for j in i + 1..live.len() {
                 nbrs[live[i]].insert(live[j]);

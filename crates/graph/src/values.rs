@@ -39,7 +39,11 @@ impl Values {
     /// # Panics
     /// Panics if the id is out of range or the kinds/dimensions differ.
     pub fn set(&mut self, id: VarId, var: Variable) {
-        assert_eq!(self.vars[id.0].dim(), var.dim(), "set() must preserve dimension");
+        assert_eq!(
+            self.vars[id.0].dim(),
+            var.dim(),
+            "set() must preserve dimension"
+        );
         self.vars[id.0] = var;
     }
 

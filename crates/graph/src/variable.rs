@@ -85,7 +85,11 @@ impl Variable {
             }
             (Variable::Vector(a), Variable::Vector(b)) => {
                 assert_eq!(a.len(), b.len(), "vector dimension mismatch");
-                b.as_slice().iter().zip(a.as_slice()).map(|(x, y)| x - y).collect()
+                b.as_slice()
+                    .iter()
+                    .zip(a.as_slice())
+                    .map(|(x, y)| x - y)
+                    .collect()
             }
             _ => panic!("local() between mismatched variable kinds"),
         }
@@ -181,14 +185,20 @@ mod tests {
     #[test]
     fn retract_local_roundtrip_all_kinds() {
         let cases = vec![
-            (Variable::Pose2(Pose2::new(0.2, 1.0, 2.0)), vec![0.01, 0.02, -0.03]),
+            (
+                Variable::Pose2(Pose2::new(0.2, 1.0, 2.0)),
+                vec![0.01, 0.02, -0.03],
+            ),
             (
                 Variable::Pose3(Pose3::from_parts([0.1, 0.2, 0.3], [1.0, 2.0, 3.0])),
                 vec![0.01, -0.01, 0.02, 0.1, 0.2, -0.3],
             ),
             (Variable::Point2([1.0, -1.0]), vec![0.5, 0.5]),
             (Variable::Point3([1.0, -1.0, 2.0]), vec![0.5, 0.5, -0.5]),
-            (Variable::Vector(Vec64::from_slice(&[1.0, 2.0])), vec![-0.5, 0.25]),
+            (
+                Variable::Vector(Vec64::from_slice(&[1.0, 2.0])),
+                vec![-0.5, 0.25],
+            ),
         ];
         for (var, delta) in cases {
             let moved = var.retract(&delta);

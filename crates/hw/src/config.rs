@@ -31,7 +31,10 @@ impl HwConfig {
         for c in UnitClass::ALL {
             counts.insert(c, 1);
         }
-        Self { counts, clock_mhz: CLOCK_MHZ }
+        Self {
+            counts,
+            clock_mhz: CLOCK_MHZ,
+        }
     }
 
     /// Builds a configuration from explicit counts (classes not mentioned

@@ -99,7 +99,11 @@ pub fn generate(
             report = uniform_report;
         }
     }
-    GeneratorResult { config, report, history }
+    GeneratorResult {
+        config,
+        report,
+        history,
+    }
 }
 
 /// A manually-designed configuration that spends the budget uniformly —
@@ -157,11 +161,17 @@ mod tests {
 
     fn workload_program() -> orianna_compiler::Program {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> =
-            (0..12).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1))).collect();
+        let ids: Vec<_> = (0..12)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
         }
         compile(&g, &natural_ordering(&g)).unwrap()
     }
@@ -192,7 +202,10 @@ mod tests {
         // Budget = exactly the minimal config.
         let budget = HwConfig::minimal().resources();
         let result = generate(&wl, &budget, Objective::Latency);
-        assert_eq!(result.config.total_units(), HwConfig::minimal().total_units());
+        assert_eq!(
+            result.config.total_units(),
+            HwConfig::minimal().total_units()
+        );
         assert!(result.history.is_empty());
     }
 
@@ -201,9 +214,18 @@ mod tests {
         let prog = workload_program();
         let wl = Workload::single("loc", &prog);
         // A mid-sized budget where allocation decisions matter.
-        let budget = Resources { lut: 80_000, ff: 90_000, bram: 100, dsp: 300 };
+        let budget = Resources {
+            lut: 80_000,
+            ff: 90_000,
+            bram: 100,
+            dsp: 300,
+        };
         let gen = generate(&wl, &budget, Objective::Latency);
-        for manual in [manual_uniform(&budget), manual_matmul_heavy(&budget), manual_qr_heavy(&budget)] {
+        for manual in [
+            manual_uniform(&budget),
+            manual_matmul_heavy(&budget),
+            manual_qr_heavy(&budget),
+        ] {
             if !manual.resources().fits(&budget) {
                 continue;
             }
@@ -220,7 +242,12 @@ mod tests {
 
     #[test]
     fn manual_designs_fit_their_budget() {
-        let budget = Resources { lut: 100_000, ff: 120_000, bram: 200, dsp: 400 };
+        let budget = Resources {
+            lut: 100_000,
+            ff: 120_000,
+            bram: 200,
+            dsp: 400,
+        };
         assert!(manual_uniform(&budget).resources().fits(&budget));
         assert!(manual_matmul_heavy(&budget).resources().fits(&budget));
         assert!(manual_qr_heavy(&budget).resources().fits(&budget));

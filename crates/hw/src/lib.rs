@@ -46,5 +46,7 @@ pub use config::{HwConfig, CLOCK_MHZ};
 pub use generator::{
     generate, manual_matmul_heavy, manual_qr_heavy, manual_uniform, GeneratorResult, Objective,
 };
-pub use sim::{critical_path_cycles, simulate, IssuePolicy, SimReport, Stream, Workload};
+pub use sim::{
+    critical_path_cycles, simulate, simulate_batch, IssuePolicy, SimReport, Stream, Workload,
+};
 pub use templates::{energy_nj, latency, unit_resources, Resources};

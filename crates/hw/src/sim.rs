@@ -23,7 +23,9 @@
 use crate::config::HwConfig;
 use crate::templates::{energy_nj, latency, BOARD_STATIC_W, STATIC_W_PER_UNIT};
 use orianna_compiler::{Phase, Program, UnitClass};
+use orianna_math::Parallelism;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::AtomicUsize;
 
 /// Instruction-issue policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +56,9 @@ pub struct Workload<'a> {
 impl<'a> Workload<'a> {
     /// Single-stream convenience constructor.
     pub fn single(name: &'static str, program: &'a Program) -> Self {
-        Self { streams: vec![Stream { name, program }] }
+        Self {
+            streams: vec![Stream { name, program }],
+        }
     }
 
     /// Total instruction count.
@@ -261,9 +265,8 @@ pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy)
     }
 
     let time_ms = makespan as f64 / (config.clock_mhz * 1e3);
-    let static_mj = (BOARD_STATIC_W + STATIC_W_PER_UNIT * config.total_units() as f64)
-        * (time_ms / 1e3)
-        * 1e3;
+    let static_mj =
+        (BOARD_STATIC_W + STATIC_W_PER_UNIT * config.total_units() as f64) * (time_ms / 1e3) * 1e3;
     SimReport {
         cycles: makespan,
         time_ms,
@@ -277,6 +280,61 @@ pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy)
     }
 }
 
+/// Simulates many workloads concurrently on the same configuration.
+///
+/// Design-space exploration evaluates one candidate accelerator against
+/// every application workload; those simulations share no mutable state,
+/// so they run on up to `par.threads` scoped threads pulling workloads
+/// from a shared counter. [`simulate`] is a pure function of its inputs
+/// and results are stored by workload index, so the returned reports are
+/// identical to calling [`simulate`] in a loop — in input order, for any
+/// thread count.
+pub fn simulate_batch(
+    workloads: &[Workload<'_>],
+    config: &HwConfig,
+    policy: IssuePolicy,
+    par: &Parallelism,
+) -> Vec<SimReport> {
+    if !par.is_parallel() || workloads.len() <= 1 {
+        return workloads
+            .iter()
+            .map(|w| simulate(w, config, policy))
+            .collect();
+    }
+    // `Workload` borrows its programs, so the global 'static pool cannot
+    // run these; scoped threads can.
+    let next = AtomicUsize::new(0);
+    let workers = par.threads.min(workloads.len());
+    let mut reports: Vec<Option<SimReport>> = (0..workloads.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= workloads.len() {
+                            break;
+                        }
+                        done.push((i, simulate(&workloads[i], config, policy)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("simulation worker panicked") {
+                reports[i] = Some(r);
+            }
+        }
+    });
+    reports
+        .into_iter()
+        .map(|r| r.expect("every workload simulated"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,11 +344,17 @@ mod tests {
 
     fn chain_program(n: usize) -> Program {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> =
-            (0..n).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1))).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.1)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
         }
         compile(&g, &natural_ordering(&g)).unwrap()
     }
@@ -326,7 +390,9 @@ mod tests {
         let base = simulate(&wl, &HwConfig::minimal(), IssuePolicy::OutOfOrder);
         let more = simulate(
             &wl,
-            &HwConfig::minimal().plus_one(UnitClass::Qr).plus_one(UnitClass::MatMul),
+            &HwConfig::minimal()
+                .plus_one(UnitClass::Qr)
+                .plus_one(UnitClass::MatMul),
             IssuePolicy::OutOfOrder,
         );
         assert!(more.cycles <= base.cycles);
@@ -338,14 +404,34 @@ mod tests {
         // makespan is far below the sum of their serial makespans.
         let p1 = chain_program(8);
         let p2 = chain_program(8);
-        let wl = Workload { streams: vec![
-            Stream { name: "loc", program: &p1 },
-            Stream { name: "plan", program: &p2 },
-        ]};
-        let cfg = HwConfig::with_counts(&[(UnitClass::Qr, 2), (UnitClass::MatMul, 2), (UnitClass::Special, 2), (UnitClass::Vector, 2), (UnitClass::Memory, 2), (UnitClass::BackSub, 2)]);
+        let wl = Workload {
+            streams: vec![
+                Stream {
+                    name: "loc",
+                    program: &p1,
+                },
+                Stream {
+                    name: "plan",
+                    program: &p2,
+                },
+            ],
+        };
+        let cfg = HwConfig::with_counts(&[
+            (UnitClass::Qr, 2),
+            (UnitClass::MatMul, 2),
+            (UnitClass::Special, 2),
+            (UnitClass::Vector, 2),
+            (UnitClass::Memory, 2),
+            (UnitClass::BackSub, 2),
+        ]);
         let merged = simulate(&wl, &cfg, IssuePolicy::OutOfOrder);
         let single = simulate(&Workload::single("loc", &p1), &cfg, IssuePolicy::OutOfOrder);
-        assert!(merged.cycles < 2 * single.cycles, "{} vs 2*{}", merged.cycles, single.cycles);
+        assert!(
+            merged.cycles < 2 * single.cycles,
+            "{} vs 2*{}",
+            merged.cycles,
+            single.cycles
+        );
     }
 
     #[test]
@@ -367,8 +453,16 @@ mod tests {
         // linear in factors, elimination superlinear in fill).
         let small = chain_program(4);
         let large = chain_program(40);
-        let rs = simulate(&Workload::single("l", &small), &HwConfig::minimal(), IssuePolicy::OutOfOrder);
-        let rl = simulate(&Workload::single("l", &large), &HwConfig::minimal(), IssuePolicy::OutOfOrder);
+        let rs = simulate(
+            &Workload::single("l", &small),
+            &HwConfig::minimal(),
+            IssuePolicy::OutOfOrder,
+        );
+        let rl = simulate(
+            &Workload::single("l", &large),
+            &HwConfig::minimal(),
+            IssuePolicy::OutOfOrder,
+        );
         assert!(
             rl.phase_fraction("eliminate") > rs.phase_fraction("eliminate"),
             "{} vs {}",
@@ -390,7 +484,12 @@ mod tests {
         // critical path.
         let big = HwConfig::with_counts(&UnitClass::ALL.map(|c| (c, 64)));
         let fast = simulate(&wl, &big, IssuePolicy::OutOfOrder);
-        assert!(fast.cycles as f64 <= cp as f64 * 1.05, "{} vs cp {}", fast.cycles, cp);
+        assert!(
+            fast.cycles as f64 <= cp as f64 * 1.05,
+            "{} vs cp {}",
+            fast.cycles,
+            cp
+        );
     }
 
     #[test]
@@ -401,5 +500,34 @@ mod tests {
         assert!(r.energy_mj > 0.0);
         assert!(!r.qrd_shapes.is_empty());
         assert!(!r.mm_shapes.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_sequential_simulation() {
+        let progs: Vec<Program> = [4, 6, 8, 10].map(chain_program).into_iter().collect();
+        let workloads: Vec<Workload<'_>> =
+            progs.iter().map(|p| Workload::single("loc", p)).collect();
+        let cfg = HwConfig::minimal();
+        let serial: Vec<SimReport> = workloads
+            .iter()
+            .map(|w| simulate(w, &cfg, IssuePolicy::OutOfOrder))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = simulate_batch(
+                &workloads,
+                &cfg,
+                IssuePolicy::OutOfOrder,
+                &Parallelism::with_threads(threads),
+            );
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(b.cycles, s.cycles, "threads={threads}");
+                assert_eq!(b.instructions, s.instructions);
+                assert_eq!(b.unit_busy, s.unit_busy);
+                assert_eq!(b.contention, s.contention);
+                assert_eq!(b.phase_work, s.phase_work);
+                assert!((b.energy_mj - s.energy_mj).abs() == 0.0);
+            }
+        }
     }
 }

@@ -43,7 +43,12 @@ impl Resources {
 
     /// Scales all components by an integer count.
     pub fn times(&self, n: u64) -> Resources {
-        Resources { lut: self.lut * n, ff: self.ff * n, bram: self.bram * n, dsp: self.dsp * n }
+        Resources {
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram: self.bram * n,
+            dsp: self.dsp * n,
+        }
     }
 
     /// True when every component fits within `budget`.
@@ -57,7 +62,12 @@ impl Resources {
     /// The Xilinx Zynq-7000 ZC706 (XC7Z045) device capacity — the paper's
     /// prototype platform.
     pub fn zc706() -> Resources {
-        Resources { lut: 218_600, ff: 437_200, bram: 545, dsp: 900 }
+        Resources {
+            lut: 218_600,
+            ff: 437_200,
+            bram: 545,
+            dsp: 900,
+        }
     }
 }
 
@@ -84,12 +94,42 @@ pub const BOARD_STATIC_W: f64 = 20.0;
 /// Per-instance resource cost of one template unit.
 pub fn unit_resources(class: UnitClass) -> Resources {
     match class {
-        UnitClass::MatMul => Resources { lut: 12_000, ff: 15_000, bram: 8, dsp: 64 },
-        UnitClass::Vector => Resources { lut: 3_000, ff: 3_000, bram: 2, dsp: 8 },
-        UnitClass::Special => Resources { lut: 8_000, ff: 7_000, bram: 2, dsp: 12 },
-        UnitClass::Memory => Resources { lut: 1_500, ff: 1_000, bram: 16, dsp: 0 },
-        UnitClass::Qr => Resources { lut: 15_000, ff: 14_000, bram: 8, dsp: 32 },
-        UnitClass::BackSub => Resources { lut: 4_000, ff: 3_500, bram: 4, dsp: 8 },
+        UnitClass::MatMul => Resources {
+            lut: 12_000,
+            ff: 15_000,
+            bram: 8,
+            dsp: 64,
+        },
+        UnitClass::Vector => Resources {
+            lut: 3_000,
+            ff: 3_000,
+            bram: 2,
+            dsp: 8,
+        },
+        UnitClass::Special => Resources {
+            lut: 8_000,
+            ff: 7_000,
+            bram: 2,
+            dsp: 12,
+        },
+        UnitClass::Memory => Resources {
+            lut: 1_500,
+            ff: 1_000,
+            bram: 16,
+            dsp: 0,
+        },
+        UnitClass::Qr => Resources {
+            lut: 15_000,
+            ff: 14_000,
+            bram: 8,
+            dsp: 32,
+        },
+        UnitClass::BackSub => Resources {
+            lut: 4_000,
+            ff: 3_500,
+            bram: 4,
+            dsp: 8,
+        },
     }
 }
 
@@ -181,7 +221,12 @@ mod tests {
 
     #[test]
     fn resources_arithmetic() {
-        let a = Resources { lut: 1, ff: 2, bram: 3, dsp: 4 };
+        let a = Resources {
+            lut: 1,
+            ff: 2,
+            bram: 3,
+            dsp: 4,
+        };
         let b = a.times(2);
         assert_eq!(b.dsp, 8);
         assert_eq!(a.plus(&b).lut, 3);
@@ -212,8 +257,28 @@ mod tests {
 
     #[test]
     fn qr_latency_grows_with_rows_and_cols() {
-        let small = latency(&Op::Qrd { frontal: orianna_graph::VarId(0), frontal_dim: 3, seps: vec![], gather: vec![], new_factor_deps: vec![], rows: 6 }, (6, 7));
-        let large = latency(&Op::Qrd { frontal: orianna_graph::VarId(0), frontal_dim: 3, seps: vec![], gather: vec![], new_factor_deps: vec![], rows: 24 }, (24, 25));
+        let small = latency(
+            &Op::Qrd {
+                frontal: orianna_graph::VarId(0),
+                frontal_dim: 3,
+                seps: vec![],
+                gather: vec![],
+                new_factor_deps: vec![],
+                rows: 6,
+            },
+            (6, 7),
+        );
+        let large = latency(
+            &Op::Qrd {
+                frontal: orianna_graph::VarId(0),
+                frontal_dim: 3,
+                seps: vec![],
+                gather: vec![],
+                new_factor_deps: vec![],
+                rows: 24,
+            },
+            (24, 25),
+        );
         assert!(large > 8 * small, "{large} vs {small}");
     }
 

@@ -90,7 +90,10 @@ impl Pose2 {
         let r1 = self.rotation();
         let r2t = rhs.rotation().transpose();
         let dt = [self.t[0] - rhs.t[0], self.t[1] - rhs.t[1]];
-        Pose2 { theta: r2t.compose(&r1).log(), t: r2t.rotate(dt) }
+        Pose2 {
+            theta: r2t.compose(&r1).log(),
+            t: r2t.rotate(dt),
+        }
     }
 
     /// Group inverse: `p.inverse().compose(&p)` is the identity.
@@ -178,8 +181,15 @@ impl Pose3 {
     pub fn between(&self, rhs: &Pose3) -> Pose3 {
         let r1 = self.rotation();
         let r2t = rhs.rotation().transpose();
-        let dt = [self.t[0] - rhs.t[0], self.t[1] - rhs.t[1], self.t[2] - rhs.t[2]];
-        Pose3 { phi: r2t.compose(&r1).log(), t: r2t.rotate(dt) }
+        let dt = [
+            self.t[0] - rhs.t[0],
+            self.t[1] - rhs.t[1],
+            self.t[2] - rhs.t[2],
+        ];
+        Pose3 {
+            phi: r2t.compose(&r1).log(),
+            t: r2t.rotate(dt),
+        }
     }
 
     /// Group inverse.
@@ -334,9 +344,15 @@ mod tests {
             a.translation()[2] - b.translation()[2],
         ];
         let expect_t = rb_t.rotate(dt);
-        assert!(d.rotation().transpose().compose(&expect_rot).log().iter().all(|v| v.abs() < TOL));
-        for i in 0..3 {
-            assert!((d.translation()[i] - expect_t[i]).abs() < TOL);
+        assert!(d
+            .rotation()
+            .transpose()
+            .compose(&expect_rot)
+            .log()
+            .iter()
+            .all(|v| v.abs() < TOL));
+        for (got, want) in d.translation().iter().zip(&expect_t) {
+            assert!((got - want).abs() < TOL);
         }
     }
 }

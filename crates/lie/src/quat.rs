@@ -35,7 +35,12 @@ impl Default for Quat {
 impl Quat {
     /// The identity rotation.
     pub fn identity() -> Self {
-        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+        Self {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Exponential map: so(3) vector → unit quaternion.
@@ -49,7 +54,12 @@ impl Quat {
             let half = 0.5 * theta;
             (half.cos(), half.sin() / theta)
         };
-        Self { w, x: s * phi[0], y: s * phi[1], z: s * phi[2] }
+        Self {
+            w,
+            x: s * phi[0],
+            y: s * phi[1],
+            z: s * phi[2],
+        }
     }
 
     /// Logarithmic map: unit quaternion → so(3) vector.
@@ -85,7 +95,12 @@ impl Quat {
 
     /// Conjugate (inverse for unit quaternions).
     pub fn conjugate(&self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotates a vector: `q v q⁻¹` expanded to 30 multiplies.
@@ -114,7 +129,12 @@ impl Quat {
     pub fn normalized(&self) -> Quat {
         let n = self.norm();
         macs::record(8);
-        Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        Quat {
+            w: self.w / n,
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
     }
 
     /// Conversion to a rotation matrix.
@@ -122,9 +142,21 @@ impl Quat {
         macs::record(30);
         let (w, x, y, z) = (self.w, self.x, self.y, self.z);
         Rot3::from_matrix([
-            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
-            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
-            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
         ])
     }
 
@@ -180,7 +212,12 @@ mod tests {
 
     #[test]
     fn exp_log_roundtrip() {
-        for phi in [[0.3, -0.2, 0.5], [1.5, 0.0, 0.0], [1e-10, 2e-10, 0.0], [0.0, 0.0, 3.0]] {
+        for phi in [
+            [0.3, -0.2, 0.5],
+            [1.5, 0.0, 0.0],
+            [1e-10, 2e-10, 0.0],
+            [0.0, 0.0, 3.0],
+        ] {
             let back = Quat::exp(phi).log();
             let err = norm3([back[0] - phi[0], back[1] - phi[1], back[2] - phi[2]]);
             assert!(err < 1e-9, "{phi:?} -> {back:?}");
@@ -240,7 +277,12 @@ mod tests {
     #[test]
     fn double_cover_log_uses_short_arc() {
         let q = Quat::exp([0.0, 0.0, 0.4]);
-        let nq = Quat { w: -q.w, x: -q.x, y: -q.y, z: -q.z };
+        let nq = Quat {
+            w: -q.w,
+            x: -q.x,
+            y: -q.y,
+            z: -q.z,
+        };
         let back = nq.log();
         assert!((back[2] - 0.4).abs() < 1e-9, "{back:?}");
     }

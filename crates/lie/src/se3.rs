@@ -50,8 +50,8 @@ impl SE3 {
     /// Rotation block.
     pub fn rotation(&self) -> Rot3 {
         let mut r = [[0.0; 3]; 3];
-        for i in 0..3 {
-            r[i].copy_from_slice(&self.m[i][..3]);
+        for (row, mrow) in r.iter_mut().zip(&self.m) {
+            row.copy_from_slice(&mrow[..3]);
         }
         Rot3::from_matrix(r)
     }
@@ -66,13 +66,13 @@ impl SE3 {
     /// zero/one row too, so MAC accounting reflects SE(3)'s true cost.
     pub fn compose(&self, rhs: &SE3) -> SE3 {
         let mut out = [[0.0; 4]; 4];
-        for r in 0..4 {
-            for c in 0..4 {
+        for (out_row, lhs_row) in out.iter_mut().zip(&self.m) {
+            for (c, cell) in out_row.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for k in 0..4 {
-                    acc += self.m[r][k] * rhs.m[k][c];
+                for (l, rhs_row) in lhs_row.iter().zip(&rhs.m) {
+                    acc += l * rhs_row[c];
                 }
-                out[r][c] = acc;
+                *cell = acc;
             }
         }
         macs::record(64);
@@ -164,7 +164,14 @@ impl Se3Tangent {
 
     /// Coordinates as a 6-array `[ρ | φ]`.
     pub fn coords(&self) -> [f64; 6] {
-        [self.rho[0], self.rho[1], self.rho[2], self.phi[0], self.phi[1], self.phi[2]]
+        [
+            self.rho[0],
+            self.rho[1],
+            self.rho[2],
+            self.phi[0],
+            self.phi[1],
+            self.phi[2],
+        ]
     }
 }
 
@@ -178,7 +185,10 @@ fn v_matrix(phi: [f64; 3]) -> [[f64; 3]; 3] {
     let (a, b) = if theta < SMALL_ANGLE {
         (0.5 - theta2 / 24.0, 1.0 / 6.0 - theta2 / 120.0)
     } else {
-        ((1.0 - theta.cos()) / theta2, (theta - theta.sin()) / (theta2 * theta))
+        (
+            (1.0 - theta.cos()) / theta2,
+            (theta - theta.sin()) / (theta2 * theta),
+        )
     };
     macs::record(27 + 18 + 6);
     let mut out = [[0.0; 3]; 3];
@@ -224,16 +234,20 @@ mod tests {
     fn exp_log_roundtrip() {
         let xi = Se3Tangent::new([1.0, -2.0, 0.5], [0.3, 0.2, -0.4]);
         let back = xi.exp().log();
-        assert!(norm3([
-            back.rho[0] - xi.rho[0],
-            back.rho[1] - xi.rho[1],
-            back.rho[2] - xi.rho[2]
-        ]) < 1e-10);
-        assert!(norm3([
-            back.phi[0] - xi.phi[0],
-            back.phi[1] - xi.phi[1],
-            back.phi[2] - xi.phi[2]
-        ]) < 1e-10);
+        assert!(
+            norm3([
+                back.rho[0] - xi.rho[0],
+                back.rho[1] - xi.rho[1],
+                back.rho[2] - xi.rho[2]
+            ]) < 1e-10
+        );
+        assert!(
+            norm3([
+                back.phi[0] - xi.phi[0],
+                back.phi[1] - xi.phi[1],
+                back.phi[2] - xi.phi[2]
+            ]) < 1e-10
+        );
     }
 
     #[test]
@@ -251,7 +265,9 @@ mod tests {
         // composing in the unified representation.
         let a = Pose3::from_parts([0.2, -0.3, 0.4], [1.0, 2.0, -0.5]);
         let b = Pose3::from_parts([-0.1, 0.5, 0.2], [0.3, -0.7, 1.2]);
-        let se = SE3::from_unified(&a).compose(&SE3::from_unified(&b)).to_unified();
+        let se = SE3::from_unified(&a)
+            .compose(&SE3::from_unified(&b))
+            .to_unified();
         let un = a.compose(&b);
         assert!(se.rotation_distance(&un) < 1e-10);
         assert!(se.translation_distance(&un) < 1e-10);
@@ -261,7 +277,9 @@ mod tests {
     fn between_matches_unified_between() {
         let a = Pose3::from_parts([0.2, -0.3, 0.4], [1.0, 2.0, -0.5]);
         let b = Pose3::from_parts([-0.1, 0.5, 0.2], [0.3, -0.7, 1.2]);
-        let se = SE3::from_unified(&a).between(&SE3::from_unified(&b)).to_unified();
+        let se = SE3::from_unified(&a)
+            .between(&SE3::from_unified(&b))
+            .to_unified();
         let un = a.between(&b);
         assert!(se.rotation_distance(&un) < 1e-10);
         assert!(se.translation_distance(&un) < 1e-10);

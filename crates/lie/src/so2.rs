@@ -38,7 +38,10 @@ impl Rot2 {
     /// Exponential map so(2) → SO(2).
     pub fn exp(theta: f64) -> Self {
         macs::record(2);
-        Self { c: theta.cos(), s: theta.sin() }
+        Self {
+            c: theta.cos(),
+            s: theta.sin(),
+        }
     }
 
     /// Logarithmic map SO(2) → so(2); result in `(−π, π]`.
@@ -58,7 +61,10 @@ impl Rot2 {
 
     /// Transpose / inverse rotation (`RT`).
     pub fn transpose(&self) -> Rot2 {
-        Rot2 { c: self.c, s: -self.s }
+        Rot2 {
+            c: self.c,
+            s: -self.s,
+        }
     }
 
     /// Rotates a 2-vector (`RV`).

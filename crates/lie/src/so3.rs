@@ -33,7 +33,9 @@ impl Default for Rot3 {
 impl Rot3 {
     /// The identity rotation.
     pub fn identity() -> Self {
-        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+        Self {
+            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
     }
 
     /// Builds a rotation from a row-major 3×3 array.
@@ -139,7 +141,9 @@ impl Rot3 {
     /// Rotation composition `self · rhs` (the paper's `RR` primitive).
     pub fn compose(&self, rhs: &Rot3) -> Rot3 {
         macs::record(27);
-        Rot3 { m: mat3_mul(&self.m, &rhs.m) }
+        Rot3 {
+            m: mat3_mul(&self.m, &rhs.m),
+        }
     }
 
     /// Transpose / inverse rotation (the paper's `RT` primitive).
@@ -191,11 +195,7 @@ impl Rot3 {
 
 /// Skew-symmetric (hat) operator `(·)^` of Tbl. 3: `hat(v) w = v × w`.
 pub fn hat(v: [f64; 3]) -> [[f64; 3]; 3] {
-    [
-        [0.0, -v[2], v[1]],
-        [v[2], 0.0, -v[0]],
-        [-v[1], v[0], 0.0],
-    ]
+    [[0.0, -v[2], v[1]], [v[2], 0.0, -v[0]], [-v[1], v[0], 0.0]]
 }
 
 /// Inverse of [`hat`]: extracts the vector from a skew-symmetric matrix.
@@ -284,7 +284,12 @@ mod tests {
 
     #[test]
     fn exp_is_orthonormal() {
-        for phi in [[0.1, 0.2, 0.3], [1.0, -2.0, 0.5], [3.0, 0.0, 0.0], [1e-10, 0.0, 1e-10]] {
+        for phi in [
+            [0.1, 0.2, 0.3],
+            [1.0, -2.0, 0.5],
+            [3.0, 0.0, 0.0],
+            [1e-10, 0.0, 1e-10],
+        ] {
             assert!(Rot3::exp(phi).is_orthonormal(1e-12), "{phi:?}");
         }
     }
@@ -309,7 +314,11 @@ mod tests {
         for axis in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.577, 0.577, 0.577]] {
             let n = norm3(axis);
             let theta = std::f64::consts::PI - 1e-9;
-            let phi = [axis[0] / n * theta, axis[1] / n * theta, axis[2] / n * theta];
+            let phi = [
+                axis[0] / n * theta,
+                axis[1] / n * theta,
+                axis[2] / n * theta,
+            ];
             let back = Rot3::exp(phi).log();
             // Recovered rotation must equal the original rotation.
             let diff = Rot3::exp(phi).transpose().compose(&Rot3::exp(back));

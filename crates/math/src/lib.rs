@@ -14,7 +14,11 @@
 //! * [`solve`] — dense least-squares helpers used as a ground-truth oracle
 //!   in tests,
 //! * [`macs`] — multiply–accumulate counting, used to reproduce the paper's
-//!   Sec. 4.3 arithmetic-saving claims and to drive baseline cost models.
+//!   Sec. 4.3 arithmetic-saving claims and to drive baseline cost models,
+//! * [`par`] — the [`Parallelism`] configuration and the shared worker
+//!   pool behind every parallel path in the workspace,
+//! * [`scratch`] — per-thread reusable buffers so the hot QR/matmul
+//!   kernels allocate no per-operation temporaries.
 //!
 //! All kernels are written from scratch on `f64`; no external linear algebra
 //! crates are used.
@@ -32,11 +36,14 @@
 
 pub mod macs;
 pub mod mat;
+pub mod par;
 pub mod qr;
+pub mod scratch;
 pub mod solve;
 pub mod triangular;
 
 pub use mat::{Mat, Vec64};
+pub use par::Parallelism;
 pub use qr::{givens_qr, householder_qr, partial_qr, QrFactors};
 pub use solve::{least_squares, solve_upper_triangular};
 

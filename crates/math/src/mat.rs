@@ -45,7 +45,11 @@ impl fmt::Debug for Mat {
 impl Mat {
     /// Creates a matrix of zeros with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n`×`n` identity matrix.
@@ -69,7 +73,11 @@ impl Mat {
             assert_eq!(row.len(), c, "inconsistent row length");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major slice.
@@ -78,7 +86,11 @@ impl Mat {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_row_major(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "shape/data mismatch");
-        Self { rows, cols, data: data.to_vec() }
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -158,6 +170,31 @@ impl Mat {
         out
     }
 
+    /// Allocation-free matrix product: writes `self * rhs` into `out`,
+    /// which must already have the result shape. Used by the parallel hot
+    /// paths together with [`crate::scratch`] so steady-state workers
+    /// perform no per-operation allocation.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_mat_into(&self, rhs: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
+        out.data.fill(0.0);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        macs::record(self.rows * self.cols * rhs.cols);
+    }
+
     /// Matrix–vector product `self * v`.
     ///
     /// # Panics
@@ -202,7 +239,10 @@ impl Mat {
     /// # Panics
     /// Panics if the block does not fit.
     pub fn set_block(&mut self, r0: usize, c0: usize, block: &Mat) {
-        assert!(r0 + block.rows <= self.rows && c0 + block.cols <= self.cols, "block out of range");
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block out of range"
+        );
         for r in 0..block.rows {
             for c in 0..block.cols {
                 self[(r0 + r, c0 + c)] = block[(r, c)];
@@ -216,7 +256,10 @@ impl Mat {
     /// # Panics
     /// Panics if the requested block is out of range.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Mat {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block out of range"
+        );
         let mut out = Mat::zeros(nr, nc);
         for r in 0..nr {
             for c in 0..nc {
@@ -234,7 +277,11 @@ impl Mat {
         assert_eq!(self.cols, other.cols, "vstack column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Mat { rows: self.rows + other.rows, cols: self.cols, data }
+        Mat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Number of entries with magnitude above `tol`.
@@ -344,7 +391,12 @@ impl Add for &Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -357,7 +409,12 @@ impl Sub for &Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -449,7 +506,9 @@ impl Vec64 {
     /// Returns `self * s`.
     pub fn scale(&self, s: f64) -> Vec64 {
         macs::record(self.data.len());
-        Vec64 { data: self.data.iter().map(|x| x * s).collect() }
+        Vec64 {
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
     }
 
     /// Copies `seg` into `self` starting at index `at`.
@@ -499,7 +558,14 @@ impl Add for &Vec64 {
     fn add(self, rhs: &Vec64) -> Vec64 {
         assert_eq!(self.len(), rhs.len(), "add length mismatch");
         macs::record(self.data.len());
-        Vec64 { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect() }
+        Vec64 {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
     }
 }
 
@@ -508,20 +574,31 @@ impl Sub for &Vec64 {
     fn sub(self, rhs: &Vec64) -> Vec64 {
         assert_eq!(self.len(), rhs.len(), "sub length mismatch");
         macs::record(self.data.len());
-        Vec64 { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect() }
+        Vec64 {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
     }
 }
 
 impl Neg for &Vec64 {
     type Output = Vec64;
     fn neg(self) -> Vec64 {
-        Vec64 { data: self.data.iter().map(|x| -x).collect() }
+        Vec64 {
+            data: self.data.iter().map(|x| -x).collect(),
+        }
     }
 }
 
 impl FromIterator<f64> for Vec64 {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Vec64 { data: iter.into_iter().collect() }
+        Vec64 {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,0 +1,282 @@
+//! Shared parallel-execution substrate.
+//!
+//! Every parallel path in the workspace (per-factor linearization in
+//! `orianna-graph`, independent-clique elimination in `orianna-solver`,
+//! batched simulation in `orianna-hw`) funnels through this module so the
+//! policy lives in one place:
+//!
+//! * [`Parallelism`] — the user-facing knob: how many worker threads a
+//!   parallel section may use. Defaults to the machine's available cores;
+//!   `threads <= 1` selects the serial reference path everywhere.
+//! * [`run_tasks`] — executes a deterministic, *ordered* task list on a
+//!   lazily-started global worker pool and returns the results in task
+//!   order. Determinism is by construction: callers decide the task split
+//!   deterministically, each task is a pure function of its owned inputs,
+//!   and results are merged by index — never by completion order — so any
+//!   thread count produces bitwise-identical output.
+//!
+//! The pool is a fixed set of detached workers fed through a channel; a
+//! [`run_tasks`] call enqueues lightweight "drainer" jobs that pull tasks
+//! from the call's own queue, and the calling thread drains that queue
+//! too. Pool workers therefore *accelerate* a call but are never required
+//! for progress — on a single-core machine, or with a saturated pool, the
+//! caller completes all tasks itself.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+/// How many worker threads a parallel section may use.
+///
+/// `threads <= 1` disables parallel dispatch entirely: every consumer
+/// falls back to its serial reference implementation. Results are
+/// independent of `threads` (see the determinism tests in
+/// `tests/parallel.rs`); only wall-clock time changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum concurrent worker threads (including the calling thread).
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    /// All available cores.
+    fn default() -> Self {
+        Self {
+            threads: available_threads(),
+        }
+    }
+}
+
+impl Parallelism {
+    /// The serial reference configuration.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A configuration with exactly `threads` workers (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Whether parallel dispatch is enabled at all.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+/// Number of hardware threads the runtime reports (≥ 1).
+pub fn available_threads() -> usize {
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Sender<Job>,
+    workers: usize,
+}
+
+/// The global pool is sized generously (at least 8 workers) so that
+/// determinism tests exercise true cross-thread execution even on small
+/// machines; idle workers cost nothing.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = available_threads().max(8);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            thread::Builder::new()
+                .name(format!("orianna-par-{i}"))
+                .spawn(move || loop {
+                    let job = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // pool dropped
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Pool { sender, workers }
+    })
+}
+
+type TaskQueue<R> = Arc<Mutex<VecDeque<(usize, Box<dyn FnOnce() -> R + Send>)>>>;
+
+fn drain<R: Send>(queue: &TaskQueue<R>, results: &Sender<(usize, thread::Result<R>)>) {
+    loop {
+        let next = queue.lock().expect("task queue").pop_front();
+        let Some((idx, task)) = next else { break };
+        let outcome = catch_unwind(AssertUnwindSafe(task));
+        if results.send((idx, outcome)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Runs `tasks` with up to `threads` concurrent workers and returns their
+/// results **in task order**. With `threads <= 1` (or a single task) the
+/// tasks run inline on the calling thread, in order — the serial
+/// reference. A panicking task is re-raised on the caller after all
+/// remaining tasks complete.
+pub fn run_tasks<R: Send + 'static>(
+    threads: usize,
+    tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+) -> Vec<R> {
+    let n = tasks.len();
+    if threads <= 1 || n <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    let queue: TaskQueue<R> = Arc::new(Mutex::new(tasks.into_iter().enumerate().collect()));
+    let (tx, rx) = channel();
+    let helpers = (threads - 1).min(n - 1).min(pool().workers);
+    for _ in 0..helpers {
+        let queue = Arc::clone(&queue);
+        let tx = tx.clone();
+        pool()
+            .sender
+            .send(Box::new(move || drain(&queue, &tx)))
+            .expect("pool accepts jobs");
+    }
+    // The caller participates; it alone guarantees progress.
+    drain(&queue, &tx);
+    drop(tx);
+
+    let mut slots: Vec<Option<thread::Result<R>>> = (0..n).map(|_| None).collect();
+    for (idx, outcome) in rx {
+        slots[idx] = Some(outcome);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in slots {
+        match slot.expect("every task reports exactly once") {
+            Ok(r) => out.push(r),
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+    out
+}
+
+/// Convenience: maps `items` through `f` in parallel, preserving order.
+/// `f` must be `Sync` (it is shared across workers) and the items are
+/// moved into the tasks.
+pub fn par_map<T, R, F>(par: &Parallelism, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    if !par.is_parallel() || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let f = Arc::new(f);
+    let tasks: Vec<Box<dyn FnOnce() -> R + Send>> = items
+        .into_iter()
+        .map(|item| {
+            let f = Arc::clone(&f);
+            Box::new(move || f(item)) as Box<dyn FnOnce() -> R + Send>
+        })
+        .collect();
+    run_tasks(par.threads, tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        for threads in [1, 2, 4, 8] {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..37usize)
+                .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = run_tasks(threads, tasks);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tasks_actually_run_on_multiple_threads() {
+        // With enough tasks that block until a sibling joins, at least two
+        // distinct threads must participate (pool has ≥ 8 workers).
+        let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+            .map(|_| {
+                let seen = Arc::clone(&seen);
+                Box::new(move || {
+                    seen.lock().unwrap().insert(thread::current().id());
+                    thread::sleep(std::time::Duration::from_millis(2));
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_tasks(4, tasks);
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "expected cross-thread execution"
+        );
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(&Parallelism::serial(), items.clone(), |x| {
+            x.wrapping_mul(31) ^ 7
+        });
+        let parallel = par_map(&Parallelism::with_threads(4), items, |x| {
+            x.wrapping_mul(31) ^ 7
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn counts_every_task_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..257)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_tasks(8, tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panics_propagate_to_caller() {
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("boom");
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_tasks(4, tasks);
+    }
+
+    #[test]
+    fn parallelism_defaults_and_clamping() {
+        assert!(Parallelism::default().threads >= 1);
+        assert_eq!(Parallelism::with_threads(0).threads, 1);
+        assert!(!Parallelism::serial().is_parallel());
+        assert!(Parallelism::with_threads(4).is_parallel());
+    }
+}

@@ -12,7 +12,8 @@
 //!   number of rotations applied, which drives the unit latency model.
 
 use crate::macs;
-use crate::mat::{Mat, Vec64};
+use crate::mat::Mat;
+use crate::scratch;
 
 /// The result of a full QR decomposition `A = Q · R`.
 #[derive(Debug, Clone)]
@@ -38,14 +39,20 @@ pub fn householder_qr(a: &Mat) -> QrFactors {
     let (m, n) = a.shape();
     let mut r = a.clone();
     let mut q = Mat::identity(m);
-    for k in 0..n.min(m.saturating_sub(1)) {
-        if let Some(v) = householder_vector(&r, k) {
-            apply_householder_left(&mut r, &v, k);
-            apply_householder_left(&mut q, &v, k);
+    scratch::with_buf(m, |vbuf| {
+        for k in 0..n.min(m.saturating_sub(1)) {
+            let v = &mut vbuf[..m - k];
+            if householder_vector_into(&r, k, v) {
+                apply_householder_left(&mut r, v, k);
+                apply_householder_left(&mut q, v, k);
+            }
         }
-    }
+    });
     // q currently accumulates Hk ... H1; Q = (Hk ... H1)^T.
-    QrFactors { q: q.transpose(), r: zero_below_diag(r) }
+    QrFactors {
+        q: q.transpose(),
+        r: zero_below_diag(r),
+    }
 }
 
 /// Partially triangularizes `a`: after the call, the first
@@ -57,15 +64,18 @@ pub fn partial_qr(a: &Mat, k: usize) -> Mat {
     let (m, n) = a.shape();
     let mut r = a.clone();
     let limit = k.min(n).min(m.saturating_sub(1));
-    for col in 0..limit {
-        if let Some(v) = householder_vector(&r, col) {
-            apply_householder_left(&mut r, &v, col);
+    scratch::with_buf(m, |vbuf| {
+        for col in 0..limit {
+            let v = &mut vbuf[..m - col];
+            if householder_vector_into(&r, col, v) {
+                apply_householder_left(&mut r, v, col);
+            }
+            // Explicitly clean the annihilated column to avoid residue.
+            for row in col + 1..m {
+                r[(row, col)] = 0.0;
+            }
         }
-        // Explicitly clean the annihilated column to avoid residue.
-        for row in col + 1..m {
-            r[(row, col)] = 0.0;
-        }
-    }
+    });
     r
 }
 
@@ -106,11 +116,13 @@ fn givens(x: f64, y: f64) -> (f64, f64) {
     (x / h, y / h)
 }
 
-/// Computes the Householder vector annihilating column `k` of `r` below the
-/// diagonal. Returns `None` when the column is already zero there.
-fn householder_vector(r: &Mat, k: usize) -> Option<Vec64> {
+/// Computes the normalized Householder vector annihilating column `k` of
+/// `r` below the diagonal into the caller-provided scratch slice `v`
+/// (length `rows − k`). Returns `false` when the column is already zero
+/// there (no reflection needed).
+fn householder_vector_into(r: &Mat, k: usize, v: &mut [f64]) -> bool {
     let m = r.rows();
-    let mut v = Vec64::zeros(m - k);
+    debug_assert_eq!(v.len(), m - k);
     let mut norm2 = 0.0;
     for i in k..m {
         let x = r[(i, k)];
@@ -120,19 +132,23 @@ fn householder_vector(r: &Mat, k: usize) -> Option<Vec64> {
     macs::record(m - k);
     let below: f64 = (k + 1..m).map(|i| r[(i, k)] * r[(i, k)]).sum();
     if below < 1e-300 {
-        return None;
+        return false;
     }
     let alpha = -v[0].signum() * norm2.sqrt();
     v[0] -= alpha;
-    let vnorm = v.norm();
+    let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
     if vnorm < 1e-300 {
-        return None;
+        return false;
     }
-    Some(v.scale(1.0 / vnorm))
+    let inv = 1.0 / vnorm;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+    true
 }
 
 /// Applies `(I - 2 v v^T)` to the rows `k..` of `m`.
-fn apply_householder_left(m: &mut Mat, v: &Vec64, k: usize) {
+fn apply_householder_left(m: &mut Mat, v: &[f64], k: usize) {
     let (rows, cols) = m.shape();
     debug_assert_eq!(v.len(), rows - k);
     for c in 0..cols {
@@ -200,7 +216,10 @@ mod tests {
         // |A e_j| == |R e_j| since Q is orthogonal.
         for c in 0..3 {
             let an: f64 = (0..5).map(|r| a[(r, c)] * a[(r, c)]).sum::<f64>().sqrt();
-            let rn: f64 = (0..5).map(|r| f.r[(r, c)] * f.r[(r, c)]).sum::<f64>().sqrt();
+            let rn: f64 = (0..5)
+                .map(|r| f.r[(r, c)] * f.r[(r, c)])
+                .sum::<f64>()
+                .sqrt();
             assert!((an - rn).abs() < 1e-10);
         }
     }

@@ -1,0 +1,66 @@
+//! Per-thread scratch buffers for the hot numeric kernels.
+//!
+//! The parallel linearize→eliminate path runs thousands of small QR
+//! decompositions per iteration; allocating a fresh Householder vector
+//! for every column of every factor would put the allocator on the
+//! critical path of every worker thread. Instead each thread keeps a
+//! small pool of reusable `f64` buffers: [`with_buf`] hands out a
+//! zero-initialized slice and returns it to the pool afterwards, so
+//! steady-state kernel execution performs no heap allocation for
+//! temporaries. Buffers are thread-local — workers never contend.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a zeroed scratch slice of length `len` drawn from the
+/// calling thread's buffer pool. Re-entrant: nested calls receive
+/// distinct buffers.
+pub fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    let out = f(&mut buf);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        // Bound the per-thread pool so pathological sizes don't pin memory.
+        if pool.len() < 8 {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_arrive_zeroed() {
+        with_buf(16, |b| {
+            assert!(b.iter().all(|&x| x == 0.0));
+            b.fill(3.5);
+        });
+        // The dirtied buffer is re-zeroed on reuse.
+        with_buf(16, |b| assert!(b.iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
+    fn nested_calls_get_distinct_buffers() {
+        with_buf(4, |outer| {
+            outer.fill(1.0);
+            with_buf(4, |inner| {
+                inner.fill(2.0);
+                assert!(outer.iter().all(|&x| x == 1.0));
+            });
+            assert!(outer.iter().all(|&x| x == 1.0));
+        });
+    }
+
+    #[test]
+    fn handles_zero_length() {
+        with_buf(0, |b| assert!(b.is_empty()));
+    }
+}

@@ -15,7 +15,10 @@
 //! order recovers Δ (Fig. 6).
 
 use orianna_graph::{LinearFactor, LinearSystem, Ordering, VarId};
+use orianna_math::par::{run_tasks, Parallelism};
 use orianna_math::{householder_qr, Mat, Vec64};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Failure modes of elimination / back-substitution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +29,9 @@ pub enum SolveError {
     /// The gathered sub-problem was rank-deficient in the variable's
     /// columns.
     SingularVariable(VarId),
+    /// An operation referenced a variable the solver has never seen (e.g.
+    /// an incremental update whose factor keys were never inserted).
+    UnknownVariable(VarId),
 }
 
 impl std::fmt::Display for SolveError {
@@ -36,6 +42,9 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::SingularVariable(v) => {
                 write!(f, "variable {v} has a singular elimination block")
+            }
+            SolveError::UnknownVariable(v) => {
+                write!(f, "variable {v} is not known to the solver")
             }
         }
     }
@@ -205,8 +214,186 @@ impl EliminationStats {
     }
 }
 
+/// Eliminates one variable given its gathered live adjacent factors: the
+/// single dense sub-problem of paper Fig. 5. Pure function of its inputs —
+/// the serial sweep ([`eliminate`]), the batched parallel sweep
+/// ([`eliminate_with`]) and the incremental solver all call it, so every
+/// path runs identical arithmetic.
+///
+/// Returns the conditional, the new separator factor (when any non-trivial
+/// rows remain) and the size/density record for this step.
+pub(crate) fn eliminate_step(
+    v: VarId,
+    gathered: &[Arc<LinearFactor>],
+    var_dims: &[usize],
+) -> Result<(Conditional, Option<LinearFactor>, EliminationStep), SolveError> {
+    if gathered.is_empty() {
+        return Err(SolveError::UnconstrainedVariable(v));
+    }
+    // Column layout: frontal variable first, separators sorted by id.
+    let mut seps: Vec<VarId> = Vec::new();
+    for f in gathered {
+        for k in &f.keys {
+            if *k != v && !seps.contains(k) {
+                seps.push(*k);
+            }
+        }
+    }
+    seps.sort();
+    let dv = var_dims[v.0];
+    let sep_cols: usize = seps.iter().map(|s| var_dims[s.0]).sum();
+    let total_rows: usize = gathered.iter().map(|f| f.rows()).sum();
+    let cols = dv + sep_cols;
+
+    // Stack [A_v | A_seps | rhs].
+    let mut abar = Mat::zeros(total_rows, cols + 1);
+    let mut row = 0;
+    for f in gathered {
+        for (k, blk) in f.keys.iter().zip(&f.blocks) {
+            let c0 = if *k == v {
+                0
+            } else {
+                let mut off = dv;
+                for s in &seps {
+                    if s == k {
+                        break;
+                    }
+                    off += var_dims[s.0];
+                }
+                off
+            };
+            abar.set_block(row, c0, blk);
+        }
+        for r in 0..f.rows() {
+            abar[(row + r, cols)] = f.rhs[r];
+        }
+        row += f.rows();
+    }
+
+    let step = EliminationStep {
+        var: v,
+        rows: total_rows,
+        cols,
+        density: abar.block(0, 0, total_rows, cols).density(1e-14),
+        gathered: gathered.len(),
+    };
+
+    if total_rows < dv {
+        return Err(SolveError::SingularVariable(v));
+    }
+
+    // Full QR of the gathered matrix (the partial QR of Fig. 5 plus the
+    // triangularization of the remainder, which caps the new factor's
+    // row count at sep_cols + 1).
+    let r_full = householder_qr(&abar).r;
+
+    // Conditional: top dv rows.
+    let r_diag = r_full.block(0, 0, dv, dv);
+    for d in 0..dv {
+        if r_diag[(d, d)].abs() < 1e-12 {
+            return Err(SolveError::SingularVariable(v));
+        }
+    }
+    let mut parents = Vec::with_capacity(seps.len());
+    let mut off = dv;
+    for s in &seps {
+        let ds = var_dims[s.0];
+        parents.push((*s, r_full.block(0, off, dv, ds)));
+        off += ds;
+    }
+    let mut rhs = Vec64::zeros(dv);
+    for d in 0..dv {
+        rhs[d] = r_full[(d, dv + sep_cols)];
+    }
+    let conditional = Conditional {
+        var: v,
+        r: r_diag,
+        parents,
+        rhs,
+    };
+
+    // New factor on separators: rows dv .. min(total_rows, cols+1),
+    // dropping rows that are numerically zero.
+    let mut new_factor = None;
+    if !seps.is_empty() {
+        let last = total_rows.min(cols + 1);
+        let mut keep_rows: Vec<usize> = Vec::new();
+        for r in dv..last {
+            let mut nonzero = false;
+            for c in dv..cols + 1 {
+                if r_full[(r, c)].abs() > 1e-12 {
+                    nonzero = true;
+                    break;
+                }
+            }
+            if nonzero {
+                keep_rows.push(r);
+            }
+        }
+        if !keep_rows.is_empty() {
+            let nr = keep_rows.len();
+            let mut blocks: Vec<Mat> = Vec::with_capacity(seps.len());
+            let mut off = dv;
+            for s in &seps {
+                let ds = var_dims[s.0];
+                let mut blk = Mat::zeros(nr, ds);
+                for (ri, &r) in keep_rows.iter().enumerate() {
+                    for c in 0..ds {
+                        blk[(ri, c)] = r_full[(r, off + c)];
+                    }
+                }
+                blocks.push(blk);
+                off += ds;
+            }
+            let mut new_rhs = Vec64::zeros(nr);
+            for (ri, &r) in keep_rows.iter().enumerate() {
+                new_rhs[ri] = r_full[(r, cols)];
+            }
+            new_factor = Some(LinearFactor {
+                keys: seps,
+                blocks,
+                rhs: new_rhs,
+            });
+        }
+    }
+    Ok((conditional, new_factor, step))
+}
+
+/// Live factor work-list: `None` = consumed by an earlier elimination.
+type WorkList = Vec<Option<Arc<LinearFactor>>>;
+
+/// A boxed elimination task handed to the worker pool.
+type EliminationTask = Box<
+    dyn FnOnce() -> Result<(Conditional, Option<LinearFactor>, EliminationStep), SolveError> + Send,
+>;
+
+fn build_worklist(system: &LinearSystem) -> (WorkList, Vec<Vec<usize>>) {
+    let work: WorkList = system
+        .factors
+        .iter()
+        .cloned()
+        .map(|f| Some(Arc::new(f)))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); system.var_dims.len()];
+    for (fi, f) in system.factors.iter().enumerate() {
+        for k in &f.keys {
+            adj[k.0].push(fi);
+        }
+    }
+    (work, adj)
+}
+
+fn push_new_factor(work: &mut WorkList, adj: &mut [Vec<usize>], nf: LinearFactor) {
+    let fi = work.len();
+    for k in &nf.keys {
+        adj[k.0].push(fi);
+    }
+    work.push(Some(Arc::new(nf)));
+}
+
 /// Eliminates every variable of `system` in `ordering`, producing the
-/// Bayes net and the per-step statistics.
+/// Bayes net and the per-step statistics. This is the serial reference
+/// path; [`eliminate_with`] is the parallel counterpart.
 ///
 /// # Errors
 /// Returns an error when a variable is unconstrained or singular.
@@ -220,15 +407,7 @@ pub fn eliminate(
         "ordering must cover every variable"
     );
     let var_dims = system.var_dims.clone();
-    // Live work-list of factors; None = consumed.
-    let mut work: Vec<Option<LinearFactor>> = system.factors.iter().cloned().map(Some).collect();
-    // Adjacency index: var -> factor indices (kept fresh as factors are added).
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); var_dims.len()];
-    for (fi, f) in system.factors.iter().enumerate() {
-        for k in &f.keys {
-            adj[k.0].push(fi);
-        }
-    }
+    let (mut work, mut adj) = build_worklist(system);
     let mut conditionals = Vec::with_capacity(ordering.len());
     let mut stats = EliminationStats::default();
 
@@ -242,133 +421,129 @@ pub fn eliminate(
         if factor_ids.is_empty() {
             return Err(SolveError::UnconstrainedVariable(v));
         }
-        let gathered: Vec<LinearFactor> =
-            factor_ids.iter().map(|&fi| work[fi].take().unwrap()).collect();
-
-        // Column layout: frontal variable first, separators sorted by id.
-        let mut seps: Vec<VarId> = Vec::new();
-        for f in &gathered {
-            for k in &f.keys {
-                if *k != v && !seps.contains(k) {
-                    seps.push(*k);
-                }
-            }
-        }
-        seps.sort();
-        let dv = var_dims[v.0];
-        let sep_cols: usize = seps.iter().map(|s| var_dims[s.0]).sum();
-        let total_rows: usize = gathered.iter().map(LinearFactor::rows).sum();
-        let cols = dv + sep_cols;
-
-        // Stack [A_v | A_seps | rhs].
-        let mut abar = Mat::zeros(total_rows, cols + 1);
-        let mut row = 0;
-        for f in &gathered {
-            for (k, blk) in f.keys.iter().zip(&f.blocks) {
-                let c0 = if *k == v {
-                    0
-                } else {
-                    let mut off = dv;
-                    for s in &seps {
-                        if s == k {
-                            break;
-                        }
-                        off += var_dims[s.0];
-                    }
-                    off
-                };
-                abar.set_block(row, c0, blk);
-            }
-            for r in 0..f.rows() {
-                abar[(row + r, cols)] = f.rhs[r];
-            }
-            row += f.rows();
-        }
-
-        stats.steps.push(EliminationStep {
-            var: v,
-            rows: total_rows,
-            cols,
-            density: abar.block(0, 0, total_rows, cols).density(1e-14),
-            gathered: gathered.len(),
-        });
-
-        if total_rows < dv {
-            return Err(SolveError::SingularVariable(v));
-        }
-
-        // Full QR of the gathered matrix (the partial QR of Fig. 5 plus the
-        // triangularization of the remainder, which caps the new factor's
-        // row count at sep_cols + 1).
-        let r_full = householder_qr(&abar).r;
-
-        // Conditional: top dv rows.
-        let r_diag = r_full.block(0, 0, dv, dv);
-        for d in 0..dv {
-            if r_diag[(d, d)].abs() < 1e-12 {
-                return Err(SolveError::SingularVariable(v));
-            }
-        }
-        let mut parents = Vec::with_capacity(seps.len());
-        let mut off = dv;
-        for s in &seps {
-            let ds = var_dims[s.0];
-            parents.push((*s, r_full.block(0, off, dv, ds)));
-            off += ds;
-        }
-        let mut rhs = Vec64::zeros(dv);
-        for d in 0..dv {
-            rhs[d] = r_full[(d, dv + sep_cols)];
-        }
-        conditionals.push(Conditional { var: v, r: r_diag, parents, rhs });
-
-        // New factor on separators: rows dv .. min(total_rows, cols+1),
-        // dropping rows that are numerically zero.
-        if !seps.is_empty() {
-            let last = total_rows.min(cols + 1);
-            let mut blocks: Vec<Mat> = Vec::with_capacity(seps.len());
-            let mut keep_rows: Vec<usize> = Vec::new();
-            for r in dv..last {
-                let mut nonzero = false;
-                for c in dv..cols + 1 {
-                    if r_full[(r, c)].abs() > 1e-12 {
-                        nonzero = true;
-                        break;
-                    }
-                }
-                if nonzero {
-                    keep_rows.push(r);
-                }
-            }
-            if !keep_rows.is_empty() {
-                let nr = keep_rows.len();
-                let mut off = dv;
-                for s in &seps {
-                    let ds = var_dims[s.0];
-                    let mut blk = Mat::zeros(nr, ds);
-                    for (ri, &r) in keep_rows.iter().enumerate() {
-                        for c in 0..ds {
-                            blk[(ri, c)] = r_full[(r, off + c)];
-                        }
-                    }
-                    blocks.push(blk);
-                    off += ds;
-                }
-                let mut new_rhs = Vec64::zeros(nr);
-                for (ri, &r) in keep_rows.iter().enumerate() {
-                    new_rhs[ri] = r_full[(r, cols)];
-                }
-                let new_factor = LinearFactor { keys: seps.clone(), blocks, rhs: new_rhs };
-                let fi = work.len();
-                for k in &new_factor.keys {
-                    adj[k.0].push(fi);
-                }
-                work.push(Some(new_factor));
-            }
+        let gathered: Vec<Arc<LinearFactor>> = factor_ids
+            .iter()
+            .map(|&fi| work[fi].take().unwrap())
+            .collect();
+        let (conditional, new_factor, step) = eliminate_step(v, &gathered, &var_dims)?;
+        stats.steps.push(step);
+        conditionals.push(conditional);
+        if let Some(nf) = new_factor {
+            push_new_factor(&mut work, &mut adj, nf);
         }
     }
 
-    Ok((BayesNet { conditionals, var_dims }, stats))
+    Ok((
+        BayesNet {
+            conditionals,
+            var_dims,
+        },
+        stats,
+    ))
+}
+
+/// [`eliminate`] with independent-clique parallelism.
+///
+/// Variables whose live adjacent-factor sets are pairwise disjoint touch
+/// no common data and are not separators of one another, so their dense
+/// sub-problems ([`eliminate_step`]) run concurrently. Batches are formed
+/// by a deterministic greedy scan over the remaining ordering: the first
+/// remaining variable always joins, and a later variable joins when its
+/// live factor set does not intersect the batch's. Batch formation depends
+/// only on the graph — never on the thread count — and results merge in
+/// batch order, so the output is **bitwise identical for every `threads`
+/// value**.
+///
+/// Relative to [`eliminate`], the effective elimination order is a
+/// permutation of `ordering` (skipped variables are revisited in later
+/// batches), so the assembled `R` differs in structure but the
+/// back-substituted Δ agrees to floating-point roundoff (`< 1e-12`;
+/// asserted for every bundled application in `tests/parallel.rs`).
+///
+/// # Errors
+/// Returns an error when a variable is unconstrained or singular.
+pub fn eliminate_with(
+    system: &LinearSystem,
+    ordering: &Ordering,
+    par: &Parallelism,
+) -> Result<(BayesNet, EliminationStats), SolveError> {
+    assert_eq!(
+        ordering.len(),
+        system.var_dims.len(),
+        "ordering must cover every variable"
+    );
+    if !par.is_parallel() {
+        return eliminate(system, ordering);
+    }
+    let var_dims = Arc::new(system.var_dims.clone());
+    let (mut work, mut adj) = build_worklist(system);
+    let mut pending: Vec<VarId> = ordering.as_slice().to_vec();
+    let mut conditionals = Vec::with_capacity(pending.len());
+    let mut stats = EliminationStats::default();
+
+    while !pending.is_empty() {
+        // Deterministic batch formation: scan remaining variables in
+        // ordering order, admitting those whose live factor sets are
+        // disjoint from everything already admitted.
+        let mut batch: Vec<(usize, VarId, Vec<usize>)> = Vec::new();
+        let mut batch_fids: HashSet<usize> = HashSet::new();
+        for (pi, &v) in pending.iter().enumerate() {
+            let fids: Vec<usize> = adj[v.0]
+                .iter()
+                .copied()
+                .filter(|&fi| work[fi].is_some())
+                .collect();
+            if batch.is_empty() {
+                // The head of the remaining ordering: every earlier
+                // variable is eliminated, so an empty set here is final.
+                if fids.is_empty() {
+                    return Err(SolveError::UnconstrainedVariable(v));
+                }
+            } else if fids.is_empty() || fids.iter().any(|fi| batch_fids.contains(fi)) {
+                // Empty sets may still gain a separator factor from this
+                // batch; conflicting sets must wait for its results.
+                continue;
+            }
+            batch_fids.extend(fids.iter().copied());
+            batch.push((pi, v, fids));
+        }
+
+        // Execute the batch; disjointness means each task owns its
+        // gathered factors outright.
+        let tasks: Vec<EliminationTask> = batch
+            .iter()
+            .map(|(_, v, fids)| {
+                let gathered: Vec<Arc<LinearFactor>> =
+                    fids.iter().map(|&fi| work[fi].take().unwrap()).collect();
+                let v = *v;
+                let var_dims = Arc::clone(&var_dims);
+                Box::new(move || eliminate_step(v, &gathered, &var_dims)) as _
+            })
+            .collect();
+        let results = run_tasks(par.threads, tasks);
+
+        // Merge strictly in batch order: conditionals, stats and new
+        // factor ids all come out thread-count-independent.
+        for ((_, _, _), result) in batch.iter().zip(results) {
+            let (conditional, new_factor, step) = result?;
+            stats.steps.push(step);
+            conditionals.push(conditional);
+            if let Some(nf) = new_factor {
+                push_new_factor(&mut work, &mut adj, nf);
+            }
+        }
+        for &(pi, _, _) in batch.iter().rev() {
+            pending.remove(pi);
+        }
+    }
+
+    Ok((
+        BayesNet {
+            conditionals,
+            var_dims: system.var_dims.clone(),
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -389,10 +564,17 @@ mod tests {
     #[test]
     fn elimination_matches_dense_on_chain() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..5).map(|i| g.add_pose2(Pose2::new(0.0, i as f64 * 0.9, 0.1))).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64 * 0.9, 0.1)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
         }
         let (e, d) = solve_both_ways(&g);
         assert!((&e - &d).norm() < 1e-8, "{:?}", (&e - &d).norm());
@@ -401,13 +583,25 @@ mod tests {
     #[test]
     fn elimination_matches_dense_with_loops_and_landmark_structure() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..4).map(|i| g.add_pose2(Pose2::new(0.1 * i as f64, i as f64, 0.0))).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| g.add_pose2(Pose2::new(0.1 * i as f64, i as f64, 0.0)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.1, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.1, 1.0, 0.0),
+                0.2,
+            ));
         }
         // Loop closure + GPS.
-        g.add_factor(BetweenFactor::pose2(ids[0], ids[3], Pose2::new(0.3, 3.0, 0.2), 0.3));
+        g.add_factor(BetweenFactor::pose2(
+            ids[0],
+            ids[3],
+            Pose2::new(0.3, 3.0, 0.2),
+            0.3,
+        ));
         g.add_factor(GpsFactor::new(ids[2], &[2.0, 0.1], 0.5));
         let (e, d) = solve_both_ways(&g);
         assert!((&e - &d).norm() < 1e-8);
@@ -416,16 +610,36 @@ mod tests {
     #[test]
     fn min_degree_ordering_gives_same_solution() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..6).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+        let ids: Vec<_> = (0..6)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
         }
-        g.add_factor(BetweenFactor::pose2(ids[1], ids[4], Pose2::new(0.0, 3.0, 0.0), 0.4));
+        g.add_factor(BetweenFactor::pose2(
+            ids[1],
+            ids[4],
+            Pose2::new(0.0, 3.0, 0.0),
+            0.4,
+        ));
         let sys = g.linearize();
-        let nat = eliminate(&sys, &natural_ordering(&g)).unwrap().0.back_substitute().unwrap();
+        let nat = eliminate(&sys, &natural_ordering(&g))
+            .unwrap()
+            .0
+            .back_substitute()
+            .unwrap();
         let md_order = orianna_graph::min_degree_ordering(&g);
-        let md = eliminate(&sys, &md_order).unwrap().0.back_substitute().unwrap();
+        let md = eliminate(&sys, &md_order)
+            .unwrap()
+            .0
+            .back_substitute()
+            .unwrap();
         assert!((&nat - &md).norm() < 1e-8);
     }
 
@@ -464,7 +678,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let expect = if i == j { 0.25 } else { 0.0 };
-                assert!((cov[(i, j)] - expect).abs() < 1e-9, "({i},{j}) = {}", cov[(i, j)]);
+                assert!(
+                    (cov[(i, j)] - expect).abs() < 1e-9,
+                    "({i},{j}) = {}",
+                    cov[(i, j)]
+                );
             }
         }
     }
@@ -472,10 +690,17 @@ mod tests {
     #[test]
     fn marginal_covariance_matches_dense_normal_equations() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..3).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.2));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.3));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.3,
+            ));
         }
         let sys = g.linearize();
         let (bn, _) = eliminate(&sys, &natural_ordering(&g)).unwrap();
@@ -509,10 +734,17 @@ mod tests {
     fn covariance_grows_along_the_chain() {
         // Uncertainty accumulates away from the anchor.
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..4).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.1));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.1,
+            ));
         }
         let sys = g.linearize();
         let (bn, _) = eliminate(&sys, &natural_ordering(&g)).unwrap();
@@ -526,10 +758,17 @@ mod tests {
     #[test]
     fn stats_capture_small_dense_problems() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..10).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
         }
         let sys = g.linearize();
         let (_, stats) = eliminate(&sys, &natural_ordering(&g)).unwrap();

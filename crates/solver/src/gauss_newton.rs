@@ -6,9 +6,9 @@
 //! guards against overshooting on strongly nonlinear factors (hinge
 //! collision costs, camera projections).
 
-use crate::elimination::{eliminate, EliminationStats, SolveError};
+use crate::elimination::{eliminate_with, EliminationStats, SolveError};
 use orianna_graph::{min_degree_ordering, natural_ordering, FactorGraph, Ordering};
-use orianna_math::Vec64;
+use orianna_math::{Parallelism, Vec64};
 
 /// Which elimination ordering the solver uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +34,10 @@ pub struct GaussNewtonSettings {
     /// Maximum step-halvings per iteration before accepting the step
     /// anyway (0 disables the line search).
     pub max_step_halvings: usize,
+    /// Worker threads for linearization and elimination. Defaults to the
+    /// available cores; `Parallelism::serial()` selects the reference
+    /// path. Results are identical up to floating-point roundoff.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GaussNewtonSettings {
@@ -44,6 +48,7 @@ impl Default for GaussNewtonSettings {
             rel_tol: 1e-10,
             ordering: OrderingChoice::Natural,
             max_step_halvings: 8,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -94,20 +99,21 @@ impl GaussNewton {
 
         while iterations < s.max_iterations && !converged {
             iterations += 1;
-            let sys = graph.linearize();
-            let (bn, stats) = eliminate(&sys, &ordering)?;
+            let sys = graph.linearize_with(&s.parallelism);
+            let (bn, stats) = eliminate_with(&sys, &ordering, &s.parallelism)?;
             last_stats = stats;
             let delta = bn.back_substitute()?;
 
-            // Step-halving line search.
+            // Step-halving line search. Trial steps only move the
+            // estimates, so each candidate is scored by re-evaluating the
+            // objective at retracted values — the factor storage is never
+            // cloned.
             let mut scale = 1.0;
             let mut best: Option<(f64, Vec64)> = None;
             for _ in 0..=s.max_step_halvings {
                 let step = delta.scale(scale);
                 let candidate = graph.values().retract_all(&step);
-                let mut trial = graph.clone();
-                *trial.values_mut() = candidate;
-                let e = trial.total_error();
+                let e = graph.total_error_with(&candidate);
                 if e < error || s.max_step_halvings == 0 {
                     best = Some((e, step));
                     break;
@@ -161,7 +167,12 @@ mod tests {
             .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.05));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.05,
+            ));
         }
         let report = GaussNewton::default().optimize(&mut g).unwrap();
         assert!(report.converged, "{report:?}");
@@ -176,17 +187,30 @@ mod tests {
     #[test]
     fn converges_with_gps_and_odometry() {
         let mut g = FactorGraph::new();
-        let ids: Vec<_> = (0..3).map(|i| g.add_pose2(Pose2::new(0.0, i as f64 * 1.2, 0.2))).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|i| g.add_pose2(Pose2::new(0.0, i as f64 * 1.2, 0.2)))
+            .collect();
         g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
         for w in ids.windows(2) {
-            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.1));
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.1,
+            ));
         }
         for (i, id) in ids.iter().enumerate() {
             g.add_factor(GpsFactor::new(*id, &[i as f64, 0.0], 0.2));
         }
         let report = GaussNewton::default().optimize(&mut g).unwrap();
         assert!(report.converged);
-        assert!(g.values().get(ids[2]).as_pose2().translation_distance(&Pose2::new(0.0, 2.0, 0.0)) < 1e-4);
+        assert!(
+            g.values()
+                .get(ids[2])
+                .as_pose2()
+                .translation_distance(&Pose2::new(0.0, 2.0, 0.0))
+                < 1e-4
+        );
     }
 
     #[test]
@@ -205,10 +229,11 @@ mod tests {
         g.add_factor(PriorFactor::pose3(x, true_pose.clone(), 0.001));
         for (lm, id) in lms.iter().zip(&lm_ids) {
             let t = true_pose.translation();
-            let pc = true_pose
-                .rotation()
-                .transpose()
-                .rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
+            let pc =
+                true_pose
+                    .rotation()
+                    .transpose()
+                    .rotate([lm[0] - t[0], lm[1] - t[1], lm[2] - t[2]]);
             let uv = model.project(pc).unwrap();
             g.add_factor(CameraFactor::new(x, *id, uv, model, 1.0));
             // A second, slightly offset observation to constrain depth.
@@ -261,11 +286,17 @@ mod tests {
     fn min_degree_reaches_same_solution() {
         let build = || {
             let mut g = FactorGraph::new();
-            let ids: Vec<_> =
-                (0..5).map(|i| g.add_pose2(Pose2::new(0.1, i as f64 * 0.8, 0.2))).collect();
+            let ids: Vec<_> = (0..5)
+                .map(|i| g.add_pose2(Pose2::new(0.1, i as f64 * 0.8, 0.2)))
+                .collect();
             g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
             for w in ids.windows(2) {
-                g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.1));
+                g.add_factor(BetweenFactor::pose2(
+                    w[0],
+                    w[1],
+                    Pose2::new(0.0, 1.0, 0.0),
+                    0.1,
+                ));
             }
             (g, ids)
         };

@@ -19,7 +19,7 @@
 //! throughout: the incremental solution equals the batch elimination of
 //! the same linearized factors, to machine precision.
 
-use crate::elimination::{Conditional, SolveError};
+use crate::elimination::{eliminate_step, Conditional, SolveError};
 use orianna_graph::{
     Factor, LinearContainerFactor, LinearFactor, LinearSystem, Values, VarId, Variable,
 };
@@ -79,9 +79,19 @@ impl IncrementalSolver {
     /// Adds new factors and incrementally updates the solution.
     ///
     /// # Errors
-    /// Returns [`SolveError`] when a referenced variable stays
-    /// unconstrained or an elimination block is singular.
+    /// Returns [`SolveError::UnknownVariable`] when a new factor
+    /// references a variable that was never added (checked before any
+    /// state changes, so a failed update leaves the solver intact), and
+    /// the usual errors when a variable stays unconstrained or an
+    /// elimination block is singular.
     pub fn update(&mut self, new_factors: Vec<Arc<dyn Factor>>) -> Result<(), SolveError> {
+        for f in &new_factors {
+            for k in f.keys() {
+                if k.0 >= self.lin_point.len() {
+                    return Err(SolveError::UnknownVariable(*k));
+                }
+            }
+        }
         if new_factors.is_empty() && self.conditionals.is_empty() && self.factors.is_empty() {
             return Ok(());
         }
@@ -89,7 +99,11 @@ impl IncrementalSolver {
         let mut new_linear: Vec<LinearFactor> = Vec::with_capacity(new_factors.len());
         for f in &new_factors {
             let (jacs, err) = f.linearize(&self.lin_point);
-            new_linear.push(LinearFactor { keys: f.keys().to_vec(), blocks: jacs, rhs: -&err });
+            new_linear.push(LinearFactor {
+                keys: f.keys().to_vec(),
+                blocks: jacs,
+                rhs: -&err,
+            });
         }
         self.factors.extend(new_factors);
 
@@ -137,7 +151,10 @@ impl IncrementalSolver {
         let mut order: Vec<VarId> = affected.iter().copied().collect();
         order.sort();
         let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, v)| v.dim()).collect();
-        let sub = LinearSystem { factors: work, var_dims: var_dims.clone() };
+        let sub = LinearSystem {
+            factors: work,
+            var_dims: var_dims.clone(),
+        };
         let sub_bn = eliminate_subset(&sub, &order)?;
         kept.extend(sub_bn);
         // Restore global elimination order (by variable id — the order we
@@ -179,34 +196,48 @@ impl IncrementalSolver {
     /// reference already-marginalized variables.
     ///
     /// # Errors
-    /// Returns [`SolveError`] when `v` has no factors or its elimination
-    /// block is singular.
+    /// Returns [`SolveError::UnknownVariable`] when `v` was never added,
+    /// and [`SolveError`] when `v` has no factors or its elimination block
+    /// is singular.
     pub fn marginalize(&mut self, v: VarId) -> Result<(), SolveError> {
+        if v.0 >= self.lin_point.len() {
+            return Err(SolveError::UnknownVariable(v));
+        }
         if self.marginalized.contains(&v) {
             return Ok(());
         }
         // 1. Linearize the factors touching v at the current lin point.
-        let touching: Vec<Arc<dyn Factor>> =
-            self.factors.iter().filter(|f| f.keys().contains(&v)).cloned().collect();
+        let touching: Vec<Arc<dyn Factor>> = self
+            .factors
+            .iter()
+            .filter(|f| f.keys().contains(&v))
+            .cloned()
+            .collect();
         if touching.is_empty() {
             return Err(SolveError::UnconstrainedVariable(v));
         }
         let mut linear = Vec::with_capacity(touching.len());
         for f in &touching {
             let (jacs, err) = f.linearize(&self.lin_point);
-            linear.push(LinearFactor { keys: f.keys().to_vec(), blocks: jacs, rhs: -&err });
+            linear.push(Arc::new(LinearFactor {
+                keys: f.keys().to_vec(),
+                blocks: jacs,
+                rhs: -&err,
+            }));
         }
         // 2. Eliminate v out of that subset: the remainder is the marginal
         //    on the separators.
         let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, x)| x.dim()).collect();
-        let (_cond, marginal) = eliminate_one_var(v, &linear, &var_dims)?;
+        let (_cond, marginal, _step) = eliminate_step(v, &linear, &var_dims)?;
         // 3. Swap the touching factors for the container prior.
         self.factors.retain(|f| !f.keys().contains(&v));
         if let Some(m) = marginal {
-            let anchors: Vec<Variable> =
-                m.keys.iter().map(|k| self.lin_point.get(*k).clone()).collect();
-            let container =
-                LinearContainerFactor::new(m.keys.clone(), m.blocks, m.rhs, anchors);
+            let anchors: Vec<Variable> = m
+                .keys
+                .iter()
+                .map(|k| self.lin_point.get(*k).clone())
+                .collect();
+            let container = LinearContainerFactor::new(m.keys.clone(), m.blocks, m.rhs, anchors);
             self.factors.push(Arc::new(container));
         }
         self.marginalized.insert(v);
@@ -225,10 +256,17 @@ impl IncrementalSolver {
         let mut linear = Vec::with_capacity(self.factors.len());
         for f in &self.factors {
             let (jacs, err) = f.linearize(&self.lin_point);
-            linear.push(LinearFactor { keys: f.keys().to_vec(), blocks: jacs, rhs: -&err });
+            linear.push(LinearFactor {
+                keys: f.keys().to_vec(),
+                blocks: jacs,
+                rhs: -&err,
+            });
         }
         let var_dims: Vec<usize> = self.lin_point.iter().map(|(_, v)| v.dim()).collect();
-        let sys = LinearSystem { factors: linear, var_dims };
+        let sys = LinearSystem {
+            factors: linear,
+            var_dims,
+        };
         let order: Vec<VarId> = (0..self.lin_point.len())
             .map(VarId)
             .filter(|v| !self.marginalized.contains(v))
@@ -270,16 +308,17 @@ fn conditional_to_factor(c: &Conditional) -> LinearFactor {
         keys.push(*p);
         blocks.push(s.clone());
     }
-    LinearFactor { keys, blocks, rhs: c.rhs.clone() }
+    LinearFactor {
+        keys,
+        blocks,
+        rhs: c.rhs.clone(),
+    }
 }
 
 /// Eliminates only the given subset of variables (the rest must not
 /// appear in `sys.factors` except as separators of the subset — which
 /// cannot happen here because untouched conditionals were removed).
-fn eliminate_subset(
-    sys: &LinearSystem,
-    order: &[VarId],
-) -> Result<Vec<Conditional>, SolveError> {
+fn eliminate_subset(sys: &LinearSystem, order: &[VarId]) -> Result<Vec<Conditional>, SolveError> {
     // Reuse the batch eliminator on a restricted ordering by padding the
     // ordering with the variables the sub-system actually references.
     let referenced: HashSet<VarId> = sys.factors.iter().flat_map(|f| f.keys.clone()).collect();
@@ -291,11 +330,18 @@ fn eliminate_subset(
     // Manual sub-elimination: identical to `eliminate` but only over
     // `order`; remaining factors over non-ordered variables are not
     // allowed (separators of the last eliminated variable must be inside
-    // the set because the affected set is dependence-closed).
-    let mut work: Vec<Option<LinearFactor>> = sys.factors.iter().cloned().map(Some).collect();
+    // the set because the affected set is dependence-closed). Each step
+    // runs the shared `eliminate_step`, so incremental and batch produce
+    // identical arithmetic per variable.
+    let mut work: Vec<Option<Arc<LinearFactor>>> = sys
+        .factors
+        .iter()
+        .cloned()
+        .map(|f| Some(Arc::new(f)))
+        .collect();
     let mut conditionals = Vec::with_capacity(order.len());
     for &v in order {
-        let gathered: Vec<LinearFactor> = work
+        let gathered: Vec<Arc<LinearFactor>> = work
             .iter_mut()
             .filter(|f| f.as_ref().is_some_and(|f| f.keys.contains(&v)))
             .map(|f| f.take().unwrap())
@@ -303,100 +349,13 @@ fn eliminate_subset(
         if gathered.is_empty() {
             return Err(SolveError::UnconstrainedVariable(v));
         }
-        let (cond, new_factor) = eliminate_one_var(v, &gathered, &sys.var_dims)?;
+        let (cond, new_factor, _step) = eliminate_step(v, &gathered, &sys.var_dims)?;
         conditionals.push(cond);
         if let Some(nf) = new_factor {
-            work.push(Some(nf));
+            work.push(Some(Arc::new(nf)));
         }
     }
     Ok(conditionals)
-}
-
-fn eliminate_one_var(
-    v: VarId,
-    gathered: &[LinearFactor],
-    var_dims: &[usize],
-) -> Result<(Conditional, Option<LinearFactor>), SolveError> {
-    let mut seps: Vec<VarId> = Vec::new();
-    for f in gathered {
-        for k in &f.keys {
-            if *k != v && !seps.contains(k) {
-                seps.push(*k);
-            }
-        }
-    }
-    seps.sort();
-    let dv = var_dims[v.0];
-    let sep_cols: usize = seps.iter().map(|s| var_dims[s.0]).sum();
-    let total_rows: usize = gathered.iter().map(LinearFactor::rows).sum();
-    if total_rows < dv {
-        return Err(SolveError::SingularVariable(v));
-    }
-    let cols = dv + sep_cols;
-    let mut abar = Mat::zeros(total_rows, cols + 1);
-    let mut row = 0;
-    for f in gathered {
-        for (k, blk) in f.keys.iter().zip(&f.blocks) {
-            let c0 = if *k == v {
-                0
-            } else {
-                let mut off = dv;
-                for s in &seps {
-                    if s == k {
-                        break;
-                    }
-                    off += var_dims[s.0];
-                }
-                off
-            };
-            abar.set_block(row, c0, blk);
-        }
-        for r in 0..f.rows() {
-            abar[(row + r, cols)] = f.rhs[r];
-        }
-        row += f.rows();
-    }
-    let r_full = orianna_math::householder_qr(&abar).r;
-    let r_diag = r_full.block(0, 0, dv, dv);
-    for d in 0..dv {
-        if r_diag[(d, d)].abs() < 1e-12 {
-            return Err(SolveError::SingularVariable(v));
-        }
-    }
-    let mut parents = Vec::with_capacity(seps.len());
-    let mut off = dv;
-    for s in &seps {
-        let ds = var_dims[s.0];
-        parents.push((*s, r_full.block(0, off, dv, ds)));
-        off += ds;
-    }
-    let mut rhs = Vec64::zeros(dv);
-    for d in 0..dv {
-        rhs[d] = r_full[(d, cols)];
-    }
-    let cond = Conditional { var: v, r: r_diag, parents, rhs };
-    let new_factor = if !seps.is_empty() {
-        let nr = (total_rows - dv).min(sep_cols + 1);
-        if nr > 0 {
-            let mut blocks = Vec::with_capacity(seps.len());
-            let mut off = dv;
-            for s in &seps {
-                let ds = var_dims[s.0];
-                blocks.push(r_full.block(dv, off, nr, ds));
-                off += ds;
-            }
-            let mut nrhs = Vec64::zeros(nr);
-            for r in 0..nr {
-                nrhs[r] = r_full[(dv + r, cols)];
-            }
-            Some(LinearFactor { keys: seps, blocks, rhs: nrhs })
-        } else {
-            None
-        }
-    } else {
-        None
-    };
-    Ok((cond, new_factor))
 }
 
 #[cfg(test)]
@@ -408,7 +367,11 @@ mod tests {
 
     fn batch_delta(graph: &FactorGraph) -> Vec64 {
         let sys = graph.linearize();
-        eliminate(&sys, &natural_ordering(graph)).unwrap().0.back_substitute().unwrap()
+        eliminate(&sys, &natural_ordering(graph))
+            .unwrap()
+            .0
+            .back_substitute()
+            .unwrap()
     }
 
     #[test]
@@ -454,8 +417,9 @@ mod tests {
     fn loop_closure_updates_affected_subtree() {
         let mut inc = IncrementalSolver::new();
         let mut g = FactorGraph::new();
-        let inits: Vec<Pose2> =
-            (0..6).map(|i| Pose2::new(0.02 * i as f64, i as f64, 0.05)).collect();
+        let inits: Vec<Pose2> = (0..6)
+            .map(|i| Pose2::new(0.02 * i as f64, i as f64, 0.05))
+            .collect();
         let ids: Vec<VarId> = inits
             .iter()
             .map(|p| {
@@ -466,8 +430,12 @@ mod tests {
         let mut batch_factors: Vec<Arc<dyn Factor>> = Vec::new();
         batch_factors.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
         for w in ids.windows(2) {
-            batch_factors
-                .push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2)));
+            batch_factors.push(Arc::new(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            )));
         }
         for f in &batch_factors {
             g.add_shared_factor(f.clone());
@@ -475,8 +443,12 @@ mod tests {
         inc.update(batch_factors).unwrap();
 
         // Now a loop closure arrives.
-        let closure: Arc<dyn Factor> =
-            Arc::new(BetweenFactor::pose2(ids[0], ids[5], Pose2::new(0.1, 5.0, 0.2), 0.3));
+        let closure: Arc<dyn Factor> = Arc::new(BetweenFactor::pose2(
+            ids[0],
+            ids[5],
+            Pose2::new(0.1, 5.0, 0.2),
+            0.3,
+        ));
         g.add_shared_factor(closure.clone());
         inc.update(vec![closure]).unwrap();
         assert!((inc.delta() - &batch_delta(&g)).norm() < 1e-9);
@@ -486,18 +458,30 @@ mod tests {
     fn estimate_applies_delta() {
         let mut inc = IncrementalSolver::new();
         let v = inc.add_variable(Variable::Pose2(Pose2::new(0.0, 1.0, 1.0)));
-        inc.update(vec![Arc::new(PriorFactor::pose2(v, Pose2::identity(), 0.1))]).unwrap();
+        inc.update(vec![Arc::new(PriorFactor::pose2(
+            v,
+            Pose2::identity(),
+            0.1,
+        ))])
+        .unwrap();
         let est = inc.estimate();
         // One linear step of this prior moves most of the way to the
         // target (exact for the position part).
-        assert!(est.get(v).as_pose2().translation_distance(&Pose2::identity()) < 0.2);
+        assert!(
+            est.get(v)
+                .as_pose2()
+                .translation_distance(&Pose2::identity())
+                < 0.2
+        );
     }
 
     #[test]
     fn relinearize_matches_gauss_newton_fixpoint() {
         let mut inc = IncrementalSolver::new();
         let mut g = FactorGraph::new();
-        let inits: Vec<Pose2> = (0..4).map(|i| Pose2::new(0.2, i as f64 * 0.8, -0.2)).collect();
+        let inits: Vec<Pose2> = (0..4)
+            .map(|i| Pose2::new(0.2, i as f64 * 0.8, -0.2))
+            .collect();
         let ids: Vec<VarId> = inits
             .iter()
             .map(|p| {
@@ -506,9 +490,18 @@ mod tests {
             })
             .collect();
         let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
-        fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.05)));
+        fs.push(Arc::new(PriorFactor::pose2(
+            ids[0],
+            Pose2::identity(),
+            0.05,
+        )));
         for w in ids.windows(2) {
-            fs.push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.1)));
+            fs.push(Arc::new(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.1,
+            )));
         }
         fs.push(Arc::new(GpsFactor::new(ids[3], &[3.0, 0.0], 0.2)));
         for f in &fs {
@@ -535,12 +528,19 @@ mod tests {
         // linearization point).
         let mut inc = IncrementalSolver::new();
         let inits: Vec<Pose2> = (0..5).map(|i| Pose2::new(0.05, i as f64, 0.1)).collect();
-        let ids: Vec<VarId> =
-            inits.iter().map(|p| inc.add_variable(Variable::Pose2(*p))).collect();
+        let ids: Vec<VarId> = inits
+            .iter()
+            .map(|p| inc.add_variable(Variable::Pose2(*p)))
+            .collect();
         let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
         fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
         for w in ids.windows(2) {
-            fs.push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2)));
+            fs.push(Arc::new(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            )));
         }
         inc.update(fs).unwrap();
         let before = inc.estimate();
@@ -548,7 +548,10 @@ mod tests {
         assert_eq!(inc.num_marginalized(), 1);
         let after = inc.estimate();
         for &id in &ids[1..] {
-            let d = before.get(id).as_pose2().translation_distance(after.get(id).as_pose2());
+            let d = before
+                .get(id)
+                .as_pose2()
+                .translation_distance(after.get(id).as_pose2());
             assert!(d < 1e-9, "{id}: moved by {d}");
         }
     }
@@ -562,7 +565,12 @@ mod tests {
         let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
         fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
         for w in ids.windows(2) {
-            fs.push(Arc::new(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2)));
+            fs.push(Arc::new(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            )));
         }
         inc.update(fs).unwrap();
         inc.marginalize(ids[0]).unwrap();
@@ -575,9 +583,14 @@ mod tests {
             Pose2::new(0.0, 1.0, 0.0),
             0.2,
         )) as Arc<dyn Factor>])
-        .unwrap();
+            .unwrap();
         let est = inc.estimate();
-        assert!(est.get(v).as_pose2().translation_distance(&Pose2::new(0.0, 4.0, 0.0)) < 0.2);
+        assert!(
+            est.get(v)
+                .as_pose2()
+                .translation_distance(&Pose2::new(0.0, 4.0, 0.0))
+                < 0.2
+        );
     }
 
     #[test]
@@ -589,13 +602,59 @@ mod tests {
     }
 
     #[test]
+    fn update_with_unseen_variable_is_an_error_not_a_panic() {
+        let mut inc = IncrementalSolver::new();
+        let v = inc.add_variable(Variable::Pose2(Pose2::identity()));
+        inc.update(vec![Arc::new(PriorFactor::pose2(
+            v,
+            Pose2::identity(),
+            0.1,
+        ))])
+        .unwrap();
+        // A factor referencing a variable that was never added must be
+        // rejected up front and leave the solver untouched.
+        let ghost = VarId(7);
+        let err = inc
+            .update(vec![Arc::new(BetweenFactor::pose2(
+                v,
+                ghost,
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            )) as Arc<dyn Factor>])
+            .unwrap_err();
+        assert_eq!(err, SolveError::UnknownVariable(ghost));
+        assert_eq!(inc.num_factors(), 1);
+        // The solver still works after the failed update.
+        inc.update(vec![]).unwrap();
+        assert!(inc.delta().norm().is_finite());
+    }
+
+    #[test]
+    fn marginalizing_unseen_variable_is_an_error_not_a_panic() {
+        let mut inc = IncrementalSolver::new();
+        let v = inc.add_variable(Variable::Pose2(Pose2::identity()));
+        inc.update(vec![Arc::new(PriorFactor::pose2(
+            v,
+            Pose2::identity(),
+            0.1,
+        ))])
+        .unwrap();
+        let err = inc.marginalize(VarId(42)).unwrap_err();
+        assert_eq!(err, SolveError::UnknownVariable(VarId(42)));
+    }
+
+    #[test]
     fn unconstrained_new_variable_is_reported() {
         let mut inc = IncrementalSolver::new();
         let _v = inc.add_variable(Variable::Pose2(Pose2::identity()));
         let w = inc.add_variable(Variable::Pose2(Pose2::identity()));
         // Only w gets a factor; the first variable stays unconstrained.
         let err = inc
-            .update(vec![Arc::new(PriorFactor::pose2(w, Pose2::identity(), 0.1))])
+            .update(vec![Arc::new(PriorFactor::pose2(
+                w,
+                Pose2::identity(),
+                0.1,
+            ))])
             .unwrap_err();
         assert!(matches!(err, SolveError::UnconstrainedVariable(_)));
     }

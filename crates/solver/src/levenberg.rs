@@ -10,9 +10,9 @@
 //! generated accelerator could execute it (the damping rows are constant
 //! diagonal blocks).
 
-use crate::elimination::{eliminate, SolveError};
+use crate::elimination::{eliminate_with, SolveError};
 use orianna_graph::{natural_ordering, FactorGraph, LinearFactor, LinearSystem};
-use orianna_math::{Mat, Vec64};
+use orianna_math::{Mat, Parallelism, Vec64};
 
 /// Settings of the Levenberg-Marquardt driver.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +31,9 @@ pub struct LevenbergMarquardtSettings {
     pub abs_tol: f64,
     /// Converged when the relative improvement falls below this.
     pub rel_tol: f64,
+    /// Worker threads for linearization and elimination (see
+    /// [`GaussNewtonSettings::parallelism`](crate::GaussNewtonSettings)).
+    pub parallelism: Parallelism,
 }
 
 impl Default for LevenbergMarquardtSettings {
@@ -43,6 +46,7 @@ impl Default for LevenbergMarquardtSettings {
             max_lambda: 1e10,
             abs_tol: 1e-12,
             rel_tol: 1e-10,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -110,13 +114,11 @@ impl LevenbergMarquardt {
 
         while iterations < s.max_iterations && !converged && lambda <= s.max_lambda {
             iterations += 1;
-            let sys = damped(graph.linearize(), lambda);
-            let (bn, _) = eliminate(&sys, &ordering)?;
+            let sys = damped(graph.linearize_with(&s.parallelism), lambda);
+            let (bn, _) = eliminate_with(&sys, &ordering, &s.parallelism)?;
             let delta = bn.back_substitute()?;
             let candidate = graph.values().retract_all(&delta);
-            let mut trial = graph.clone();
-            *trial.values_mut() = candidate.clone();
-            let new_error = trial.total_error();
+            let new_error = graph.total_error_with(&candidate);
             if new_error < error {
                 *graph.values_mut() = candidate;
                 let improvement = (error - new_error) / error.max(1e-300);
@@ -163,11 +165,17 @@ mod tests {
     fn matches_gauss_newton_on_easy_problem() {
         let build = || {
             let mut g = FactorGraph::new();
-            let ids: Vec<_> =
-                (0..4).map(|i| g.add_pose2(Pose2::new(0.1, i as f64 * 0.9, 0.2))).collect();
+            let ids: Vec<_> = (0..4)
+                .map(|i| g.add_pose2(Pose2::new(0.1, i as f64 * 0.9, 0.2)))
+                .collect();
             g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
             for w in ids.windows(2) {
-                g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.1));
+                g.add_factor(BetweenFactor::pose2(
+                    w[0],
+                    w[1],
+                    Pose2::new(0.0, 1.0, 0.0),
+                    0.1,
+                ));
             }
             (g, ids)
         };
@@ -195,7 +203,13 @@ mod tests {
             orianna_math::Vec64::from_slice(&[2.0, 0.0, 0.0, 0.0]),
             1.0,
         ));
-        g.add_factor(CollisionFactor::new(x, 2, vec![([0.0, 0.0], 0.5)], 0.2, 0.2));
+        g.add_factor(CollisionFactor::new(
+            x,
+            2,
+            vec![([0.0, 0.0], 0.5)],
+            0.2,
+            0.2,
+        ));
         let report = LevenbergMarquardt::new(LevenbergMarquardtSettings::default())
             .optimize(&mut g)
             .unwrap();

@@ -43,7 +43,10 @@ pub mod gauss_newton;
 pub mod incremental;
 pub mod levenberg;
 
-pub use elimination::{eliminate, BayesNet, Conditional, EliminationStats, SolveError};
+pub use elimination::{
+    eliminate, eliminate_with, BayesNet, Conditional, EliminationStats, SolveError,
+};
 pub use gauss_newton::{GaussNewton, GaussNewtonReport, GaussNewtonSettings, OrderingChoice};
 pub use incremental::IncrementalSolver;
 pub use levenberg::{LevenbergMarquardt, LevenbergMarquardtReport, LevenbergMarquardtSettings};
+pub use orianna_math::Parallelism;

@@ -19,21 +19,45 @@ fn main() {
     let programs: Vec<_> = app
         .algorithms
         .iter()
-        .map(|a| (a.name, compile(&a.graph, &natural_ordering(&a.graph)).expect("compiles")))
+        .map(|a| {
+            (
+                a.name,
+                compile(&a.graph, &natural_ordering(&a.graph)).expect("compiles"),
+            )
+        })
         .collect();
     let workload = Workload {
-        streams: programs.iter().map(|(n, p)| Stream { name: n, program: p }).collect(),
+        streams: programs
+            .iter()
+            .map(|(n, p)| Stream {
+                name: n,
+                program: p,
+            })
+            .collect(),
     };
 
-    println!("DSP budget sweep on {} (cycles per frame, lower is better):", app.name);
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "DSP", "generated", "uniform", "mm-heavy", "qr-heavy");
+    println!(
+        "DSP budget sweep on {} (cycles per frame, lower is better):",
+        app.name
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "DSP", "generated", "uniform", "mm-heavy", "qr-heavy"
+    );
     for dsp in [150u64, 250, 400, 600, 900] {
-        let budget = Resources { lut: 218_600, ff: 437_200, bram: 545, dsp };
+        let budget = Resources {
+            lut: 218_600,
+            ff: 437_200,
+            bram: 545,
+            dsp,
+        };
         let gen = generate(&workload, &budget, Objective::Latency);
         let mut row = format!("{:>6} {:>12}", dsp, gen.report.cycles);
-        for manual in
-            [manual_uniform(&budget), manual_matmul_heavy(&budget), manual_qr_heavy(&budget)]
-        {
+        for manual in [
+            manual_uniform(&budget),
+            manual_matmul_heavy(&budget),
+            manual_qr_heavy(&budget),
+        ] {
             let r = simulate(&workload, &manual, IssuePolicy::OutOfOrder);
             row.push_str(&format!(" {:>12}", r.cycles));
         }

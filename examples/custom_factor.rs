@@ -34,7 +34,9 @@ fn main() {
     graph.add_factor(PriorFactor::pose2(xj, Pose2::new(0.1, 0.2, 1.8), 0.01));
     graph.add_factor(custom);
 
-    let report = GaussNewton::default().optimize(&mut graph).expect("solvable");
+    let report = GaussNewton::default()
+        .optimize(&mut graph)
+        .expect("solvable");
     println!(
         "optimized in {} iterations, final error {:.3e}",
         report.iterations, report.final_error

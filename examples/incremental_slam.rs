@@ -26,7 +26,9 @@ fn main() {
 
     let v0 = solver.add_variable(Variable::Pose2(truth[0]));
     solver
-        .update(vec![Arc::new(PriorFactor::pose2(v0, truth[0], 0.01)) as Arc<dyn Factor>])
+        .update(vec![
+            Arc::new(PriorFactor::pose2(v0, truth[0], 0.01)) as Arc<dyn Factor>
+        ])
         .expect("prior update");
 
     let mut prev = v0;
@@ -77,7 +79,11 @@ fn main() {
     let window: Vec<usize> = (truth.len().saturating_sub(12)..truth.len()).collect();
     let mean_err: f64 = window
         .iter()
-        .map(|&i| est.get(orianna::graph::VarId(i)).as_pose2().translation_distance(&truth[i]))
+        .map(|&i| {
+            est.get(orianna::graph::VarId(i))
+                .as_pose2()
+                .translation_distance(&truth[i])
+        })
         .sum::<f64>()
         / window.len() as f64;
     println!(

@@ -50,7 +50,13 @@ fn main() {
 
     // 3. Generate an accelerator for the whole application.
     let workload = Workload {
-        streams: programs.iter().map(|(n, p)| Stream { name: n, program: p }).collect(),
+        streams: programs
+            .iter()
+            .map(|(n, p)| Stream {
+                name: n,
+                program: p,
+            })
+            .collect(),
     };
     let result = generate(&workload, &Resources::zc706(), Objective::Latency);
     println!("generated configuration:");
@@ -58,7 +64,10 @@ fn main() {
         println!("  {class:<8} x{count}");
     }
     let res = result.config.resources();
-    println!("  resources: {} LUT, {} FF, {} BRAM, {} DSP", res.lut, res.ff, res.bram, res.dsp);
+    println!(
+        "  resources: {} LUT, {} FF, {} BRAM, {} DSP",
+        res.lut, res.ff, res.bram, res.dsp
+    );
 
     // 4. Compare out-of-order and in-order controllers.
     let ooo = simulate(&workload, &result.config, IssuePolicy::OutOfOrder);

@@ -22,7 +22,12 @@ fn main() {
 
     graph.add_factor(PriorFactor::pose2(poses[0], Pose2::identity(), 0.01));
     for w in poses.windows(2) {
-        graph.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.05));
+        graph.add_factor(BetweenFactor::pose2(
+            w[0],
+            w[1],
+            Pose2::new(0.0, 1.0, 0.0),
+            0.05,
+        ));
     }
     graph.add_factor(GpsFactor::new(poses[2], &[2.0, 0.0], 0.1));
     graph.add_factor(GpsFactor::new(poses[5], &[5.0, 0.0], 0.1));

@@ -88,10 +88,21 @@ fn generation_and_simulation_integrate() {
     let programs: Vec<_> = app
         .algorithms
         .iter()
-        .map(|a| (a.name, compile(&a.graph, &natural_ordering(&a.graph)).unwrap()))
+        .map(|a| {
+            (
+                a.name,
+                compile(&a.graph, &natural_ordering(&a.graph)).unwrap(),
+            )
+        })
         .collect();
     let wl = Workload {
-        streams: programs.iter().map(|(n, p)| Stream { name: n, program: p }).collect(),
+        streams: programs
+            .iter()
+            .map(|(n, p)| Stream {
+                name: n,
+                program: p,
+            })
+            .collect(),
     };
     let budget = Resources::zc706();
     let gen = generate(&wl, &budget, Objective::Latency);

@@ -9,8 +9,8 @@ use orianna::graph::{
     VectorPriorFactor,
 };
 use orianna::lie::{Pose2, Pose3, Rot3, SE3};
-use orianna::math::{householder_qr, least_squares, Mat, Vec64};
-use orianna::solver::eliminate;
+use orianna::math::{householder_qr, least_squares, Mat, Parallelism, Vec64};
+use orianna::solver::{eliminate, eliminate_with};
 use proptest::prelude::*;
 
 fn small() -> impl Strategy<Value = f64> {
@@ -87,6 +87,58 @@ proptest! {
         let (a, b) = sys.dense();
         let dense = least_squares(&a, &b).unwrap();
         prop_assert!((&elim - &dense).norm() < 1e-7, "{}", (&elim - &dense).norm());
+    }
+
+    #[test]
+    fn parallel_paths_match_serial_on_random_graphs(
+        headings in prop::collection::vec(-0.4f64..0.4, 8),
+        offsets in prop::collection::vec(-0.5f64..0.5, 16),
+        closure_from in 0usize..3,
+        closure_len in 2usize..5,
+    ) {
+        // A random pose chain with a random loop closure and sporadic GPS:
+        // parallel linearization must be bitwise serial, and parallel
+        // elimination must solve for the same Δ.
+        let mut g = FactorGraph::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| {
+                g.add_pose2(Pose2::new(
+                    headings[i],
+                    i as f64 + offsets[2 * i],
+                    offsets[2 * i + 1],
+                ))
+            })
+            .collect();
+        g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
+        for w in ids.windows(2) {
+            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+        }
+        let to = (closure_from + closure_len).min(7);
+        g.add_factor(BetweenFactor::pose2(
+            ids[closure_from],
+            ids[to],
+            Pose2::new(0.0, (to - closure_from) as f64, 0.0),
+            0.4,
+        ));
+        for i in (0..8).step_by(3) {
+            g.add_factor(GpsFactor::new(ids[i], &[0.0, i as f64], 0.3));
+        }
+
+        let par = Parallelism::with_threads(4);
+        let serial_sys = g.linearize();
+        let par_sys = g.linearize_with(&par);
+        for (p, s) in par_sys.factors.iter().zip(&serial_sys.factors) {
+            prop_assert_eq!(p.rhs.as_slice(), s.rhs.as_slice());
+            for (pb, sb) in p.blocks.iter().zip(&s.blocks) {
+                prop_assert_eq!(pb.as_slice(), sb.as_slice());
+            }
+        }
+
+        let ordering = natural_ordering(&g);
+        let reference = eliminate(&serial_sys, &ordering).unwrap().0.back_substitute().unwrap();
+        let delta = eliminate_with(&par_sys, &ordering, &par).unwrap().0.back_substitute().unwrap();
+        let diff = (&delta - &reference).norm();
+        prop_assert!(diff / reference.norm().max(1.0) < 1e-12, "{diff:e}");
     }
 
     #[test]

@@ -8,10 +8,17 @@ use orianna::solver::{GaussNewton, GaussNewtonSettings};
 
 fn build(robust: bool) -> (FactorGraph, Vec<orianna::graph::VarId>) {
     let mut g = FactorGraph::new();
-    let ids: Vec<_> = (0..6).map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+    let ids: Vec<_> = (0..6)
+        .map(|i| g.add_pose2(Pose2::new(0.0, i as f64, 0.0)))
+        .collect();
     g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
     for w in ids.windows(2) {
-        g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.05));
+        g.add_factor(BetweenFactor::pose2(
+            w[0],
+            w[1],
+            Pose2::new(0.0, 1.0, 0.0),
+            0.05,
+        ));
     }
     // Outlier: claims pose 5 is right next to pose 0.
     let outlier = BetweenFactor::pose2(ids[0], ids[5], Pose2::new(0.0, 0.5, 0.0), 0.05);
@@ -54,13 +61,20 @@ fn huber_rejects_an_outlier_loop_closure() {
 
 #[test]
 fn cauchy_also_rejects() {
-    let (mut g, ids) = build(false);
+    let (g, ids) = build(false);
     // Rebuild with Cauchy manually.
     let mut gc = FactorGraph::new();
-    let idsc: Vec<_> = (0..6).map(|i| gc.add_pose2(Pose2::new(0.0, i as f64, 0.0))).collect();
+    let idsc: Vec<_> = (0..6)
+        .map(|i| gc.add_pose2(Pose2::new(0.0, i as f64, 0.0)))
+        .collect();
     gc.add_factor(PriorFactor::pose2(idsc[0], Pose2::identity(), 0.01));
     for w in idsc.windows(2) {
-        gc.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.05));
+        gc.add_factor(BetweenFactor::pose2(
+            w[0],
+            w[1],
+            Pose2::new(0.0, 1.0, 0.0),
+            0.05,
+        ));
     }
     gc.add_factor(RobustFactor::new(
         BetweenFactor::pose2(idsc[0], idsc[5], Pose2::new(0.0, 0.5, 0.0), 0.05),

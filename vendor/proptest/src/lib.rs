@@ -1,0 +1,416 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest it uses: the [`proptest!`] macro over named
+//! strategies, range strategies for numeric types, `prop::collection::vec`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`]. Sampling is purely random (seeded
+//! deterministically from the test name) — there is no shrinking. A failing
+//! case therefore reports the sampled arguments verbatim so it can be
+//! reproduced as a plain unit test.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted samples per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a sampled case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the sample out; try another.
+    Reject,
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+/// Deterministic test-case RNG (xoshiro256++ seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            h = h.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            *w = z ^ (z >> 31);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        Self { s }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrinking tree; `sample`
+/// draws one value.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy generating exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<u8> {
+    type Value = u8;
+    fn sample(&self, rng: &mut TestRng) -> u8 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as u8
+    }
+}
+
+/// Boolean strategy with the given probability of `true`.
+#[derive(Debug, Clone)]
+pub struct Probability(pub f64);
+
+impl Strategy for Probability {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.0
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Probability, ProptestConfig, Strategy, TestCaseError};
+
+    /// Namespace alias matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Supported grammar (subset of upstream):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in -1.0f64..1.0, v in prop::collection::vec(0.0f64..1.0, 8)) {
+///         prop_assume!(x != 0.0);
+///         prop_assert!(x.abs() <= 1.0, "x = {x}");
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr)
+        $( $(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(1024);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest `{}`: gave up after {} attempts ({} accepted): \
+                         prop_assume! rejects too many samples",
+                        stringify!($name),
+                        attempts,
+                        accepted,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed: {}\nwith inputs:{}",
+                                stringify!($name),
+                                msg,
+                                ::std::string::String::new()
+                                    $(+ "\n  " + stringify!($arg) + " = "
+                                        + &::std::format!("{:?}", $arg))+
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Property-test assertion: on failure the current case fails with the
+/// formatted message (or the stringified condition).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {:?} == {:?}",
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Filters the current sample out without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -1.5f64..1.5) {
+            prop_assert!((-1.5..1.5).contains(&x), "{x}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in -1.0f64..1.0) {
+            prop_assume!(x >= 0.0);
+            prop_assert!(x >= 0.0);
+        }
+
+        #[test]
+        fn vec_strategy_has_requested_len(v in prop::collection::vec(0.0f64..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("case");
+        let mut b = crate::TestRng::from_name("case");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = crate::TestRng::from_name("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    // The generated runner works under any attribute, not just `#[test]`;
+    // this one is invoked manually to observe the failure panic.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+        #[allow(dead_code)]
+        fn always_fails(x in 0.0f64..1.0) {
+            prop_assert!(x > 2.0, "x = {x} is not > 2");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failures_panic_with_inputs() {
+        always_fails();
+    }
+}
