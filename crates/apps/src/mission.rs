@@ -12,7 +12,7 @@
 use crate::robots::{all_apps, RobotApp};
 use orianna_compiler::{compile, execute};
 use orianna_graph::{natural_ordering, FactorGraph};
-use orianna_solver::{GaussNewton, GaussNewtonSettings};
+use orianna_solver::{GaussNewton, GaussNewtonSettings, PlanCache};
 
 /// How a mission's optimization steps are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,16 +59,24 @@ impl SuccessRate {
 /// alternates compiled construction+solve steps with retraction — the
 /// accelerator's outer loop (Fig. 12) — while the software pipeline runs
 /// the reference Gauss-Newton.
-fn optimize(graph: &mut FactorGraph, iterations: u64, pipeline: Pipeline) -> bool {
+fn optimize(
+    graph: &mut FactorGraph,
+    iterations: u64,
+    pipeline: Pipeline,
+    plans: &mut PlanCache,
+) -> bool {
     match pipeline {
         Pipeline::Software => GaussNewton::new(GaussNewtonSettings {
             max_iterations: iterations as usize,
             max_step_halvings: 0,
             ..Default::default()
         })
-        .optimize(graph)
+        .optimize_with_cache(graph, plans)
         .is_ok(),
         Pipeline::Orianna => {
+            // Compiled programs embed the trial's measurement constants,
+            // so unlike solve plans they are NOT reusable across
+            // randomized trials; compile fresh per mission.
             let ordering = natural_ordering(graph);
             let Ok(prog) = compile(graph, &ordering) else {
                 return false;
@@ -86,11 +94,23 @@ fn optimize(graph: &mut FactorGraph, iterations: u64, pipeline: Pipeline) -> boo
 
 /// Runs one mission of `app` with the given pipeline.
 pub fn run_mission(app: &RobotApp, pipeline: Pipeline) -> MissionOutcome {
+    run_mission_with(app, pipeline, &mut PlanCache::new())
+}
+
+/// [`run_mission`] with a caller-owned [`PlanCache`]. Randomized trials of
+/// one application share graph *topology* (only measurement noise
+/// differs), so a cache shared across trials builds each algorithm's
+/// elimination plan exactly once.
+pub fn run_mission_with(
+    app: &RobotApp,
+    pipeline: Pipeline,
+    plans: &mut PlanCache,
+) -> MissionOutcome {
     let mut ok = [false; 3];
     for (slot, algo_name) in ["localization", "planning", "control"].iter().enumerate() {
         let algo = app.algorithm(algo_name);
         let mut graph = algo.graph.clone();
-        if !optimize(&mut graph, algo.iterations, pipeline) {
+        if !optimize(&mut graph, algo.iterations, pipeline, plans) {
             continue;
         }
         // Criterion: the optimization actually explained the
@@ -122,6 +142,11 @@ pub fn run_mission(app: &RobotApp, pipeline: Pipeline) -> MissionOutcome {
 /// returns the success rate (one Tbl. 5 cell).
 pub fn success_rate(app_name: &str, n: usize, pipeline: Pipeline) -> SuccessRate {
     let mut succeeded = 0;
+    // All trials of one application share topology (only the measurement
+    // noise differs with the seed), so one plan cache serves them all:
+    // the symbolic elimination work runs once per algorithm, not once per
+    // trial × iteration.
+    let mut plans = PlanCache::new();
     for trial in 0..n {
         let seed = 1000 + 7919 * trial as u64;
         let apps = all_apps(seed);
@@ -129,7 +154,7 @@ pub fn success_rate(app_name: &str, n: usize, pipeline: Pipeline) -> SuccessRate
             .iter()
             .find(|a| a.name == app_name)
             .unwrap_or_else(|| panic!("unknown application {app_name}"));
-        if run_mission(app, pipeline).success {
+        if run_mission_with(app, pipeline, &mut plans).success {
             succeeded += 1;
         }
     }
@@ -159,6 +184,23 @@ mod tests {
             let hw = success_rate(app, 4, Pipeline::Orianna);
             assert_eq!(sw.succeeded, hw.succeeded, "{app}");
         }
+    }
+
+    #[test]
+    fn trials_share_elimination_plans() {
+        // Randomized trials keep the topology, so a shared cache builds
+        // each algorithm's plan once and hits for every later solve.
+        let mut plans = PlanCache::new();
+        for trial in 0..3u64 {
+            let apps = all_apps(1000 + 7919 * trial);
+            let app = apps.iter().find(|a| a.name == "MobileRobot").unwrap();
+            run_mission_with(app, Pipeline::Software, &mut plans);
+        }
+        assert!(plans.misses() <= 3, "one build per algorithm: {plans:?}");
+        assert!(
+            plans.hits() >= plans.misses(),
+            "later trials must reuse plans: {plans:?}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use orianna_graph::{
 };
 use orianna_lie::Pose2;
 use orianna_math::{par::available_threads, Parallelism};
-use orianna_solver::{eliminate, eliminate_with, GaussNewton, GaussNewtonSettings};
+use orianna_solver::{eliminate, eliminate_with, GaussNewton, GaussNewtonSettings, SolvePlan};
 
 fn chain(n: usize) -> FactorGraph {
     let mut g = FactorGraph::new();
@@ -210,6 +210,33 @@ fn bench_simulate_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Symbolic/numeric split amortization (DESIGN.md §3.2.2): per benchmark
+/// application, compare a plan-less serial elimination ("planless")
+/// against executing a prebuilt [`SolvePlan`] ("planned"), and measure the
+/// one-time symbolic analysis itself ("plan_build"). Reused across solver
+/// iterations, the planned path should approach the pure numeric cost —
+/// the plan build amortizes to ~zero.
+fn bench_plan_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_reuse");
+    group.sample_size(20);
+    for app in all_apps(2024) {
+        let algo = app.algorithm("localization");
+        let ordering = natural_ordering(&algo.graph);
+        let sys = algo.graph.linearize();
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).unwrap();
+        group.bench_function(BenchmarkId::new("planless", app.name), |b| {
+            b.iter(|| eliminate(&sys, &ordering).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("planned", app.name), |b| {
+            b.iter(|| plan.execute(&sys, &Parallelism::serial()).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("plan_build", app.name), |b| {
+            b.iter(|| SolvePlan::for_system(&sys, ordering.as_slice()).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_elimination_scaling,
@@ -217,6 +244,7 @@ criterion_group!(
     bench_app_gauss_newton,
     bench_incremental_vs_batch,
     bench_parallel_speedup,
-    bench_simulate_batch
+    bench_simulate_batch,
+    bench_plan_reuse
 );
 criterion_main!(benches);

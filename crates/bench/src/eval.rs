@@ -11,8 +11,8 @@ use orianna_baselines::{models, profile_graph, stack, AlgoProfile, BaselineResul
 use orianna_compiler::{compile, Instruction, Op, Program, Reg};
 use orianna_graph::natural_ordering;
 use orianna_hw::{
-    generate, simulate, GeneratorResult, HwConfig, IssuePolicy, Objective, Resources, SimReport,
-    Stream, Workload,
+    simulate, GeneratorResult, HwConfig, IssuePolicy, Objective, Resources, SimReport, Stream,
+    Workload,
 };
 use orianna_solver::{eliminate, EliminationStats};
 
@@ -210,9 +210,13 @@ pub fn evaluate_app(app: &RobotApp, budget: &Resources) -> AppEvaluation {
             })
             .collect(),
     };
-    let generated = generate(&workload, budget, Objective::Latency);
-    let mut ooo = simulate(&workload, &generated.config, IssuePolicy::OutOfOrder);
-    let mut io = simulate(&workload, &generated.config, IssuePolicy::InOrder);
+    // Decode the frame workload once; the DSE walk, the final OoO report
+    // (a memo hit of the generator's last candidate), and the in-order
+    // rerun all share it.
+    let mut ctx = orianna_hw::DseContext::new(&workload);
+    let generated = orianna_hw::generate_with(&mut ctx, budget, Objective::Latency);
+    let mut ooo = ctx.simulate(&generated.config, IssuePolicy::OutOfOrder);
+    let mut io = ctx.simulate(&generated.config, IssuePolicy::InOrder);
     // Amortize to per-frame figures.
     for r in [&mut ooo, &mut io] {
         r.time_ms /= FRAMES as f64;

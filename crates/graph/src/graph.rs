@@ -165,10 +165,34 @@ impl FactorGraph {
     /// [`FactorGraph::linearize`] for every thread count (asserted by
     /// `tests/parallel.rs`).
     pub fn linearize_with(&self, par: &Parallelism) -> LinearSystem {
+        let mut sys = LinearSystem {
+            factors: Vec::new(),
+            var_dims: Vec::new(),
+        };
+        self.linearize_into(par, &mut sys);
+        sys
+    }
+
+    /// [`FactorGraph::linearize_with`] into a caller-owned buffer.
+    ///
+    /// Iterative solvers re-linearize the same topology every iteration;
+    /// reusing the `LinearSystem` spine avoids re-allocating the factor
+    /// and dimension vectors each time. The produced contents are bitwise
+    /// identical to [`FactorGraph::linearize`].
+    pub fn linearize_into(&self, par: &Parallelism, sys: &mut LinearSystem) {
+        sys.var_dims.clear();
+        sys.var_dims
+            .extend(self.values.iter().map(|(_, v)| v.dim()));
+        sys.factors.clear();
         // Below this size, dispatch overhead outweighs the work.
         const MIN_PARALLEL_FACTORS: usize = 32;
         if !par.is_parallel() || self.factors.len() < MIN_PARALLEL_FACTORS {
-            return self.linearize();
+            sys.factors.extend(
+                self.factors
+                    .iter()
+                    .map(|f| linearize_factor(f.as_ref(), &self.values)),
+            );
+            return;
         }
         let values = Arc::new(self.values.clone());
         let n = self.factors.len();
@@ -189,15 +213,34 @@ impl FactorGraph {
                 }) as Box<dyn FnOnce() -> Vec<LinearFactor> + Send>
             })
             .collect();
-        let mut lin = Vec::with_capacity(n);
+        sys.factors.reserve(n);
         for chunk in run_tasks(par.threads, tasks) {
-            lin.extend(chunk);
+            sys.factors.extend(chunk);
         }
-        let var_dims = self.values.iter().map(|(_, v)| v.dim()).collect();
-        LinearSystem {
-            factors: lin,
-            var_dims,
+    }
+
+    /// Hash of the graph's *structure*: variable dimensions plus each
+    /// factor's keys and residual dimension — everything that determines
+    /// the shape of the linearized system, and nothing that depends on the
+    /// current estimates or measurement values. Two graphs with equal
+    /// fingerprints linearize to systems with identical sparsity, so a
+    /// symbolic `SolvePlan` built for one executes the other exactly.
+    ///
+    /// Matches [`LinearSystem::structure_fingerprint`] of any system this
+    /// graph linearizes to.
+    pub fn structure_fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        self.values.len().hash(&mut h);
+        for (_, v) in self.values.iter() {
+            v.dim().hash(&mut h);
         }
+        self.factors.len().hash(&mut h);
+        for f in &self.factors {
+            f.dim().hash(&mut h);
+            f.keys().hash(&mut h);
+        }
+        h.finish()
     }
 
     /// For each variable, the indices of the factors adjacent to it.

@@ -117,6 +117,25 @@ impl LinearSystem {
         orianna_math::least_squares(&a, &b)
     }
 
+    /// Hash of the system's *structure*: variable dimensions plus each
+    /// factor's keys and row count. Feeding order matches
+    /// `FactorGraph::structure_fingerprint`, so a plan keyed on the graph
+    /// fingerprint validates against its linearized systems.
+    pub fn structure_fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        self.var_dims.len().hash(&mut h);
+        for &d in &self.var_dims {
+            d.hash(&mut h);
+        }
+        self.factors.len().hash(&mut h);
+        for f in &self.factors {
+            f.rows().hash(&mut h);
+            f.keys.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Per-factor `(rows, cols)` of the dense elimination workload this
     /// factor would present (sum of block widths) — the matrix-size samples
     /// behind Fig. 17.

@@ -14,9 +14,10 @@
 //! objective.
 
 use crate::config::HwConfig;
-use crate::sim::{simulate, IssuePolicy, SimReport, Workload};
+use crate::sim::{simulate_decoded, DecodedWorkload, IssuePolicy, SimReport, Workload};
 use crate::templates::Resources;
 use orianna_compiler::UnitClass;
+use std::collections::HashMap;
 
 /// Optimization objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,70 @@ fn score(report: &SimReport, objective: Objective) -> f64 {
     }
 }
 
+/// Memoization key: the configuration's full unit mix, clock, and policy.
+type SimKey = (Vec<(UnitClass, usize)>, u64, IssuePolicy);
+
+/// A design-space-exploration context over one workload: the decoded
+/// instruction graph ([`DecodedWorkload`]) plus a memo of every simulated
+/// `(configuration, policy)` pair.
+///
+/// The DSE sweeps of Fig. 19/20 evaluate many overlapping candidate sets
+/// (five budgets × two objectives walk much of the same frontier, and
+/// both greedy walks fall back to the same uniform design). With a shared
+/// context each candidate is decoded zero times and scoreboarded at most
+/// once.
+#[derive(Debug)]
+pub struct DseContext {
+    decoded: DecodedWorkload,
+    cache: HashMap<SimKey, SimReport>,
+    calls: usize,
+    hits: usize,
+}
+
+impl DseContext {
+    /// Decodes the workload once, ready for any number of candidate
+    /// evaluations.
+    pub fn new(workload: &Workload<'_>) -> Self {
+        Self {
+            decoded: DecodedWorkload::decode(workload),
+            cache: HashMap::new(),
+            calls: 0,
+            hits: 0,
+        }
+    }
+
+    /// Simulates a candidate configuration, returning the memoized report
+    /// when this `(config, policy)` pair was already evaluated. Reports
+    /// are bitwise identical to [`crate::sim::simulate`] on the source
+    /// workload.
+    pub fn simulate(&mut self, config: &HwConfig, policy: IssuePolicy) -> SimReport {
+        self.calls += 1;
+        let key: SimKey = (config.iter().collect(), config.clock_mhz.to_bits(), policy);
+        if let Some(r) = self.cache.get(&key) {
+            self.hits += 1;
+            return r.clone();
+        }
+        let report = simulate_decoded(&self.decoded, config, policy);
+        self.cache.insert(key, report.clone());
+        report
+    }
+
+    /// The decoded workload.
+    pub fn decoded(&self) -> &DecodedWorkload {
+        &self.decoded
+    }
+
+    /// Simulation requests served so far (cached or fresh).
+    pub fn sim_calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Requests answered from the memo.
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+}
+
 /// Generates an accelerator configuration for `workload` under resource
 /// budget `budget`.
 pub fn generate(
@@ -52,8 +117,20 @@ pub fn generate(
     budget: &Resources,
     objective: Objective,
 ) -> GeneratorResult {
+    let mut ctx = DseContext::new(workload);
+    generate_with(&mut ctx, budget, objective)
+}
+
+/// [`generate`] against a caller-owned [`DseContext`], sharing the decoded
+/// workload and the simulation memo across budgets and objectives (the
+/// Fig. 19/20 sweeps).
+pub fn generate_with(
+    ctx: &mut DseContext,
+    budget: &Resources,
+    objective: Objective,
+) -> GeneratorResult {
     let mut config = HwConfig::minimal();
-    let mut report = simulate(workload, &config, IssuePolicy::OutOfOrder);
+    let mut report = ctx.simulate(&config, IssuePolicy::OutOfOrder);
     let mut history = Vec::new();
 
     loop {
@@ -74,7 +151,7 @@ pub fn generate(
             if !candidate.resources().fits(budget) {
                 continue;
             }
-            let cand_report = simulate(workload, &candidate, IssuePolicy::OutOfOrder);
+            let cand_report = ctx.simulate(&candidate, IssuePolicy::OutOfOrder);
             // Accept if the objective improves by at least 0.5%.
             if score(&cand_report, objective) < score(&report, objective) * 0.995 {
                 history.push((class, cand_report.cycles));
@@ -93,7 +170,7 @@ pub fn generate(
     // very tight budgets where early greedy choices lock in a worse mix).
     let uniform = manual_uniform(budget);
     if uniform.resources().fits(budget) {
-        let uniform_report = simulate(workload, &uniform, IssuePolicy::OutOfOrder);
+        let uniform_report = ctx.simulate(&uniform, IssuePolicy::OutOfOrder);
         if score(&uniform_report, objective) < score(&report, objective) {
             config = uniform;
             report = uniform_report;
@@ -155,6 +232,7 @@ pub fn manual_qr_heavy(budget: &Resources) -> HwConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::simulate;
     use orianna_compiler::compile;
     use orianna_graph::{natural_ordering, BetweenFactor, FactorGraph, PriorFactor};
     use orianna_lie::Pose2;
@@ -238,6 +316,36 @@ mod tests {
                 m.cycles
             );
         }
+    }
+
+    #[test]
+    fn shared_context_matches_fresh_generation_and_memoizes() {
+        let prog = workload_program();
+        let wl = Workload::single("loc", &prog);
+        let budgets = [
+            Resources {
+                lut: 80_000,
+                ff: 90_000,
+                bram: 100,
+                dsp: 300,
+            },
+            Resources::zc706(),
+        ];
+        let mut ctx = DseContext::new(&wl);
+        for budget in &budgets {
+            for objective in [Objective::Latency, Objective::Energy] {
+                let shared = generate_with(&mut ctx, budget, objective);
+                let fresh = generate(&wl, budget, objective);
+                assert_eq!(shared.config, fresh.config);
+                assert_eq!(shared.report.cycles, fresh.report.cycles);
+                assert!((shared.report.energy_mj - fresh.report.energy_mj).abs() == 0.0);
+                assert_eq!(shared.history, fresh.history);
+            }
+        }
+        // Every run starts from the minimal config and both objectives
+        // walk overlapping frontiers: the memo must have fired.
+        assert!(ctx.cache_hits() > 0, "{} calls", ctx.sim_calls());
+        assert!(ctx.cache_hits() < ctx.sim_calls());
     }
 
     #[test]

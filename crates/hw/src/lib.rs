@@ -44,9 +44,11 @@ pub mod templates;
 
 pub use config::{HwConfig, CLOCK_MHZ};
 pub use generator::{
-    generate, manual_matmul_heavy, manual_qr_heavy, manual_uniform, GeneratorResult, Objective,
+    generate, generate_with, manual_matmul_heavy, manual_qr_heavy, manual_uniform, DseContext,
+    GeneratorResult, Objective,
 };
 pub use sim::{
-    critical_path_cycles, simulate, simulate_batch, IssuePolicy, SimReport, Stream, Workload,
+    critical_path_cycles, simulate, simulate_batch, simulate_decoded, DecodedWorkload, IssuePolicy,
+    SimReport, Stream, Workload,
 };
 pub use templates::{energy_nj, latency, unit_resources, Resources};

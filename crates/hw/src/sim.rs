@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::AtomicUsize;
 
 /// Instruction-issue policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IssuePolicy {
     /// Scoreboarded out-of-order issue (ORIANNA-OoO).
     OutOfOrder,
@@ -135,70 +135,122 @@ pub fn critical_path_cycles(workload: &Workload<'_>) -> u64 {
     best
 }
 
-/// Simulates a workload on a configuration under the given policy.
-pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy) -> SimReport {
-    // Flatten instructions with global ids; deps resolved per stream.
-    struct Node {
-        lat: u64,
-        class: UnitClass,
-        phase: Phase,
-        deps: Vec<usize>, // global ids
-        energy: f64,
-        dims: (usize, usize),
-        is_qrd: bool,
-    }
-    let mut nodes: Vec<Node> = Vec::with_capacity(workload.num_instructions());
-    let mut global_of: Vec<Vec<usize>> = Vec::new();
-    for (si, s) in workload.streams.iter().enumerate() {
-        let producers = s.program.producers();
-        let mut ids = Vec::with_capacity(s.program.instrs.len());
-        for instr in &s.program.instrs {
-            let deps: Vec<usize> = instr
-                .srcs
-                .iter()
-                .filter_map(|r| producers[r.0])
-                .map(|local| global_of[si][local])
-                .collect();
-            let gid = nodes.len();
-            nodes.push(Node {
-                lat: latency(&instr.op, instr.dims).max(1),
-                class: instr.op.unit_class(),
-                phase: instr.phase,
-                deps,
-                energy: energy_nj(&instr.op, instr.dims),
-                dims: instr.dims,
-                is_qrd: matches!(instr.op, orianna_compiler::Op::Qrd { .. }),
-            });
-            ids.push(gid);
+/// One flattened instruction of a decoded workload.
+#[derive(Debug, Clone)]
+struct Node {
+    lat: u64,
+    class: UnitClass,
+    deps: Vec<usize>, // global ids
+}
+
+/// The *decoded* form of a [`Workload`]: instruction streams flattened
+/// into a global dependence graph, with latencies, unit classes, phase
+/// work, energies and operand shapes all resolved.
+///
+/// Decoding depends only on the compiled programs — never on the
+/// hardware configuration or issue policy — so design-space exploration
+/// decodes once and re-runs only the scoreboard
+/// ([`simulate_decoded`]) per candidate configuration. The split mirrors
+/// the solver's symbolic/numeric separation: the workload's structure is
+/// fixed while the configuration under evaluation changes.
+///
+/// Owns all of its data (no borrow of the source [`Workload`]), so a DSE
+/// context can hold it across an entire sweep.
+#[derive(Debug, Clone)]
+pub struct DecodedWorkload {
+    nodes: Vec<Node>,
+    /// Reverse dependence lists, precomputed for the OoO scoreboard.
+    dependents: Vec<Vec<usize>>,
+    phase_work: BTreeMap<&'static str, u64>,
+    qrd_shapes: Vec<(usize, usize)>,
+    mm_shapes: Vec<(usize, usize)>,
+    dyn_energy_nj: f64,
+}
+
+impl DecodedWorkload {
+    /// Decodes a workload: flattens instructions with global ids (deps
+    /// resolved per stream) and precomputes every configuration-
+    /// independent aggregate.
+    pub fn decode(workload: &Workload<'_>) -> Self {
+        let mut nodes: Vec<Node> = Vec::with_capacity(workload.num_instructions());
+        let mut phase_work: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut qrd_shapes = Vec::new();
+        let mut mm_shapes = Vec::new();
+        let mut dyn_energy_nj = 0.0;
+        let mut global_of: Vec<Vec<usize>> = Vec::new();
+        for (si, s) in workload.streams.iter().enumerate() {
+            let producers = s.program.producers();
+            for instr in &s.program.instrs {
+                let deps: Vec<usize> = instr
+                    .srcs
+                    .iter()
+                    .filter_map(|r| producers[r.0])
+                    .map(|local| global_of[si][local])
+                    .collect();
+                let gid = nodes.len();
+                let lat = latency(&instr.op, instr.dims).max(1);
+                let class = instr.op.unit_class();
+                *phase_work.entry(phase_name(instr.phase)).or_insert(0) += lat;
+                dyn_energy_nj += energy_nj(&instr.op, instr.dims);
+                if matches!(instr.op, orianna_compiler::Op::Qrd { .. }) {
+                    qrd_shapes.push(instr.dims);
+                } else if class == UnitClass::MatMul && instr.phase == Phase::Construct {
+                    mm_shapes.push(instr.dims);
+                }
+                nodes.push(Node { lat, class, deps });
+                if global_of.len() == si {
+                    global_of.push(Vec::new());
+                }
+                global_of[si].push(gid);
+            }
             if global_of.len() == si {
                 global_of.push(Vec::new());
             }
-            global_of[si].push(gid);
         }
-        let _ = ids;
-        if global_of.len() == si {
-            global_of.push(Vec::new());
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (gid, n) in nodes.iter().enumerate() {
+            for &d in &n.deps {
+                dependents[d].push(gid);
+            }
+        }
+        Self {
+            nodes,
+            dependents,
+            phase_work,
+            qrd_shapes,
+            mm_shapes,
+            dyn_energy_nj,
         }
     }
 
+    /// Instructions in the decoded trace.
+    pub fn num_instructions(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Simulates a workload on a configuration under the given policy.
+///
+/// Convenience wrapper: decodes and runs the scoreboard. Callers that
+/// evaluate many configurations against one workload (the generator's
+/// DSE loop) should decode once and call [`simulate_decoded`] instead.
+pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy) -> SimReport {
+    simulate_decoded(&DecodedWorkload::decode(workload), config, policy)
+}
+
+/// Runs only the configuration-dependent scoreboard over an
+/// already-decoded workload. Bitwise identical to [`simulate`] on the
+/// workload the decode came from.
+pub fn simulate_decoded(
+    decoded: &DecodedWorkload,
+    config: &HwConfig,
+    policy: IssuePolicy,
+) -> SimReport {
+    let nodes = &decoded.nodes;
     let mut finish = vec![0u64; nodes.len()];
     let mut unit_busy: BTreeMap<UnitClass, u64> = BTreeMap::new();
     let mut contention: BTreeMap<UnitClass, u64> = BTreeMap::new();
-    let mut phase_work: BTreeMap<&'static str, u64> = BTreeMap::new();
-    let mut qrd_shapes = Vec::new();
-    let mut mm_shapes = Vec::new();
-    let mut dyn_energy_nj = 0.0;
     let mut makespan = 0u64;
-
-    for n in &nodes {
-        *phase_work.entry(phase_name(n.phase)).or_insert(0) += n.lat;
-        dyn_energy_nj += n.energy;
-        if n.is_qrd {
-            qrd_shapes.push(n.dims);
-        } else if n.class == UnitClass::MatMul && n.phase == Phase::Construct {
-            mm_shapes.push(n.dims);
-        }
-    }
 
     match policy {
         IssuePolicy::InOrder => {
@@ -228,12 +280,7 @@ pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy)
             }
             // Kahn-style: indegree counting, ready min-heap by ready time.
             let mut indeg: Vec<usize> = nodes.iter().map(|n| n.deps.len()).collect();
-            let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-            for (gid, n) in nodes.iter().enumerate() {
-                for &d in &n.deps {
-                    dependents[d].push(gid);
-                }
-            }
+            let dependents = &decoded.dependents;
             let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
             let mut ready_time = vec![0u64; nodes.len()];
             for (gid, n) in nodes.iter().enumerate() {
@@ -270,13 +317,13 @@ pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy)
     SimReport {
         cycles: makespan,
         time_ms,
-        energy_mj: dyn_energy_nj * 1e-6 + static_mj,
+        energy_mj: decoded.dyn_energy_nj * 1e-6 + static_mj,
         unit_busy,
         contention,
-        phase_work,
+        phase_work: decoded.phase_work.clone(),
         instructions: nodes.len(),
-        qrd_shapes,
-        mm_shapes,
+        qrd_shapes: decoded.qrd_shapes.clone(),
+        mm_shapes: decoded.mm_shapes.clone(),
     }
 }
 
@@ -500,6 +547,44 @@ mod tests {
         assert!(r.energy_mj > 0.0);
         assert!(!r.qrd_shapes.is_empty());
         assert!(!r.mm_shapes.is_empty());
+    }
+
+    #[test]
+    fn decoded_simulation_is_bitwise_identical() {
+        let p1 = chain_program(8);
+        let p2 = chain_program(5);
+        let wl = Workload {
+            streams: vec![
+                Stream {
+                    name: "loc",
+                    program: &p1,
+                },
+                Stream {
+                    name: "plan",
+                    program: &p2,
+                },
+            ],
+        };
+        let decoded = DecodedWorkload::decode(&wl);
+        assert_eq!(decoded.num_instructions(), wl.num_instructions());
+        for policy in [IssuePolicy::OutOfOrder, IssuePolicy::InOrder] {
+            for cfg in [
+                HwConfig::minimal(),
+                HwConfig::minimal().plus_one(UnitClass::Qr),
+            ] {
+                let a = simulate(&wl, &cfg, policy);
+                let b = simulate_decoded(&decoded, &cfg, policy);
+                assert_eq!(a.cycles, b.cycles);
+                assert!((a.time_ms - b.time_ms).abs() == 0.0);
+                assert!((a.energy_mj - b.energy_mj).abs() == 0.0);
+                assert_eq!(a.unit_busy, b.unit_busy);
+                assert_eq!(a.contention, b.contention);
+                assert_eq!(a.phase_work, b.phase_work);
+                assert_eq!(a.instructions, b.instructions);
+                assert_eq!(a.qrd_shapes, b.qrd_shapes);
+                assert_eq!(a.mm_shapes, b.mm_shapes);
+            }
+        }
     }
 
     #[test]

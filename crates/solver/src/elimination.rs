@@ -15,9 +15,8 @@
 //! order recovers Δ (Fig. 6).
 
 use orianna_graph::{LinearFactor, LinearSystem, Ordering, VarId};
-use orianna_math::par::{run_tasks, Parallelism};
+use orianna_math::par::Parallelism;
 use orianna_math::{householder_qr, Mat, Vec64};
-use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Failure modes of elimination / back-substitution.
@@ -32,6 +31,9 @@ pub enum SolveError {
     /// An operation referenced a variable the solver has never seen (e.g.
     /// an incremental update whose factor keys were never inserted).
     UnknownVariable(VarId),
+    /// A [`SolvePlan`](crate::plan::SolvePlan) was executed against a
+    /// system whose structure differs from the one it was built for.
+    PlanMismatch,
 }
 
 impl std::fmt::Display for SolveError {
@@ -45,6 +47,9 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::UnknownVariable(v) => {
                 write!(f, "variable {v} is not known to the solver")
+            }
+            SolveError::PlanMismatch => {
+                write!(f, "solve plan does not match the system's structure")
             }
         }
     }
@@ -240,6 +245,36 @@ pub(crate) fn eliminate_step(
         }
     }
     seps.sort();
+    eliminate_step_with_seps(v, gathered, var_dims, seps)
+}
+
+/// [`eliminate_step`] with the separator layout supplied by the caller.
+/// The plan executor ([`crate::plan::SolvePlan::execute`]) derives `seps`
+/// symbolically once and passes it here every iteration, skipping the
+/// per-step separator scan. `seps` must equal the sorted separators of
+/// `gathered` (debug-asserted).
+pub(crate) fn eliminate_step_with_seps(
+    v: VarId,
+    gathered: &[Arc<LinearFactor>],
+    var_dims: &[usize],
+    seps: Vec<VarId>,
+) -> Result<(Conditional, Option<LinearFactor>, EliminationStep), SolveError> {
+    if gathered.is_empty() {
+        return Err(SolveError::UnconstrainedVariable(v));
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut expect: Vec<VarId> = Vec::new();
+        for f in gathered {
+            for k in &f.keys {
+                if *k != v && !expect.contains(k) {
+                    expect.push(*k);
+                }
+            }
+        }
+        expect.sort();
+        debug_assert_eq!(seps, expect, "separator layout mismatch for {v}");
+    }
     let dv = var_dims[v.0];
     let sep_cols: usize = seps.iter().map(|s| var_dims[s.0]).sum();
     let total_rows: usize = gathered.iter().map(|f| f.rows()).sum();
@@ -362,11 +397,6 @@ pub(crate) fn eliminate_step(
 /// Live factor work-list: `None` = consumed by an earlier elimination.
 type WorkList = Vec<Option<Arc<LinearFactor>>>;
 
-/// A boxed elimination task handed to the worker pool.
-type EliminationTask = Box<
-    dyn FnOnce() -> Result<(Conditional, Option<LinearFactor>, EliminationStep), SolveError> + Send,
->;
-
 fn build_worklist(system: &LinearSystem) -> (WorkList, Vec<Vec<usize>>) {
     let work: WorkList = system
         .factors
@@ -446,13 +476,16 @@ pub fn eliminate(
 ///
 /// Variables whose live adjacent-factor sets are pairwise disjoint touch
 /// no common data and are not separators of one another, so their dense
-/// sub-problems ([`eliminate_step`]) run concurrently. Batches are formed
-/// by a deterministic greedy scan over the remaining ordering: the first
-/// remaining variable always joins, and a later variable joins when its
-/// live factor set does not intersect the batch's. Batch formation depends
-/// only on the graph — never on the thread count — and results merge in
-/// batch order, so the output is **bitwise identical for every `threads`
-/// value**.
+/// sub-problems ([`eliminate_step`]) run concurrently. The deterministic
+/// batch schedule is a pure function of the graph's structure — never of
+/// the thread count — and results merge in batch order, so the output is
+/// **bitwise identical for every `threads` value**.
+///
+/// Since the symbolic/numeric split this is a convenience wrapper: it
+/// builds a one-shot [`SolvePlan`](crate::plan::SolvePlan) for the
+/// system's structure and executes it. Iterating callers (Gauss-Newton,
+/// LM, the mission harness) build the plan once themselves and amortize
+/// the symbolic phase to zero — see [`crate::plan`].
 ///
 /// Relative to [`eliminate`], the effective elimination order is a
 /// permutation of `ordering` (skipped variables are revisited in later
@@ -475,75 +508,7 @@ pub fn eliminate_with(
     if !par.is_parallel() {
         return eliminate(system, ordering);
     }
-    let var_dims = Arc::new(system.var_dims.clone());
-    let (mut work, mut adj) = build_worklist(system);
-    let mut pending: Vec<VarId> = ordering.as_slice().to_vec();
-    let mut conditionals = Vec::with_capacity(pending.len());
-    let mut stats = EliminationStats::default();
-
-    while !pending.is_empty() {
-        // Deterministic batch formation: scan remaining variables in
-        // ordering order, admitting those whose live factor sets are
-        // disjoint from everything already admitted.
-        let mut batch: Vec<(usize, VarId, Vec<usize>)> = Vec::new();
-        let mut batch_fids: HashSet<usize> = HashSet::new();
-        for (pi, &v) in pending.iter().enumerate() {
-            let fids: Vec<usize> = adj[v.0]
-                .iter()
-                .copied()
-                .filter(|&fi| work[fi].is_some())
-                .collect();
-            if batch.is_empty() {
-                // The head of the remaining ordering: every earlier
-                // variable is eliminated, so an empty set here is final.
-                if fids.is_empty() {
-                    return Err(SolveError::UnconstrainedVariable(v));
-                }
-            } else if fids.is_empty() || fids.iter().any(|fi| batch_fids.contains(fi)) {
-                // Empty sets may still gain a separator factor from this
-                // batch; conflicting sets must wait for its results.
-                continue;
-            }
-            batch_fids.extend(fids.iter().copied());
-            batch.push((pi, v, fids));
-        }
-
-        // Execute the batch; disjointness means each task owns its
-        // gathered factors outright.
-        let tasks: Vec<EliminationTask> = batch
-            .iter()
-            .map(|(_, v, fids)| {
-                let gathered: Vec<Arc<LinearFactor>> =
-                    fids.iter().map(|&fi| work[fi].take().unwrap()).collect();
-                let v = *v;
-                let var_dims = Arc::clone(&var_dims);
-                Box::new(move || eliminate_step(v, &gathered, &var_dims)) as _
-            })
-            .collect();
-        let results = run_tasks(par.threads, tasks);
-
-        // Merge strictly in batch order: conditionals, stats and new
-        // factor ids all come out thread-count-independent.
-        for ((_, _, _), result) in batch.iter().zip(results) {
-            let (conditional, new_factor, step) = result?;
-            stats.steps.push(step);
-            conditionals.push(conditional);
-            if let Some(nf) = new_factor {
-                push_new_factor(&mut work, &mut adj, nf);
-            }
-        }
-        for &(pi, _, _) in batch.iter().rev() {
-            pending.remove(pi);
-        }
-    }
-
-    Ok((
-        BayesNet {
-            conditionals,
-            var_dims: system.var_dims.clone(),
-        },
-        stats,
-    ))
+    crate::plan::SolvePlan::for_system(system, ordering.as_slice())?.execute(system, par)
 }
 
 #[cfg(test)]

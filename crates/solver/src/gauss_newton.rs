@@ -6,18 +6,37 @@
 //! guards against overshooting on strongly nonlinear factors (hinge
 //! collision costs, camera projections).
 
-use crate::elimination::{eliminate_with, EliminationStats, SolveError};
+use crate::elimination::{EliminationStats, SolveError};
+use crate::plan::{PlanCache, SolvePlan};
 use orianna_graph::{min_degree_ordering, natural_ordering, FactorGraph, Ordering};
 use orianna_math::{Parallelism, Vec64};
 
 /// Which elimination ordering the solver uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OrderingChoice {
     /// Insertion (id) order.
     #[default]
     Natural,
     /// Greedy minimum-degree (fill-reducing).
     MinDegree,
+}
+
+impl OrderingChoice {
+    /// Stable tag used to key [`PlanCache`] entries per ordering.
+    pub fn cache_tag(self) -> u8 {
+        match self {
+            OrderingChoice::Natural => 0,
+            OrderingChoice::MinDegree => 1,
+        }
+    }
+
+    /// Resolves the ordering for a graph.
+    pub fn resolve(self, graph: &FactorGraph) -> Ordering {
+        match self {
+            OrderingChoice::Natural => natural_ordering(graph),
+            OrderingChoice::MinDegree => min_degree_ordering(graph),
+        }
+    }
 }
 
 /// Settings of the Gauss-Newton driver.
@@ -85,22 +104,56 @@ impl GaussNewton {
 
     /// Optimizes the graph in place.
     ///
+    /// The symbolic phase of elimination (ordering adjacency, parallel
+    /// batch schedule, separator layouts) is computed once on the first
+    /// iteration as a [`SolvePlan`] and reused by every later iteration —
+    /// topology is fixed during optimization, only values change.
+    ///
     /// # Errors
     /// Propagates [`SolveError`] from elimination (unconstrained or
     /// singular variables).
     pub fn optimize(&self, graph: &mut FactorGraph) -> Result<GaussNewtonReport, SolveError> {
+        let mut cache = PlanCache::new();
+        self.optimize_with_cache(graph, &mut cache)
+    }
+
+    /// [`optimize`](GaussNewton::optimize) with a caller-owned
+    /// [`PlanCache`], letting repeated solves over the same topology
+    /// (e.g. the mission harness's randomized trials — same structure,
+    /// different noise) skip the symbolic phase entirely.
+    ///
+    /// # Errors
+    /// Propagates [`SolveError`] from elimination.
+    pub fn optimize_with_cache(
+        &self,
+        graph: &mut FactorGraph,
+        cache: &mut PlanCache,
+    ) -> Result<GaussNewtonReport, SolveError> {
         let s = &self.settings;
-        let ordering = self.ordering_for(graph);
         let initial_error = graph.total_error();
         let mut error = initial_error;
         let mut last_stats = EliminationStats::default();
         let mut converged = error <= s.abs_tol;
         let mut iterations = 0;
+        let mut plan: Option<std::sync::Arc<SolvePlan>> = None;
 
         while iterations < s.max_iterations && !converged {
             iterations += 1;
             let sys = graph.linearize_with(&s.parallelism);
-            let (bn, stats) = eliminate_with(&sys, &ordering, &s.parallelism)?;
+            if plan.is_none() {
+                // Lazy: already-converged graphs never pay the symbolic
+                // phase (and keep returning Ok even when structurally
+                // unsolvable, matching the pre-plan behavior).
+                plan = Some(cache.get_or_build(
+                    sys.structure_fingerprint(),
+                    s.ordering.cache_tag(),
+                    || {
+                        let ordering = s.ordering.resolve(graph);
+                        SolvePlan::for_system(&sys, ordering.as_slice())
+                    },
+                )?);
+            }
+            let (bn, stats) = plan.as_ref().unwrap().execute(&sys, &s.parallelism)?;
             last_stats = stats;
             let delta = bn.back_substitute()?;
 
@@ -140,13 +193,6 @@ impl GaussNewton {
             converged,
             last_stats,
         })
-    }
-
-    fn ordering_for(&self, graph: &FactorGraph) -> Ordering {
-        match self.settings.ordering {
-            OrderingChoice::Natural => natural_ordering(graph),
-            OrderingChoice::MinDegree => min_degree_ordering(graph),
-        }
     }
 }
 

@@ -20,10 +20,11 @@
 //! the same linearized factors, to machine precision.
 
 use crate::elimination::{eliminate_step, Conditional, SolveError};
+use crate::plan::SolvePlan;
 use orianna_graph::{
     Factor, LinearContainerFactor, LinearFactor, LinearSystem, Values, VarId, Variable,
 };
-use orianna_math::{Mat, Vec64};
+use orianna_math::{Mat, Parallelism, Vec64};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -40,6 +41,15 @@ pub struct IncrementalSolver {
     delta: Vec64,
     /// Variables marginalized out of the active window.
     marginalized: HashSet<VarId>,
+    /// Cached symbolic plan for full rebuilds. Invalidated whenever the
+    /// topology changes (new variables, new factors, marginalization);
+    /// [`relinearize`](IncrementalSolver::relinearize) only moves the
+    /// linearization point, so consecutive relinearizations reuse it.
+    plan: Option<SolvePlan>,
+    /// Full rebuilds that built a fresh plan.
+    plan_builds: usize,
+    /// Full rebuilds that reused the cached plan.
+    plan_reuses: usize,
 }
 
 impl std::fmt::Debug for IncrementalSolver {
@@ -73,7 +83,18 @@ impl IncrementalSolver {
         let d = init.dim();
         let id = self.lin_point.insert(init);
         self.delta.extend(&Vec64::zeros(d));
+        self.plan = None;
         id
+    }
+
+    /// Full rebuilds that had to construct a fresh symbolic plan.
+    pub fn plan_builds(&self) -> usize {
+        self.plan_builds
+    }
+
+    /// Full rebuilds that reused the cached symbolic plan.
+    pub fn plan_reuses(&self) -> usize {
+        self.plan_reuses
     }
 
     /// Adds new factors and incrementally updates the solution.
@@ -95,6 +116,9 @@ impl IncrementalSolver {
         if new_factors.is_empty() && self.conditionals.is_empty() && self.factors.is_empty() {
             return Ok(());
         }
+        // The factor set (and possibly the variable set) changes below:
+        // any cached rebuild plan is for a stale topology.
+        self.plan = None;
         // 1. Linearize the new factors at the linearization point.
         let mut new_linear: Vec<LinearFactor> = Vec::with_capacity(new_factors.len());
         for f in &new_factors {
@@ -241,6 +265,7 @@ impl IncrementalSolver {
             self.factors.push(Arc::new(container));
         }
         self.marginalized.insert(v);
+        self.plan = None;
         // 4. Rebuild the Bayes net at the unchanged linearization point.
         self.rebuild()
     }
@@ -271,7 +296,27 @@ impl IncrementalSolver {
             .map(VarId)
             .filter(|v| !self.marginalized.contains(v))
             .collect();
-        self.conditionals = eliminate_subset(&sys, &order)?;
+        // Reuse the symbolic plan when the topology is unchanged since the
+        // last rebuild (relinearization only moves values). The fingerprint
+        // + order check is a safety net on top of the explicit
+        // invalidations in `update`/`add_variable`/`marginalize`.
+        let fp = sys.structure_fingerprint();
+        let reusable = self
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.fingerprint() == fp && p.order() == order.as_slice());
+        if reusable {
+            self.plan_reuses += 1;
+        } else {
+            self.plan = Some(SolvePlan::for_system(&sys, &order)?);
+            self.plan_builds += 1;
+        }
+        let (bn, _) = self
+            .plan
+            .as_ref()
+            .unwrap()
+            .execute(&sys, &Parallelism::serial())?;
+        self.conditionals = bn.conditionals;
         self.conditionals.sort_by_key(|c| c.var);
         self.back_substitute()?;
         Ok(())
@@ -519,6 +564,59 @@ mod tests {
             let b = g.values().get(id).as_pose2();
             assert!(a.translation_distance(b) < 1e-6, "{id}");
         }
+    }
+
+    #[test]
+    fn relinearize_reuses_plan_until_topology_changes() {
+        let mut inc = IncrementalSolver::new();
+        let ids: Vec<VarId> = (0..4)
+            .map(|i| inc.add_variable(Variable::Pose2(Pose2::new(0.1, i as f64 * 0.9, 0.05))))
+            .collect();
+        let mut fs: Vec<Arc<dyn Factor>> = Vec::new();
+        fs.push(Arc::new(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1)));
+        for w in ids.windows(2) {
+            fs.push(Arc::new(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            )));
+        }
+        inc.update(fs).unwrap();
+        assert_eq!(inc.plan_builds(), 0, "updates do not rebuild");
+        // First relinearize builds the plan; later ones only execute it.
+        inc.relinearize().unwrap();
+        assert_eq!((inc.plan_builds(), inc.plan_reuses()), (1, 0));
+        for _ in 0..3 {
+            inc.relinearize().unwrap();
+        }
+        assert_eq!((inc.plan_builds(), inc.plan_reuses()), (1, 3));
+    }
+
+    #[test]
+    fn update_adding_a_variable_invalidates_the_plan() {
+        let mut inc = IncrementalSolver::new();
+        let v0 = inc.add_variable(Variable::Pose2(Pose2::new(0.1, 0.0, 0.0)));
+        inc.update(vec![Arc::new(PriorFactor::pose2(
+            v0,
+            Pose2::identity(),
+            0.1,
+        ))])
+        .unwrap();
+        inc.relinearize().unwrap();
+        assert_eq!((inc.plan_builds(), inc.plan_reuses()), (1, 0));
+        // Grow the graph: the cached plan covers neither the new variable
+        // nor the new factor, so the next rebuild must re-plan.
+        let v1 = inc.add_variable(Variable::Pose2(Pose2::new(0.0, 1.1, 0.0)));
+        inc.update(vec![
+            Arc::new(BetweenFactor::pose2(v0, v1, Pose2::new(0.0, 1.0, 0.0), 0.2))
+                as Arc<dyn Factor>,
+        ])
+        .unwrap();
+        inc.relinearize().unwrap();
+        assert_eq!((inc.plan_builds(), inc.plan_reuses()), (2, 0));
+        inc.relinearize().unwrap();
+        assert_eq!((inc.plan_builds(), inc.plan_reuses()), (2, 1));
     }
 
     #[test]

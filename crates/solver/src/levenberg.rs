@@ -10,8 +10,10 @@
 //! generated accelerator could execute it (the damping rows are constant
 //! diagonal blocks).
 
-use crate::elimination::{eliminate_with, SolveError};
-use orianna_graph::{natural_ordering, FactorGraph, LinearFactor, LinearSystem};
+use crate::elimination::SolveError;
+use crate::gauss_newton::OrderingChoice;
+use crate::plan::SolvePlan;
+use orianna_graph::{FactorGraph, LinearFactor, LinearSystem};
 use orianna_math::{Mat, Parallelism, Vec64};
 
 /// Settings of the Levenberg-Marquardt driver.
@@ -31,6 +33,8 @@ pub struct LevenbergMarquardtSettings {
     pub abs_tol: f64,
     /// Converged when the relative improvement falls below this.
     pub rel_tol: f64,
+    /// Elimination ordering — the same choice Gauss-Newton offers.
+    pub ordering: OrderingChoice,
     /// Worker threads for linearization and elimination (see
     /// [`GaussNewtonSettings::parallelism`](crate::GaussNewtonSettings)).
     pub parallelism: Parallelism,
@@ -46,6 +50,7 @@ impl Default for LevenbergMarquardtSettings {
             max_lambda: 1e10,
             abs_tol: 1e-12,
             rel_tol: 1e-10,
+            ordering: OrderingChoice::Natural,
             parallelism: Parallelism::default(),
         }
     }
@@ -105,17 +110,29 @@ impl LevenbergMarquardt {
         graph: &mut FactorGraph,
     ) -> Result<LevenbergMarquardtReport, SolveError> {
         let s = &self.settings;
-        let ordering = natural_ordering(graph);
         let initial_error = graph.total_error();
         let mut error = initial_error;
         let mut lambda = s.initial_lambda;
         let mut converged = error <= s.abs_tol;
         let mut iterations = 0;
+        // The linearization buffer and the symbolic plan both persist
+        // across iterations: λ changes only the *values* of the damping
+        // rows, never the damped system's structure.
+        let mut sys = LinearSystem {
+            factors: Vec::new(),
+            var_dims: Vec::new(),
+        };
+        let mut plan: Option<SolvePlan> = None;
 
         while iterations < s.max_iterations && !converged && lambda <= s.max_lambda {
             iterations += 1;
-            let sys = damped(graph.linearize_with(&s.parallelism), lambda);
-            let (bn, _) = eliminate_with(&sys, &ordering, &s.parallelism)?;
+            graph.linearize_into(&s.parallelism, &mut sys);
+            append_damping(&mut sys, lambda);
+            if plan.is_none() {
+                let ordering = s.ordering.resolve(graph);
+                plan = Some(SolvePlan::for_system(&sys, ordering.as_slice())?);
+            }
+            let (bn, _) = plan.as_ref().unwrap().execute(&sys, &s.parallelism)?;
             let delta = bn.back_substitute()?;
             let candidate = graph.values().retract_all(&delta);
             let new_error = graph.total_error_with(&candidate);
@@ -142,17 +159,17 @@ impl LevenbergMarquardt {
     }
 }
 
-/// Appends `√λ·I` damping rows for every variable.
-fn damped(mut sys: LinearSystem, lambda: f64) -> LinearSystem {
+/// Appends `√λ·I` damping rows for every variable, in place.
+fn append_damping(sys: &mut LinearSystem, lambda: f64) {
     let sqrt_l = lambda.sqrt();
-    for (v, &d) in sys.var_dims.clone().iter().enumerate() {
+    for v in 0..sys.var_dims.len() {
+        let d = sys.var_dims[v];
         sys.factors.push(LinearFactor {
             keys: vec![orianna_graph::VarId(v)],
             blocks: vec![Mat::identity(d).scale(sqrt_l)],
             rhs: Vec64::zeros(d),
         });
     }
-    sys
 }
 
 #[cfg(test)]
@@ -217,6 +234,50 @@ mod tests {
         // The state must have left the obstacle margin.
         let v = g.values().get(x).as_vector();
         assert!((v[0] * v[0] + v[1] * v[1]).sqrt() > 0.7, "{v:?}");
+    }
+
+    #[test]
+    fn min_degree_ordering_matches_gauss_newton() {
+        // Regression: LevenbergMarquardtSettings used to ignore the
+        // ordering choice (always natural). A loopy graph where min-degree
+        // actually reorders must reach the GN optimum.
+        let build = || {
+            let mut g = FactorGraph::new();
+            let ids: Vec<_> = (0..6)
+                .map(|i| g.add_pose2(Pose2::new(0.15, i as f64 * 0.85, -0.1)))
+                .collect();
+            g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
+            for w in ids.windows(2) {
+                g.add_factor(BetweenFactor::pose2(
+                    w[0],
+                    w[1],
+                    Pose2::new(0.0, 1.0, 0.0),
+                    0.1,
+                ));
+            }
+            g.add_factor(BetweenFactor::pose2(
+                ids[1],
+                ids[4],
+                Pose2::new(0.0, 3.0, 0.0),
+                0.3,
+            ));
+            (g, ids)
+        };
+        let (mut g_lm, ids) = build();
+        let (mut g_gn, _) = build();
+        let report = LevenbergMarquardt::new(LevenbergMarquardtSettings {
+            ordering: OrderingChoice::MinDegree,
+            ..Default::default()
+        })
+        .optimize(&mut g_lm)
+        .unwrap();
+        assert!(report.converged);
+        crate::GaussNewton::default().optimize(&mut g_gn).unwrap();
+        for id in ids {
+            let a = g_lm.values().get(id).as_pose2();
+            let b = g_gn.values().get(id).as_pose2();
+            assert!(a.translation_distance(b) < 1e-6);
+        }
     }
 
     #[test]

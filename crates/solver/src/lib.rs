@@ -42,6 +42,7 @@ pub mod elimination;
 pub mod gauss_newton;
 pub mod incremental;
 pub mod levenberg;
+pub mod plan;
 
 pub use elimination::{
     eliminate, eliminate_with, BayesNet, Conditional, EliminationStats, SolveError,
@@ -50,3 +51,4 @@ pub use gauss_newton::{GaussNewton, GaussNewtonReport, GaussNewtonSettings, Orde
 pub use incremental::IncrementalSolver;
 pub use levenberg::{LevenbergMarquardt, LevenbergMarquardtReport, LevenbergMarquardtSettings};
 pub use orianna_math::Parallelism;
+pub use plan::{PlanCache, SolvePlan};

@@ -1,0 +1,751 @@
+//! The symbolic/numeric split: a cached [`SolvePlan`].
+//!
+//! ORIANNA's premise is "analyze the factor-graph structure once, execute
+//! it fast many times" (paper Sec. 5–6): topology is stable across solver
+//! iterations while values change. The software solver exploits the same
+//! insight here. A [`SolvePlan`] is the *symbolic* phase of variable
+//! elimination — everything that depends only on the graph's structure:
+//!
+//! * the resolved elimination order,
+//! * per-step **gather lists** (which live factors each elimination step
+//!   stacks, in the exact order the plan-less path would visit them),
+//! * per-step **separator layouts** (the sorted separator variables and
+//!   therefore the column layout of the stacked matrix),
+//! * the structural `(rows × cols)` dimensions of every dense sub-problem,
+//! * the deterministic **parallel batch schedule** of
+//!   [`eliminate_with`](crate::elimination::eliminate_with) — batches are a
+//!   function of structure, never of the thread count.
+//!
+//! The *numeric* phase ([`SolvePlan::execute`]) runs only the dense
+//! arithmetic: gather, stack, QR, split — no adjacency rebuilds, no batch
+//! formation, no separator scans. Executing a plan is **bitwise
+//! identical** to the plan-less serial path, and the batched execution is
+//! bitwise identical to the plan-less parallel path, because both follow
+//! the same gather order and run the same
+//! [`eliminate_step`](crate::elimination) arithmetic (asserted in
+//! `tests/plan.rs` for every benchmark application).
+//!
+//! ## Validity and invalidation
+//!
+//! A plan is keyed by the graph's [structure
+//! fingerprint](orianna_graph::FactorGraph::structure_fingerprint):
+//! variable dimensions plus each factor's keys and residual dimension.
+//! Changing estimates, measurements, noise, or damping values keeps the
+//! fingerprint (and the plan) valid; adding/removing variables or factors
+//! invalidates it. [`SolvePlan::execute`] cheaply checks the shape of the
+//! system it is handed and returns [`SolveError::PlanMismatch`] on a stale
+//! plan rather than computing garbage.
+//!
+//! ## Determinism guarantee
+//!
+//! Plan construction is a pure function of structure; execution merges
+//! batch results in schedule order. Both are therefore deterministic in
+//! the thread count — the guarantees of `tests/parallel.rs` carry over
+//! unchanged.
+
+use crate::elimination::{
+    eliminate_step, eliminate_step_with_seps, BayesNet, Conditional, EliminationStats, SolveError,
+};
+use orianna_graph::{FactorGraph, LinearFactor, LinearSystem, VarId};
+use orianna_math::par::{run_tasks, Parallelism};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// One symbolic elimination step: everything the numeric executor needs to
+/// gather, stack, and split the dense sub-problem of one variable.
+#[derive(Debug, Clone)]
+struct PlanStep {
+    /// The frontal variable this step eliminates.
+    var: VarId,
+    /// Work-list slots to gather, in plan-less gather order.
+    gather: Vec<usize>,
+    /// Sorted separator variables — the symbolic column layout.
+    seps: Vec<VarId>,
+    /// Structural stacked row count (an upper bound: separator factors may
+    /// shed numerically-zero rows at run time).
+    rows: usize,
+    /// Frontal + separator columns (excluding the RHS).
+    cols: usize,
+    /// Reserved slot for this step's separator factor, when one is
+    /// structurally possible.
+    new_slot: Option<usize>,
+}
+
+/// A symbolic elimination schedule: steps plus the slot-count of its
+/// work-list. The serial and batched schedules number their separator
+/// slots independently (they eliminate in different effective orders).
+#[derive(Debug, Clone)]
+struct Schedule {
+    steps: Vec<PlanStep>,
+    /// `steps[batches[i-1]..batches[i]]` form one concurrency batch whose
+    /// gather sets are pairwise disjoint. Serial schedule: one batch.
+    batches: Vec<usize>,
+    num_slots: usize,
+}
+
+/// Symbolic work-list used while building a schedule.
+struct SymbolicWorklist {
+    /// Keys of each slot (base factors, then reserved separator slots).
+    keys: Vec<Vec<VarId>>,
+    /// Structural row count of each slot.
+    rows: Vec<usize>,
+    /// Live = not yet consumed by an earlier step.
+    live: Vec<bool>,
+    /// Per-variable adjacency over slots, in slot-creation order.
+    adj: Vec<Vec<usize>>,
+}
+
+impl SymbolicWorklist {
+    fn new(var_dims: &[usize], factor_keys: &[Vec<VarId>], factor_rows: &[usize]) -> Self {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); var_dims.len()];
+        for (fi, keys) in factor_keys.iter().enumerate() {
+            for k in keys {
+                adj[k.0].push(fi);
+            }
+        }
+        Self {
+            keys: factor_keys.to_vec(),
+            rows: factor_rows.to_vec(),
+            live: vec![true; factor_keys.len()],
+            adj,
+        }
+    }
+
+    fn live_slots(&self, v: VarId) -> Vec<usize> {
+        self.adj[v.0]
+            .iter()
+            .copied()
+            .filter(|&s| self.live[s])
+            .collect()
+    }
+
+    /// Consumes `gather`, derives the step's layout, and reserves a slot
+    /// for the separator factor when one is structurally possible.
+    fn make_step(
+        &mut self,
+        v: VarId,
+        gather: Vec<usize>,
+        var_dims: &[usize],
+    ) -> Result<PlanStep, SolveError> {
+        // Separators: first-seen over gathered keys, then sorted — the
+        // exact layout `eliminate_step` derives numerically.
+        let mut seps: Vec<VarId> = Vec::new();
+        let mut rows = 0usize;
+        for &s in &gather {
+            self.live[s] = false;
+            rows += self.rows[s];
+            for k in &self.keys[s] {
+                if *k != v && !seps.contains(k) {
+                    seps.push(*k);
+                }
+            }
+        }
+        seps.sort();
+        let dv = var_dims[v.0];
+        let sep_cols: usize = seps.iter().map(|s| var_dims[s.0]).sum();
+        let cols = dv + sep_cols;
+        if rows < dv {
+            // Structurally rank-deficient: the numeric path would fail the
+            // same way, so surface it at plan time.
+            return Err(SolveError::SingularVariable(v));
+        }
+        // A separator factor can exist only when there are separators and
+        // the triangularized remainder keeps at least one row. `rows` is
+        // an upper bound, so reservation errs on the side of keeping a
+        // slot; the executor stores `None` when the numeric factor sheds
+        // every row.
+        let new_slot = if !seps.is_empty() && rows.min(cols + 1) > dv {
+            let slot = self.keys.len();
+            for k in &seps {
+                self.adj[k.0].push(slot);
+            }
+            self.keys.push(seps.clone());
+            self.rows.push(rows.min(cols + 1) - dv);
+            self.live.push(true);
+            Some(slot)
+        } else {
+            None
+        };
+        Ok(PlanStep {
+            var: v,
+            gather,
+            seps,
+            rows,
+            cols,
+            new_slot,
+        })
+    }
+
+    fn num_slots(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Builds the serial schedule: steps strictly in `order`.
+fn build_serial(
+    var_dims: &[usize],
+    factor_keys: &[Vec<VarId>],
+    factor_rows: &[usize],
+    order: &[VarId],
+) -> Result<Schedule, SolveError> {
+    let mut wl = SymbolicWorklist::new(var_dims, factor_keys, factor_rows);
+    let mut steps = Vec::with_capacity(order.len());
+    for &v in order {
+        let gather = wl.live_slots(v);
+        if gather.is_empty() {
+            return Err(SolveError::UnconstrainedVariable(v));
+        }
+        steps.push(wl.make_step(v, gather, var_dims)?);
+    }
+    let batches = (1..=steps.len()).collect();
+    Ok(Schedule {
+        steps,
+        batches,
+        num_slots: wl.num_slots(),
+    })
+}
+
+/// Builds the batched schedule, replicating the deterministic greedy batch
+/// formation of the plan-less parallel eliminator: scan the remaining
+/// ordering, admit the head unconditionally, admit a later variable when
+/// its live slot set is non-empty and disjoint from the batch's.
+fn build_batched(
+    var_dims: &[usize],
+    factor_keys: &[Vec<VarId>],
+    factor_rows: &[usize],
+    order: &[VarId],
+) -> Result<Schedule, SolveError> {
+    let mut wl = SymbolicWorklist::new(var_dims, factor_keys, factor_rows);
+    let mut pending: Vec<VarId> = order.to_vec();
+    let mut steps = Vec::with_capacity(order.len());
+    let mut batches = Vec::new();
+    while !pending.is_empty() {
+        let mut batch: Vec<(usize, VarId, Vec<usize>)> = Vec::new();
+        let mut batch_slots: HashSet<usize> = HashSet::new();
+        for (pi, &v) in pending.iter().enumerate() {
+            let slots = wl.live_slots(v);
+            if batch.is_empty() {
+                if slots.is_empty() {
+                    return Err(SolveError::UnconstrainedVariable(v));
+                }
+            } else if slots.is_empty() || slots.iter().any(|s| batch_slots.contains(s)) {
+                continue;
+            }
+            batch_slots.extend(slots.iter().copied());
+            batch.push((pi, v, slots));
+        }
+        // Consume and reserve strictly in batch order, matching the merge
+        // order of the plan-less path.
+        for (_, v, slots) in &batch {
+            steps.push(wl.make_step(*v, slots.clone(), var_dims)?);
+        }
+        batches.push(steps.len());
+        for &(pi, _, _) in batch.iter().rev() {
+            pending.remove(pi);
+        }
+    }
+    Ok(Schedule {
+        steps,
+        batches,
+        num_slots: wl.num_slots(),
+    })
+}
+
+/// The cached symbolic artifact of variable elimination (module docs).
+///
+/// Build one per topology with [`SolvePlan::for_graph`] or
+/// [`SolvePlan::for_system`]; execute it every iteration with
+/// [`SolvePlan::execute`].
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    fingerprint: u64,
+    order: Vec<VarId>,
+    var_dims: Arc<Vec<usize>>,
+    num_base_factors: usize,
+    serial: Schedule,
+    batched: Schedule,
+}
+
+impl SolvePlan {
+    /// Builds a plan from a graph's structure (no linearization needed:
+    /// only keys, residual dimensions, and variable dimensions are read).
+    ///
+    /// `order` is the elimination sequence — a permutation of all
+    /// variables for batch solving, or a subset for partial elimination
+    /// (e.g. the incremental solver's active window).
+    ///
+    /// # Errors
+    /// [`SolveError::UnconstrainedVariable`] /
+    /// [`SolveError::SingularVariable`] when the structure alone shows a
+    /// variable cannot be eliminated.
+    pub fn for_graph(graph: &FactorGraph, order: &[VarId]) -> Result<Self, SolveError> {
+        let var_dims: Vec<usize> = graph.values().iter().map(|(_, v)| v.dim()).collect();
+        let keys: Vec<Vec<VarId>> = graph.factors().iter().map(|f| f.keys().to_vec()).collect();
+        let rows: Vec<usize> = graph.factors().iter().map(|f| f.dim()).collect();
+        Self::build(graph.structure_fingerprint(), var_dims, &keys, &rows, order)
+    }
+
+    /// Builds a plan from an already-linearized system's structure.
+    ///
+    /// # Errors
+    /// Same as [`SolvePlan::for_graph`].
+    pub fn for_system(sys: &LinearSystem, order: &[VarId]) -> Result<Self, SolveError> {
+        let keys: Vec<Vec<VarId>> = sys.factors.iter().map(|f| f.keys.clone()).collect();
+        let rows: Vec<usize> = sys.factors.iter().map(LinearFactor::rows).collect();
+        Self::build(
+            sys.structure_fingerprint(),
+            sys.var_dims.clone(),
+            &keys,
+            &rows,
+            order,
+        )
+    }
+
+    fn build(
+        fingerprint: u64,
+        var_dims: Vec<usize>,
+        factor_keys: &[Vec<VarId>],
+        factor_rows: &[usize],
+        order: &[VarId],
+    ) -> Result<Self, SolveError> {
+        for v in order {
+            if v.0 >= var_dims.len() {
+                return Err(SolveError::UnknownVariable(*v));
+            }
+        }
+        let serial = build_serial(&var_dims, factor_keys, factor_rows, order)?;
+        let batched = build_batched(&var_dims, factor_keys, factor_rows, order)?;
+        Ok(Self {
+            fingerprint,
+            order: order.to_vec(),
+            var_dims: Arc::new(var_dims),
+            num_base_factors: factor_keys.len(),
+            serial,
+            batched,
+        })
+    }
+
+    /// The structure fingerprint this plan was built for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The elimination sequence.
+    pub fn order(&self) -> &[VarId] {
+        &self.order
+    }
+
+    /// Tangent dimension per variable id.
+    pub fn var_dims(&self) -> &[usize] {
+        &self.var_dims
+    }
+
+    /// Structural `(rows, cols)` of every elimination sub-problem, in
+    /// serial order — the plan-time preview of the Fig. 17 samples.
+    pub fn step_shapes(&self) -> Vec<(usize, usize)> {
+        self.serial.steps.iter().map(|s| (s.rows, s.cols)).collect()
+    }
+
+    /// Cheap shape check: does `sys` have the layout this plan was built
+    /// for? (Full fingerprint equality is asserted in debug builds.)
+    pub fn matches(&self, sys: &LinearSystem) -> bool {
+        sys.factors.len() == self.num_base_factors && sys.var_dims == *self.var_dims
+    }
+
+    /// Numeric phase: eliminates `sys` along the precomputed schedule.
+    ///
+    /// Serial parallelism (or a single-variable order) follows the serial
+    /// schedule and is bitwise identical to
+    /// [`eliminate`](crate::elimination::eliminate); otherwise the batched
+    /// schedule runs with `par.threads` workers and is bitwise identical
+    /// to [`eliminate_with`](crate::elimination::eliminate_with) for every
+    /// thread count.
+    ///
+    /// # Errors
+    /// [`SolveError::PlanMismatch`] when `sys`'s shape differs from the
+    /// planned structure; otherwise the usual elimination errors.
+    pub fn execute(
+        &self,
+        sys: &LinearSystem,
+        par: &Parallelism,
+    ) -> Result<(BayesNet, EliminationStats), SolveError> {
+        if !self.matches(sys) {
+            return Err(SolveError::PlanMismatch);
+        }
+        debug_assert_eq!(
+            sys.structure_fingerprint(),
+            self.fingerprint,
+            "plan/system structure fingerprints diverge"
+        );
+        let conditionals = if par.is_parallel() && self.order.len() > 1 {
+            self.run_batched(sys, par)?
+        } else {
+            self.run_serial(sys)?
+        };
+        let (conditionals, steps) = conditionals;
+        Ok((
+            BayesNet {
+                conditionals,
+                var_dims: (*self.var_dims).clone(),
+            },
+            EliminationStats { steps },
+        ))
+    }
+
+    /// Serial numeric sweep over the serial schedule.
+    #[allow(clippy::type_complexity)]
+    fn run_serial(
+        &self,
+        sys: &LinearSystem,
+    ) -> Result<(Vec<Conditional>, Vec<crate::elimination::EliminationStep>), SolveError> {
+        let mut work = base_worklist(sys, self.serial.num_slots);
+        let mut conditionals = Vec::with_capacity(self.serial.steps.len());
+        let mut stats = Vec::with_capacity(self.serial.steps.len());
+        for step in &self.serial.steps {
+            let gathered = gather_live(&mut work, &step.gather);
+            if gathered.is_empty() {
+                return Err(SolveError::UnconstrainedVariable(step.var));
+            }
+            let (cond, new_factor, st) = if gathered.len() == step.gather.len() {
+                // Every planned slot is numerically present: the symbolic
+                // separator layout is exact, skip re-deriving it.
+                eliminate_step_with_seps(step.var, &gathered, &self.var_dims, step.seps.clone())?
+            } else {
+                // A separator factor shed all its rows upstream; fall back
+                // to deriving the layout from what was actually gathered —
+                // exactly what the plan-less path stacks.
+                eliminate_step(step.var, &gathered, &self.var_dims)?
+            };
+            conditionals.push(cond);
+            stats.push(st);
+            store_new_factor(&mut work, step, new_factor);
+        }
+        Ok((conditionals, stats))
+    }
+
+    /// Batched numeric sweep: each batch's steps own disjoint slots, so
+    /// their dense sub-problems run concurrently; results merge in
+    /// schedule order (thread-count independent).
+    #[allow(clippy::type_complexity)]
+    fn run_batched(
+        &self,
+        sys: &LinearSystem,
+        par: &Parallelism,
+    ) -> Result<(Vec<Conditional>, Vec<crate::elimination::EliminationStep>), SolveError> {
+        type StepResult = Result<
+            (
+                Conditional,
+                Option<LinearFactor>,
+                crate::elimination::EliminationStep,
+            ),
+            SolveError,
+        >;
+        let mut work = base_worklist(sys, self.batched.num_slots);
+        let mut conditionals = Vec::with_capacity(self.batched.steps.len());
+        let mut stats = Vec::with_capacity(self.batched.steps.len());
+        let mut start = 0;
+        for &end in &self.batched.batches {
+            let batch = &self.batched.steps[start..end];
+            start = end;
+            let tasks: Vec<Box<dyn FnOnce() -> StepResult + Send>> = batch
+                .iter()
+                .map(|step| {
+                    let gathered = gather_live(&mut work, &step.gather);
+                    let exact = gathered.len() == step.gather.len();
+                    let v = step.var;
+                    let seps = step.seps.clone();
+                    let var_dims = Arc::clone(&self.var_dims);
+                    Box::new(move || {
+                        if gathered.is_empty() {
+                            return Err(SolveError::UnconstrainedVariable(v));
+                        }
+                        if exact {
+                            eliminate_step_with_seps(v, &gathered, &var_dims, seps)
+                        } else {
+                            eliminate_step(v, &gathered, &var_dims)
+                        }
+                    }) as _
+                })
+                .collect();
+            let results = run_tasks(par.threads, tasks);
+            for (step, result) in batch.iter().zip(results) {
+                let (cond, new_factor, st) = result?;
+                conditionals.push(cond);
+                stats.push(st);
+                store_new_factor(&mut work, step, new_factor);
+            }
+        }
+        Ok((conditionals, stats))
+    }
+}
+
+/// Numeric work-list: base factors in their planned slots, reserved
+/// separator slots empty until their producing step fills them.
+fn base_worklist(sys: &LinearSystem, num_slots: usize) -> Vec<Option<Arc<LinearFactor>>> {
+    let mut work: Vec<Option<Arc<LinearFactor>>> = Vec::with_capacity(num_slots);
+    work.extend(sys.factors.iter().map(|f| Some(Arc::new(f.clone()))));
+    work.resize(num_slots, None);
+    work
+}
+
+/// Takes the numerically-present factors of a gather list, preserving
+/// plan order. Slots whose separator factor shed every row hold `None`
+/// and are skipped — exactly as the plan-less path never created them.
+fn gather_live(work: &mut [Option<Arc<LinearFactor>>], gather: &[usize]) -> Vec<Arc<LinearFactor>> {
+    gather.iter().filter_map(|&s| work[s].take()).collect()
+}
+
+fn store_new_factor(
+    work: &mut [Option<Arc<LinearFactor>>],
+    step: &PlanStep,
+    new_factor: Option<LinearFactor>,
+) {
+    match (step.new_slot, new_factor) {
+        (Some(slot), nf) => work[slot] = nf.map(Arc::new),
+        (None, nf) => debug_assert!(
+            nf.is_none(),
+            "step produced a separator factor without a reserved slot"
+        ),
+    }
+}
+
+/// A fingerprint-keyed store of shared [`SolvePlan`]s.
+///
+/// Repeated-solve harnesses (the mission evaluation runs 30 randomized
+/// trials per application — same topology, different noise) build the plan
+/// on the first solve and reuse it for every later one. Keys are
+/// `(structure fingerprint, ordering tag)`, so graphs whose topology
+/// changes simply miss and build fresh plans.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    plans: HashMap<(u64, u8), Arc<SolvePlan>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached plan for `(fingerprint, tag)` or builds, stores,
+    /// and returns a new one. `tag` disambiguates plans over the same
+    /// structure with different orderings (e.g. natural vs. min-degree).
+    ///
+    /// # Errors
+    /// Propagates plan-construction errors; nothing is cached on failure.
+    pub fn get_or_build(
+        &mut self,
+        fingerprint: u64,
+        tag: u8,
+        build: impl FnOnce() -> Result<SolvePlan, SolveError>,
+    ) -> Result<Arc<SolvePlan>, SolveError> {
+        if let Some(plan) = self.plans.get(&(fingerprint, tag)) {
+            self.hits += 1;
+            return Ok(Arc::clone(plan));
+        }
+        self.misses += 1;
+        let plan = Arc::new(build()?);
+        debug_assert_eq!(plan.fingerprint(), fingerprint);
+        self.plans.insert((fingerprint, tag), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Plans served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Plans built fresh.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Plans currently stored.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plan is stored.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{eliminate, eliminate_with};
+    use orianna_graph::{natural_ordering, BetweenFactor, FactorGraph, GpsFactor, PriorFactor};
+    use orianna_lie::Pose2;
+
+    fn looped_chain(n: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_pose2(Pose2::new(0.05 * i as f64, i as f64, 0.1)))
+            .collect();
+        g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
+        for w in ids.windows(2) {
+            g.add_factor(BetweenFactor::pose2(
+                w[0],
+                w[1],
+                Pose2::new(0.0, 1.0, 0.0),
+                0.2,
+            ));
+        }
+        if n > 3 {
+            g.add_factor(BetweenFactor::pose2(
+                ids[0],
+                ids[n - 1],
+                Pose2::new(0.1, (n - 1) as f64, 0.1),
+                0.4,
+            ));
+        }
+        g.add_factor(GpsFactor::new(ids[n / 2], &[0.0, (n / 2) as f64], 0.3));
+        g
+    }
+
+    #[test]
+    fn planned_serial_is_bitwise_identical_to_eliminate() {
+        let g = looped_chain(8);
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let sys = g.linearize();
+        let (bn_ref, st_ref) = eliminate(&sys, &ordering).unwrap();
+        let (bn, st) = plan.execute(&sys, &Parallelism::serial()).unwrap();
+        assert_eq!(bn.conditionals.len(), bn_ref.conditionals.len());
+        for (a, b) in bn.conditionals.iter().zip(&bn_ref.conditionals) {
+            assert_eq!(a.var, b.var);
+            assert_eq!(a.r.as_slice(), b.r.as_slice());
+            assert_eq!(a.rhs.as_slice(), b.rhs.as_slice());
+            assert_eq!(a.parents.len(), b.parents.len());
+            for ((pa, sa), (pb, sb)) in a.parents.iter().zip(&b.parents) {
+                assert_eq!(pa, pb);
+                assert_eq!(sa.as_slice(), sb.as_slice());
+            }
+        }
+        assert_eq!(st.steps, st_ref.steps);
+        assert_eq!(
+            bn.back_substitute().unwrap().as_slice(),
+            bn_ref.back_substitute().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn planned_batched_is_bitwise_identical_to_eliminate_with() {
+        let g = looped_chain(10);
+        let ordering = natural_ordering(&g);
+        let sys = g.linearize();
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).unwrap();
+        let par = Parallelism::with_threads(4);
+        let (bn_ref, st_ref) = eliminate_with(&sys, &ordering, &par).unwrap();
+        let (bn, st) = plan.execute(&sys, &par).unwrap();
+        assert_eq!(st.steps, st_ref.steps);
+        assert_eq!(
+            bn.back_substitute().unwrap().as_slice(),
+            bn_ref.back_substitute().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn plan_survives_relinearization() {
+        // Same topology, new linearization point: the plan still matches
+        // and produces the fresh serial result bitwise.
+        let mut g = looped_chain(6);
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        for _ in 0..3 {
+            let sys = g.linearize();
+            let planned = plan
+                .execute(&sys, &Parallelism::serial())
+                .unwrap()
+                .0
+                .back_substitute()
+                .unwrap();
+            let fresh = eliminate(&sys, &ordering)
+                .unwrap()
+                .0
+                .back_substitute()
+                .unwrap();
+            assert_eq!(planned.as_slice(), fresh.as_slice());
+            g.retract_all(&planned);
+        }
+    }
+
+    #[test]
+    fn stale_plan_is_rejected() {
+        let g = looped_chain(5);
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let mut bigger = g.clone();
+        let ids: Vec<_> = (0..5).map(orianna_graph::VarId).collect();
+        bigger.add_factor(GpsFactor::new(ids[1], &[0.0, 1.0], 0.5));
+        let err = plan
+            .execute(&bigger.linearize(), &Parallelism::serial())
+            .unwrap_err();
+        assert_eq!(err, SolveError::PlanMismatch);
+    }
+
+    #[test]
+    fn unconstrained_variable_detected_at_plan_time() {
+        let mut g = FactorGraph::new();
+        let a = g.add_pose2(Pose2::identity());
+        let _b = g.add_pose2(Pose2::identity());
+        g.add_factor(PriorFactor::pose2(a, Pose2::identity(), 0.1));
+        let err = SolvePlan::for_graph(&g, natural_ordering(&g).as_slice()).unwrap_err();
+        assert!(matches!(err, SolveError::UnconstrainedVariable(v) if v.0 == 1));
+    }
+
+    #[test]
+    fn subset_order_supports_partial_elimination() {
+        // Eliminating a prefix of the variables produces exactly the
+        // conditionals of those variables.
+        let g = looped_chain(6);
+        let sys = g.linearize();
+        let order: Vec<VarId> = (0..3).map(VarId).collect();
+        let plan = SolvePlan::for_system(&sys, &order).unwrap();
+        let (bn, stats) = plan.execute(&sys, &Parallelism::serial()).unwrap();
+        assert_eq!(bn.conditionals.len(), 3);
+        assert_eq!(stats.steps.len(), 3);
+        for (c, v) in bn.conditionals.iter().zip(&order) {
+            assert_eq!(c.var, *v);
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_same_topology() {
+        let g1 = looped_chain(6);
+        // Same topology, different estimates (values don't change the
+        // fingerprint).
+        let mut g2 = looped_chain(6);
+        g2.retract_all(&orianna_math::Vec64::from_slice(&[0.01; 18]));
+        assert_eq!(g1.structure_fingerprint(), g2.structure_fingerprint());
+        let mut cache = PlanCache::new();
+        for g in [&g1, &g2] {
+            let ordering = natural_ordering(g);
+            cache
+                .get_or_build(g.structure_fingerprint(), 0, || {
+                    SolvePlan::for_graph(g, ordering.as_slice())
+                })
+                .unwrap();
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn step_shapes_match_recorded_stats() {
+        let g = looped_chain(7);
+        let ordering = natural_ordering(&g);
+        let sys = g.linearize();
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).unwrap();
+        let (_, stats) = eliminate(&sys, &ordering).unwrap();
+        for (planned, actual) in plan.step_shapes().iter().zip(&stats.steps) {
+            assert_eq!(planned.1, actual.cols, "cols are exact");
+            assert!(planned.0 >= actual.rows, "rows are an upper bound");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! dense least squares, and compiler ≡ analytic-solver equivalence on
 //! randomized factor graphs.
 
+use orianna::apps::all_apps;
 use orianna::compiler::{compile, execute};
 use orianna::graph::{
     natural_ordering, BetweenFactor, FactorGraph, GpsFactor, PriorFactor, SmoothFactor,
@@ -10,11 +11,28 @@ use orianna::graph::{
 };
 use orianna::lie::{Pose2, Pose3, Rot3, SE3};
 use orianna::math::{householder_qr, least_squares, Mat, Parallelism, Vec64};
-use orianna::solver::{eliminate, eliminate_with};
+use orianna::solver::{eliminate, eliminate_with, BayesNet, SolvePlan};
 use proptest::prelude::*;
 
 fn small() -> impl Strategy<Value = f64> {
     -1.5f64..1.5
+}
+
+/// Exact (bitwise) equality of two elimination results — the guarantee
+/// the symbolic/numeric split makes: executing a cached [`SolvePlan`]
+/// produces the *identical* floats as a fresh plan-less elimination.
+fn bitwise_eq(a: &BayesNet, b: &BayesNet) -> bool {
+    a.conditionals.len() == b.conditionals.len()
+        && a.conditionals.iter().zip(&b.conditionals).all(|(x, y)| {
+            x.var == y.var
+                && x.r.as_slice() == y.r.as_slice()
+                && x.rhs.as_slice() == y.rhs.as_slice()
+                && x.parents.len() == y.parents.len()
+                && x.parents
+                    .iter()
+                    .zip(&y.parents)
+                    .all(|((pv, pm), (qv, qm))| pv == qv && pm.as_slice() == qm.as_slice())
+        })
 }
 
 proptest! {
@@ -142,6 +160,61 @@ proptest! {
     }
 
     #[test]
+    fn plan_built_once_matches_fresh_solves_across_relinearizations(
+        headings in prop::collection::vec(-0.4f64..0.4, 8),
+        offsets in prop::collection::vec(-0.5f64..0.5, 16),
+        closure_from in 0usize..3,
+        closure_len in 2usize..5,
+    ) {
+        // The symbolic/numeric split contract: a SolvePlan built at the
+        // initial linearization point, executed at k later linearization
+        // points, is bitwise identical to k fresh plan-less solves —
+        // relinearization changes values, never structure.
+        let mut g = FactorGraph::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| {
+                g.add_pose2(Pose2::new(
+                    headings[i],
+                    i as f64 + offsets[2 * i],
+                    offsets[2 * i + 1],
+                ))
+            })
+            .collect();
+        g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.1));
+        for w in ids.windows(2) {
+            g.add_factor(BetweenFactor::pose2(w[0], w[1], Pose2::new(0.0, 1.0, 0.0), 0.2));
+        }
+        let to = (closure_from + closure_len).min(7);
+        g.add_factor(BetweenFactor::pose2(
+            ids[closure_from],
+            ids[to],
+            Pose2::new(0.0, (to - closure_from) as f64, 0.0),
+            0.4,
+        ));
+        for i in (0..8).step_by(3) {
+            g.add_factor(GpsFactor::new(ids[i], &[0.0, i as f64], 0.3));
+        }
+
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let par = Parallelism::with_threads(4);
+        for round in 0..3 {
+            let sys = g.linearize();
+            let (fresh, fresh_stats) = eliminate(&sys, &ordering).unwrap();
+            let (planned, stats) = plan.execute(&sys, &Parallelism::serial()).unwrap();
+            prop_assert!(bitwise_eq(&planned, &fresh), "serial round {round}");
+            prop_assert_eq!(stats.steps, fresh_stats.steps);
+            // The batched schedule of the same cached plan must also match
+            // a fresh parallel elimination bitwise.
+            let (planned_par, _) = plan.execute(&sys, &par).unwrap();
+            let (fresh_par, _) = eliminate_with(&sys, &ordering, &par).unwrap();
+            prop_assert!(bitwise_eq(&planned_par, &fresh_par), "batched round {round}");
+            // Relinearize at the Gauss-Newton step for the next round.
+            g.retract_all(&fresh.back_substitute().unwrap());
+        }
+    }
+
+    #[test]
     fn compiler_matches_solver_on_random_pose_graphs(
         headings in prop::collection::vec(-0.5f64..0.5, 3),
         positions in prop::collection::vec(-1.0f64..1.0, 6),
@@ -197,5 +270,32 @@ proptest! {
         let prog = compile(&g, &ordering).unwrap();
         let result = execute(&prog, g.values()).unwrap();
         prop_assert!((&result.delta - &reference).norm() < 1e-8);
+    }
+}
+
+proptest! {
+    // Each case eliminates every algorithm of every benchmark app twice
+    // per round — a handful of randomized seeds is plenty.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn plan_reuse_matches_planless_on_benchmark_apps(seed in 1u64..100_000) {
+        for app in all_apps(seed) {
+            for algo in &app.algorithms {
+                let mut g = algo.graph.clone();
+                let ordering = natural_ordering(&g);
+                let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+                for round in 0..2 {
+                    let sys = g.linearize();
+                    let (fresh, _) = eliminate(&sys, &ordering).unwrap();
+                    let (planned, _) = plan.execute(&sys, &Parallelism::serial()).unwrap();
+                    prop_assert!(
+                        bitwise_eq(&planned, &fresh),
+                        "{}/{} round {round}", app.name, algo.name
+                    );
+                    g.retract_all(&fresh.back_substitute().unwrap());
+                }
+            }
+        }
     }
 }
