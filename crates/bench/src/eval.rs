@@ -114,7 +114,10 @@ pub fn repeat_program(prog: &Program, times: u64) -> Program {
             if let Op::Bsub { var, .. } = &instr.op {
                 bsub_of.insert(*var, dst);
             }
-            out.push(Instruction {
+            // Unchecked: the source stream is already validated, and the
+            // cross-iteration chaining deliberately appends a scheduling
+            // edge to `Input` beyond its ISA arity.
+            out.push_unchecked(Instruction {
                 id: 0,
                 op,
                 dst,

@@ -17,7 +17,7 @@
 
 use crate::lower::{lower_factor, LowerError};
 use crate::modfg::{ModFg, NodeId, NodeOp, ShapeError, ValKind};
-use crate::program::{GatherFactor, Instruction, Op, Phase, Program, Reg, VarComp};
+use crate::program::{GatherFactor, Instruction, Op, Phase, Program, ProgramError, Reg, VarComp};
 use orianna_graph::{FactorGraph, Ordering, VarId, Variable};
 use orianna_math::Mat;
 use std::collections::HashMap;
@@ -38,6 +38,19 @@ pub enum CompileError {
     Unconstrained(VarId),
     /// An expression pattern has no backward rule.
     Unsupported(String),
+    /// A factor addressed a component a variable does not have (e.g. the
+    /// orientation of a vector variable).
+    InvalidComponent {
+        /// The offending variable.
+        var: VarId,
+        /// What was requested of it.
+        what: &'static str,
+    },
+    /// A MO-DFG node was referenced before its value register existed —
+    /// an internal consistency violation surfaced as an error.
+    UnevaluatedNode(usize),
+    /// The emitted instruction stream failed [`Program::validate`].
+    Program(ProgramError),
 }
 
 impl std::fmt::Display for CompileError {
@@ -49,6 +62,13 @@ impl std::fmt::Display for CompileError {
             CompileError::Shape(e) => write!(f, "{e}"),
             CompileError::Unconstrained(v) => write!(f, "variable {v} unconstrained"),
             CompileError::Unsupported(s) => write!(f, "unsupported pattern: {s}"),
+            CompileError::InvalidComponent { var, what } => {
+                write!(f, "variable {var} has no {what} component")
+            }
+            CompileError::UnevaluatedNode(n) => {
+                write!(f, "MO-DFG node {n} used before evaluation")
+            }
+            CompileError::Program(e) => write!(f, "malformed instruction stream: {e}"),
         }
     }
 }
@@ -59,6 +79,20 @@ impl From<ShapeError> for CompileError {
     fn from(e: ShapeError) -> Self {
         CompileError::Shape(e)
     }
+}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::Program(e)
+    }
+}
+
+/// Value register of an already-evaluated MO-DFG node.
+fn reg_of(val: &[Option<Reg>], id: NodeId) -> Result<Reg, CompileError> {
+    val.get(id.0)
+        .copied()
+        .flatten()
+        .ok_or(CompileError::UnevaluatedNode(id.0))
 }
 
 /// Compiles a factor graph into an ORIANNA instruction stream: linear
@@ -87,6 +121,9 @@ pub fn compile(graph: &FactorGraph, ordering: &Ordering) -> Result<Program, Comp
         cg.emit_factor(fi, &dfg, factor.keys(), factor.sigma())?;
     }
     cg.emit_elimination(ordering)?;
+    // The generator emits correct-by-construction streams through the
+    // unchecked path; prove it before handing the program out.
+    cg.prog.validate()?;
     Ok(cg.prog)
 }
 
@@ -152,7 +189,7 @@ impl<'g> Codegen<'g> {
         dims: (usize, usize),
     ) -> Reg {
         let dst = self.prog.fresh_reg();
-        self.prog.push(Instruction {
+        self.prog.push_unchecked(Instruction {
             id: 0,
             op,
             dst,
@@ -183,14 +220,19 @@ impl<'g> Codegen<'g> {
         r
     }
 
-    fn input_reg(&mut self, var: VarId, comp: VarComp, factor: Option<usize>) -> Reg {
+    fn input_reg(
+        &mut self,
+        var: VarId,
+        comp: VarComp,
+        factor: Option<usize>,
+    ) -> Result<Reg, CompileError> {
         let tag = match comp {
             VarComp::Phi => 0u8,
             VarComp::Trans => 1,
             VarComp::Full => 2,
         };
         if let Some(&r) = self.input_cache.get(&(var, tag)) {
-            return r;
+            return Ok(r);
         }
         let dims = match (self.graph.values().get(var), comp) {
             (Variable::Pose2(_), VarComp::Phi) => (1, 1),
@@ -198,7 +240,18 @@ impl<'g> Codegen<'g> {
             (Variable::Pose3(_), VarComp::Phi) => (3, 1),
             (Variable::Pose3(_), VarComp::Trans) => (3, 1),
             (v, VarComp::Full) => (v.dim(), 1),
-            (v, c) => panic!("invalid component {c:?} for {v:?}"),
+            (_, VarComp::Phi) => {
+                return Err(CompileError::InvalidComponent {
+                    var,
+                    what: "orientation",
+                })
+            }
+            (_, VarComp::Trans) => {
+                return Err(CompileError::InvalidComponent {
+                    var,
+                    what: "translation",
+                })
+            }
         };
         let r = self.instr(
             Op::Input { var, comp },
@@ -209,23 +262,28 @@ impl<'g> Codegen<'g> {
             dims,
         );
         self.input_cache.insert((var, tag), r);
-        r
+        Ok(r)
     }
 
     /// Rotation matrix of a pose variable, shared across factors.
-    fn rot_reg(&mut self, var: VarId, factor: Option<usize>) -> Reg {
+    fn rot_reg(&mut self, var: VarId, factor: Option<usize>) -> Result<Reg, CompileError> {
         if let Some(&r) = self.rot_cache.get(&var) {
-            return r;
+            return Ok(r);
         }
         let n = match self.graph.values().get(var) {
             Variable::Pose2(_) => 2,
             Variable::Pose3(_) => 3,
-            v => panic!("rotation of non-pose variable {v:?}"),
+            _ => {
+                return Err(CompileError::InvalidComponent {
+                    var,
+                    what: "rotation",
+                })
+            }
         };
-        let phi = self.input_reg(var, VarComp::Phi, factor);
+        let phi = self.input_reg(var, VarComp::Phi, factor)?;
         let r = self.instr(Op::Exp, vec![phi], 1, factor, Phase::Construct, (n, n));
         self.rot_cache.insert(var, r);
-        r
+        Ok(r)
     }
 
     fn emit_factor(
@@ -240,17 +298,17 @@ impl<'g> Codegen<'g> {
         for (ni, node) in dfg.nodes().iter().enumerate() {
             let dims = node.kind.shape();
             let reg = match &node.op {
-                NodeOp::InputPhi(v) => self.input_reg(*v, VarComp::Phi, Some(fi)),
-                NodeOp::InputTrans(v) => self.input_reg(*v, VarComp::Trans, Some(fi)),
-                NodeOp::InputVec(v) => self.input_reg(*v, VarComp::Full, Some(fi)),
+                NodeOp::InputPhi(v) => self.input_reg(*v, VarComp::Phi, Some(fi))?,
+                NodeOp::InputTrans(v) => self.input_reg(*v, VarComp::Trans, Some(fi))?,
+                NodeOp::InputVec(v) => self.input_reg(*v, VarComp::Full, Some(fi))?,
                 NodeOp::Const(m) => self.const_reg(m.clone(), Some(fi)),
                 NodeOp::Exp => {
                     // Exp of a pose orientation is shared across factors.
                     let arg = dfg.node(node.args[0]);
                     if let NodeOp::InputPhi(v) = arg.op {
-                        self.rot_reg(v, Some(fi))
+                        self.rot_reg(v, Some(fi))?
                     } else {
-                        let a = val[node.args[0].0].unwrap();
+                        let a = reg_of(&val, node.args[0])?;
                         self.instr(
                             Op::Exp,
                             vec![a],
@@ -262,7 +320,7 @@ impl<'g> Codegen<'g> {
                     }
                 }
                 NodeOp::Log => {
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Log,
                         vec![a],
@@ -273,7 +331,7 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Rt => {
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Rt,
                         vec![a],
@@ -284,8 +342,8 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Rr => {
-                    let a = val[node.args[0].0].unwrap();
-                    let b = val[node.args[1].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
+                    let b = reg_of(&val, node.args[1])?;
                     self.instr(
                         Op::Rr,
                         vec![a, b],
@@ -296,8 +354,8 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Rv => {
-                    let a = val[node.args[0].0].unwrap();
-                    let b = val[node.args[1].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
+                    let b = reg_of(&val, node.args[1])?;
                     self.instr(
                         Op::Rv,
                         vec![a, b],
@@ -308,8 +366,8 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Add => {
-                    let a = val[node.args[0].0].unwrap();
-                    let b = val[node.args[1].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
+                    let b = reg_of(&val, node.args[1])?;
                     self.instr(
                         Op::Vp { sub: false },
                         vec![a, b],
@@ -320,8 +378,8 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Sub => {
-                    let a = val[node.args[0].0].unwrap();
-                    let b = val[node.args[1].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
+                    let b = reg_of(&val, node.args[1])?;
                     self.instr(
                         Op::Vp { sub: true },
                         vec![a, b],
@@ -333,7 +391,7 @@ impl<'g> Codegen<'g> {
                 }
                 NodeOp::MatVec(m) => {
                     let c = self.const_reg(m.clone(), Some(fi));
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Mm,
                         vec![c, a],
@@ -344,7 +402,7 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Proj { fx, fy, cx, cy } => {
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Proj {
                             fx: *fx,
@@ -360,7 +418,7 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Norm => {
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Norm,
                         vec![a],
@@ -371,7 +429,7 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Hinge(c) => {
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Hinge(*c),
                         vec![a],
@@ -382,7 +440,7 @@ impl<'g> Codegen<'g> {
                     )
                 }
                 NodeOp::Slice { start, len } => {
-                    let a = val[node.args[0].0].unwrap();
+                    let a = reg_of(&val, node.args[0])?;
                     self.instr(
                         Op::Slice {
                             start: *start,
@@ -425,9 +483,12 @@ impl<'g> Codegen<'g> {
         // Error vector: vertical pack of roots, then scale by −1/σ to form
         // the RHS b = −e/σ directly.
         let e_reg = if roots.len() == 1 {
-            val[roots[0].0].unwrap()
+            reg_of(&val, roots[0])?
         } else {
-            let srcs: Vec<Reg> = roots.iter().map(|r| val[r.0].unwrap()).collect();
+            let srcs = roots
+                .iter()
+                .map(|r| reg_of(&val, *r))
+                .collect::<Result<Vec<_>, _>>()?;
             self.instr(
                 Op::Pack { horizontal: false },
                 srcs,
@@ -553,7 +614,7 @@ impl<'g> Codegen<'g> {
                 }
                 NodeOp::InputTrans(v) => {
                     // δt enters through t ← t + R_v δt: chain with R_v.
-                    let rv = self.rot_reg(*v, Some(fi));
+                    let rv = self.rot_reg(*v, Some(fi))?;
                     let td = node.kind.tangent_dim();
                     let r = match a_state {
                         Adj::Ident(s) => {
@@ -627,7 +688,7 @@ impl<'g> Codegen<'g> {
                     ValKind::Vec(3) => {
                         let j = self.instr(
                             Op::Jr,
-                            vec![val[node.args[0].0].unwrap()],
+                            vec![reg_of(val, node.args[0])?],
                             lvl,
                             Some(fi),
                             Phase::Construct,
@@ -642,7 +703,7 @@ impl<'g> Codegen<'g> {
                 ValKind::Vec(3) => {
                     let j = self.instr(
                         Op::JrInv,
-                        vec![val[id.0].unwrap()],
+                        vec![reg_of(val, id)?],
                         lvl,
                         Some(fi),
                         Phase::Construct,
@@ -656,7 +717,7 @@ impl<'g> Codegen<'g> {
                 ValKind::Rot(3) => {
                     let neg = self.instr(
                         Op::Scale(-1.0),
-                        vec![val[node.args[0].0].unwrap()],
+                        vec![reg_of(val, node.args[0])?],
                         lvl,
                         Some(fi),
                         Phase::Construct,
@@ -670,7 +731,7 @@ impl<'g> Codegen<'g> {
                 ValKind::Rot(3) => {
                     let bt = self.instr(
                         Op::Rt,
-                        vec![val[node.args[1].0].unwrap()],
+                        vec![reg_of(val, node.args[1])?],
                         lvl,
                         Some(fi),
                         Phase::Construct,
@@ -681,8 +742,8 @@ impl<'g> Codegen<'g> {
                 _ => vec![LocalJac::Ident, LocalJac::Ident],
             },
             NodeOp::Rv => {
-                let r_reg = val[node.args[0].0].unwrap();
-                let v_reg = val[node.args[1].0].unwrap();
+                let r_reg = reg_of(val, node.args[0])?;
+                let v_reg = reg_of(val, node.args[1])?;
                 match dfg.node(node.args[0]).kind {
                     ValKind::Rot(3) => {
                         let s = self.instr(
@@ -745,7 +806,7 @@ impl<'g> Codegen<'g> {
             NodeOp::Proj { fx, fy, .. } => {
                 let j = self.instr(
                     Op::ProjJac { fx: *fx, fy: *fy },
-                    vec![val[node.args[0].0].unwrap()],
+                    vec![reg_of(val, node.args[0])?],
                     lvl,
                     Some(fi),
                     Phase::Construct,
@@ -764,7 +825,7 @@ impl<'g> Codegen<'g> {
                     };
                     let j = self.instr(
                         Op::HingeJac(*c),
-                        vec![val[u.0].unwrap(), val[node.args[0].0].unwrap()],
+                        vec![reg_of(val, u)?, reg_of(val, node.args[0])?],
                         lvl,
                         Some(fi),
                         Phase::Construct,
@@ -1018,7 +1079,7 @@ impl<'g> Codegen<'g> {
                 rows,
             };
             let dst = self.prog.fresh_reg();
-            let qid = self.prog.push(Instruction {
+            let qid = self.prog.push_unchecked(Instruction {
                 id: 0,
                 op,
                 dst,
@@ -1060,7 +1121,7 @@ impl<'g> Codegen<'g> {
             // which drives the unit's latency model.
             let parent_width: usize = parents.iter().map(|p| var_dims[p.0]).sum();
             let dst = self.prog.fresh_reg();
-            let bid = self.prog.push(Instruction {
+            let bid = self.prog.push_unchecked(Instruction {
                 id: 0,
                 op: Op::Bsub { var: v, parents },
                 dst,

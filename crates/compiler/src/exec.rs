@@ -30,6 +30,9 @@ pub enum ExecError {
     Singular(VarId),
     /// Malformed operand shapes at runtime.
     Shape(String),
+    /// A `QRD` gathered the new factor of an earlier `QRD` (by instruction
+    /// id) that never produced one.
+    MissingNewFactor(usize),
 }
 
 impl std::fmt::Display for ExecError {
@@ -38,6 +41,9 @@ impl std::fmt::Display for ExecError {
             ExecError::UnwrittenRegister(r) => write!(f, "read of unwritten register {r}"),
             ExecError::Singular(v) => write!(f, "singular elimination block for {v}"),
             ExecError::Shape(s) => write!(f, "shape error: {s}"),
+            ExecError::MissingNewFactor(id) => {
+                write!(f, "QRD instruction {id} produced no new factor to gather")
+            }
         }
     }
 }
@@ -59,9 +65,22 @@ impl ExecResult {
     /// Value of a register.
     ///
     /// # Panics
-    /// Panics if the register was never written.
+    /// Panics if the register was never written; use
+    /// [`ExecResult::try_reg`] for a fallible lookup.
     pub fn reg(&self, r: Reg) -> &Mat {
-        self.regs[r.0].as_ref().expect("register written")
+        self.try_reg(r).expect("register written")
+    }
+
+    /// Value of a register, or [`ExecError::UnwrittenRegister`].
+    ///
+    /// # Errors
+    /// Returns [`ExecError::UnwrittenRegister`] when `r` is out of range
+    /// or was never written during execution.
+    pub fn try_reg(&self, r: Reg) -> Result<&Mat, ExecError> {
+        self.regs
+            .get(r.0)
+            .and_then(Option::as_ref)
+            .ok_or(ExecError::UnwrittenRegister(r))
     }
 }
 
@@ -126,6 +145,15 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
             Op::Rv => {
                 let a = get(&regs, instr.srcs[0])?;
                 let b = get(&regs, instr.srcs[1])?;
+                if a.cols() != b.rows() {
+                    return Err(ExecError::Shape(format!(
+                        "RV {}x{} * {}x{}",
+                        a.rows(),
+                        a.cols(),
+                        b.rows(),
+                        b.cols()
+                    )));
+                }
                 a.mul_mat(&b)
             }
             Op::Vp { sub } => {
@@ -240,7 +268,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                         new_factors
                             .get(dep)
                             .cloned()
-                            .ok_or(ExecError::UnwrittenRegister(Reg(usize::MAX)))?,
+                            .ok_or(ExecError::MissingNewFactor(*dep))?,
                     );
                 }
                 let (cond, new_factor, r_view) =
@@ -482,7 +510,7 @@ mod tests {
         let mut prog = Program::default();
         let a = prog.fresh_reg();
         let b = prog.fresh_reg();
-        prog.push(instr(Op::Rt, b, vec![a], (3, 3))); // a never written
+        prog.push_unchecked(instr(Op::Rt, b, vec![a], (3, 3))); // a never written
         let err = execute(&prog, &Values::new()).unwrap_err();
         assert!(matches!(err, ExecError::UnwrittenRegister(r) if r == a));
     }
@@ -493,9 +521,9 @@ mod tests {
         let a = prog.fresh_reg();
         let b = prog.fresh_reg();
         let c = prog.fresh_reg();
-        prog.push(instr(Op::Const(Mat::zeros(3, 1)), a, vec![], (3, 1)));
-        prog.push(instr(Op::Const(Mat::zeros(2, 1)), b, vec![], (2, 1)));
-        prog.push(instr(Op::Vp { sub: false }, c, vec![a, b], (3, 1)));
+        prog.push_unchecked(instr(Op::Const(Mat::zeros(3, 1)), a, vec![], (3, 1)));
+        prog.push_unchecked(instr(Op::Const(Mat::zeros(2, 1)), b, vec![], (2, 1)));
+        prog.push_unchecked(instr(Op::Vp { sub: false }, c, vec![a, b], (3, 1)));
         let err = execute(&prog, &Values::new()).unwrap_err();
         assert!(matches!(err, ExecError::Shape(_)), "{err:?}");
     }
@@ -505,8 +533,8 @@ mod tests {
         let mut prog = Program::default();
         let a = prog.fresh_reg();
         let b = prog.fresh_reg();
-        prog.push(instr(Op::Const(Mat::zeros(2, 1)), a, vec![], (2, 1)));
-        prog.push(instr(Op::Exp, b, vec![a], (2, 2)));
+        prog.push_unchecked(instr(Op::Const(Mat::zeros(2, 1)), a, vec![], (2, 1)));
+        prog.push_unchecked(instr(Op::Exp, b, vec![a], (2, 2)));
         let err = execute(&prog, &Values::new()).unwrap_err();
         assert!(matches!(err, ExecError::Shape(_)));
     }
@@ -516,7 +544,7 @@ mod tests {
         // An instruction lying about its output dims is caught.
         let mut prog = Program::default();
         let a = prog.fresh_reg();
-        prog.push(instr(Op::Const(Mat::zeros(3, 1)), a, vec![], (4, 1)));
+        prog.push_unchecked(instr(Op::Const(Mat::zeros(3, 1)), a, vec![], (4, 1)));
         let err = execute(&prog, &Values::new()).unwrap_err();
         assert!(matches!(err, ExecError::Shape(_)));
     }
@@ -533,14 +561,14 @@ mod tests {
         let j = prog.fresh_reg();
         let rhs = prog.fresh_reg();
         let q = prog.fresh_reg();
-        prog.push(instr(
+        prog.push_unchecked(instr(
             Op::Const(Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]])),
             j,
             vec![],
             (2, 2),
         ));
-        prog.push(instr(Op::Const(Mat::zeros(2, 1)), rhs, vec![], (2, 1)));
-        prog.push(instr(
+        prog.push_unchecked(instr(Op::Const(Mat::zeros(2, 1)), rhs, vec![], (2, 1)));
+        prog.push_unchecked(instr(
             Op::Qrd {
                 frontal: v,
                 frontal_dim: 2,

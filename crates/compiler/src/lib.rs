@@ -53,7 +53,7 @@ pub use exec::{execute, ExecError, ExecResult};
 pub use lower::{lower_factor, LowerError, LoweredFactor};
 pub use modfg::{Expr, ModFg, NodeOp, ValKind};
 pub use passes::{disassemble, optimize, PassStats};
-pub use program::{Instruction, Op, Phase, Program, Reg, UnitClass, VarComp};
+pub use program::{Instruction, Op, Phase, Program, ProgramError, Reg, UnitClass, VarComp};
 
 #[cfg(test)]
 mod tests {

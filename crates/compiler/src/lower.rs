@@ -35,6 +35,9 @@ pub enum LowerError {
         /// Actual key count.
         actual: usize,
     },
+    /// The factor describes no measurement at all (e.g. a linear factor
+    /// with zero coefficient blocks).
+    Empty,
 }
 
 impl std::fmt::Display for LowerError {
@@ -47,6 +50,7 @@ impl std::fmt::Display for LowerError {
                     "factor arity mismatch: expected {expected} keys, got {actual}"
                 )
             }
+            LowerError::Empty => write!(f, "factor has no measurement blocks"),
         }
     }
 }
@@ -171,7 +175,7 @@ pub fn lower_factor(kind: &FactorKind, keys: &[VarId]) -> Result<LoweredFactor, 
                     Some(prev) => Expr::Add(Box::new(prev), Box::new(term)),
                 });
             }
-            let sum = acc.expect("at least one block");
+            let sum = acc.ok_or(LowerError::Empty)?;
             let e = if rhs.as_slice().iter().all(|x| *x == 0.0) {
                 sum
             } else {

@@ -288,13 +288,13 @@ impl ModFg {
                 }
             }
         }
-        if stack.len() != 1 {
-            return Err(ShapeError(format!(
+        match (stack.pop(), stack.is_empty()) {
+            (Some(root), true) => Ok(root),
+            (got, _) => Err(ShapeError(format!(
                 "postfix left {} values on the stack",
-                stack.len()
-            )));
+                stack.len() + usize::from(got.is_some())
+            ))),
         }
-        Ok(stack.pop().unwrap())
     }
 
     fn intern_leaf(&mut self, op: NodeOp, space_dim: usize) -> Result<NodeId, ShapeError> {

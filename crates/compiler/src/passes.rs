@@ -230,7 +230,7 @@ fn clone_header(prog: &Program) -> Program {
 }
 
 fn push_clone(out: &mut Program, instr: &Instruction) {
-    out.push(instr.clone());
+    out.push_unchecked(instr.clone());
 }
 
 /// Pushes a clone and records the old→new instruction-id mapping (needed
@@ -238,7 +238,7 @@ fn push_clone(out: &mut Program, instr: &Instruction) {
 fn push_mapped(out: &mut Program, instr: &Instruction, id_map: &mut HashMap<usize, usize>) {
     let new_id = out.instrs.len();
     id_map.insert(instr.id, new_id);
-    out.push(instr.clone());
+    out.push_unchecked(instr.clone());
 }
 
 /// Rewrites every `Qrd::new_factor_deps` through the id mapping.

@@ -295,6 +295,86 @@ pub struct Instruction {
     pub dims: (usize, usize),
 }
 
+/// Malformed-program errors raised by [`Program::push`] /
+/// [`Program::validate`].
+///
+/// These are *structural* violations of the register machine — detectable
+/// without executing the program — as opposed to the runtime failures of
+/// [`crate::exec::ExecError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An instruction names a register that was never allocated with
+    /// [`Program::fresh_reg`].
+    UnallocatedRegister {
+        /// Offending instruction id.
+        instr: usize,
+        /// The out-of-range register.
+        reg: Reg,
+    },
+    /// An instruction reads a register before any earlier instruction
+    /// writes it (use-before-def).
+    UseBeforeDef {
+        /// Offending instruction id.
+        instr: usize,
+        /// The undefined source register.
+        reg: Reg,
+    },
+    /// An instruction's source count does not match its opcode.
+    Arity {
+        /// Offending instruction id.
+        instr: usize,
+        /// Opcode mnemonic.
+        mnemonic: &'static str,
+        /// Required source count.
+        expected: usize,
+        /// Actual source count.
+        actual: usize,
+    },
+    /// Operand dimensions are incompatible with the opcode (e.g. an inner
+    /// dimension mismatch of a matrix product), judged against the
+    /// *declared* `dims` of the producing instructions.
+    DimMismatch {
+        /// Offending instruction id.
+        instr: usize,
+        /// Opcode mnemonic.
+        mnemonic: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UnallocatedRegister { instr, reg } => {
+                write!(f, "instruction {instr}: unallocated register {reg}")
+            }
+            ProgramError::UseBeforeDef { instr, reg } => {
+                write!(
+                    f,
+                    "instruction {instr}: register {reg} read before any write"
+                )
+            }
+            ProgramError::Arity {
+                instr,
+                mnemonic,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "instruction {instr} ({mnemonic}): expected {expected} sources, got {actual}"
+            ),
+            ProgramError::DimMismatch {
+                instr,
+                mnemonic,
+                detail,
+            } => write!(f, "instruction {instr} ({mnemonic}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 /// A compiled ORIANNA program: the instruction stream plus the result
 /// registers the runtime needs to locate errors, Jacobians and the
 /// solution.
@@ -330,12 +410,54 @@ impl Program {
         self.next_reg
     }
 
-    /// Appends an instruction, assigning its id; returns the id.
-    pub fn push(&mut self, mut instr: Instruction) -> usize {
+    /// Appends an instruction after structural validation: every register
+    /// must be allocated, every source must already be written by an
+    /// earlier instruction, and operand dimensions must be compatible with
+    /// the opcode (judged against the declared `dims` of the producers).
+    /// Assigns the instruction id and returns it.
+    ///
+    /// # Errors
+    /// Returns [`ProgramError`] without modifying the program when the
+    /// instruction is malformed.
+    pub fn push(&mut self, instr: Instruction) -> Result<usize, ProgramError> {
+        let mut defined: Vec<Option<(usize, usize)>> = vec![None; self.num_regs()];
+        for i in &self.instrs {
+            if i.dst.0 < defined.len() {
+                defined[i.dst.0] = Some(i.dims);
+            }
+        }
+        check_instr(&instr, self.instrs.len(), &defined)?;
+        Ok(self.push_unchecked(instr))
+    }
+
+    /// Appends an instruction without validation, assigning its id;
+    /// returns the id.
+    ///
+    /// The compiler's code generator emits instructions that are correct
+    /// by construction (operands are produced by earlier nodes of a
+    /// topologically-ordered MO-DFG) and runs one [`Program::validate`]
+    /// pass over the finished stream instead of paying a per-push scan;
+    /// tests also use this to build deliberately malformed programs.
+    pub fn push_unchecked(&mut self, mut instr: Instruction) -> usize {
         instr.id = self.instrs.len();
         let id = instr.id;
         self.instrs.push(instr);
         id
+    }
+
+    /// Validates the whole instruction stream: register allocation,
+    /// use-before-def, opcode arities, and operand-dimension consistency —
+    /// the same checks [`Program::push`] applies incrementally.
+    ///
+    /// # Errors
+    /// Returns the first [`ProgramError`] in program order.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let mut defined: Vec<Option<(usize, usize)>> = vec![None; self.num_regs()];
+        for (id, instr) in self.instrs.iter().enumerate() {
+            check_instr(instr, id, &defined)?;
+            defined[instr.dst.0] = Some(instr.dims);
+        }
+        Ok(())
     }
 
     /// Count of instructions per unit class.
@@ -355,6 +477,214 @@ impl Program {
         }
         prod
     }
+}
+
+/// Structural checks of one instruction against the registers `defined`
+/// (declared dims per register written so far).
+fn check_instr(
+    instr: &Instruction,
+    id: usize,
+    defined: &[Option<(usize, usize)>],
+) -> Result<(), ProgramError> {
+    let mnemonic = instr.op.mnemonic();
+    if instr.dst.0 >= defined.len() {
+        return Err(ProgramError::UnallocatedRegister {
+            instr: id,
+            reg: instr.dst,
+        });
+    }
+    let mut src_dims = Vec::with_capacity(instr.srcs.len());
+    for &s in &instr.srcs {
+        if s.0 >= defined.len() {
+            return Err(ProgramError::UnallocatedRegister { instr: id, reg: s });
+        }
+        match defined[s.0] {
+            Some(d) => src_dims.push(d),
+            None => return Err(ProgramError::UseBeforeDef { instr: id, reg: s }),
+        }
+    }
+    // Opcode arities. `Qrd`/`Bsub` have variable source lists assembled by
+    // the elimination pass; `Pack` takes one or more.
+    let expected = match instr.op {
+        Op::Input { .. } | Op::Const(_) => Some(0),
+        Op::Exp
+        | Op::Log
+        | Op::Rt
+        | Op::Skew
+        | Op::Jr
+        | Op::JrInv
+        | Op::Scale(_)
+        | Op::Slice { .. }
+        | Op::Proj { .. }
+        | Op::ProjJac { .. }
+        | Op::Norm
+        | Op::Hinge(_) => Some(1),
+        Op::Rr | Op::Rv | Op::Vp { .. } | Op::Mm | Op::HingeJac(_) => Some(2),
+        Op::Pack { .. } | Op::Qrd { .. } | Op::Bsub { .. } => None,
+    };
+    if let Some(expected) = expected {
+        if instr.srcs.len() != expected {
+            return Err(ProgramError::Arity {
+                instr: id,
+                mnemonic,
+                expected,
+                actual: instr.srcs.len(),
+            });
+        }
+    }
+    let mismatch = |detail: String| ProgramError::DimMismatch {
+        instr: id,
+        mnemonic,
+        detail,
+    };
+    let dims = instr.dims;
+    match &instr.op {
+        Op::Const(m) => {
+            if m.shape() != dims {
+                return Err(mismatch(format!(
+                    "immediate is {:?}, declared {dims:?}",
+                    m.shape()
+                )));
+            }
+        }
+        Op::Rr | Op::Rv | Op::Mm => {
+            let (a, b) = (src_dims[0], src_dims[1]);
+            if a.1 != b.0 {
+                return Err(mismatch(format!("inner dimensions {a:?} × {b:?}")));
+            }
+            if dims != (a.0, b.1) {
+                return Err(mismatch(format!(
+                    "product of {a:?} × {b:?} declared as {dims:?}"
+                )));
+            }
+        }
+        Op::Vp { .. } => {
+            let (a, b) = (src_dims[0], src_dims[1]);
+            if a != b || dims != a {
+                return Err(mismatch(format!("{a:?} ± {b:?} declared as {dims:?}")));
+            }
+        }
+        Op::Rt => {
+            let a = src_dims[0];
+            if dims != (a.1, a.0) {
+                return Err(mismatch(format!("transpose of {a:?} declared as {dims:?}")));
+            }
+        }
+        Op::Scale(_) => {
+            let a = src_dims[0];
+            if dims != a {
+                return Err(mismatch(format!("scale of {a:?} declared as {dims:?}")));
+            }
+        }
+        Op::Exp => {
+            let a = src_dims[0];
+            let ok = (a == (1, 1) && dims == (2, 2)) || (a == (3, 1) && dims == (3, 3));
+            if !ok {
+                return Err(mismatch(format!("Exp of {a:?} declared as {dims:?}")));
+            }
+        }
+        Op::Log => {
+            let a = src_dims[0];
+            let ok = (a == (2, 2) && dims == (1, 1)) || (a == (3, 3) && dims == (3, 1));
+            if !ok {
+                return Err(mismatch(format!("Log of {a:?} declared as {dims:?}")));
+            }
+        }
+        Op::Skew => {
+            let a = src_dims[0];
+            let ok = (a == (3, 1) && dims == (3, 3)) || (a == (2, 1) && dims == (2, 1));
+            if !ok {
+                return Err(mismatch(format!("Skew of {a:?} declared as {dims:?}")));
+            }
+        }
+        Op::Jr | Op::JrInv => {
+            let a = src_dims[0];
+            let ok = (a == (3, 1) && dims == (3, 3)) || (a == (1, 1) && dims == (1, 1));
+            if !ok {
+                return Err(mismatch(format!("Jr of {a:?} declared as {dims:?}")));
+            }
+        }
+        Op::Pack { horizontal } => {
+            if src_dims.is_empty() {
+                return Err(ProgramError::Arity {
+                    instr: id,
+                    mnemonic,
+                    expected: 1,
+                    actual: 0,
+                });
+            }
+            if *horizontal {
+                let rows = src_dims[0].0;
+                let cols: usize = src_dims.iter().map(|d| d.1).sum();
+                if src_dims.iter().any(|d| d.0 != rows) || dims != (rows, cols) {
+                    return Err(mismatch(format!(
+                        "hpack of {src_dims:?} declared as {dims:?}"
+                    )));
+                }
+            } else {
+                let cols = src_dims[0].1;
+                let rows: usize = src_dims.iter().map(|d| d.0).sum();
+                if src_dims.iter().any(|d| d.1 != cols) || dims != (rows, cols) {
+                    return Err(mismatch(format!(
+                        "vpack of {src_dims:?} declared as {dims:?}"
+                    )));
+                }
+            }
+        }
+        Op::Slice { start, len } => {
+            let a = src_dims[0];
+            if a.1 != 1 || start + len > a.0 || dims != (*len, 1) {
+                return Err(mismatch(format!(
+                    "slice [{start}..{}] of {a:?} declared as {dims:?}",
+                    start + len
+                )));
+            }
+        }
+        Op::Proj { .. } => {
+            if src_dims[0] != (3, 1) || dims != (2, 1) {
+                return Err(mismatch(format!(
+                    "projection of {:?} declared as {dims:?}",
+                    src_dims[0]
+                )));
+            }
+        }
+        Op::ProjJac { .. } => {
+            if src_dims[0] != (3, 1) || dims != (2, 3) {
+                return Err(mismatch(format!(
+                    "projection Jacobian of {:?} declared as {dims:?}",
+                    src_dims[0]
+                )));
+            }
+        }
+        Op::Norm => {
+            if src_dims[0].1 != 1 || dims != (1, 1) {
+                return Err(mismatch(format!(
+                    "norm of {:?} declared as {dims:?}",
+                    src_dims[0]
+                )));
+            }
+        }
+        Op::Hinge(_) => {
+            if src_dims[0] != (1, 1) || dims != (1, 1) {
+                return Err(mismatch(format!(
+                    "hinge of {:?} declared as {dims:?}",
+                    src_dims[0]
+                )));
+            }
+        }
+        Op::HingeJac(_) => {
+            let (v, n) = (src_dims[0], src_dims[1]);
+            if v.1 != 1 || n != (1, 1) || dims != (1, v.0) {
+                return Err(mismatch(format!(
+                    "hinge Jacobian of {v:?}, {n:?} declared as {dims:?}"
+                )));
+            }
+        }
+        // `Qrd`/`Bsub` gather whole factor sets; their shapes are checked
+        // numerically during execution.
+        Op::Input { .. } | Op::Qrd { .. } | Op::Bsub { .. } => {}
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -387,19 +717,110 @@ mod tests {
     fn push_assigns_sequential_ids() {
         let mut p = Program::default();
         let r = p.fresh_reg();
-        let mk = |dst| Instruction {
+        let mk = |dst, srcs| Instruction {
             id: 0,
-            op: Op::Norm,
+            op: Op::Const(Mat::zeros(1, 1)),
             dst,
-            srcs: vec![],
+            srcs,
             level: 0,
             factor: None,
             phase: Phase::Construct,
             dims: (1, 1),
         };
-        assert_eq!(p.push(mk(r)), 0);
+        assert_eq!(p.push(mk(r, vec![])).unwrap(), 0);
         let r2 = p.fresh_reg();
-        assert_eq!(p.push(mk(r2)), 1);
+        assert_eq!(p.push(mk(r2, vec![])).unwrap(), 1);
         assert_eq!(p.producers()[r2.0], Some(1));
+    }
+
+    fn mk(op: Op, dst: Reg, srcs: Vec<Reg>, dims: (usize, usize)) -> Instruction {
+        Instruction {
+            id: 0,
+            op,
+            dst,
+            srcs,
+            level: 0,
+            factor: None,
+            phase: Phase::Construct,
+            dims,
+        }
+    }
+
+    #[test]
+    fn push_rejects_use_before_def() {
+        let mut p = Program::default();
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        let err = p.push(mk(Op::Scale(2.0), b, vec![a], (1, 1))).unwrap_err();
+        assert_eq!(err, ProgramError::UseBeforeDef { instr: 0, reg: a });
+        // The rejected instruction was not appended.
+        assert!(p.instrs.is_empty());
+    }
+
+    #[test]
+    fn push_rejects_unallocated_register() {
+        let mut p = Program::default();
+        let a = p.fresh_reg();
+        let err = p
+            .push(mk(Op::Const(Mat::zeros(1, 1)), Reg(7), vec![], (1, 1)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::UnallocatedRegister {
+                instr: 0,
+                reg: Reg(7)
+            }
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn push_rejects_operand_dim_mismatch() {
+        let mut p = Program::default();
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        let c = p.fresh_reg();
+        p.push(mk(Op::Const(Mat::zeros(2, 3)), a, vec![], (2, 3)))
+            .unwrap();
+        p.push(mk(Op::Const(Mat::zeros(2, 1)), b, vec![], (2, 1)))
+            .unwrap();
+        // Inner dimensions 3 vs 2 are incompatible.
+        let err = p.push(mk(Op::Mm, c, vec![a, b], (2, 1))).unwrap_err();
+        assert!(
+            matches!(err, ProgramError::DimMismatch { mnemonic: "MM", .. }),
+            "{err:?}"
+        );
+        // Same shapes through the unchecked path are caught by validate().
+        p.push_unchecked(mk(Op::Mm, c, vec![a, b], (2, 1)));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn push_rejects_arity_violations() {
+        let mut p = Program::default();
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        p.push(mk(Op::Const(Mat::zeros(1, 1)), a, vec![], (1, 1)))
+            .unwrap();
+        let err = p.push(mk(Op::Norm, b, vec![], (1, 1))).unwrap_err();
+        assert!(
+            matches!(err, ProgramError::Arity { expected: 1, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_stream() {
+        let mut p = Program::default();
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        let c = p.fresh_reg();
+        p.push(mk(Op::Const(Mat::zeros(3, 1)), a, vec![], (3, 1)))
+            .unwrap();
+        p.push(mk(Op::Const(Mat::zeros(3, 1)), b, vec![], (3, 1)))
+            .unwrap();
+        p.push(mk(Op::Vp { sub: false }, c, vec![a, b], (3, 1)))
+            .unwrap();
+        assert!(p.validate().is_ok());
     }
 }

@@ -9,6 +9,31 @@ use orianna_math::par::{run_tasks, Parallelism};
 use orianna_math::Vec64;
 use std::sync::Arc;
 
+/// Errors raised when mutating a [`FactorGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A factor references a variable id that has not been added.
+    UnknownVariable {
+        /// The offending key.
+        key: VarId,
+        /// Number of variables currently in the graph.
+        num_variables: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownVariable { key, num_variables } => write!(
+                f,
+                "factor references unknown variable {key} (graph has {num_variables} variables)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A factor graph: variable nodes with current estimates plus factor nodes.
 ///
 /// Mirrors the paper's programming model (Sec. 5.1): start empty, add
@@ -76,26 +101,43 @@ impl FactorGraph {
     /// Adds a factor node. Key validity is checked eagerly.
     ///
     /// # Panics
-    /// Panics if the factor references an unknown variable.
+    /// Panics if the factor references an unknown variable. Use
+    /// [`FactorGraph::try_add_factor`] to handle the error instead.
     pub fn add_factor(&mut self, factor: impl Factor + 'static) {
-        for k in factor.keys() {
-            assert!(
-                k.0 < self.values.len(),
-                "factor references unknown variable {k}"
-            );
+        if let Err(e) = self.try_add_factor(factor) {
+            panic!("{e}");
         }
+    }
+
+    /// Adds a factor node, returning a typed error when the factor
+    /// references a variable that has not been added to the graph.
+    pub fn try_add_factor(&mut self, factor: impl Factor + 'static) -> Result<(), GraphError> {
+        self.check_keys(factor.keys())?;
         self.factors.push(Arc::new(factor));
+        Ok(())
     }
 
     /// Adds an already-shared factor (used when cloning graph topologies).
+    ///
+    /// # Panics
+    /// Panics if the factor references an unknown variable.
     pub fn add_shared_factor(&mut self, factor: Arc<dyn Factor>) {
-        for k in factor.keys() {
-            assert!(
-                k.0 < self.values.len(),
-                "factor references unknown variable {k}"
-            );
+        if let Err(e) = self.check_keys(factor.keys()) {
+            panic!("{e}");
         }
         self.factors.push(factor);
+    }
+
+    fn check_keys(&self, keys: &[VarId]) -> Result<(), GraphError> {
+        for k in keys {
+            if k.0 >= self.values.len() {
+                return Err(GraphError::UnknownVariable {
+                    key: *k,
+                    num_variables: self.values.len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Current variable estimates.
@@ -274,7 +316,7 @@ fn linearize_factor(f: &dyn Factor, values: &Values) -> LinearFactor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::factors::{BetweenFactor, PriorFactor};
+    use crate::factors::{BetweenFactor, GpsFactor, PriorFactor};
 
     #[test]
     fn build_small_graph() {
@@ -357,6 +399,25 @@ mod tests {
         let a = g.add_pose2(Pose2::new(0.3, -0.2, 0.1));
         g.add_factor(PriorFactor::pose2(a, Pose2::identity(), 0.1));
         assert_eq!(g.total_error(), g.total_error_with(&g.values().clone()));
+    }
+
+    #[test]
+    fn try_add_factor_rejects_unknown_variable() {
+        let mut g = FactorGraph::new();
+        let a = g.add_pose2(Pose2::identity());
+        g.try_add_factor(PriorFactor::pose2(a, Pose2::identity(), 0.1))
+            .expect("valid key");
+        let err = g
+            .try_add_factor(GpsFactor::new(VarId(7), &[0.0, 0.0], 0.5))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::UnknownVariable {
+                key: VarId(7),
+                num_variables: 1
+            }
+        );
+        assert_eq!(g.num_factors(), 1, "failed add must not mutate the graph");
     }
 
     #[test]

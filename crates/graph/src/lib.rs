@@ -61,7 +61,7 @@ pub use factors::{
     GpsFactor, ImuFactor, KinematicsFactor, LidarFactor, LinearContainerFactor, Loss, PriorFactor,
     RobustFactor, SmoothFactor, VectorPriorFactor,
 };
-pub use graph::FactorGraph;
+pub use graph::{FactorGraph, GraphError};
 pub use linear::{LinearFactor, LinearSystem};
 pub use ordering::{min_degree_ordering, natural_ordering, Ordering};
 pub use values::Values;

@@ -36,6 +36,26 @@ pub enum IssuePolicy {
     InOrder,
 }
 
+/// Simulation input failures raised by the checked entry points
+/// ([`try_simulate`], [`try_simulate_decoded`], [`try_simulate_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The workload contains no instructions at all: there is nothing to
+    /// schedule and every derived metric (contention, phase split) would
+    /// be vacuous.
+    EmptyWorkload,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EmptyWorkload => write!(f, "workload contains no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// One compiled algorithm stream within a robotic application.
 #[derive(Debug)]
 pub struct Stream<'a> {
@@ -159,8 +179,13 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct DecodedWorkload {
     nodes: Vec<Node>,
-    /// Reverse dependence lists, precomputed for the OoO scoreboard.
-    dependents: Vec<Vec<usize>>,
+    /// OoO issue order: node ids sorted by dependence-only earliest start
+    /// time (ASAP), ties broken by id. The order is a topological sort
+    /// and — crucially — independent of the hardware configuration, which
+    /// makes the list scheduler free of Graham anomalies: growing any
+    /// unit pool can never reorder issue, so cycle counts are monotone
+    /// non-increasing in every unit count.
+    issue_order: Vec<usize>,
     phase_work: BTreeMap<&'static str, u64>,
     qrd_shapes: Vec<(usize, usize)>,
     mm_shapes: Vec<(usize, usize)>,
@@ -207,15 +232,22 @@ impl DecodedWorkload {
                 global_of.push(Vec::new());
             }
         }
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-        for (gid, n) in nodes.iter().enumerate() {
-            for &d in &n.deps {
-                dependents[d].push(gid);
-            }
+        // Dependence-only ASAP time per node (deps always precede their
+        // consumers in the flattened trace, so one forward pass suffices).
+        let mut asap = vec![0u64; nodes.len()];
+        for gid in 0..nodes.len() {
+            asap[gid] = nodes[gid]
+                .deps
+                .iter()
+                .map(|&d| asap[d] + nodes[d].lat)
+                .max()
+                .unwrap_or(0);
         }
+        let mut issue_order: Vec<usize> = (0..nodes.len()).collect();
+        issue_order.sort_by_key(|&gid| (asap[gid], gid));
         Self {
             nodes,
-            dependents,
+            issue_order,
             phase_work,
             qrd_shapes,
             mm_shapes,
@@ -236,6 +268,38 @@ impl DecodedWorkload {
 /// DSE loop) should decode once and call [`simulate_decoded`] instead.
 pub fn simulate(workload: &Workload<'_>, config: &HwConfig, policy: IssuePolicy) -> SimReport {
     simulate_decoded(&DecodedWorkload::decode(workload), config, policy)
+}
+
+/// [`simulate`] with input validation: rejects workloads that carry no
+/// instructions instead of returning a vacuous all-zero report.
+///
+/// # Errors
+/// Returns [`SimError::EmptyWorkload`] when the workload has no
+/// instructions.
+pub fn try_simulate(
+    workload: &Workload<'_>,
+    config: &HwConfig,
+    policy: IssuePolicy,
+) -> Result<SimReport, SimError> {
+    if workload.num_instructions() == 0 {
+        return Err(SimError::EmptyWorkload);
+    }
+    Ok(simulate(workload, config, policy))
+}
+
+/// [`simulate_decoded`] with input validation.
+///
+/// # Errors
+/// Returns [`SimError::EmptyWorkload`] when the decoded trace is empty.
+pub fn try_simulate_decoded(
+    decoded: &DecodedWorkload,
+    config: &HwConfig,
+    policy: IssuePolicy,
+) -> Result<SimReport, SimError> {
+    if decoded.num_instructions() == 0 {
+        return Err(SimError::EmptyWorkload);
+    }
+    Ok(simulate_decoded(decoded, config, policy))
 }
 
 /// Runs only the configuration-dependent scoreboard over an
@@ -267,8 +331,13 @@ pub fn simulate_decoded(
             makespan = t;
         }
         IssuePolicy::OutOfOrder => {
-            // List scheduling: process in order of ready time; each class
-            // has `count` units tracked as a min-heap of free times.
+            // List scheduling in the decoded ASAP priority order; each
+            // class has `count` units tracked as a min-heap of free
+            // times. The priority order is topological and fixed per
+            // workload (never per configuration), so every node's ready
+            // time and the pool free-time multisets are monotone in unit
+            // counts — adding a unit can never slow the schedule down
+            // (no Graham anomalies).
             use std::cmp::Reverse;
             let mut free: BTreeMap<UnitClass, BinaryHeap<Reverse<u64>>> = BTreeMap::new();
             for c in UnitClass::ALL {
@@ -278,35 +347,21 @@ pub fn simulate_decoded(
                 }
                 free.insert(c, h);
             }
-            // Kahn-style: indegree counting, ready min-heap by ready time.
-            let mut indeg: Vec<usize> = nodes.iter().map(|n| n.deps.len()).collect();
-            let dependents = &decoded.dependents;
-            let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-            let mut ready_time = vec![0u64; nodes.len()];
-            for (gid, n) in nodes.iter().enumerate() {
-                if n.deps.is_empty() {
-                    ready.push(Reverse((0, gid)));
-                }
-            }
-            // Deduplicate: a node may gain ready time once (all deps done).
-            while let Some(Reverse((rt, gid))) = ready.pop() {
+            for &gid in &decoded.issue_order {
                 let n = &nodes[gid];
-                let pool = free.get_mut(&n.class).expect("class pool");
-                let Reverse(unit_free) = pool.pop().expect("unit");
-                let start = rt.max(unit_free);
+                let ready = n.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+                // Every class has a non-empty pool (`HwConfig` guarantees
+                // ≥ 1 unit per class); fall back benignly instead of
+                // panicking if that invariant is ever violated.
+                let pool = free.entry(n.class).or_default();
+                let Reverse(unit_free) = pool.pop().unwrap_or(Reverse(0));
+                let start = ready.max(unit_free);
                 let end = start + n.lat;
                 pool.push(Reverse(end));
                 finish[gid] = end;
                 makespan = makespan.max(end);
                 *unit_busy.entry(n.class).or_insert(0) += n.lat;
-                *contention.entry(n.class).or_insert(0) += start.saturating_sub(rt);
-                for &dep in &dependents[gid] {
-                    indeg[dep] -= 1;
-                    ready_time[dep] = ready_time[dep].max(end);
-                    if indeg[dep] == 0 {
-                        ready.push(Reverse((ready_time[dep], dep)));
-                    }
-                }
+                *contention.entry(n.class).or_insert(0) += start - ready;
             }
         }
     }
@@ -336,6 +391,20 @@ pub fn simulate_decoded(
 /// and results are stored by workload index, so the returned reports are
 /// identical to calling [`simulate`] in a loop — in input order, for any
 /// thread count.
+pub fn try_simulate_batch(
+    workloads: &[Workload<'_>],
+    config: &HwConfig,
+    policy: IssuePolicy,
+    par: &Parallelism,
+) -> Result<Vec<SimReport>, SimError> {
+    if workloads.iter().any(|w| w.num_instructions() == 0) {
+        return Err(SimError::EmptyWorkload);
+    }
+    Ok(simulate_batch(workloads, config, policy, par))
+}
+
+/// Simulates many workloads on the same configuration; see
+/// [`try_simulate_batch`] for the input-validating variant.
 pub fn simulate_batch(
     workloads: &[Workload<'_>],
     config: &HwConfig,

@@ -1,0 +1,158 @@
+//! Property-based tests for the Lie-group kernels (ISSUE: conformance
+//! harness, Lie oracle): exp/log round-trips, the adjoint identity
+//! `Ad_g · ξ = Log(g · Exp(ξ) · g⁻¹)` on SO(2)/SO(3)/SE(3), and the
+//! quaternion renormalization drift the unified representation avoids.
+
+use orianna_lie::{Quat, Rot2, Rot3, Se3Tangent, SE3};
+use proptest::prelude::*;
+
+fn angle() -> impl Strategy<Value = f64> {
+    // Stay away from the ±π cut where log is discontinuous.
+    -2.9f64..2.9
+}
+
+fn small() -> impl Strategy<Value = f64> {
+    -0.9f64..0.9
+}
+
+fn mat3_diff(a: &Rot3, b: &Rot3) -> f64 {
+    let (am, bm) = (a.matrix(), b.matrix());
+    let mut d: f64 = 0.0;
+    for r in 0..3 {
+        for c in 0..3 {
+            d = d.max((am[r][c] - bm[r][c]).abs());
+        }
+    }
+    d
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- exp(log(g)) = g ------------------------------------------------
+
+    #[test]
+    fn rot2_exp_log_roundtrip(theta in angle()) {
+        let g = Rot2::exp(theta);
+        prop_assert!((Rot2::exp(g.log()).log() - g.log()).abs() < 1e-12);
+        prop_assert!((g.log() - theta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rot3_exp_log_roundtrip(x in small(), y in small(), z in small()) {
+        let g = Rot3::exp([1.2 * x, 1.2 * y, 1.2 * z]);
+        let back = Rot3::exp(g.log());
+        prop_assert!(mat3_diff(&g, &back) < 1e-9, "diff {}", mat3_diff(&g, &back));
+    }
+
+    #[test]
+    fn se3_exp_log_roundtrip(
+        rx in small(), ry in small(), rz in small(),
+        px in small(), py in small(), pz in small(),
+    ) {
+        let g = Se3Tangent::new([2.0 * px, 2.0 * py, 2.0 * pz], [rx, ry, rz]).exp();
+        let back = g.log().exp();
+        prop_assert!((&g.to_mat() - &back.to_mat()).norm() < 1e-9);
+    }
+
+    // ---- Ad_g · ξ = Log(g · Exp(ξ) · g⁻¹) -------------------------------
+
+    #[test]
+    fn so2_adjoint_is_identity(theta in angle(), xi in small()) {
+        // SO(2) is abelian, so conjugation is a no-op and Ad = 1.
+        let g = Rot2::exp(theta);
+        let conj = g.compose(&Rot2::exp(xi)).compose(&g.transpose());
+        prop_assert!((conj.log() - xi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn so3_adjoint_is_rotation(
+        gx in small(), gy in small(), gz in small(),
+        x in small(), y in small(), z in small(),
+    ) {
+        let g = Rot3::exp([gx, gy, gz]);
+        let xi = [0.5 * x, 0.5 * y, 0.5 * z];
+        let lhs = g.rotate(xi); // Ad_R = R for SO(3).
+        let rhs = g.compose(&Rot3::exp(xi)).compose(&g.transpose()).log();
+        for i in 0..3 {
+            prop_assert!((lhs[i] - rhs[i]).abs() < 1e-9, "component {}: {} vs {}", i, lhs[i], rhs[i]);
+        }
+    }
+
+    #[test]
+    fn se3_adjoint_matches_conjugation(
+        gx in small(), gy in small(), gz in small(),
+        tx in small(), ty in small(), tz in small(),
+        rx in small(), ry in small(), rz in small(),
+        vx in small(), vy in small(), vz in small(),
+    ) {
+        let r = Rot3::exp([gx, gy, gz]);
+        let t = [tx, ty, tz];
+        let g = SE3::from_rt(&r, t);
+        let rho = [0.5 * vx, 0.5 * vy, 0.5 * vz];
+        let phi = [0.4 * rx, 0.4 * ry, 0.4 * rz];
+        let xi = Se3Tangent::new(rho, phi);
+
+        // Ad_g for the [ρ | φ] ordering: [[R, t^·R], [0, R]].
+        let r_rho = r.rotate(rho);
+        let r_phi = r.rotate(phi);
+        let t_cross = cross(t, r_phi);
+        let lhs = [
+            r_rho[0] + t_cross[0],
+            r_rho[1] + t_cross[1],
+            r_rho[2] + t_cross[2],
+            r_phi[0],
+            r_phi[1],
+            r_phi[2],
+        ];
+
+        let rhs = g.compose(&xi.exp()).compose(&g.inverse()).log().coords();
+        for i in 0..6 {
+            prop_assert!((lhs[i] - rhs[i]).abs() < 1e-9, "coord {}: {} vs {}", i, lhs[i], rhs[i]);
+        }
+    }
+
+    // ---- Quaternion renormalization drift -------------------------------
+
+    #[test]
+    fn quat_drift_stays_bounded_and_renormalizes(
+        x in small(), y in small(), z in small(),
+    ) {
+        let step = Quat::exp([0.01 * x, 0.01 * y, 0.01 * z]);
+        let mut q = Quat::identity();
+        for _ in 0..1000 {
+            q = q.compose(&step);
+        }
+        // Unit-magnitude products of unit quaternions: drift is pure
+        // floating-point accumulation, a few ULPs per Hamilton product.
+        let drift = (q.norm() - 1.0).abs();
+        prop_assert!(drift < 1e-11, "drift {}", drift);
+        let n = q.normalized();
+        prop_assert!((n.norm() - 1.0).abs() < 1e-15);
+        // Renormalization must not move the rotation itself.
+        let before = q.log();
+        let after = n.log();
+        for i in 0..3 {
+            prop_assert!((before[i] - after[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quat_rot3_roundtrip(x in small(), y in small(), z in small()) {
+        let phi = [1.5 * x, 1.5 * y, 1.5 * z];
+        let q = Quat::exp(phi);
+        let r = Rot3::exp(phi);
+        prop_assert!(mat3_diff(&q.to_rot3(), &r) < 1e-12);
+        let q2 = Quat::from_rot3(&r);
+        // q and −q represent the same rotation.
+        prop_assert!(mat3_diff(&q2.to_rot3(), &r) < 1e-12);
+    }
+}

@@ -44,7 +44,7 @@ pub mod triangular;
 
 pub use mat::{Mat, Vec64};
 pub use par::Parallelism;
-pub use qr::{givens_qr, householder_qr, partial_qr, QrFactors};
+pub use qr::{givens_qr, givens_qr_full, householder_qr, partial_qr, QrFactors};
 pub use solve::{least_squares, solve_upper_triangular};
 
 /// Comparison tolerance used throughout the test-suite of the workspace.

@@ -108,6 +108,61 @@ pub fn givens_qr(a: &Mat) -> (Mat, usize) {
     (r, rotations)
 }
 
+/// Givens-rotation QR with an explicitly accumulated orthogonal factor.
+///
+/// Identical rotation schedule to [`givens_qr`], but each rotation is also
+/// applied to an accumulator so the full `A = Q · R` factorization is
+/// recovered. Used by the conformance harness to check the hardware QR
+/// template against the orthogonality/reconstruction properties; the
+/// latency-model rotation count is returned as well.
+///
+/// # Example
+/// ```
+/// use orianna_math::{givens_qr_full, Mat};
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+/// let (f, _rotations) = givens_qr_full(&a);
+/// assert!((&f.q.mul_mat(&f.r) - &a).norm() < 1e-12);
+/// ```
+pub fn givens_qr_full(a: &Mat) -> (QrFactors, usize) {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut qt = Mat::identity(m);
+    let mut rotations = 0;
+    for col in 0..n.min(m) {
+        for row in (col + 1..m).rev() {
+            let x = r[(col, col)];
+            let y = r[(row, col)];
+            if y.abs() < 1e-300 {
+                continue;
+            }
+            let (c, s) = givens(x, y);
+            for j in col..n {
+                let rc = r[(col, j)];
+                let rr = r[(row, j)];
+                r[(col, j)] = c * rc + s * rr;
+                r[(row, j)] = -s * rc + c * rr;
+            }
+            // Accumulate Qᵀ = G_k ⋯ G_1 by applying the same row rotation.
+            for j in 0..m {
+                let qc = qt[(col, j)];
+                let qr = qt[(row, j)];
+                qt[(col, j)] = c * qc + s * qr;
+                qt[(row, j)] = -s * qc + c * qr;
+            }
+            macs::record(4 * (n - col) + 4 * m);
+            r[(row, col)] = 0.0;
+            rotations += 1;
+        }
+    }
+    (
+        QrFactors {
+            q: qt.transpose(),
+            r,
+        },
+        rotations,
+    )
+}
+
 /// Computes a Givens rotation `(c, s)` such that
 /// `[c s; -s c]^T [x; y] = [r; 0]`.
 fn givens(x: f64, y: f64) -> (f64, f64) {

@@ -1,0 +1,106 @@
+//! Property-based tests for the QR decompositions (ISSUE: conformance
+//! harness, QR oracle). The Givens path is what the hardware QR unit
+//! implements, so it gets the strictest treatment: orthogonality of the
+//! accumulated `Q`, reconstruction of `A`, triangularity of `R`, and
+//! agreement with the Householder reference — including on rank-deficient
+//! tall matrices, which show up whenever a variable is unconstrained in
+//! one of its tangent directions.
+
+use orianna_math::{givens_qr, givens_qr_full, householder_qr, partial_qr, Mat};
+use proptest::prelude::*;
+
+fn entry() -> impl Strategy<Value = f64> {
+    -2.0f64..2.0
+}
+
+/// ‖QᵀQ − I‖ for an `m×m` candidate orthogonal matrix.
+fn orthogonality_defect(q: &Mat) -> f64 {
+    let m = q.rows();
+    (&q.transpose().mul_mat(q) - &Mat::identity(m)).norm()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn givens_q_is_orthogonal_and_reconstructs(vals in prop::collection::vec(entry(), 42)) {
+        // 7×6 tall matrix.
+        let a = Mat::from_row_major(7, 6, &vals);
+        let (f, rotations) = givens_qr_full(&a);
+        prop_assert!(orthogonality_defect(&f.q) < 1e-10, "defect {}", orthogonality_defect(&f.q));
+        prop_assert!((&f.q.mul_mat(&f.r) - &a).norm() < 1e-10);
+        prop_assert!(f.r.is_upper_triangular(1e-10));
+        prop_assert!(rotations <= 6 * 6 + 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn givens_full_matches_rotation_only_variant(vals in prop::collection::vec(entry(), 24)) {
+        let a = Mat::from_row_major(6, 4, &vals);
+        let (f, rot_full) = givens_qr_full(&a);
+        let (r_only, rot_only) = givens_qr(&a);
+        prop_assert_eq!(rot_full, rot_only);
+        prop_assert!((&f.r - &r_only).norm() < 1e-12);
+    }
+
+    #[test]
+    fn givens_agrees_with_householder_up_to_row_signs(vals in prop::collection::vec(entry(), 20)) {
+        let a = Mat::from_row_major(5, 4, &vals);
+        let (fg, _) = givens_qr_full(&a);
+        let fh = householder_qr(&a);
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!(
+                    (fg.r[(r, c)].abs() - fh.r[(r, c)].abs()).abs() < 1e-9,
+                    "({},{}): {} vs {}", r, c, fg.r[(r, c)], fh.r[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_tall_matrix_still_factors(vals in prop::collection::vec(entry(), 12)) {
+        // Build a 6×3 matrix whose third column is a linear combination of
+        // the first two — rank ≤ 2 by construction.
+        let base = Mat::from_row_major(6, 2, &vals);
+        let mut a = Mat::zeros(6, 3);
+        for r in 0..6 {
+            a[(r, 0)] = base[(r, 0)];
+            a[(r, 1)] = base[(r, 1)];
+            a[(r, 2)] = 0.5 * base[(r, 0)] - 1.5 * base[(r, 1)];
+        }
+        let (f, _) = givens_qr_full(&a);
+        prop_assert!(orthogonality_defect(&f.q) < 1e-10);
+        prop_assert!((&f.q.mul_mat(&f.r) - &a).norm() < 1e-10);
+        prop_assert!(f.r.is_upper_triangular(1e-10));
+        // Rank deficiency must surface as a (near-)zero trailing diagonal.
+        prop_assert!(f.r[(2, 2)].abs() < 1e-9, "r22 = {}", f.r[(2, 2)]);
+
+        let fh = householder_qr(&a);
+        prop_assert!((&fh.q.mul_mat(&fh.r) - &a).norm() < 1e-10);
+    }
+
+    #[test]
+    fn partial_qr_preserves_column_norms(vals in prop::collection::vec(entry(), 30), k in 0usize..5) {
+        let a = Mat::from_row_major(6, 5, &vals);
+        let r = partial_qr(&a, k);
+        for c in 0..5 {
+            let an: f64 = (0..6).map(|i| a[(i, c)] * a[(i, c)]).sum::<f64>().sqrt();
+            let rn: f64 = (0..6).map(|i| r[(i, c)] * r[(i, c)]).sum::<f64>().sqrt();
+            prop_assert!((an - rn).abs() < 1e-9, "col {}", c);
+        }
+        for col in 0..k.min(5) {
+            for row in col + 1..6 {
+                prop_assert!(r[(row, col)].abs() < 1e-10);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_matrix_needs_no_rotations() {
+    let a = Mat::zeros(5, 3);
+    let (f, rotations) = givens_qr_full(&a);
+    assert_eq!(rotations, 0);
+    assert!(orthogonality_defect(&f.q) < 1e-15);
+    assert!(f.r.norm() < 1e-15);
+}

@@ -1,0 +1,350 @@
+//! Seeded random factor-graph generation.
+//!
+//! Four graph families mirror the compiler-supported application shapes
+//! (Tbl. 4): planar SLAM over SO(2), spatial SLAM over SO(3)/SE(3),
+//! bundle-adjustment-style camera/landmark graphs, and flat-vector
+//! trajectory-planning graphs. Every graph is a deterministic function of
+//! its [`GenConfig`] — the differential oracles re-derive any failure from
+//! the `(family, variables, density, seed)` tuple alone.
+
+use orianna_graph::{
+    BetweenFactor, CameraFactor, CameraModel, CollisionFactor, FactorGraph, GpsFactor, PriorFactor,
+    SmoothFactor, VectorPriorFactor,
+};
+use orianna_lie::{Pose2, Pose3};
+use orianna_math::Vec64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated graph family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Planar pose chain (SO(2) orientation): prior + odometry betweens,
+    /// random loop closures and GPS fixes.
+    Pose2Slam,
+    /// Spatial pose chain (SO(3)/SE(3)): prior + odometry betweens, loop
+    /// closures and GPS fixes.
+    Pose3Slam,
+    /// Bundle-adjustment shape: posed cameras observing 3D landmarks,
+    /// every landmark seen from at least two well-separated poses.
+    CameraLandmark,
+    /// Flat-vector planning: position/velocity states tied by smoothness
+    /// factors, endpoint priors, and random obstacle hinges.
+    Planning,
+}
+
+impl Family {
+    /// All families, in oracle-sweep order.
+    pub const ALL: [Family; 4] = [
+        Family::Pose2Slam,
+        Family::Pose3Slam,
+        Family::CameraLandmark,
+        Family::Planning,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Pose2Slam => "pose2-slam",
+            Family::Pose3Slam => "pose3-slam",
+            Family::CameraLandmark => "camera-landmark",
+            Family::Planning => "planning",
+        }
+    }
+}
+
+/// Parameters of one generated graph.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Which family to draw from.
+    pub family: Family,
+    /// Number of primary variables (poses / states). Landmark counts are
+    /// derived from this.
+    pub variables: usize,
+    /// Probability in `[0, 1]` of each optional extra factor (loop
+    /// closure, GPS fix, obstacle) being added — graph density knob.
+    pub density: f64,
+    /// RNG seed; equal configs generate identical graphs.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// A size/density/seed point in the standard fuzz sweep.
+    pub fn new(family: Family, variables: usize, density: f64, seed: u64) -> Self {
+        Self {
+            family,
+            variables,
+            density,
+            seed,
+        }
+    }
+}
+
+/// Generates the factor graph described by `cfg`.
+pub fn generate(cfg: &GenConfig) -> FactorGraph {
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed ^ (cfg.variables as u64) << 32 ^ (cfg.family.name().len() as u64),
+    );
+    let n = cfg.variables.max(2);
+    match cfg.family {
+        Family::Pose2Slam => pose2_slam(&mut rng, n, cfg.density),
+        Family::Pose3Slam => pose3_slam(&mut rng, n, cfg.density),
+        Family::CameraLandmark => camera_landmark(&mut rng, n, cfg.density),
+        Family::Planning => planning(&mut rng, n, cfg.density),
+    }
+}
+
+fn coin(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_range(0.0..1.0) < p
+}
+
+fn pose2_slam(rng: &mut StdRng, n: usize, density: f64) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let mut ids = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = Pose2::new(
+            0.15 * i as f64 + rng.gen_range(-0.05..0.05),
+            i as f64 * 0.8 + rng.gen_range(-0.1..0.1),
+            rng.gen_range(-0.1..0.1),
+        );
+        truth.push(p);
+        ids.push(g.add_pose2(p.retract(&[
+            rng.gen_range(-0.05..0.05),
+            rng.gen_range(-0.05..0.05),
+            rng.gen_range(-0.05..0.05),
+        ])));
+    }
+    g.add_factor(PriorFactor::pose2(ids[0], truth[0], 0.1));
+    for i in 1..n {
+        g.add_factor(BetweenFactor::pose2(
+            ids[i - 1],
+            ids[i],
+            truth[i - 1].between(&truth[i]),
+            0.2,
+        ));
+    }
+    // Loop closures between non-adjacent poses.
+    for j in 2..n {
+        if coin(rng, density) {
+            let i = rng.gen_range(0..j - 1);
+            g.add_factor(BetweenFactor::pose2(
+                ids[i],
+                ids[j],
+                truth[i].between(&truth[j]),
+                0.3,
+            ));
+        }
+    }
+    // GPS fixes.
+    for (i, &id) in ids.iter().enumerate() {
+        if coin(rng, density * 0.5) {
+            let t = truth[i].translation();
+            g.add_factor(GpsFactor::new(id, &t, 0.5));
+        }
+    }
+    g
+}
+
+fn pose3_slam(rng: &mut StdRng, n: usize, density: f64) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let mut ids = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = Pose3::from_parts(
+            [
+                rng.gen_range(-0.2..0.2),
+                rng.gen_range(-0.2..0.2),
+                rng.gen_range(-0.2..0.2),
+            ],
+            [
+                i as f64 * 0.9,
+                rng.gen_range(-0.3..0.3),
+                rng.gen_range(-0.3..0.3),
+            ],
+        );
+        truth.push(p.clone());
+        ids.push(g.add_pose3(p.retract(&[
+            rng.gen_range(-0.03..0.03),
+            rng.gen_range(-0.03..0.03),
+            rng.gen_range(-0.03..0.03),
+            rng.gen_range(-0.05..0.05),
+            rng.gen_range(-0.05..0.05),
+            rng.gen_range(-0.05..0.05),
+        ])));
+    }
+    g.add_factor(PriorFactor::pose3(ids[0], truth[0].clone(), 0.1));
+    for i in 1..n {
+        g.add_factor(BetweenFactor::pose3(
+            ids[i - 1],
+            ids[i],
+            truth[i - 1].between(&truth[i]),
+            0.2,
+        ));
+    }
+    for j in 2..n {
+        if coin(rng, density) {
+            let i = rng.gen_range(0..j - 1);
+            g.add_factor(BetweenFactor::pose3(
+                ids[i],
+                ids[j],
+                truth[i].between(&truth[j]),
+                0.3,
+            ));
+        }
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        if coin(rng, density * 0.5) {
+            let t = truth[i].translation();
+            g.add_factor(GpsFactor::new(id, &t, 0.5));
+        }
+    }
+    g
+}
+
+fn camera_landmark(rng: &mut StdRng, n: usize, density: f64) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let model = CameraModel::default();
+    let num_poses = (n / 2).clamp(2, 6);
+    let num_landmarks = (n - num_poses).max(1);
+    let mut poses = Vec::with_capacity(num_poses);
+    let mut pose_ids = Vec::with_capacity(num_poses);
+    for i in 0..num_poses {
+        // Well-separated camera line looking down +z.
+        let p = Pose3::from_parts(
+            [
+                rng.gen_range(-0.05..0.05),
+                rng.gen_range(-0.05..0.05),
+                rng.gen_range(-0.05..0.05),
+            ],
+            [i as f64 * 0.8, rng.gen_range(-0.2..0.2), 0.0],
+        );
+        poses.push(p.clone());
+        let id = g.add_pose3(p.retract(&[
+            rng.gen_range(-0.01..0.01),
+            rng.gen_range(-0.01..0.01),
+            rng.gen_range(-0.01..0.01),
+            rng.gen_range(-0.02..0.02),
+            rng.gen_range(-0.02..0.02),
+            rng.gen_range(-0.02..0.02),
+        ]));
+        pose_ids.push(id);
+        // Every pose carries a prior so the gauge is fixed regardless of
+        // which observations the density knob keeps.
+        g.add_factor(PriorFactor::pose3(id, p, 0.05));
+    }
+    for _ in 0..num_landmarks {
+        // Landmarks well in front of the camera line.
+        let l = [
+            rng.gen_range(-1.0..(num_poses as f64)),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(3.0..6.0),
+        ];
+        let lid = g.add_point3([
+            l[0] + rng.gen_range(-0.05..0.05),
+            l[1] + rng.gen_range(-0.05..0.05),
+            l[2] + rng.gen_range(-0.05..0.05),
+        ]);
+        // At least two observations from distinct poses keep the landmark
+        // fully constrained; extras follow the density knob.
+        let first = rng.gen_range(0..num_poses);
+        let mut second = rng.gen_range(0..num_poses - 1);
+        if second >= first {
+            second += 1;
+        }
+        for (pi, p) in poses.iter().enumerate() {
+            let must = pi == first || pi == second;
+            if !must && !coin(rng, density) {
+                continue;
+            }
+            let t = p.translation();
+            let pc = p
+                .rotation()
+                .transpose()
+                .rotate([l[0] - t[0], l[1] - t[1], l[2] - t[2]]);
+            if let Some(uv) = model.project(pc) {
+                let px = [
+                    uv[0] + rng.gen_range(-1.0..1.0),
+                    uv[1] + rng.gen_range(-1.0..1.0),
+                ];
+                g.add_factor(CameraFactor::new(pose_ids[pi], lid, px, model, 1.0));
+            }
+        }
+    }
+    g
+}
+
+fn planning(rng: &mut StdRng, n: usize, density: f64) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let dim = 4; // [x, y, vx, vy]
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        ids.push(g.add_vector(Vec64::from_slice(&[
+            i as f64 + rng.gen_range(-0.2..0.2),
+            rng.gen_range(-0.5..0.5),
+            1.0 + rng.gen_range(-0.1..0.1),
+            rng.gen_range(-0.1..0.1),
+        ])));
+    }
+    g.add_factor(VectorPriorFactor::new(
+        ids[0],
+        Vec64::from_slice(&[0.0, 0.0, 1.0, 0.0]),
+        0.1,
+    ));
+    g.add_factor(VectorPriorFactor::new(
+        ids[n - 1],
+        Vec64::from_slice(&[(n - 1) as f64, 0.5, 1.0, 0.0]),
+        0.1,
+    ));
+    for w in ids.windows(2) {
+        g.add_factor(SmoothFactor::new(w[0], w[1], dim / 2, 1.0, 0.3));
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        if coin(rng, density) {
+            // An obstacle near — but not on top of — the state.
+            let c = [i as f64 + rng.gen_range(0.5..1.0), rng.gen_range(0.6..1.2)];
+            g.add_factor(CollisionFactor::new(id, dim / 2, vec![(c, 0.5)], 0.3, 0.5));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in Family::ALL {
+            let cfg = GenConfig::new(family, 6, 0.5, 1234);
+            let a = generate(&cfg);
+            let b = generate(&cfg);
+            assert_eq!(a.num_variables(), b.num_variables(), "{}", family.name());
+            assert_eq!(a.num_factors(), b.num_factors(), "{}", family.name());
+            assert!(
+                (a.total_error() - b.total_error()).abs() < 1e-15,
+                "{}",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_graph() {
+        let a = generate(&GenConfig::new(Family::Pose2Slam, 8, 0.6, 1));
+        let b = generate(&GenConfig::new(Family::Pose2Slam, 8, 0.6, 2));
+        assert!((a.total_error() - b.total_error()).abs() > 1e-12);
+    }
+
+    #[test]
+    fn density_zero_still_yields_solvable_graphs() {
+        for family in Family::ALL {
+            let g = generate(&GenConfig::new(family, 5, 0.0, 99));
+            assert!(
+                g.num_factors() >= g.num_variables().min(2),
+                "{}",
+                family.name()
+            );
+        }
+    }
+}

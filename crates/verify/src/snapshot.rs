@@ -1,0 +1,126 @@
+//! Golden-snapshot helpers for compiled ISA programs.
+//!
+//! A snapshot pins the compiler's output for a fixed input: the
+//! instruction count, the per-[`UnitClass`] histogram, and the full
+//! mnemonic stream. Snapshots live in `crates/verify/golden/` and are
+//! compared textually; to accept an intentional compiler change, re-run
+//! the golden tests with `ORIANNA_BLESS=1` and commit the rewritten
+//! files. On mismatch the observed text is written next to the golden
+//! file as `<name>.actual` so CI can surface the diff as an artifact.
+
+use orianna_compiler::{Program, UnitClass};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Renders the snapshot text for a compiled program.
+pub fn render(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "instructions: {}", prog.instrs.len());
+    let _ = writeln!(out, "registers: {}", prog.num_regs());
+    let hist = prog.histogram();
+    for class in UnitClass::ALL {
+        let _ = writeln!(out, "{class:?}: {}", hist.get(&class).copied().unwrap_or(0));
+    }
+    let _ = writeln!(out, "---");
+    let mnemonics: Vec<&str> = prog.instrs.iter().map(|i| i.op.mnemonic()).collect();
+    for line in mnemonics.chunks(16) {
+        let _ = writeln!(out, "{}", line.join(" "));
+    }
+    out
+}
+
+/// Outcome of a snapshot comparison.
+#[derive(Debug)]
+pub enum SnapshotResult {
+    /// Snapshot matched the golden file.
+    Match,
+    /// `ORIANNA_BLESS=1`: the golden file was (re)written.
+    Blessed,
+    /// Mismatch: the observed text was written to `actual_path`.
+    Mismatch {
+        /// The golden file compared against.
+        golden_path: PathBuf,
+        /// Where the observed text was written.
+        actual_path: PathBuf,
+    },
+    /// No golden file exists and blessing is off.
+    MissingGolden {
+        /// The expected golden file location.
+        golden_path: PathBuf,
+        /// Where the observed text was written.
+        actual_path: PathBuf,
+    },
+}
+
+impl SnapshotResult {
+    /// True for [`SnapshotResult::Match`] and [`SnapshotResult::Blessed`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SnapshotResult::Match | SnapshotResult::Blessed)
+    }
+}
+
+/// True when the current process was asked to rewrite golden files.
+pub fn blessing() -> bool {
+    std::env::var("ORIANNA_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Compares `actual` against `<dir>/<name>.txt`, blessing or recording a
+/// diff artifact as appropriate.
+pub fn check(dir: &Path, name: &str, actual: &str) -> std::io::Result<SnapshotResult> {
+    let golden_path = dir.join(format!("{name}.txt"));
+    let actual_path = dir.join(format!("{name}.actual"));
+    if blessing() {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&golden_path, actual)?;
+        let _ = std::fs::remove_file(&actual_path);
+        return Ok(SnapshotResult::Blessed);
+    }
+    match std::fs::read_to_string(&golden_path) {
+        Ok(expected) => {
+            if expected == actual {
+                let _ = std::fs::remove_file(&actual_path);
+                Ok(SnapshotResult::Match)
+            } else {
+                std::fs::write(&actual_path, actual)?;
+                Ok(SnapshotResult::Mismatch {
+                    golden_path,
+                    actual_path,
+                })
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(&actual_path, actual)?;
+            Ok(SnapshotResult::MissingGolden {
+                golden_path,
+                actual_path,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orianna_compiler::compile;
+    use orianna_graph::{natural_ordering, FactorGraph, PriorFactor};
+    use orianna_lie::Pose2;
+
+    #[test]
+    fn render_is_deterministic_and_structured() {
+        let mut g = FactorGraph::new();
+        let a = g.add_pose2(Pose2::identity());
+        g.add_factor(PriorFactor::pose2(a, Pose2::identity(), 0.1));
+        let prog = compile(&g, &natural_ordering(&g)).unwrap();
+        let s1 = render(&prog);
+        let s2 = render(&prog);
+        assert_eq!(s1, s2);
+        assert!(s1.starts_with("instructions: "));
+        assert!(s1.contains("Qr: 1"));
+        assert!(s1.contains("QRD"));
+        assert!(s1.contains("BSUB"));
+    }
+}

@@ -1,0 +1,51 @@
+//! The differential fuzz sweep (ISSUE: conformance harness, compiler
+//! oracle): seeded random graphs from every family are pushed through
+//! the compiled pipeline and checked against the analytic solver.
+//!
+//! Case count per family defaults to 500 and scales with
+//! `ORIANNA_VERIFY_CASES` (CI smoke runs use a smaller value; see
+//! `.github/workflows/ci.yml`).
+
+use orianna_verify::{cases_per_family, check_graph, generate, Family, GenConfig};
+
+/// Deterministic sweep over sizes and densities for one family.
+fn sweep(family: Family, cases: usize) {
+    let mut checked = 0;
+    let mut factors = 0;
+    for case in 0..cases {
+        let variables = 3 + case % 8; // 3..=10 primary variables
+        let density = (case % 5) as f64 * 0.25; // 0, .25, .5, .75, 1
+        let cfg = GenConfig::new(family, variables, density, 0x5EED_0000 + case as u64);
+        let g = generate(&cfg);
+        let report = check_graph(&g, 1e-9).unwrap_or_else(|e| {
+            panic!(
+                "{} case {case} (vars {variables}, density {density}): {e}",
+                family.name()
+            )
+        });
+        checked += 1;
+        factors += report.factors;
+    }
+    assert_eq!(checked, cases);
+    assert!(factors > cases, "{}: sweep too thin", family.name());
+}
+
+#[test]
+fn pose2_slam_matches_solver() {
+    sweep(Family::Pose2Slam, cases_per_family(500));
+}
+
+#[test]
+fn pose3_slam_matches_solver() {
+    sweep(Family::Pose3Slam, cases_per_family(500));
+}
+
+#[test]
+fn camera_landmark_matches_solver() {
+    sweep(Family::CameraLandmark, cases_per_family(500));
+}
+
+#[test]
+fn planning_matches_solver() {
+    sweep(Family::Planning, cases_per_family(500));
+}

@@ -1,0 +1,83 @@
+//! Golden ISA snapshots of the four paper applications (ISSUE:
+//! conformance harness, snapshot oracle).
+//!
+//! Each application algorithm compiles to a deterministic instruction
+//! stream for a fixed seed; the snapshot (count, unit-class histogram,
+//! mnemonic stream) is pinned under `crates/verify/golden/`. To accept an
+//! intentional compiler change:
+//!
+//! ```sh
+//! ORIANNA_BLESS=1 cargo test -p orianna-verify --test golden
+//! ```
+//!
+//! and commit the rewritten files. On mismatch the observed text is left
+//! next to the golden file as `<name>.actual` (uploaded as a CI
+//! artifact).
+
+use orianna_apps::all_apps;
+use orianna_compiler::compile;
+use orianna_graph::natural_ordering;
+use orianna_verify::snapshot::{check, render, SnapshotResult};
+use std::path::PathBuf;
+
+const SEED: u64 = 42;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+#[test]
+fn application_isa_streams_are_pinned() {
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for app in all_apps(SEED) {
+        for alg in &app.algorithms {
+            let prog = compile(&alg.graph, &natural_ordering(&alg.graph))
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name, alg.name));
+            let name = format!(
+                "{}_{}",
+                app.name.to_lowercase().replace([' ', '-'], "_"),
+                alg.name
+            );
+            match check(&dir, &name, &render(&prog)).expect("snapshot io") {
+                SnapshotResult::Match | SnapshotResult::Blessed => {}
+                SnapshotResult::Mismatch {
+                    golden_path,
+                    actual_path,
+                } => failures.push(format!(
+                    "{name}: differs from {} (observed at {})",
+                    golden_path.display(),
+                    actual_path.display()
+                )),
+                SnapshotResult::MissingGolden {
+                    golden_path,
+                    actual_path,
+                } => failures.push(format!(
+                    "{name}: no golden file at {} (observed at {}); run with ORIANNA_BLESS=1",
+                    golden_path.display(),
+                    actual_path.display()
+                )),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden snapshots diverged:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn snapshots_are_seed_stable() {
+    // The same seed must give byte-identical snapshots across processes;
+    // a second in-process build is the cheap proxy.
+    let apps1 = all_apps(SEED);
+    let apps2 = all_apps(SEED);
+    for (a1, a2) in apps1.iter().zip(&apps2) {
+        for (g1, g2) in a1.algorithms.iter().zip(&a2.algorithms) {
+            let p1 = compile(&g1.graph, &natural_ordering(&g1.graph)).unwrap();
+            let p2 = compile(&g2.graph, &natural_ordering(&g2.graph)).unwrap();
+            assert_eq!(render(&p1), render(&p2), "{}/{}", a1.name, g1.name);
+        }
+    }
+}
