@@ -4,9 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orianna_apps::all_apps;
-use orianna_compiler::{compile, execute};
+use orianna_compiler::{compile, execute, UnitClass};
 use orianna_graph::natural_ordering;
-use orianna_hw::{simulate, HwConfig, IssuePolicy, Workload};
+use orianna_hw::{
+    simulate, simulate_decoded, simulate_decoded_with, DecodedWorkload, HwConfig, IssuePolicy,
+    SimScratch, Workload,
+};
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
@@ -67,5 +70,68 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_execute, bench_scheduler);
+/// 200 candidate unit mixes, the shape of a generator DSE sweep.
+fn dse_configs() -> Vec<HwConfig> {
+    let mut configs = Vec::with_capacity(200);
+    for qr in 1..=5usize {
+        for mm in 1..=5usize {
+            for vec in 1..=4usize {
+                for mem in 1..=2usize {
+                    configs.push(HwConfig::with_counts(&[
+                        (UnitClass::Qr, qr),
+                        (UnitClass::MatMul, mm),
+                        (UnitClass::Vector, vec),
+                        (UnitClass::Memory, mem),
+                        (UnitClass::Special, 1),
+                        (UnitClass::BackSub, 1),
+                    ]));
+                }
+            }
+        }
+    }
+    configs
+}
+
+/// A 200-configuration scoreboard sweep over one decoded workload:
+/// allocating fresh scratch per evaluation vs reusing a [`SimScratch`].
+fn bench_dse_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse_sweep_200");
+    group.sample_size(10);
+    let apps = all_apps(2024);
+    let algo = apps[3].algorithm("localization");
+    let prog = compile(&algo.graph, &natural_ordering(&algo.graph)).unwrap();
+    let wl = Workload::single("loc", &prog);
+    let decoded = DecodedWorkload::decode(&wl);
+    let configs = dse_configs();
+    assert_eq!(configs.len(), 200);
+    group.bench_function("fresh", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|cfg| simulate_decoded(&decoded, cfg, IssuePolicy::OutOfOrder).cycles)
+                .sum::<u64>()
+        })
+    });
+    let mut scratch = SimScratch::default();
+    group.bench_function("scratch", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|cfg| {
+                    simulate_decoded_with(&decoded, cfg, IssuePolicy::OutOfOrder, &mut scratch)
+                        .cycles
+                })
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_execute,
+    bench_scheduler,
+    bench_dse_sweep
+);
 criterion_main!(benches);

@@ -230,6 +230,12 @@ fn bench_plan_reuse(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("planned", app.name), |b| {
             b.iter(|| plan.execute(&sys, &Parallelism::serial()).unwrap())
         });
+        // The arena path: same schedule executed against a reusable flat
+        // workspace — no per-step matrix allocation, R-only Householder.
+        let mut ws = plan.workspace();
+        group.bench_function(BenchmarkId::new("arena", app.name), |b| {
+            b.iter(|| plan.solve_in(&sys, &mut ws).unwrap().len())
+        });
         group.bench_function(BenchmarkId::new("plan_build", app.name), |b| {
             b.iter(|| SolvePlan::for_system(&sys, ordering.as_slice()).unwrap())
         });

@@ -1,0 +1,233 @@
+//! Headless benchmark-baseline recorder.
+//!
+//! Criterion produces rich local statistics but no small, diffable
+//! artifact; this binary measures the hot numeric paths with plain
+//! `Instant` medians and writes two hand-rolled JSON files —
+//! `BENCH_solver.json` (elimination/back-substitution: planless vs
+//! planned vs arena) and `BENCH_sim.json` (scoreboard: fresh scratch vs
+//! reused [`SimScratch`] over a 200-config DSE sweep) — suitable for
+//! committing as a baseline and uploading from CI.
+//!
+//! Usage: `orianna-bench [--quick] [--out-dir DIR]`
+
+use orianna_apps::all_apps;
+use orianna_compiler::{compile, UnitClass};
+use orianna_graph::natural_ordering;
+use orianna_hw::{
+    simulate_decoded, simulate_decoded_with, DecodedWorkload, HwConfig, IssuePolicy, SimScratch,
+    Workload,
+};
+use orianna_math::Parallelism;
+use orianna_solver::{eliminate, SolvePlan};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out_dir: String,
+}
+
+fn parse_args() -> Args {
+    let mut quick = false;
+    let mut out_dir = ".".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => out_dir = it.next().expect("--out-dir needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: orianna-bench [--quick] [--out-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { quick, out_dir }
+}
+
+/// Median wall time of `reps` timed calls (after `warmup` untimed ones).
+fn median_ns(warmup: usize, reps: usize, mut f: impl FnMut()) -> u128 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Results {
+    entries: Vec<(String, u128)>,
+    reps: usize,
+}
+
+impl Results {
+    fn record(&mut self, name: &str, warmup: usize, f: impl FnMut()) {
+        let ns = median_ns(warmup, self.reps, f);
+        println!("  {name}: {ns} ns");
+        self.entries.push((name.to_string(), ns));
+    }
+
+    fn get(&self, name: &str) -> u128 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .expect("entry recorded")
+    }
+}
+
+/// Hand-rolled JSON: `{"schema":…, "mode":…, "results":{name:ns…},
+/// "speedups":{name:ratio…}}`. Names are plain ASCII identifiers so no
+/// string escaping is needed.
+fn to_json(mode: &str, reps: usize, results: &Results, speedups: &[(String, f64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"orianna-bench/v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    s.push_str("  \"median_ns\": {\n");
+    for (i, (name, ns)) in results.entries.iter().enumerate() {
+        let comma = if i + 1 < results.entries.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "    \"{name}\": {ns}{comma}");
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"speedups\": {\n");
+    for (i, (name, ratio)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{name}\": {ratio:.3}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Solver baselines: one Gauss-Newton solve iteration (eliminate +
+/// back-substitute) per benchmark application, on the reference path, the
+/// planned path, and the arena path.
+fn bench_solver(reps: usize) -> (Results, Vec<(String, f64)>) {
+    let mut results = Results {
+        entries: Vec::new(),
+        reps,
+    };
+    let mut speedups = Vec::new();
+    for app in all_apps(2024) {
+        let algo = app.algorithm("localization");
+        let ordering = natural_ordering(&algo.graph);
+        let sys = algo.graph.linearize();
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).unwrap();
+        let mut ws = plan.workspace();
+        let name = app.name.replace(' ', "_");
+
+        results.record(&format!("solve/planless/{name}"), 3, || {
+            let (bn, _) = eliminate(&sys, &ordering).unwrap();
+            std::hint::black_box(bn.back_substitute().unwrap());
+        });
+        results.record(&format!("solve/planned/{name}"), 3, || {
+            let (bn, _) = plan.execute(&sys, &Parallelism::serial()).unwrap();
+            std::hint::black_box(bn.back_substitute().unwrap());
+        });
+        results.record(&format!("solve/arena/{name}"), 3, || {
+            std::hint::black_box(plan.solve_in(&sys, &mut ws).unwrap().len());
+        });
+
+        let planless = results.get(&format!("solve/planless/{name}")) as f64;
+        let arena = results.get(&format!("solve/arena/{name}")) as f64;
+        speedups.push((format!("arena_vs_planless/{name}"), planless / arena));
+    }
+    (results, speedups)
+}
+
+/// 200 candidate unit mixes, the shape of a generator DSE sweep.
+fn dse_configs() -> Vec<HwConfig> {
+    let mut configs = Vec::with_capacity(200);
+    for qr in 1..=5usize {
+        for mm in 1..=5usize {
+            for vec in 1..=4usize {
+                for mem in 1..=2usize {
+                    configs.push(HwConfig::with_counts(&[
+                        (UnitClass::Qr, qr),
+                        (UnitClass::MatMul, mm),
+                        (UnitClass::Vector, vec),
+                        (UnitClass::Memory, mem),
+                        (UnitClass::Special, 1),
+                        (UnitClass::BackSub, 1),
+                    ]));
+                }
+            }
+        }
+    }
+    configs
+}
+
+/// Simulator baselines: a 200-configuration scoreboard sweep with fresh
+/// per-call scratch vs a reused [`SimScratch`].
+fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
+    let mut results = Results {
+        entries: Vec::new(),
+        reps,
+    };
+    let apps = all_apps(2024);
+    let algo = apps[3].algorithm("localization");
+    let prog = compile(&algo.graph, &natural_ordering(&algo.graph)).unwrap();
+    let wl = Workload::single("loc", &prog);
+    let decoded = DecodedWorkload::decode(&wl);
+    let configs = dse_configs();
+    assert_eq!(configs.len(), 200);
+
+    results.record("dse_sweep_200/fresh", 1, || {
+        let total: u64 = configs
+            .iter()
+            .map(|cfg| simulate_decoded(&decoded, cfg, IssuePolicy::OutOfOrder).cycles)
+            .sum();
+        std::hint::black_box(total);
+    });
+    let mut scratch = SimScratch::default();
+    results.record("dse_sweep_200/scratch", 1, || {
+        let total: u64 = configs
+            .iter()
+            .map(|cfg| {
+                simulate_decoded_with(&decoded, cfg, IssuePolicy::OutOfOrder, &mut scratch).cycles
+            })
+            .sum();
+        std::hint::black_box(total);
+    });
+
+    let fresh = results.get("dse_sweep_200/fresh") as f64;
+    let scratch_ns = results.get("dse_sweep_200/scratch") as f64;
+    let speedups = vec![(
+        "scratch_vs_fresh/dse_sweep_200".to_string(),
+        fresh / scratch_ns,
+    )];
+    (results, speedups)
+}
+
+fn main() {
+    let args = parse_args();
+    let (mode, reps) = if args.quick {
+        ("quick", 10)
+    } else {
+        ("full", 30)
+    };
+
+    println!("orianna-bench ({mode} mode, {reps} reps)");
+    println!("solver:");
+    let (solver_results, solver_speedups) = bench_solver(reps);
+    println!("sim:");
+    let (sim_results, sim_speedups) = bench_sim(reps);
+
+    let solver_json = to_json(mode, reps, &solver_results, &solver_speedups);
+    let sim_json = to_json(mode, reps, &sim_results, &sim_speedups);
+    let solver_path = format!("{}/BENCH_solver.json", args.out_dir);
+    let sim_path = format!("{}/BENCH_sim.json", args.out_dir);
+    std::fs::write(&solver_path, solver_json).expect("write BENCH_solver.json");
+    std::fs::write(&sim_path, sim_json).expect("write BENCH_sim.json");
+    println!("wrote {solver_path} and {sim_path}");
+}

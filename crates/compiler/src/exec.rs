@@ -14,7 +14,7 @@
 use crate::program::{Op, Program, Reg, VarComp};
 use orianna_graph::{LinearFactor, Values, VarId, Variable};
 use orianna_lie::{so2, so3, Rot2, Rot3};
-use orianna_math::{householder_qr, Mat, Vec64};
+use orianna_math::{panel, Mat, Vec64};
 use std::collections::HashMap;
 
 /// Per-variable conditional as recovered during execution:
@@ -95,10 +95,16 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
     let mut new_factors: HashMap<usize, LinearFactor> = HashMap::new();
     let mut conditionals: HashMap<VarId, CondEntry> = HashMap::new();
     let mut delta_of: HashMap<VarId, Vec64> = HashMap::new();
+    // Householder scratch, reused by every QRD instruction.
+    let mut vbuf: Vec<f64> = Vec::new();
 
-    let get = |regs: &Vec<Option<Mat>>, r: Reg| -> Result<Mat, ExecError> {
-        regs[r.0].clone().ok_or(ExecError::UnwrittenRegister(r))
-    };
+    // Registers are read by reference: operands are consumed in place and
+    // only the instruction's own output matrix is materialized.
+    fn get(regs: &[Option<Mat>], r: Reg) -> Result<&Mat, ExecError> {
+        regs.get(r.0)
+            .and_then(Option::as_ref)
+            .ok_or(ExecError::UnwrittenRegister(r))
+    }
 
     for instr in &prog.instrs {
         let out: Mat = match &instr.op {
@@ -120,7 +126,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                         Mat::from_row_major(1, 1, &[r.log()])
                     }
                     3 => {
-                        let r = rot3_of(&m);
+                        let r = rot3_of(m);
                         let l = r.log();
                         Mat::from_row_major(3, 1, &l)
                     }
@@ -140,7 +146,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                         b.cols()
                     )));
                 }
-                a.mul_mat(&b)
+                a.mul_mat(b)
             }
             Op::Rv => {
                 let a = get(&regs, instr.srcs[0])?;
@@ -154,7 +160,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                         b.cols()
                     )));
                 }
-                a.mul_mat(&b)
+                a.mul_mat(b)
             }
             Op::Vp { sub } => {
                 let a = get(&regs, instr.srcs[0])?;
@@ -163,9 +169,9 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                     return Err(ExecError::Shape("VP shape mismatch".into()));
                 }
                 if *sub {
-                    &a - &b
+                    a - b
                 } else {
-                    &a + &b
+                    a + b
                 }
             }
             Op::Skew => {
@@ -177,7 +183,7 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                     }
                     2 => {
                         // 2D: J·v (a 2×1 vector).
-                        so2::generator().mul_mat(&v)
+                        so2::generator().mul_mat(v)
                     }
                     n => return Err(ExecError::Shape(format!("Skew of dim {n}"))),
                 }
@@ -200,10 +206,9 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
             }
             Op::Scale(s) => get(&regs, instr.srcs[0])?.scale(*s),
             Op::Pack { horizontal } => {
-                let parts: Result<Vec<Mat>, _> =
+                let parts: Result<Vec<&Mat>, _> =
                     instr.srcs.iter().map(|r| get(&regs, *r)).collect();
-                let parts = parts?;
-                pack(&parts, *horizontal)?
+                pack(&parts?, *horizontal)?
             }
             Op::Slice { start, len } => {
                 let v = get(&regs, instr.srcs[0])?;
@@ -251,45 +256,124 @@ pub fn execute(prog: &Program, values: &Values) -> Result<ExecResult, ExecError>
                 new_factor_deps,
                 rows,
             } => {
-                // Materialize the gathered linear factors.
-                let mut factors: Vec<LinearFactor> = Vec::new();
-                for g in gather {
-                    let blocks: Result<Vec<Mat>, _> =
-                        g.key_regs.iter().map(|(_, r)| get(&regs, *r)).collect();
-                    let rhs_m = get(&regs, g.rhs_reg)?;
-                    factors.push(LinearFactor {
-                        keys: g.key_regs.iter().map(|(v, _)| *v).collect(),
-                        blocks: blocks?,
-                        rhs: col_to_vec(&rhs_m),
-                    });
-                }
-                for dep in new_factor_deps {
-                    factors.push(
+                let dv = *frontal_dim;
+                let sep_cols: usize = seps.iter().map(|(_, d)| d).sum();
+                let cols = dv + sep_cols;
+                let dep_factors: Vec<&LinearFactor> = new_factor_deps
+                    .iter()
+                    .map(|dep| {
                         new_factors
                             .get(dep)
-                            .cloned()
-                            .ok_or(ExecError::MissingNewFactor(*dep))?,
-                    );
+                            .ok_or(ExecError::MissingNewFactor(*dep))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut total_rows = 0usize;
+                for g in gather {
+                    total_rows += get(&regs, g.rhs_reg)?.as_slice().len();
                 }
-                let (cond, new_factor, r_view) =
-                    eliminate_one(*frontal, *frontal_dim, seps, &factors, *rows)?;
-                conditionals.insert(*frontal, cond);
-                if let Some(nf) = new_factor {
-                    new_factors.insert(instr.id, nf);
+                for f in &dep_factors {
+                    total_rows += f.rows();
                 }
-                r_view
+                if total_rows != *rows {
+                    return Err(ExecError::Shape(format!(
+                        "QRD expected {rows} rows, gathered {total_rows}"
+                    )));
+                }
+                let col_of = |v: VarId| -> Result<usize, ExecError> {
+                    if v == *frontal {
+                        return Ok(0);
+                    }
+                    let mut off = dv;
+                    for (s, d) in seps {
+                        if *s == v {
+                            return Ok(off);
+                        }
+                        off += d;
+                    }
+                    Err(ExecError::Shape(format!("variable {v} not in QRD columns")))
+                };
+                // Gather the operand registers straight into Ā — the dense
+                // [A | b] stack is the only matrix this arm allocates.
+                let mut abar = Mat::zeros(total_rows, cols + 1);
+                let mut row = 0;
+                for g in gather {
+                    for (k, r) in &g.key_regs {
+                        abar.set_block(row, col_of(*k)?, get(&regs, *r)?);
+                    }
+                    let rhs = get(&regs, g.rhs_reg)?.as_slice();
+                    for (r, x) in rhs.iter().enumerate() {
+                        abar[(row + r, cols)] = *x;
+                    }
+                    row += rhs.len();
+                }
+                for f in &dep_factors {
+                    for (k, blk) in f.keys.iter().zip(&f.blocks) {
+                        abar.set_block(row, col_of(*k)?, blk);
+                    }
+                    for r in 0..f.rows() {
+                        abar[(row + r, cols)] = f.rhs[r];
+                    }
+                    row += f.rows();
+                }
+                if total_rows < dv {
+                    return Err(ExecError::Singular(*frontal));
+                }
+                // In-place R-only triangularization: bitwise-identical to
+                // `householder_qr(&abar).r` without accumulating Q.
+                vbuf.clear();
+                vbuf.resize(total_rows.max(1), 0.0);
+                panel::triangularize(abar.as_mut_slice(), total_rows, cols + 1, &mut vbuf);
+                for d in 0..dv {
+                    if abar[(d, d)].abs() < 1e-12 {
+                        return Err(ExecError::Singular(*frontal));
+                    }
+                }
+                let mut parents = Vec::with_capacity(seps.len());
+                let mut off = dv;
+                for (s, d) in seps {
+                    parents.push((*s, abar.block(0, off, dv, *d)));
+                    off += d;
+                }
+                let mut rhs = Vec64::zeros(dv);
+                for d in 0..dv {
+                    rhs[d] = abar[(d, cols)];
+                }
+                conditionals.insert(*frontal, (abar.block(0, 0, dv, dv), parents, rhs));
+                // New factor: rows dv .. dv + min(total_rows − dv, sep_cols + 1).
+                if !seps.is_empty() {
+                    let nr = total_rows.saturating_sub(dv).min(sep_cols + 1);
+                    if nr > 0 {
+                        let mut blocks = Vec::with_capacity(seps.len());
+                        let mut off = dv;
+                        for (_, d) in seps {
+                            blocks.push(abar.block(dv, off, nr, *d));
+                            off += d;
+                        }
+                        let mut nrhs = Vec64::zeros(nr);
+                        for r in 0..nr {
+                            nrhs[r] = abar[(dv + r, cols)];
+                        }
+                        new_factors.insert(
+                            instr.id,
+                            LinearFactor {
+                                keys: seps.iter().map(|(s, _)| *s).collect(),
+                                blocks,
+                                rhs: nrhs,
+                            },
+                        );
+                    }
+                }
+                abar
             }
             Op::Bsub { var, parents } => {
-                let (r, parent_blocks, rhs) = conditionals
-                    .get(var)
-                    .cloned()
-                    .ok_or(ExecError::Singular(*var))?;
+                let (r, parent_blocks, rhs) =
+                    conditionals.get(var).ok_or(ExecError::Singular(*var))?;
                 let mut b = rhs.clone();
-                for (p, s) in &parent_blocks {
+                for (p, s) in parent_blocks {
                     let dp = delta_of.get(p).ok_or(ExecError::Singular(*p))?;
                     b = &b - &s.mul_vec(dp);
                 }
-                let dv = orianna_math::triangular::back_substitute(&r, &b)
+                let dv = orianna_math::triangular::back_substitute(r, &b)
                     .ok_or(ExecError::Singular(*var))?;
                 delta_of.insert(*var, dv.clone());
                 let _ = parents;
@@ -355,20 +439,16 @@ fn rot3_of(m: &Mat) -> Rot3 {
     ])
 }
 
-fn col_to_vec(m: &Mat) -> Vec64 {
-    Vec64::from_slice(m.as_slice())
-}
-
-fn pack(parts: &[Mat], horizontal: bool) -> Result<Mat, ExecError> {
+fn pack(parts: &[&Mat], horizontal: bool) -> Result<Mat, ExecError> {
     if parts.is_empty() {
         return Err(ExecError::Shape("empty pack".into()));
     }
     if horizontal {
         let rows = parts[0].rows();
-        let cols: usize = parts.iter().map(Mat::cols).sum();
+        let cols: usize = parts.iter().map(|p| p.cols()).sum();
         let mut out = Mat::zeros(rows, cols);
         let mut at = 0;
-        for p in parts {
+        for &p in parts {
             if p.rows() != rows {
                 return Err(ExecError::Shape("hpack row mismatch".into()));
             }
@@ -378,10 +458,10 @@ fn pack(parts: &[Mat], horizontal: bool) -> Result<Mat, ExecError> {
         Ok(out)
     } else {
         let cols = parts[0].cols();
-        let rows: usize = parts.iter().map(Mat::rows).sum();
+        let rows: usize = parts.iter().map(|p| p.rows()).sum();
         let mut out = Mat::zeros(rows, cols);
         let mut at = 0;
-        for p in parts {
+        for &p in parts {
             if p.cols() != cols {
                 return Err(ExecError::Shape("vpack col mismatch".into()));
             }
@@ -390,101 +470,6 @@ fn pack(parts: &[Mat], horizontal: bool) -> Result<Mat, ExecError> {
         }
         Ok(out)
     }
-}
-
-type CondData = (Mat, Vec<(VarId, Mat)>, Vec64);
-
-/// Runs one variable elimination (Fig. 5): returns the conditional, the
-/// optional new factor, and the triangularized `Ā` for the register.
-fn eliminate_one(
-    frontal: VarId,
-    dv: usize,
-    seps: &[(VarId, usize)],
-    factors: &[LinearFactor],
-    expected_rows: usize,
-) -> Result<(CondData, Option<LinearFactor>, Mat), ExecError> {
-    let sep_cols: usize = seps.iter().map(|(_, d)| d).sum();
-    let cols = dv + sep_cols;
-    let total_rows: usize = factors.iter().map(LinearFactor::rows).sum();
-    if total_rows != expected_rows {
-        return Err(ExecError::Shape(format!(
-            "QRD expected {expected_rows} rows, gathered {total_rows}"
-        )));
-    }
-    let col_of = |v: VarId| -> Option<usize> {
-        if v == frontal {
-            return Some(0);
-        }
-        let mut off = dv;
-        for (s, d) in seps {
-            if *s == v {
-                return Some(off);
-            }
-            off += d;
-        }
-        None
-    };
-    let mut abar = Mat::zeros(total_rows, cols + 1);
-    let mut row = 0;
-    for f in factors {
-        for (k, blk) in f.keys.iter().zip(&f.blocks) {
-            let c0 = col_of(*k)
-                .ok_or_else(|| ExecError::Shape(format!("variable {k} not in QRD columns")))?;
-            abar.set_block(row, c0, blk);
-        }
-        for r in 0..f.rows() {
-            abar[(row + r, cols)] = f.rhs[r];
-        }
-        row += f.rows();
-    }
-    if total_rows < dv {
-        return Err(ExecError::Singular(frontal));
-    }
-    let r_full = householder_qr(&abar).r;
-    let r_diag = r_full.block(0, 0, dv, dv);
-    for d in 0..dv {
-        if r_diag[(d, d)].abs() < 1e-12 {
-            return Err(ExecError::Singular(frontal));
-        }
-    }
-    let mut parents = Vec::with_capacity(seps.len());
-    let mut off = dv;
-    for (s, d) in seps {
-        parents.push((*s, r_full.block(0, off, dv, *d)));
-        off += d;
-    }
-    let mut rhs = Vec64::zeros(dv);
-    for d in 0..dv {
-        rhs[d] = r_full[(d, cols)];
-    }
-    let cond = (r_diag, parents, rhs);
-
-    // New factor: rows dv .. dv + min(total_rows − dv, sep_cols + 1).
-    let new_factor = if !seps.is_empty() {
-        let nr = total_rows.saturating_sub(dv).min(sep_cols + 1);
-        if nr > 0 {
-            let mut blocks = Vec::with_capacity(seps.len());
-            let mut off = dv;
-            for (_, d) in seps {
-                blocks.push(r_full.block(dv, off, nr, *d));
-                off += d;
-            }
-            let mut nrhs = Vec64::zeros(nr);
-            for r in 0..nr {
-                nrhs[r] = r_full[(dv + r, cols)];
-            }
-            Some(LinearFactor {
-                keys: seps.iter().map(|(s, _)| *s).collect(),
-                blocks,
-                rhs: nrhs,
-            })
-        } else {
-            None
-        }
-    } else {
-        None
-    };
-    Ok((cond, new_factor, r_full))
 }
 
 #[cfg(test)]

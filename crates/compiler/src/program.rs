@@ -248,8 +248,11 @@ pub enum UnitClass {
 }
 
 impl UnitClass {
+    /// Number of unit classes (`ALL.len()`), for flat per-class arrays.
+    pub const COUNT: usize = 6;
+
     /// All classes, in a stable order.
-    pub const ALL: [UnitClass; 6] = [
+    pub const ALL: [UnitClass; Self::COUNT] = [
         UnitClass::MatMul,
         UnitClass::Vector,
         UnitClass::Special,
@@ -257,6 +260,19 @@ impl UnitClass {
         UnitClass::Qr,
         UnitClass::BackSub,
     ];
+
+    /// Dense index of this class: `ALL[c.index()] == c`. Schedulers use it
+    /// to keep per-class state in flat arrays instead of keyed maps.
+    pub const fn index(self) -> usize {
+        match self {
+            UnitClass::MatMul => 0,
+            UnitClass::Vector => 1,
+            UnitClass::Special => 2,
+            UnitClass::Memory => 3,
+            UnitClass::Qr => 4,
+            UnitClass::BackSub => 5,
+        }
+    }
 }
 
 impl std::fmt::Display for UnitClass {

@@ -14,7 +14,9 @@
 //! objective.
 
 use crate::config::HwConfig;
-use crate::sim::{simulate_decoded, DecodedWorkload, IssuePolicy, SimReport, Workload};
+use crate::sim::{
+    simulate_decoded_with, DecodedWorkload, IssuePolicy, SimReport, SimScratch, Workload,
+};
 use crate::templates::Resources;
 use orianna_compiler::UnitClass;
 use std::collections::HashMap;
@@ -61,6 +63,7 @@ type SimKey = (Vec<(UnitClass, usize)>, u64, IssuePolicy);
 #[derive(Debug)]
 pub struct DseContext {
     decoded: DecodedWorkload,
+    scratch: SimScratch,
     cache: HashMap<SimKey, SimReport>,
     calls: usize,
     hits: usize,
@@ -72,6 +75,7 @@ impl DseContext {
     pub fn new(workload: &Workload<'_>) -> Self {
         Self {
             decoded: DecodedWorkload::decode(workload),
+            scratch: SimScratch::default(),
             cache: HashMap::new(),
             calls: 0,
             hits: 0,
@@ -89,7 +93,7 @@ impl DseContext {
             self.hits += 1;
             return r.clone();
         }
-        let report = simulate_decoded(&self.decoded, config, policy);
+        let report = simulate_decoded_with(&self.decoded, config, policy, &mut self.scratch);
         self.cache.insert(key, report.clone());
         report
     }

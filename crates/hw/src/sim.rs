@@ -24,8 +24,9 @@ use crate::config::HwConfig;
 use crate::templates::{energy_nj, latency, BOARD_STATIC_W, STATIC_W_PER_UNIT};
 use orianna_compiler::{Phase, Program, UnitClass};
 use orianna_math::Parallelism;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 
 /// Instruction-issue policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,14 +103,18 @@ pub struct SimReport {
     /// class — the contention signal the generator optimizes against.
     pub contention: BTreeMap<UnitClass, u64>,
     /// Sum of instruction latencies per phase (work breakdown: the
-    /// paper's Sec. 7.3 latency split).
-    pub phase_work: BTreeMap<&'static str, u64>,
+    /// paper's Sec. 7.3 latency split). Shared with the decoded workload —
+    /// configuration-independent, so every report of a DSE sweep points at
+    /// the same map instead of cloning it.
+    pub phase_work: Arc<BTreeMap<&'static str, u64>>,
     /// Instructions simulated.
     pub instructions: usize,
-    /// `(rows, cols)` of every QRD in the trace (Fig. 17 samples).
-    pub qrd_shapes: Vec<(usize, usize)>,
-    /// `(rows, cols)` of every construction-phase matmul-class op.
-    pub mm_shapes: Vec<(usize, usize)>,
+    /// `(rows, cols)` of every QRD in the trace (Fig. 17 samples); shared
+    /// with the decoded workload like [`SimReport::phase_work`].
+    pub qrd_shapes: Arc<Vec<(usize, usize)>>,
+    /// `(rows, cols)` of every construction-phase matmul-class op; shared
+    /// with the decoded workload like [`SimReport::phase_work`].
+    pub mm_shapes: Arc<Vec<(usize, usize)>>,
 }
 
 impl SimReport {
@@ -186,9 +191,9 @@ pub struct DecodedWorkload {
     /// unit pool can never reorder issue, so cycle counts are monotone
     /// non-increasing in every unit count.
     issue_order: Vec<usize>,
-    phase_work: BTreeMap<&'static str, u64>,
-    qrd_shapes: Vec<(usize, usize)>,
-    mm_shapes: Vec<(usize, usize)>,
+    phase_work: Arc<BTreeMap<&'static str, u64>>,
+    qrd_shapes: Arc<Vec<(usize, usize)>>,
+    mm_shapes: Arc<Vec<(usize, usize)>>,
     dyn_energy_nj: f64,
 }
 
@@ -248,9 +253,9 @@ impl DecodedWorkload {
         Self {
             nodes,
             issue_order,
-            phase_work,
-            qrd_shapes,
-            mm_shapes,
+            phase_work: Arc::new(phase_work),
+            qrd_shapes: Arc::new(qrd_shapes),
+            mm_shapes: Arc::new(mm_shapes),
             dyn_energy_nj,
         }
     }
@@ -302,6 +307,19 @@ pub fn try_simulate_decoded(
     Ok(simulate_decoded(decoded, config, policy))
 }
 
+/// Reusable scoreboard buffers for [`simulate_decoded_with`].
+///
+/// A DSE sweep scoreboards one decoded workload against hundreds of
+/// candidate configurations; holding the per-node finish times and the
+/// per-class unit pools here lets every evaluation after the first run
+/// without heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    finish: Vec<u64>,
+    /// Unit free-times per class, indexed by [`UnitClass::index`].
+    pools: Vec<Vec<u64>>,
+}
+
 /// Runs only the configuration-dependent scoreboard over an
 /// already-decoded workload. Bitwise identical to [`simulate`] on the
 /// workload the decode came from.
@@ -310,10 +328,27 @@ pub fn simulate_decoded(
     config: &HwConfig,
     policy: IssuePolicy,
 ) -> SimReport {
+    simulate_decoded_with(decoded, config, policy, &mut SimScratch::default())
+}
+
+/// [`simulate_decoded`] against caller-owned scratch buffers, for DSE
+/// loops that scoreboard the same workload many times.
+pub fn simulate_decoded_with(
+    decoded: &DecodedWorkload,
+    config: &HwConfig,
+    policy: IssuePolicy,
+    scratch: &mut SimScratch,
+) -> SimReport {
     let nodes = &decoded.nodes;
-    let mut finish = vec![0u64; nodes.len()];
-    let mut unit_busy: BTreeMap<UnitClass, u64> = BTreeMap::new();
-    let mut contention: BTreeMap<UnitClass, u64> = BTreeMap::new();
+    scratch.finish.clear();
+    scratch.finish.resize(nodes.len(), 0);
+    let finish = &mut scratch.finish;
+    // Per-class tallies live in flat arrays indexed by `UnitClass::index`;
+    // `seen` records which classes actually issued so the report maps keep
+    // exactly the keys the map-based scheduler produced.
+    let mut busy = [0u64; UnitClass::COUNT];
+    let mut waited = [0u64; UnitClass::COUNT];
+    let mut seen = [false; UnitClass::COUNT];
     let mut makespan = 0u64;
 
     match policy {
@@ -326,42 +361,66 @@ pub fn simulate_decoded(
                 let end = start + n.lat;
                 finish[gid] = end;
                 t = end;
-                *unit_busy.entry(n.class).or_insert(0) += n.lat;
+                let c = n.class.index();
+                busy[c] += n.lat;
+                seen[c] = true;
             }
             makespan = t;
         }
         IssuePolicy::OutOfOrder => {
             // List scheduling in the decoded ASAP priority order; each
-            // class has `count` units tracked as a min-heap of free
-            // times. The priority order is topological and fixed per
+            // class has `count` units whose free times live in a flat
+            // pool (unit counts are small, so a linear min-scan beats a
+            // heap). The priority order is topological and fixed per
             // workload (never per configuration), so every node's ready
             // time and the pool free-time multisets are monotone in unit
             // counts — adding a unit can never slow the schedule down
             // (no Graham anomalies).
-            use std::cmp::Reverse;
-            let mut free: BTreeMap<UnitClass, BinaryHeap<Reverse<u64>>> = BTreeMap::new();
+            scratch.pools.resize(UnitClass::COUNT, Vec::new());
             for c in UnitClass::ALL {
-                let mut h = BinaryHeap::new();
-                for _ in 0..config.count(c) {
-                    h.push(Reverse(0u64));
-                }
-                free.insert(c, h);
+                let pool = &mut scratch.pools[c.index()];
+                pool.clear();
+                pool.resize(config.count(c), 0);
             }
             for &gid in &decoded.issue_order {
                 let n = &nodes[gid];
                 let ready = n.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+                let c = n.class.index();
+                let pool = &mut scratch.pools[c];
                 // Every class has a non-empty pool (`HwConfig` guarantees
                 // ≥ 1 unit per class); fall back benignly instead of
                 // panicking if that invariant is ever violated.
-                let pool = free.entry(n.class).or_default();
-                let Reverse(unit_free) = pool.pop().unwrap_or(Reverse(0));
-                let start = ready.max(unit_free);
+                let start = if pool.is_empty() {
+                    pool.push(ready + n.lat);
+                    ready
+                } else {
+                    let mut mi = 0;
+                    for (i, &f) in pool.iter().enumerate().skip(1) {
+                        if f < pool[mi] {
+                            mi = i;
+                        }
+                    }
+                    let start = ready.max(pool[mi]);
+                    pool[mi] = start + n.lat;
+                    start
+                };
                 let end = start + n.lat;
-                pool.push(Reverse(end));
                 finish[gid] = end;
                 makespan = makespan.max(end);
-                *unit_busy.entry(n.class).or_insert(0) += n.lat;
-                *contention.entry(n.class).or_insert(0) += start - ready;
+                busy[c] += n.lat;
+                waited[c] += start - ready;
+                seen[c] = true;
+            }
+        }
+    }
+
+    let mut unit_busy: BTreeMap<UnitClass, u64> = BTreeMap::new();
+    let mut contention: BTreeMap<UnitClass, u64> = BTreeMap::new();
+    for c in UnitClass::ALL {
+        if seen[c.index()] {
+            unit_busy.insert(c, busy[c.index()]);
+            if policy == IssuePolicy::OutOfOrder {
+                contention.insert(c, waited[c.index()]);
             }
         }
     }
@@ -375,10 +434,10 @@ pub fn simulate_decoded(
         energy_mj: decoded.dyn_energy_nj * 1e-6 + static_mj,
         unit_busy,
         contention,
-        phase_work: decoded.phase_work.clone(),
+        phase_work: Arc::clone(&decoded.phase_work),
         instructions: nodes.len(),
-        qrd_shapes: decoded.qrd_shapes.clone(),
-        mm_shapes: decoded.mm_shapes.clone(),
+        qrd_shapes: Arc::clone(&decoded.qrd_shapes),
+        mm_shapes: Arc::clone(&decoded.mm_shapes),
     }
 }
 

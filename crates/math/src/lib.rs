@@ -36,6 +36,7 @@
 
 pub mod macs;
 pub mod mat;
+pub mod panel;
 pub mod par;
 pub mod qr;
 pub mod scratch;

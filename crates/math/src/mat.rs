@@ -155,17 +155,14 @@ impl Mat {
     pub fn mul_mat(&self, rhs: &Mat) -> Mat {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Mat::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for c in 0..rhs.cols {
-                    out[(r, c)] += a * rhs[(k, c)];
-                }
-            }
-        }
+        crate::panel::matmul_into(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         macs::record(self.rows * self.cols * rhs.cols);
         out
     }
@@ -180,18 +177,14 @@ impl Mat {
     pub fn mul_mat_into(&self, rhs: &Mat, out: &mut Mat) {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
-        out.data.fill(0.0);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for c in 0..rhs.cols {
-                    out[(r, c)] += a * rhs[(k, c)];
-                }
-            }
-        }
+        crate::panel::matmul_into(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         macs::record(self.rows * self.cols * rhs.cols);
     }
 

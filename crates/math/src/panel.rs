@@ -1,0 +1,292 @@
+//! In-place panel kernels on flat row-major `f64` buffers.
+//!
+//! The arena-backed execution path (`SolvePlan` workspaces, the compiler's
+//! register file, the hardware QR template) lays every frontal matrix out as
+//! a contiguous `rows × width` row-major panel inside one pre-sized buffer.
+//! This module provides the numeric kernels that operate directly on such
+//! panels without ever materializing a [`crate::Mat`]:
+//!
+//! * [`matmul_into`] — blocked column-panel matrix product. The output is
+//!   computed in fixed-width column chunks held in register accumulators,
+//!   but every output element still accumulates its `k` terms in ascending
+//!   order, so the result is **bitwise identical** to the naive triple loop
+//!   (and therefore reproducible across runs and thread counts).
+//! * [`triangularize`] — in-place R-only Householder triangularization.
+//!   Applies exactly the reflection schedule of [`crate::householder_qr`]
+//!   but skips the orthogonal-factor accumulation, so the panel afterwards
+//!   holds `zero_below_diag(R)` bit for bit.
+//! * [`givens_triangularize`] — in-place Givens-rotation core with the same
+//!   rotation schedule (and rotation count) as [`crate::givens_qr`].
+//!
+//! All kernels record MACs identically to the `Mat`-based paths they mirror
+//! so the paper's arithmetic-saving accounting is unaffected.
+
+use crate::macs;
+
+/// Width of the column chunk held in register accumulators by
+/// [`matmul_into`]. Four `f64`s fill a 256-bit vector register; the chunk is
+/// narrowed at the right edge of the output, never widened.
+const CHUNK: usize = 4;
+
+/// Blocked matrix product `out = a · b` on flat row-major buffers where `a`
+/// is `m×k`, `b` is `k×n` and `out` is `m×n`. Zero rows of `a` are skipped
+/// exactly like the naive kernel. Does **not** record MACs — callers that
+/// model arithmetic cost record `m·k·n` themselves.
+///
+/// # Panics
+/// Panics (in debug builds) when the slice lengths disagree with the shapes.
+pub fn matmul_into(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    out.fill(0.0);
+    let mut c0 = 0;
+    while c0 < n {
+        let w = CHUNK.min(n - c0);
+        match w {
+            4 => matmul_chunk::<4>(out, a, b, m, k, n, c0),
+            3 => matmul_chunk::<3>(out, a, b, m, k, n, c0),
+            2 => matmul_chunk::<2>(out, a, b, m, k, n, c0),
+            _ => matmul_chunk::<1>(out, a, b, m, k, n, c0),
+        }
+        c0 += w;
+    }
+}
+
+/// Computes output columns `c0..c0 + W` of `out = a · b`. Per output
+/// element the `k` terms are added in ascending order with the same
+/// zero-skip as the naive kernel, so each element is bitwise identical to
+/// the triple-loop result.
+fn matmul_chunk<const W: usize>(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    c0: usize,
+) {
+    for r in 0..m {
+        let arow = &a[r * k..(r + 1) * k];
+        let mut acc = [0.0f64; W];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n + c0..kk * n + c0 + W];
+            for (j, accj) in acc.iter_mut().enumerate() {
+                *accj += av * brow[j];
+            }
+        }
+        out[r * n + c0..r * n + c0 + W].copy_from_slice(&acc);
+    }
+}
+
+/// In-place R-only Householder triangularization of a `rows × width` panel.
+///
+/// Runs the exact reflection schedule of [`crate::householder_qr`] (same
+/// Householder vectors, same application order, same MAC accounting) but
+/// never touches an orthogonal accumulator, then zeroes the sub-diagonal the
+/// way `householder_qr` does before returning `R`. The panel afterwards is
+/// bitwise identical to `householder_qr(&a).r` for the same data. `vbuf`
+/// must hold at least `rows` elements.
+pub fn triangularize(panel: &mut [f64], rows: usize, width: usize, vbuf: &mut [f64]) {
+    debug_assert_eq!(panel.len(), rows * width);
+    debug_assert!(vbuf.len() >= rows);
+    for k in 0..width.min(rows.saturating_sub(1)) {
+        let v = &mut vbuf[..rows - k];
+        if householder_vector(panel, rows, width, k, v) {
+            reflect_left(panel, rows, width, v, k);
+        }
+    }
+    // Clean sub-diagonal residue exactly like `householder_qr`: reflections
+    // leave values around `eps · |a|` below the diagonal, which downstream
+    // keep-row scans at absolute tolerances must never see.
+    for r in 1..rows {
+        let row = &mut panel[r * width..(r + 1) * width];
+        row[..r.min(width)].fill(0.0);
+    }
+}
+
+/// Computes the normalized Householder vector annihilating column `k` of the
+/// panel below the diagonal into `v` (length `rows − k`). Returns `false`
+/// when the column is already zero there. Arithmetic mirrors the `Mat`-based
+/// helper in [`crate::qr`] operation for operation.
+pub fn householder_vector(
+    panel: &[f64],
+    rows: usize,
+    width: usize,
+    k: usize,
+    v: &mut [f64],
+) -> bool {
+    debug_assert_eq!(v.len(), rows - k);
+    let mut norm2 = 0.0;
+    for i in k..rows {
+        let x = panel[i * width + k];
+        v[i - k] = x;
+        norm2 += x * x;
+    }
+    macs::record(rows - k);
+    let below: f64 = (k + 1..rows)
+        .map(|i| panel[i * width + k] * panel[i * width + k])
+        .sum();
+    if below < 1e-300 {
+        return false;
+    }
+    let alpha = -v[0].signum() * norm2.sqrt();
+    v[0] -= alpha;
+    let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if vnorm < 1e-300 {
+        return false;
+    }
+    let inv = 1.0 / vnorm;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+    true
+}
+
+/// Applies `(I − 2 v vᵀ)` to rows `k..` of the `rows × width` panel,
+/// column-major traversal identical to the `Mat`-based helper.
+pub fn reflect_left(panel: &mut [f64], rows: usize, width: usize, v: &[f64], k: usize) {
+    debug_assert_eq!(v.len(), rows - k);
+    for c in 0..width {
+        let mut dot = 0.0;
+        for i in k..rows {
+            dot += v[i - k] * panel[i * width + c];
+        }
+        let f = 2.0 * dot;
+        for i in k..rows {
+            panel[i * width + c] -= f * v[i - k];
+        }
+        macs::record(2 * (rows - k));
+    }
+}
+
+/// In-place Givens-rotation triangularization of a `rows × width` panel.
+/// Identical rotation schedule, arithmetic and MAC accounting to
+/// [`crate::givens_qr`]; returns the rotation count that drives the
+/// hardware QR unit's latency model.
+pub fn givens_triangularize(panel: &mut [f64], rows: usize, width: usize) -> usize {
+    debug_assert_eq!(panel.len(), rows * width);
+    let mut rotations = 0;
+    for col in 0..width.min(rows) {
+        for row in (col + 1..rows).rev() {
+            let x = panel[col * width + col];
+            let y = panel[row * width + col];
+            if y.abs() < 1e-300 {
+                continue;
+            }
+            let h = x.hypot(y);
+            macs::record(3);
+            let (c, s) = (x / h, y / h);
+            for j in col..width {
+                let rc = panel[col * width + j];
+                let rr = panel[row * width + j];
+                panel[col * width + j] = c * rc + s * rr;
+                panel[row * width + j] = -s * rc + c * rr;
+            }
+            macs::record(4 * (width - col));
+            panel[row * width + col] = 0.0;
+            rotations += 1;
+        }
+    }
+    rotations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{givens_qr, householder_qr, Mat};
+
+    fn random_like(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = next();
+            }
+        }
+        m
+    }
+
+    /// The naive triple loop `mul_mat` used before blocking, kept here as
+    /// the bitwise reference.
+    fn naive_mul(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a[(r, k)];
+                if av == 0.0 {
+                    continue;
+                }
+                for c in 0..b.cols() {
+                    out[(r, c)] += av * b[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_naive() {
+        for (m, k, n, seed) in [
+            (1, 1, 1, 1),
+            (3, 4, 5, 2),
+            (4, 4, 4, 3),
+            (7, 5, 9, 4),
+            (8, 8, 13, 5),
+            (2, 9, 3, 6),
+        ] {
+            let a = random_like(m, k, seed);
+            let b = random_like(k, n, seed + 100);
+            let naive = naive_mul(&a, &b);
+            let mut blocked = vec![0.0f64; m * n];
+            matmul_into(&mut blocked, a.as_slice(), b.as_slice(), m, k, n);
+            assert_eq!(blocked.as_slice(), naive.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_skips_zero_rows_like_naive() {
+        let mut a = random_like(4, 4, 9);
+        for c in 0..4 {
+            a[(2, c)] = 0.0;
+        }
+        let b = random_like(4, 6, 10);
+        let naive = naive_mul(&a, &b);
+        let mut blocked = vec![0.0f64; 4 * 6];
+        matmul_into(&mut blocked, a.as_slice(), b.as_slice(), 4, 4, 6);
+        assert_eq!(blocked.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn triangularize_matches_householder_qr_bitwise() {
+        for (m, n, seed) in [(4, 4, 1), (6, 3, 2), (3, 5, 3), (8, 8, 4), (9, 2, 5)] {
+            let a = random_like(m, n, seed);
+            let reference = householder_qr(&a).r;
+            let mut panel = a.as_slice().to_vec();
+            let mut vbuf = vec![0.0f64; m];
+            triangularize(&mut panel, m, n, &mut vbuf);
+            assert_eq!(panel.as_slice(), reference.as_slice(), "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn givens_core_matches_givens_qr_bitwise() {
+        for (m, n, seed) in [(4, 3, 11), (5, 5, 12), (6, 2, 13)] {
+            let a = random_like(m, n, seed);
+            let (reference, ref_rot) = givens_qr(&a);
+            let mut panel = a.as_slice().to_vec();
+            let rot = givens_triangularize(&mut panel, m, n);
+            assert_eq!(rot, ref_rot);
+            assert_eq!(panel.as_slice(), reference.as_slice(), "{m}x{n}");
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::macs;
 use crate::mat::Mat;
+use crate::panel;
 use crate::scratch;
 
 /// The result of a full QR decomposition `A = Q · R`.
@@ -42,9 +43,9 @@ pub fn householder_qr(a: &Mat) -> QrFactors {
     scratch::with_buf(m, |vbuf| {
         for k in 0..n.min(m.saturating_sub(1)) {
             let v = &mut vbuf[..m - k];
-            if householder_vector_into(&r, k, v) {
-                apply_householder_left(&mut r, v, k);
-                apply_householder_left(&mut q, v, k);
+            if panel::householder_vector(r.as_slice(), m, n, k, v) {
+                panel::reflect_left(r.as_mut_slice(), m, n, v, k);
+                panel::reflect_left(q.as_mut_slice(), m, m, v, k);
             }
         }
     });
@@ -67,8 +68,8 @@ pub fn partial_qr(a: &Mat, k: usize) -> Mat {
     scratch::with_buf(m, |vbuf| {
         for col in 0..limit {
             let v = &mut vbuf[..m - col];
-            if householder_vector_into(&r, col, v) {
-                apply_householder_left(&mut r, v, col);
+            if panel::householder_vector(r.as_slice(), m, n, col, v) {
+                panel::reflect_left(r.as_mut_slice(), m, n, v, col);
             }
             // Explicitly clean the annihilated column to avoid residue.
             for row in col + 1..m {
@@ -85,26 +86,7 @@ pub fn partial_qr(a: &Mat, k: usize) -> Mat {
 pub fn givens_qr(a: &Mat) -> (Mat, usize) {
     let (m, n) = a.shape();
     let mut r = a.clone();
-    let mut rotations = 0;
-    for col in 0..n.min(m) {
-        for row in (col + 1..m).rev() {
-            let x = r[(col, col)];
-            let y = r[(row, col)];
-            if y.abs() < 1e-300 {
-                continue;
-            }
-            let (c, s) = givens(x, y);
-            for j in col..n {
-                let rc = r[(col, j)];
-                let rr = r[(row, j)];
-                r[(col, j)] = c * rc + s * rr;
-                r[(row, j)] = -s * rc + c * rr;
-            }
-            macs::record(4 * (n - col));
-            r[(row, col)] = 0.0;
-            rotations += 1;
-        }
-    }
+    let rotations = panel::givens_triangularize(r.as_mut_slice(), m, n);
     (r, rotations)
 }
 
@@ -169,54 +151,6 @@ fn givens(x: f64, y: f64) -> (f64, f64) {
     let h = x.hypot(y);
     macs::record(3);
     (x / h, y / h)
-}
-
-/// Computes the normalized Householder vector annihilating column `k` of
-/// `r` below the diagonal into the caller-provided scratch slice `v`
-/// (length `rows − k`). Returns `false` when the column is already zero
-/// there (no reflection needed).
-fn householder_vector_into(r: &Mat, k: usize, v: &mut [f64]) -> bool {
-    let m = r.rows();
-    debug_assert_eq!(v.len(), m - k);
-    let mut norm2 = 0.0;
-    for i in k..m {
-        let x = r[(i, k)];
-        v[i - k] = x;
-        norm2 += x * x;
-    }
-    macs::record(m - k);
-    let below: f64 = (k + 1..m).map(|i| r[(i, k)] * r[(i, k)]).sum();
-    if below < 1e-300 {
-        return false;
-    }
-    let alpha = -v[0].signum() * norm2.sqrt();
-    v[0] -= alpha;
-    let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-    if vnorm < 1e-300 {
-        return false;
-    }
-    let inv = 1.0 / vnorm;
-    for x in v.iter_mut() {
-        *x *= inv;
-    }
-    true
-}
-
-/// Applies `(I - 2 v v^T)` to the rows `k..` of `m`.
-fn apply_householder_left(m: &mut Mat, v: &[f64], k: usize) {
-    let (rows, cols) = m.shape();
-    debug_assert_eq!(v.len(), rows - k);
-    for c in 0..cols {
-        let mut dot = 0.0;
-        for i in k..rows {
-            dot += v[i - k] * m[(i, c)];
-        }
-        let f = 2.0 * dot;
-        for i in k..rows {
-            m[(i, c)] -= f * v[i - k];
-        }
-        macs::record(2 * (rows - k));
-    }
 }
 
 fn zero_below_diag(mut r: Mat) -> Mat {

@@ -18,8 +18,30 @@ thread_local! {
 /// Runs `f` with a zeroed scratch slice of length `len` drawn from the
 /// calling thread's buffer pool. Re-entrant: nested calls receive
 /// distinct buffers.
+///
+/// Size-aware: the pool hands out the **smallest** pooled buffer whose
+/// capacity already fits `len` (best fit), falling back to the largest
+/// buffer (which then grows once) when none fits. Alternating large/small
+/// requests therefore stop thrashing the pool with reallocations — the big
+/// buffers keep serving big requests and the small ones the small requests.
 pub fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
-    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    let mut buf = POOL
+        .with(|p| {
+            let mut pool = p.borrow_mut();
+            let mut best_fit: Option<(usize, usize)> = None;
+            let mut largest: Option<(usize, usize)> = None;
+            for (i, b) in pool.iter().enumerate() {
+                let cap = b.capacity();
+                if cap >= len && best_fit.is_none_or(|(_, c)| cap < c) {
+                    best_fit = Some((i, cap));
+                }
+                if largest.is_none_or(|(_, c)| cap > c) {
+                    largest = Some((i, cap));
+                }
+            }
+            best_fit.or(largest).map(|(i, _)| pool.swap_remove(i))
+        })
+        .unwrap_or_default();
     buf.clear();
     buf.resize(len, 0.0);
     let out = f(&mut buf);
@@ -62,5 +84,31 @@ mod tests {
     #[test]
     fn handles_zero_length() {
         with_buf(0, |b| assert!(b.is_empty()));
+    }
+
+    #[test]
+    fn best_fit_pops_smallest_buffer_that_fits() {
+        POOL.with(|p| p.borrow_mut().clear());
+        // Seed the pool with one small (8) and one large (1024) buffer.
+        with_buf(1024, |_| with_buf(8, |_| {}));
+        // A 4-element request is served by the small buffer; the large one
+        // stays pooled at full capacity for the next large request.
+        with_buf(4, |_| {
+            POOL.with(|p| {
+                let pool = p.borrow();
+                assert_eq!(pool.len(), 1);
+                assert!(pool[0].capacity() >= 1024);
+            });
+        });
+    }
+
+    #[test]
+    fn oversized_request_grows_the_largest_buffer() {
+        POOL.with(|p| p.borrow_mut().clear());
+        with_buf(16, |b| b.fill(1.0));
+        with_buf(32, |b| {
+            assert_eq!(b.len(), 32);
+            assert!(b.iter().all(|&x| x == 0.0));
+        });
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::elimination::{EliminationStats, SolveError};
 use crate::plan::{PlanCache, SolvePlan};
+use crate::workspace::Workspace;
 use orianna_graph::{min_degree_ordering, natural_ordering, FactorGraph, Ordering};
 use orianna_math::{Parallelism, Vec64};
 
@@ -136,6 +137,12 @@ impl GaussNewton {
         let mut converged = error <= s.abs_tol;
         let mut iterations = 0;
         let mut plan: Option<std::sync::Arc<SolvePlan>> = None;
+        let mut plan_fp: Option<u64> = None;
+        // Serial solves run against a reusable workspace arena: taken from
+        // the cache (parked there by an earlier solve over the same
+        // topology) or allocated once, then allocation-free per iteration.
+        let mut ws: Option<Workspace> = None;
+        let use_arena = !s.parallelism.is_parallel();
 
         while iterations < s.max_iterations && !converged {
             iterations += 1;
@@ -144,18 +151,31 @@ impl GaussNewton {
                 // Lazy: already-converged graphs never pay the symbolic
                 // phase (and keep returning Ok even when structurally
                 // unsolvable, matching the pre-plan behavior).
-                plan = Some(cache.get_or_build(
-                    sys.structure_fingerprint(),
-                    s.ordering.cache_tag(),
-                    || {
-                        let ordering = s.ordering.resolve(graph);
-                        SolvePlan::for_system(&sys, ordering.as_slice())
-                    },
-                )?);
+                let fp = sys.structure_fingerprint();
+                let built = cache.get_or_build(fp, s.ordering.cache_tag(), || {
+                    let ordering = s.ordering.resolve(graph);
+                    SolvePlan::for_system(&sys, ordering.as_slice())
+                })?;
+                if use_arena {
+                    ws = Some(
+                        cache
+                            .take_workspace(fp, s.ordering.cache_tag())
+                            .unwrap_or_else(|| built.workspace()),
+                    );
+                }
+                plan = Some(built);
+                plan_fp = Some(fp);
             }
-            let (bn, stats) = plan.as_ref().unwrap().execute(&sys, &s.parallelism)?;
-            last_stats = stats;
-            let delta = bn.back_substitute()?;
+            let plan_ref = plan.as_ref().unwrap();
+            let owned_delta;
+            let delta: &Vec64 = if let Some(w) = ws.as_mut() {
+                plan_ref.solve_in(&sys, w)?
+            } else {
+                let (bn, stats) = plan_ref.execute(&sys, &s.parallelism)?;
+                last_stats = stats;
+                owned_delta = bn.back_substitute()?;
+                &owned_delta
+            };
 
             // Step-halving line search. Trial steps only move the
             // estimates, so each candidate is scored by re-evaluating the
@@ -184,6 +204,15 @@ impl GaussNewton {
             if error <= s.abs_tol || improvement <= s.rel_tol {
                 converged = true;
             }
+        }
+
+        // Arena path: the workspace holds the final iteration's stats;
+        // park the arena for the next solve over this topology.
+        if let (Some(w), Some(fp)) = (ws.take(), plan_fp) {
+            last_stats = EliminationStats {
+                steps: w.stats().to_vec(),
+            };
+            cache.store_workspace(fp, s.ordering.cache_tag(), w);
         }
 
         Ok(GaussNewtonReport {

@@ -21,10 +21,11 @@
 
 use crate::elimination::{eliminate_step, Conditional, SolveError};
 use crate::plan::SolvePlan;
+use crate::workspace::Workspace;
 use orianna_graph::{
     Factor, LinearContainerFactor, LinearFactor, LinearSystem, Values, VarId, Variable,
 };
-use orianna_math::{Mat, Parallelism, Vec64};
+use orianna_math::{Mat, Vec64};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -46,6 +47,9 @@ pub struct IncrementalSolver {
     /// [`relinearize`](IncrementalSolver::relinearize) only moves the
     /// linearization point, so consecutive relinearizations reuse it.
     plan: Option<SolvePlan>,
+    /// Reusable arena workspace of the cached plan, invalidated with it.
+    /// Consecutive relinearizations re-solve without allocating panels.
+    ws: Option<Workspace>,
     /// Full rebuilds that built a fresh plan.
     plan_builds: usize,
     /// Full rebuilds that reused the cached plan.
@@ -84,6 +88,7 @@ impl IncrementalSolver {
         let id = self.lin_point.insert(init);
         self.delta.extend(&Vec64::zeros(d));
         self.plan = None;
+        self.ws = None;
         id
     }
 
@@ -119,6 +124,7 @@ impl IncrementalSolver {
         // The factor set (and possibly the variable set) changes below:
         // any cached rebuild plan is for a stale topology.
         self.plan = None;
+        self.ws = None;
         // 1. Linearize the new factors at the linearization point.
         let mut new_linear: Vec<LinearFactor> = Vec::with_capacity(new_factors.len());
         for f in &new_factors {
@@ -266,6 +272,7 @@ impl IncrementalSolver {
         }
         self.marginalized.insert(v);
         self.plan = None;
+        self.ws = None;
         // 4. Rebuild the Bayes net at the unchanged linearization point.
         self.rebuild()
     }
@@ -310,12 +317,13 @@ impl IncrementalSolver {
         } else {
             self.plan = Some(SolvePlan::for_system(&sys, &order)?);
             self.plan_builds += 1;
+            self.ws = None;
         }
-        let (bn, _) = self
-            .plan
-            .as_ref()
-            .unwrap()
-            .execute(&sys, &Parallelism::serial())?;
+        // Eliminate through the plan's workspace arena: relinearization
+        // re-solves in the same panels with zero steady-state allocation.
+        let plan = self.plan.as_ref().unwrap();
+        let ws = self.ws.get_or_insert_with(|| plan.workspace());
+        let (bn, _) = plan.execute_in(&sys, ws)?;
         self.conditionals = bn.conditionals;
         self.conditionals.sort_by_key(|c| c.var);
         self.back_substitute()?;

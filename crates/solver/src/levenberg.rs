@@ -13,6 +13,7 @@
 use crate::elimination::SolveError;
 use crate::gauss_newton::OrderingChoice;
 use crate::plan::SolvePlan;
+use crate::workspace::Workspace;
 use orianna_graph::{FactorGraph, LinearFactor, LinearSystem};
 use orianna_math::{Mat, Parallelism, Vec64};
 
@@ -123,6 +124,10 @@ impl LevenbergMarquardt {
             var_dims: Vec::new(),
         };
         let mut plan: Option<SolvePlan> = None;
+        // Serial solves reuse one workspace arena across iterations —
+        // damping changes values only, so the layout stays valid.
+        let mut ws: Option<Workspace> = None;
+        let use_arena = !s.parallelism.is_parallel();
 
         while iterations < s.max_iterations && !converged && lambda <= s.max_lambda {
             iterations += 1;
@@ -132,9 +137,17 @@ impl LevenbergMarquardt {
                 let ordering = s.ordering.resolve(graph);
                 plan = Some(SolvePlan::for_system(&sys, ordering.as_slice())?);
             }
-            let (bn, _) = plan.as_ref().unwrap().execute(&sys, &s.parallelism)?;
-            let delta = bn.back_substitute()?;
-            let candidate = graph.values().retract_all(&delta);
+            let plan_ref = plan.as_ref().unwrap();
+            let owned_delta;
+            let delta: &Vec64 = if use_arena {
+                let w = ws.get_or_insert_with(|| plan_ref.workspace());
+                plan_ref.solve_in(&sys, w)?
+            } else {
+                let (bn, _) = plan_ref.execute(&sys, &s.parallelism)?;
+                owned_delta = bn.back_substitute()?;
+                &owned_delta
+            };
+            let candidate = graph.values().retract_all(delta);
             let new_error = graph.total_error_with(&candidate);
             if new_error < error {
                 *graph.values_mut() = candidate;

@@ -43,6 +43,7 @@ pub mod gauss_newton;
 pub mod incremental;
 pub mod levenberg;
 pub mod plan;
+pub mod workspace;
 
 pub use elimination::{
     eliminate, eliminate_with, BayesNet, Conditional, EliminationStats, SolveError,
@@ -52,3 +53,4 @@ pub use incremental::IncrementalSolver;
 pub use levenberg::{LevenbergMarquardt, LevenbergMarquardtReport, LevenbergMarquardtSettings};
 pub use orianna_math::Parallelism;
 pub use plan::{PlanCache, SolvePlan};
+pub use workspace::Workspace;

@@ -46,6 +46,7 @@
 use crate::elimination::{
     eliminate_step, eliminate_step_with_seps, BayesNet, Conditional, EliminationStats, SolveError,
 };
+use crate::workspace::{ArenaError, Workspace, WorkspaceLayout};
 use orianna_graph::{FactorGraph, LinearFactor, LinearSystem, VarId};
 use orianna_math::par::{run_tasks, Parallelism};
 use std::collections::HashMap;
@@ -265,6 +266,8 @@ pub struct SolvePlan {
     num_base_factors: usize,
     serial: Schedule,
     batched: Schedule,
+    /// Arena layout of the serial schedule (see [`crate::workspace`]).
+    layout: WorkspaceLayout,
 }
 
 impl SolvePlan {
@@ -316,6 +319,27 @@ impl SolvePlan {
         }
         let serial = build_serial(&var_dims, factor_keys, factor_rows, order)?;
         let batched = build_batched(&var_dims, factor_keys, factor_rows, order)?;
+        let step_view: Vec<_> = serial
+            .steps
+            .iter()
+            .map(|s| {
+                (
+                    s.var,
+                    s.gather.as_slice(),
+                    s.seps.as_slice(),
+                    s.rows,
+                    s.cols,
+                    s.new_slot,
+                )
+            })
+            .collect();
+        let layout = WorkspaceLayout::build(
+            &step_view,
+            factor_keys.len(),
+            factor_keys,
+            factor_rows,
+            &var_dims,
+        );
         Ok(Self {
             fingerprint,
             order: order.to_vec(),
@@ -323,6 +347,7 @@ impl SolvePlan {
             num_base_factors: factor_keys.len(),
             serial,
             batched,
+            layout,
         })
     }
 
@@ -391,6 +416,100 @@ impl SolvePlan {
             },
             EliminationStats { steps },
         ))
+    }
+
+    /// Allocates a reusable [`Workspace`] sized for this plan's arena
+    /// layout: one flat buffer holding every elimination panel at a
+    /// precomputed offset, plus the scratch vectors and Δ. Create it once
+    /// and pass it to [`SolvePlan::solve_in`] /
+    /// [`SolvePlan::execute_in`] every iteration.
+    pub fn workspace(&self) -> Workspace {
+        self.layout.workspace(self.fingerprint)
+    }
+
+    /// Arena-backed serial solve: eliminate **and** back-substitute
+    /// entirely inside `ws`, returning a borrow of the solved Δ. Bitwise
+    /// identical to `execute(serial) + back_substitute`, but steady-state
+    /// **allocation-free** (asserted by a counting-allocator test): gather
+    /// is slice copies into pre-laid-out panels, QR runs in place, and the
+    /// conditionals are read straight out of the arena.
+    ///
+    /// The one exception is the rare run where a planned separator factor
+    /// sheds every row numerically — the executor then falls back to the
+    /// allocating reference path (still bitwise identical).
+    ///
+    /// # Errors
+    /// [`SolveError::PlanMismatch`] when `sys` or `ws` do not belong to
+    /// this plan; otherwise the usual elimination errors.
+    pub fn solve_in<'w>(
+        &self,
+        sys: &LinearSystem,
+        ws: &'w mut Workspace,
+    ) -> Result<&'w orianna_math::Vec64, SolveError> {
+        if !self.matches(sys) || ws.fingerprint != self.fingerprint {
+            return Err(SolveError::PlanMismatch);
+        }
+        match self.layout.eliminate_in(sys, ws) {
+            Ok(()) => {
+                self.layout.back_substitute_in(ws)?;
+                Ok(&ws.delta)
+            }
+            Err(ArenaError::Fallback) => {
+                let (conditionals, stats) = self.run_serial(sys)?;
+                let bn = BayesNet {
+                    conditionals,
+                    var_dims: (*self.var_dims).clone(),
+                };
+                let delta = bn.back_substitute()?;
+                ws.stats.clear();
+                ws.stats.extend(stats);
+                ws.delta = delta;
+                Ok(&ws.delta)
+            }
+            Err(ArenaError::Solve(e)) => Err(e),
+        }
+    }
+
+    /// Arena-backed variant of [`SolvePlan::execute`] (serial schedule):
+    /// eliminates inside `ws` and materializes the conditionals into an
+    /// owned [`BayesNet`] for callers that keep them (the incremental
+    /// solver). The panels, scratch and stats buffers are still reused —
+    /// only the returned conditionals allocate.
+    ///
+    /// # Errors
+    /// Same as [`SolvePlan::solve_in`].
+    pub fn execute_in(
+        &self,
+        sys: &LinearSystem,
+        ws: &mut Workspace,
+    ) -> Result<(BayesNet, EliminationStats), SolveError> {
+        if !self.matches(sys) || ws.fingerprint != self.fingerprint {
+            return Err(SolveError::PlanMismatch);
+        }
+        match self.layout.eliminate_in(sys, ws) {
+            Ok(()) => Ok((
+                BayesNet {
+                    conditionals: self.layout.extract_conditionals(ws),
+                    var_dims: (*self.var_dims).clone(),
+                },
+                EliminationStats {
+                    steps: ws.stats.clone(),
+                },
+            )),
+            Err(ArenaError::Fallback) => {
+                let (conditionals, steps) = self.run_serial(sys)?;
+                ws.stats.clear();
+                ws.stats.extend(steps.iter().cloned());
+                Ok((
+                    BayesNet {
+                        conditionals,
+                        var_dims: (*self.var_dims).clone(),
+                    },
+                    EliminationStats { steps },
+                ))
+            }
+            Err(ArenaError::Solve(e)) => Err(e),
+        }
     }
 
     /// Serial numeric sweep over the serial schedule.
@@ -520,6 +639,10 @@ fn store_new_factor(
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
     plans: HashMap<(u64, u8), Arc<SolvePlan>>,
+    /// Parked workspaces, keyed like the plans they belong to. Solvers
+    /// take one before iterating and store it back afterwards, so repeated
+    /// solves over the same topology reuse the arena allocation.
+    workspaces: HashMap<(u64, u8), Workspace>,
     hits: usize,
     misses: usize,
 }
@@ -551,6 +674,20 @@ impl PlanCache {
         debug_assert_eq!(plan.fingerprint(), fingerprint);
         self.plans.insert((fingerprint, tag), Arc::clone(&plan));
         Ok(plan)
+    }
+
+    /// Takes the parked workspace for `(fingerprint, tag)`, if any. The
+    /// caller owns it for the duration of a solve and should park it back
+    /// with [`PlanCache::store_workspace`].
+    pub fn take_workspace(&mut self, fingerprint: u64, tag: u8) -> Option<Workspace> {
+        self.workspaces.remove(&(fingerprint, tag))
+    }
+
+    /// Parks a workspace for reuse by the next solve over the same
+    /// structure.
+    pub fn store_workspace(&mut self, fingerprint: u64, tag: u8, ws: Workspace) {
+        debug_assert_eq!(ws.fingerprint(), fingerprint);
+        self.workspaces.insert((fingerprint, tag), ws);
     }
 
     /// Plans served from the cache.
@@ -734,6 +871,108 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn arena_solve_is_bitwise_identical_to_eliminate() {
+        let g = looped_chain(9);
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let mut ws = plan.workspace();
+        let sys = g.linearize();
+        let (bn_ref, st_ref) = eliminate(&sys, &ordering).unwrap();
+        let delta_ref = bn_ref.back_substitute().unwrap();
+        let delta = plan.solve_in(&sys, &mut ws).unwrap();
+        assert_eq!(delta.as_slice(), delta_ref.as_slice());
+        assert_eq!(ws.stats(), st_ref.steps.as_slice());
+    }
+
+    #[test]
+    fn arena_solve_is_reusable_across_relinearizations() {
+        let mut g = looped_chain(7);
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let mut ws = plan.workspace();
+        for _ in 0..3 {
+            let sys = g.linearize();
+            let fresh = eliminate(&sys, &ordering)
+                .unwrap()
+                .0
+                .back_substitute()
+                .unwrap();
+            let delta = plan.solve_in(&sys, &mut ws).unwrap().clone();
+            assert_eq!(delta.as_slice(), fresh.as_slice());
+            g.retract_all(&delta);
+        }
+    }
+
+    #[test]
+    fn arena_execute_matches_execute() {
+        let g = looped_chain(8);
+        let ordering = natural_ordering(&g);
+        let sys = g.linearize();
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).unwrap();
+        let mut ws = plan.workspace();
+        let (bn_ref, st_ref) = plan.execute(&sys, &Parallelism::serial()).unwrap();
+        let (bn, st) = plan.execute_in(&sys, &mut ws).unwrap();
+        assert_eq!(st.steps, st_ref.steps);
+        assert_eq!(bn.conditionals.len(), bn_ref.conditionals.len());
+        for (a, b) in bn.conditionals.iter().zip(&bn_ref.conditionals) {
+            assert_eq!(a.var, b.var);
+            assert_eq!(a.r.as_slice(), b.r.as_slice());
+            assert_eq!(a.rhs.as_slice(), b.rhs.as_slice());
+            assert_eq!(a.parents.len(), b.parents.len());
+            for ((pa, sa), (pb, sb)) in a.parents.iter().zip(&b.parents) {
+                assert_eq!(pa, pb);
+                assert_eq!(sa.as_slice(), sb.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_solve_supports_subset_orders() {
+        let g = looped_chain(6);
+        let sys = g.linearize();
+        let order: Vec<VarId> = (0..3).map(VarId).collect();
+        let plan = SolvePlan::for_system(&sys, &order).unwrap();
+        let mut ws = plan.workspace();
+        let reference = plan
+            .execute(&sys, &Parallelism::serial())
+            .unwrap()
+            .0
+            .back_substitute()
+            .unwrap();
+        let delta = plan.solve_in(&sys, &mut ws).unwrap();
+        assert_eq!(delta.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn stale_workspace_is_rejected() {
+        let g = looped_chain(5);
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let other = looped_chain(6);
+        let other_plan = SolvePlan::for_graph(&other, natural_ordering(&other).as_slice()).unwrap();
+        let mut wrong_ws = other_plan.workspace();
+        let err = plan.solve_in(&g.linearize(), &mut wrong_ws).unwrap_err();
+        assert_eq!(err, SolveError::PlanMismatch);
+    }
+
+    #[test]
+    fn plan_cache_parks_and_returns_workspaces() {
+        let g = looped_chain(6);
+        let fp = g.structure_fingerprint();
+        let ordering = natural_ordering(&g);
+        let mut cache = PlanCache::new();
+        let plan = cache
+            .get_or_build(fp, 0, || SolvePlan::for_graph(&g, ordering.as_slice()))
+            .unwrap();
+        assert!(cache.take_workspace(fp, 0).is_none());
+        let ws = plan.workspace();
+        cache.store_workspace(fp, 0, ws);
+        let ws = cache.take_workspace(fp, 0).expect("parked workspace");
+        assert_eq!(ws.fingerprint(), fp);
+        assert!(cache.take_workspace(fp, 0).is_none());
     }
 
     #[test]

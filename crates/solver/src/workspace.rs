@@ -1,0 +1,512 @@
+//! Arena-backed numeric execution of a [`SolvePlan`](crate::plan::SolvePlan).
+//!
+//! The symbolic phase knows every structural shape of every elimination
+//! step, so it can also lay the *numeric* phase out in memory ahead of
+//! time: each step owns one contiguous row-major **panel** of
+//! `rows × (cols + 1)` doubles (`[frontal | separators | rhs]`, the paper's
+//! `Ā`) at a fixed offset inside a single flat arena. A [`WorkspaceLayout`]
+//! records those offsets plus precomputed gather copy-lists (which factor
+//! block or producer-panel column range lands at which destination column),
+//! and a [`Workspace`] is the reusable allocation: the arena, a Householder
+//! scratch vector, the Δ vector, and the per-step statistics buffer.
+//!
+//! Steady-state execution ([`SolvePlan::solve_in`]) then performs **zero
+//! heap allocations**: gather is `copy_from_slice` into the panel,
+//! triangularization runs in place ([`orianna_math::panel::triangularize`],
+//! which skips the never-used orthogonal factor), the separator factor is
+//! compacted upward inside the same panel, and back-substitution reads the
+//! conditional blocks straight out of the arena. The workspace survives
+//! GN/LM iterations, `PlanCache` hits, and incremental re-solves.
+//!
+//! Numeric results are **bitwise identical** to the plan-less serial path:
+//! the panels stack the same rows in the same order, the in-place
+//! triangularization replicates `householder_qr`'s reflection schedule
+//! (including its sub-diagonal cleanup), and back-substitution mirrors
+//! `BayesNet::back_substitute` term for term.
+//!
+//! One rare case cannot be served from the arena: when a producing step
+//! sheds *every* separator row numerically, the plan-less path re-derives a
+//! smaller separator layout for the consumer. The executor detects this
+//! ([`ArenaError::Fallback`]) and the caller re-runs the allocating
+//! reference path, preserving bitwise identity at the cost of allocations
+//! for that solve only.
+
+use crate::elimination::{Conditional, EliminationStep, SolveError};
+use orianna_graph::{LinearSystem, VarId};
+use orianna_math::{macs, panel, Mat, Vec64};
+
+/// One separator column group of a panel: where its block lives in the
+/// panel and where its Δ segment lives in the stacked delta vector.
+#[derive(Debug, Clone)]
+pub(crate) struct SepCol {
+    /// Separator variable.
+    pub var: VarId,
+    /// Offset of the variable's segment in Δ.
+    pub delta_off: usize,
+    /// Tangent dimension of the variable.
+    pub width: usize,
+    /// First panel column of the block.
+    pub col: usize,
+}
+
+/// Where one gathered operand of a panel comes from.
+#[derive(Debug, Clone)]
+pub(crate) enum GatherSrc {
+    /// A base factor of the linear system: copy each Jacobian block to its
+    /// destination column and the factor RHS to the last panel column.
+    Base {
+        /// Index into `sys.factors`.
+        factor: usize,
+        /// Row count of the factor.
+        rows: usize,
+        /// `(block index, destination column, width)` per factor key.
+        copies: Vec<(usize, usize, usize)>,
+    },
+    /// The separator factor produced by an earlier step: copy its kept
+    /// rows (compacted at row `dv` of the producer panel) column-group by
+    /// column-group.
+    Step {
+        /// Index of the producing step.
+        step: usize,
+        /// `(source column, destination column, width)` segments, RHS
+        /// included as the final width-1 segment.
+        segs: Vec<(usize, usize, usize)>,
+    },
+}
+
+/// Precomputed layout of one elimination step's panel.
+#[derive(Debug, Clone)]
+pub(crate) struct PanelLayout {
+    /// Frontal variable.
+    pub var: VarId,
+    /// Arena offset of the panel.
+    pub offset: usize,
+    /// Structural row bound (actual stacked rows can be fewer).
+    pub rows: usize,
+    /// Panel width: frontal + separator columns + 1 RHS column.
+    pub width: usize,
+    /// Frontal dimension.
+    pub dv: usize,
+    /// Gather copy-lists in plan gather order.
+    pub srcs: Vec<GatherSrc>,
+    /// Offset of the frontal variable's segment in Δ.
+    pub var_offset: usize,
+    /// Separator column groups in layout (sorted-id) order.
+    pub sep_cols: Vec<SepCol>,
+}
+
+/// The full arena layout of a plan's serial schedule.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkspaceLayout {
+    pub panels: Vec<PanelLayout>,
+    /// Total arena length in doubles.
+    pub arena_len: usize,
+    /// Largest panel row count (sizes the Householder scratch vector).
+    pub max_rows: usize,
+    /// Largest frontal dimension (sizes the back-substitution RHS buffer).
+    pub max_dv: usize,
+    /// Length of the stacked Δ vector.
+    pub delta_len: usize,
+}
+
+/// Why the arena executor could not complete a run.
+pub(crate) enum ArenaError {
+    /// A planned separator factor shed every row; the separator layout of
+    /// a downstream step no longer matches the symbolic one. Re-run the
+    /// allocating reference path.
+    Fallback,
+    /// A genuine solve failure (same as the reference path would report).
+    Solve(SolveError),
+}
+
+impl WorkspaceLayout {
+    /// Computes panel offsets and gather copy-lists from a serial
+    /// schedule's symbolic steps. `steps` supplies, per step:
+    /// `(var, gather slots, seps, structural rows, cols, new_slot)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn build(
+        steps: &[(VarId, &[usize], &[VarId], usize, usize, Option<usize>)],
+        num_base_factors: usize,
+        factor_keys: &[Vec<VarId>],
+        factor_rows: &[usize],
+        var_dims: &[usize],
+    ) -> Self {
+        let mut var_offsets = Vec::with_capacity(var_dims.len());
+        let mut delta_len = 0;
+        for &d in var_dims {
+            var_offsets.push(delta_len);
+            delta_len += d;
+        }
+        // Which step fills each reserved separator slot.
+        let mut producer_of = vec![usize::MAX; num_base_factors + steps.len()];
+        for (i, st) in steps.iter().enumerate() {
+            if let Some(slot) = st.5 {
+                if slot >= producer_of.len() {
+                    producer_of.resize(slot + 1, usize::MAX);
+                }
+                producer_of[slot] = i;
+            }
+        }
+        let mut panels = Vec::with_capacity(steps.len());
+        let mut offset = 0;
+        let mut max_rows = 0;
+        let mut max_dv = 0;
+        for &(var, gather, seps, rows, cols, _) in steps {
+            let dv = var_dims[var.0];
+            let width = cols + 1;
+            // Destination column of a variable in this panel's layout.
+            let col_of = |k: VarId| -> usize {
+                if k == var {
+                    return 0;
+                }
+                let mut off = dv;
+                for s in seps {
+                    if *s == k {
+                        break;
+                    }
+                    off += var_dims[s.0];
+                }
+                off
+            };
+            let srcs = gather
+                .iter()
+                .map(|&slot| {
+                    if slot < num_base_factors {
+                        let copies = factor_keys[slot]
+                            .iter()
+                            .enumerate()
+                            .map(|(bi, k)| (bi, col_of(*k), var_dims[k.0]))
+                            .collect();
+                        GatherSrc::Base {
+                            factor: slot,
+                            rows: factor_rows[slot],
+                            copies,
+                        }
+                    } else {
+                        let p = producer_of[slot];
+                        let (_, _, p_seps, _, p_cols, _) = steps[p];
+                        let p_dv = var_dims[steps[p].0 .0];
+                        let mut segs = Vec::with_capacity(p_seps.len() + 1);
+                        let mut src_col = p_dv;
+                        for s in p_seps {
+                            let w = var_dims[s.0];
+                            segs.push((src_col, col_of(*s), w));
+                            src_col += w;
+                        }
+                        // Producer RHS column → this panel's RHS column.
+                        segs.push((p_cols, cols, 1));
+                        GatherSrc::Step { step: p, segs }
+                    }
+                })
+                .collect();
+            let sep_cols = seps
+                .iter()
+                .map(|s| SepCol {
+                    var: *s,
+                    delta_off: var_offsets[s.0],
+                    width: var_dims[s.0],
+                    col: col_of(*s),
+                })
+                .collect();
+            panels.push(PanelLayout {
+                var,
+                offset,
+                rows,
+                width,
+                dv,
+                srcs,
+                var_offset: var_offsets[var.0],
+                sep_cols,
+            });
+            offset += rows * width;
+            max_rows = max_rows.max(rows);
+            max_dv = max_dv.max(dv);
+        }
+        Self {
+            panels,
+            arena_len: offset,
+            max_rows,
+            max_dv,
+            delta_len,
+        }
+    }
+
+    /// Allocates a workspace sized for this layout.
+    pub(crate) fn workspace(&self, fingerprint: u64) -> Workspace {
+        Workspace {
+            fingerprint,
+            arena: vec![0.0; self.arena_len],
+            vbuf: vec![0.0; self.max_rows],
+            rhs_buf: vec![0.0; self.max_dv],
+            live_rows: vec![0; self.panels.len()],
+            delta: Vec64::zeros(self.delta_len),
+            stats: Vec::with_capacity(self.panels.len()),
+        }
+    }
+
+    /// Runs the full elimination sweep inside `ws`'s arena. Allocation-free.
+    ///
+    /// After `Ok(())`, each panel holds its conditional in rows `0..dv`
+    /// (upper-triangular `R`, separator blocks, RHS in the last column) and
+    /// its kept separator-factor rows compacted at rows `dv..dv + kept`;
+    /// `ws.live_rows[i]` records `kept` and `ws.stats` the per-step
+    /// size/density records.
+    pub(crate) fn eliminate_in(
+        &self,
+        sys: &LinearSystem,
+        ws: &mut Workspace,
+    ) -> Result<(), ArenaError> {
+        ws.stats.clear();
+        for (i, pl) in self.panels.iter().enumerate() {
+            // Producers live at smaller offsets, so split the arena to
+            // read them while writing this panel.
+            let (head, tail) = ws.arena.split_at_mut(pl.offset);
+            let panel_buf = &mut tail[..pl.rows * pl.width];
+            panel_buf.fill(0.0);
+
+            // Gather: stack sources in plan order, bitwise the rows the
+            // plan-less path stacks via `Mat::set_block`.
+            let mut row = 0usize;
+            let mut gathered = 0usize;
+            for src in &pl.srcs {
+                match src {
+                    GatherSrc::Base {
+                        factor,
+                        rows,
+                        copies,
+                    } => {
+                        let f = &sys.factors[*factor];
+                        for &(bi, dst_col, w) in copies {
+                            let blk = &f.blocks[bi];
+                            for r in 0..*rows {
+                                panel_buf[(row + r) * pl.width + dst_col
+                                    ..(row + r) * pl.width + dst_col + w]
+                                    .copy_from_slice(blk.row(r));
+                            }
+                        }
+                        for r in 0..*rows {
+                            panel_buf[(row + r) * pl.width + pl.width - 1] = f.rhs[r];
+                        }
+                        row += rows;
+                        gathered += 1;
+                    }
+                    GatherSrc::Step { step, segs } => {
+                        let live = ws.live_rows[*step];
+                        if live == 0 {
+                            // The producer shed every row: the plan-less
+                            // path would re-derive a smaller separator
+                            // layout here. Bail to the reference path.
+                            return Err(ArenaError::Fallback);
+                        }
+                        let pp = &self.panels[*step];
+                        let src_panel = &head[pp.offset..pp.offset + pp.rows * pp.width];
+                        for r in 0..live {
+                            let srow = (pp.dv + r) * pp.width;
+                            let drow = (row + r) * pl.width;
+                            for &(sc, dc, w) in segs {
+                                panel_buf[drow + dc..drow + dc + w]
+                                    .copy_from_slice(&src_panel[srow + sc..srow + sc + w]);
+                            }
+                        }
+                        row += live;
+                        gathered += 1;
+                    }
+                }
+            }
+
+            // Size/density record, identical to the reference's
+            // `abar.block(0, 0, rows, cols).density(1e-14)`.
+            let cols = pl.width - 1;
+            let mut nnz = 0usize;
+            for r in 0..row {
+                nnz += panel_buf[r * pl.width..r * pl.width + cols]
+                    .iter()
+                    .filter(|x| x.abs() > 1e-14)
+                    .count();
+            }
+            let cells = row * cols;
+            ws.stats.push(EliminationStep {
+                var: pl.var,
+                rows: row,
+                cols,
+                density: if cells == 0 {
+                    0.0
+                } else {
+                    nnz as f64 / cells as f64
+                },
+                gathered,
+            });
+
+            if row < pl.dv {
+                return Err(ArenaError::Solve(SolveError::SingularVariable(pl.var)));
+            }
+
+            // In-place R-only triangularization: bitwise identical to
+            // `householder_qr(&abar).r` on the same stacked rows.
+            panel::triangularize(
+                &mut panel_buf[..row * pl.width],
+                row,
+                pl.width,
+                &mut ws.vbuf[..row.max(1)],
+            );
+
+            for d in 0..pl.dv {
+                if panel_buf[d * pl.width + d].abs() < 1e-12 {
+                    return Err(ArenaError::Solve(SolveError::SingularVariable(pl.var)));
+                }
+            }
+
+            // Separator factor: keep the numerically non-trivial rows of
+            // `dv..min(row, cols + 1)` and compact them to start at `dv`.
+            let mut kept = 0usize;
+            if !pl.sep_cols.is_empty() {
+                let last = row.min(pl.width);
+                for r in pl.dv..last {
+                    let base = r * pl.width;
+                    let nonzero = panel_buf[base + pl.dv..base + pl.width]
+                        .iter()
+                        .any(|x| x.abs() > 1e-12);
+                    if nonzero {
+                        let dst = (pl.dv + kept) * pl.width;
+                        if dst != base {
+                            panel_buf.copy_within(base..base + pl.width, dst);
+                        }
+                        kept += 1;
+                    }
+                }
+            }
+            ws.live_rows[i] = kept;
+        }
+        Ok(())
+    }
+
+    /// Back-substitution straight out of the arena, mirroring
+    /// `BayesNet::back_substitute` (same accumulation order, same MAC
+    /// accounting, same singularity threshold). Allocation-free; fills
+    /// `ws.delta`.
+    pub(crate) fn back_substitute_in(&self, ws: &mut Workspace) -> Result<(), SolveError> {
+        ws.delta.as_mut_slice().fill(0.0);
+        for pl in self.panels.iter().rev() {
+            let panel_buf = &ws.arena[pl.offset..pl.offset + pl.rows * pl.width];
+            let rb = &mut ws.rhs_buf[..pl.dv];
+            for (d, r) in rb.iter_mut().enumerate() {
+                *r = panel_buf[d * pl.width + pl.width - 1];
+            }
+            // rhs − Σ Sⱼ Δ_parent, one parent at a time like the reference.
+            for sc in &pl.sep_cols {
+                let dp = &ws.delta.as_slice()[sc.delta_off..sc.delta_off + sc.width];
+                for (d, r) in rb.iter_mut().enumerate() {
+                    let srow = d * pl.width + sc.col;
+                    let mut acc = 0.0;
+                    for (c, dv_c) in dp.iter().enumerate() {
+                        acc += panel_buf[srow + c] * dv_c;
+                    }
+                    *r -= acc;
+                }
+                // `mul_vec` records dv·w MACs and the subtraction dv more.
+                macs::record(pl.dv * sc.width + pl.dv);
+            }
+            // Triangular solve of the dv×dv diagonal block, mirroring
+            // `triangular::back_substitute` (rb doubles as x: entry j > i
+            // already holds Δⱼ when row i reads it).
+            for i in (0..pl.dv).rev() {
+                let mut acc = rb[i];
+                let prow = i * pl.width;
+                for j in i + 1..pl.dv {
+                    acc -= panel_buf[prow + j] * rb[j];
+                }
+                macs::record(pl.dv - i);
+                let d = panel_buf[prow + i];
+                if d.abs() < 1e-13 {
+                    return Err(SolveError::SingularVariable(pl.var));
+                }
+                rb[i] = acc / d;
+            }
+            ws.delta.as_mut_slice()[pl.var_offset..pl.var_offset + pl.dv].copy_from_slice(rb);
+        }
+        Ok(())
+    }
+
+    /// Materializes the conditionals held in the arena into an owned list
+    /// (elimination order), for callers that need a
+    /// [`BayesNet`](crate::elimination::BayesNet). Allocates.
+    pub(crate) fn extract_conditionals(&self, ws: &Workspace) -> Vec<Conditional> {
+        self.panels
+            .iter()
+            .map(|pl| {
+                let panel_buf = &ws.arena[pl.offset..pl.offset + pl.rows * pl.width];
+                let mut r = Mat::zeros(pl.dv, pl.dv);
+                for d in 0..pl.dv {
+                    r.row_mut(d)
+                        .copy_from_slice(&panel_buf[d * pl.width..d * pl.width + pl.dv]);
+                }
+                let parents = pl
+                    .sep_cols
+                    .iter()
+                    .map(|sc| {
+                        let mut s = Mat::zeros(pl.dv, sc.width);
+                        for d in 0..pl.dv {
+                            let srow = d * pl.width + sc.col;
+                            s.row_mut(d)
+                                .copy_from_slice(&panel_buf[srow..srow + sc.width]);
+                        }
+                        (sc.var, s)
+                    })
+                    .collect();
+                let mut rhs = Vec64::zeros(pl.dv);
+                for d in 0..pl.dv {
+                    rhs[d] = panel_buf[d * pl.width + pl.width - 1];
+                }
+                Conditional {
+                    var: pl.var,
+                    r,
+                    parents,
+                    rhs,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The reusable numeric state of arena-backed execution: one flat arena
+/// holding every panel, plus the scratch vectors and outputs. Created by
+/// [`SolvePlan::workspace`](crate::plan::SolvePlan::workspace); valid only
+/// for the plan (fingerprint) that created it.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    pub(crate) fingerprint: u64,
+    pub(crate) arena: Vec<f64>,
+    /// Householder scratch (`max_rows` long).
+    pub(crate) vbuf: Vec<f64>,
+    /// Back-substitution RHS scratch (`max_dv` long).
+    pub(crate) rhs_buf: Vec<f64>,
+    /// Kept separator-factor rows per step, refreshed every run.
+    pub(crate) live_rows: Vec<usize>,
+    /// The solved Δ of the latest run.
+    pub(crate) delta: Vec64,
+    /// Per-step size/density records of the latest run.
+    pub(crate) stats: Vec<EliminationStep>,
+}
+
+impl Workspace {
+    /// Fingerprint of the plan this workspace was sized for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The Δ vector computed by the latest [`SolvePlan::solve_in`]
+    /// (crate::plan::SolvePlan::solve_in) run.
+    pub fn delta(&self) -> &Vec64 {
+        &self.delta
+    }
+
+    /// Per-step statistics of the latest run (elimination order).
+    pub fn stats(&self) -> &[EliminationStep] {
+        &self.stats
+    }
+
+    /// Arena footprint in doubles (panel storage only).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+}
