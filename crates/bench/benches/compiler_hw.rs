@@ -7,9 +7,10 @@ use orianna_apps::all_apps;
 use orianna_compiler::{compile, execute, UnitClass};
 use orianna_graph::natural_ordering;
 use orianna_hw::{
-    simulate, simulate_decoded, simulate_decoded_with, DecodedWorkload, HwConfig, IssuePolicy,
-    SimScratch, Workload,
+    simulate, simulate_decoded, simulate_decoded_with, DecodedWorkload, DseContext, HwConfig,
+    IssuePolicy, Objective, Resources, SimScratch, SweepMode, Workload,
 };
+use orianna_math::Parallelism;
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
@@ -127,11 +128,56 @@ fn bench_dse_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The context-level sweep: exhaustive vs bound-first pruned, serial vs
+/// multi-threaded. Every variant returns the bitwise-same winner and
+/// frontier; the benchmark measures what that guarantee costs (or saves).
+fn bench_dse_context_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse_context_sweep");
+    group.sample_size(10);
+    let apps = all_apps(2024);
+    let algo = apps[3].algorithm("localization");
+    let prog = compile(&algo.graph, &natural_ordering(&algo.graph)).unwrap();
+    let wl = Workload::single("loc", &prog);
+    let decoded = DecodedWorkload::decode(&wl);
+    let configs = dse_configs();
+    let roomy = Resources {
+        lut: u64::MAX / 4,
+        ff: u64::MAX / 4,
+        bram: u64::MAX / 4,
+        dsp: u64::MAX / 4,
+    };
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut ctx = DseContext::with_decoded(
+                        decoded.clone(),
+                        Parallelism::with_threads(threads),
+                    );
+                    ctx.sweep(&configs, &roomy, Objective::Latency, SweepMode::Exhaustive)
+                        .evaluated
+                })
+            },
+        );
+    }
+    group.bench_function("pruned_serial", |b| {
+        b.iter(|| {
+            let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
+            ctx.sweep(&configs, &roomy, Objective::Latency, SweepMode::Pruned)
+                .evaluated
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile,
     bench_execute,
     bench_scheduler,
-    bench_dse_sweep
+    bench_dse_sweep,
+    bench_dse_context_sweep
 );
 criterion_main!(benches);

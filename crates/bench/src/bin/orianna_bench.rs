@@ -14,8 +14,8 @@ use orianna_apps::all_apps;
 use orianna_compiler::{compile, UnitClass};
 use orianna_graph::natural_ordering;
 use orianna_hw::{
-    simulate_decoded, simulate_decoded_with, DecodedWorkload, HwConfig, IssuePolicy, SimScratch,
-    Workload,
+    simulate_decoded, simulate_decoded_with, DecodedWorkload, DseContext, HwConfig, IssuePolicy,
+    Objective, Resources, SimScratch, SweepMode, Workload,
 };
 use orianna_math::Parallelism;
 use orianna_solver::{eliminate, SolvePlan};
@@ -168,7 +168,9 @@ fn dse_configs() -> Vec<HwConfig> {
 }
 
 /// Simulator baselines: a 200-configuration scoreboard sweep with fresh
-/// per-call scratch vs a reused [`SimScratch`].
+/// per-call scratch vs a reused [`SimScratch`], then the [`DseContext`]
+/// sweep at 1/2/4/8 threads and with bound-first pruning, plus a
+/// 64-rung uniform ladder where pruning crosses the saturation knee.
 fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
     let mut results = Results {
         entries: Vec::new(),
@@ -200,12 +202,113 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
         std::hint::black_box(total);
     });
 
+    // DseContext sweeps: exhaustive at 1/2/4/8 threads, plus the
+    // branch-and-bound mode. Each rep builds a fresh context from a
+    // clone of the pre-decoded workload so no rep inherits the previous
+    // rep's memo.
+    let roomy = Resources {
+        lut: u64::MAX / 4,
+        ff: u64::MAX / 4,
+        bram: u64::MAX / 4,
+        dsp: u64::MAX / 4,
+    };
+    let sweep_row = |results: &mut Results, name: &str, threads: usize, mode: SweepMode| {
+        let decoded = &decoded;
+        let configs = &configs;
+        let roomy = &roomy;
+        results.record(name, 1, move || {
+            let mut ctx =
+                DseContext::with_decoded(decoded.clone(), Parallelism::with_threads(threads));
+            let report = ctx.sweep(configs, roomy, Objective::Latency, mode);
+            std::hint::black_box((report.evaluated, report.skipped_bound));
+        });
+    };
+    for threads in [1usize, 2, 4, 8] {
+        sweep_row(
+            &mut results,
+            &format!("dse_sweep_200/parallel{threads}"),
+            threads,
+            SweepMode::Exhaustive,
+        );
+    }
+    sweep_row(&mut results, "dse_sweep_200/pruned", 1, SweepMode::Pruned);
+    sweep_row(
+        &mut results,
+        "dse_sweep_200/pruned_parallel4",
+        4,
+        SweepMode::Pruned,
+    );
+    {
+        let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
+        let r = ctx.sweep(&configs, &roomy, Objective::Latency, SweepMode::Pruned);
+        println!(
+            "  dse_sweep_200 pruning: {} evaluated, {} bound-skipped, frontier {}",
+            r.evaluated,
+            r.skipped_bound,
+            ctx.frontier().len()
+        );
+    }
+
+    // A uniform replication ladder on the manipulator localization
+    // workload crosses the saturation knee (cycles flatten at the
+    // critical path), the regime where dominance pruning retires
+    // candidates without scoreboard walks. The quadrotor stream above
+    // stays on the ramp at every rung, so it is the wrong subject here.
+    let manip = apps[1].algorithm("localization");
+    let manip_prog = compile(&manip.graph, &natural_ordering(&manip.graph)).unwrap();
+    let manip_wl = Workload::single("manip_loc", &manip_prog);
+    let manip_decoded = DecodedWorkload::decode(&manip_wl);
+    let ladder: Vec<HwConfig> = (1..=64usize)
+        .map(|k| HwConfig::with_counts(&UnitClass::ALL.map(|c| (c, k))))
+        .collect();
+    {
+        let ladder = &ladder;
+        let decoded = &manip_decoded;
+        let roomy = &roomy;
+        results.record("dse_ladder_64/exhaustive", 1, || {
+            let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
+            let report = ctx.sweep(ladder, roomy, Objective::Latency, SweepMode::Exhaustive);
+            std::hint::black_box(report.evaluated);
+        });
+        results.record("dse_ladder_64/pruned", 1, || {
+            let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
+            let report = ctx.sweep(ladder, roomy, Objective::Latency, SweepMode::Pruned);
+            std::hint::black_box((report.evaluated, report.skipped_bound));
+        });
+        let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
+        let r = ctx.sweep(ladder, roomy, Objective::Latency, SweepMode::Pruned);
+        println!(
+            "  dse_ladder_64 pruning: {} evaluated, {} bound-skipped",
+            r.evaluated, r.skipped_bound
+        );
+    }
+
     let fresh = results.get("dse_sweep_200/fresh") as f64;
     let scratch_ns = results.get("dse_sweep_200/scratch") as f64;
-    let speedups = vec![(
+    let serial_sweep = results.get("dse_sweep_200/parallel1") as f64;
+    let mut speedups = vec![(
         "scratch_vs_fresh/dse_sweep_200".to_string(),
         fresh / scratch_ns,
     )];
+    for threads in [2usize, 4, 8] {
+        let t = results.get(&format!("dse_sweep_200/parallel{threads}")) as f64;
+        speedups.push((
+            format!("parallel{threads}_vs_serial/dse_sweep_200"),
+            serial_sweep / t,
+        ));
+    }
+    speedups.push((
+        "pruned_vs_exhaustive/dse_sweep_200".to_string(),
+        serial_sweep / results.get("dse_sweep_200/pruned") as f64,
+    ));
+    speedups.push((
+        "combined_vs_serial/dse_sweep_200".to_string(),
+        serial_sweep / results.get("dse_sweep_200/pruned_parallel4") as f64,
+    ));
+    speedups.push((
+        "pruned_vs_exhaustive/dse_ladder_64".to_string(),
+        results.get("dse_ladder_64/exhaustive") as f64 / results.get("dse_ladder_64/pruned") as f64,
+    ));
     (results, speedups)
 }
 

@@ -45,7 +45,7 @@ pub mod templates;
 pub use config::{HwConfig, CLOCK_MHZ};
 pub use generator::{
     generate, generate_with, manual_matmul_heavy, manual_qr_heavy, manual_uniform, DseContext,
-    GeneratorResult, Objective,
+    GeneratorResult, Objective, ParetoPoint, SweepMode, SweepReport,
 };
 pub use sim::{
     critical_path_cycles, simulate, simulate_batch, simulate_decoded, simulate_decoded_with,

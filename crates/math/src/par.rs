@@ -41,12 +41,24 @@ pub struct Parallelism {
 }
 
 impl Default for Parallelism {
-    /// All available cores.
+    /// The `ORIANNA_THREADS` environment override when set (and a valid
+    /// positive integer), otherwise all available cores. This is the one
+    /// thread knob of the workspace: the solver's iteration loops and the
+    /// hardware DSE sweeps both start from `Parallelism::default()`, so a
+    /// single environment variable pins every parallel section at once.
     fn default() -> Self {
         Self {
-            threads: available_threads(),
+            threads: env_threads().unwrap_or_else(available_threads),
         }
     }
+}
+
+/// Parses the `ORIANNA_THREADS` override; `None` when unset or not a
+/// positive integer (values are clamped to ≥ 1 like
+/// [`Parallelism::with_threads`]).
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("ORIANNA_THREADS").ok()?;
+    raw.trim().parse::<usize>().ok().map(|t| t.max(1))
 }
 
 impl Parallelism {
@@ -193,6 +205,58 @@ where
     run_tasks(par.threads, tasks)
 }
 
+/// Runs up to `min(par.threads, workers)` copies of `f` on scoped worker
+/// threads and returns their outputs in worker-id order.
+///
+/// This is the borrow-friendly sibling of [`run_tasks`]: the closure may
+/// capture references to caller-owned data (scoped threads, no `'static`
+/// bound), which is what the hardware sweeps need — a worker borrows the
+/// decoded workload and the candidate configurations while owning its
+/// per-worker scratch. Callers distribute work themselves, typically by
+/// pulling indices from a shared `AtomicUsize`, and must merge results by
+/// item index (never by completion order) to stay deterministic.
+///
+/// Worker 0 runs on the calling thread, so progress never depends on the
+/// scheduler; with `par.threads <= 1` or `workers <= 1` the single worker
+/// runs inline and the call is the serial reference path. A panicking
+/// worker propagates to the caller when the scope joins.
+pub fn scoped_workers<R, F>(par: &Parallelism, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = par.threads.min(workers).max(1);
+    if n == 1 {
+        return vec![f(0)];
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (first, rest) = out.split_first_mut().expect("n >= 1");
+        let f = &f;
+        let handles: Vec<_> = rest
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| s.spawn(move || *slot = Some(f(i + 1))))
+            .collect();
+        // Run worker 0 inline, guarded so a panic still joins the spawned
+        // workers before unwinding (mirroring `run_tasks`); the original
+        // payload is re-raised with its message intact.
+        let inline = catch_unwind(AssertUnwindSafe(|| *first = Some(f(0))));
+        let mut panic = inline.err();
+        for h in handles {
+            if let Err(p) = h.join() {
+                panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every worker produced a result"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +342,77 @@ mod tests {
         assert_eq!(Parallelism::with_threads(0).threads, 1);
         assert!(!Parallelism::serial().is_parallel());
         assert!(Parallelism::with_threads(4).is_parallel());
+    }
+
+    #[test]
+    fn orianna_threads_env_override() {
+        // `env_threads` parses the override directly so the assertion does
+        // not race other tests reading `Parallelism::default()`.
+        std::env::set_var("ORIANNA_THREADS", "3");
+        assert_eq!(env_threads(), Some(3));
+        assert_eq!(Parallelism::default().threads, 3);
+        std::env::set_var("ORIANNA_THREADS", "0");
+        assert_eq!(env_threads(), Some(1), "zero clamps to one");
+        std::env::set_var("ORIANNA_THREADS", "not-a-number");
+        assert_eq!(env_threads(), None, "garbage falls back to cores");
+        std::env::remove_var("ORIANNA_THREADS");
+        assert_eq!(env_threads(), None);
+        assert!(Parallelism::default().threads >= 1);
+    }
+
+    #[test]
+    fn scoped_workers_runs_every_worker_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let par = Parallelism::with_threads(threads);
+            let out = scoped_workers(&par, 6, |id| id * 10);
+            let expect: Vec<usize> = (0..threads.min(6)).map(|id| id * 10).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_workers_drain_shared_counter_deterministically() {
+        // The canonical usage: workers pull item indices from a shared
+        // counter and the caller merges by index. Every item is processed
+        // exactly once at any thread count.
+        let items: Vec<u64> = (0..97).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let next = AtomicUsize::new(0);
+            let per_worker =
+                scoped_workers(&Parallelism::with_threads(threads), items.len(), |_| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, items[i] * items[i]));
+                    }
+                    done
+                });
+            let mut merged = vec![0u64; items.len()];
+            let mut count = 0usize;
+            for chunk in per_worker {
+                for (i, v) in chunk {
+                    merged[i] = v;
+                    count += 1;
+                }
+            }
+            assert_eq!(count, items.len(), "threads={threads}");
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(merged[i], item * item);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped boom")]
+    fn scoped_worker_panics_propagate() {
+        scoped_workers(&Parallelism::with_threads(4), 4, |id| {
+            if id == 2 {
+                panic!("scoped boom");
+            }
+            id
+        });
     }
 }

@@ -1,0 +1,276 @@
+//! DSE pruning and parallelism soundness.
+//!
+//! The hardware sweep ([`DseContext::sweep`]) promises that branch-and-
+//! bound pruning and multi-threaded evaluation are pure optimizations:
+//! the selected design, its simulation report, and the Pareto frontier
+//! must be bitwise identical to a serial exhaustive sweep. This module
+//! checks that promise differentially, the same way [`crate::oracle`]
+//! checks the compiled numeric path against the analytic one.
+
+use orianna_hw::{
+    DseContext, HwConfig, Objective, ParetoPoint, Resources, SimReport, SweepMode, SweepReport,
+    Workload,
+};
+use orianna_math::Parallelism;
+
+/// A violated DSE-equivalence invariant.
+#[derive(Debug, Clone)]
+pub enum DseViolation {
+    /// One sweep found an in-budget winner, the other did not.
+    WinnerExistence {
+        /// Label of the diverging sweep (mode + thread count).
+        sweep: String,
+        /// Whether the serial exhaustive baseline found a winner.
+        baseline_found: bool,
+    },
+    /// The sweeps picked different configurations.
+    BestConfigDiverges {
+        /// Label of the diverging sweep.
+        sweep: String,
+        /// Baseline unit counts, in `UnitClass::ALL` order.
+        want: Vec<usize>,
+        /// Diverging unit counts.
+        got: Vec<usize>,
+    },
+    /// Same configuration, different simulation report.
+    BestReportDiverges {
+        /// Label of the diverging sweep.
+        sweep: String,
+        /// The report field that differs.
+        field: &'static str,
+    },
+    /// The Pareto frontiers differ.
+    FrontierDiverges {
+        /// Label of the diverging sweep.
+        sweep: String,
+        /// Baseline frontier size.
+        want_len: usize,
+        /// Diverging frontier size.
+        got_len: usize,
+        /// First differing index (`want_len` when only the sizes differ).
+        index: usize,
+    },
+    /// A sweep's counters do not add up to the candidate count.
+    SkipAccounting {
+        /// Label of the offending sweep.
+        sweep: String,
+        /// Candidates paid for with a scoreboard walk.
+        evaluated: usize,
+        /// Candidates answered from the memo.
+        cache_hits: usize,
+        /// Candidates pruned via admissible bounds.
+        skipped_bound: usize,
+        /// Candidates over the resource budget.
+        skipped_budget: usize,
+        /// Length of the candidate list.
+        candidates: usize,
+    },
+    /// An exhaustive sweep reported bound skips.
+    PhantomSkips {
+        /// Label of the offending sweep.
+        sweep: String,
+        /// Number of bound skips reported.
+        skipped_bound: usize,
+    },
+}
+
+impl std::fmt::Display for DseViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseViolation::WinnerExistence {
+                sweep,
+                baseline_found,
+            } => write!(
+                f,
+                "{sweep}: baseline {} a winner but this sweep did not agree",
+                if *baseline_found { "found" } else { "did not find" }
+            ),
+            DseViolation::BestConfigDiverges { sweep, want, got } => {
+                write!(f, "{sweep}: best config {got:?} != baseline {want:?}")
+            }
+            DseViolation::BestReportDiverges { sweep, field } => {
+                write!(f, "{sweep}: winner report field `{field}` diverges")
+            }
+            DseViolation::FrontierDiverges {
+                sweep,
+                want_len,
+                got_len,
+                index,
+            } => write!(
+                f,
+                "{sweep}: frontier diverges at point {index} ({got_len} points vs baseline {want_len})"
+            ),
+            DseViolation::SkipAccounting {
+                sweep,
+                evaluated,
+                cache_hits,
+                skipped_bound,
+                skipped_budget,
+                candidates,
+            } => write!(
+                f,
+                "{sweep}: {evaluated} evaluated + {cache_hits} cached + {skipped_bound} bound-skipped \
+                 + {skipped_budget} budget-skipped != {candidates} candidates"
+            ),
+            DseViolation::PhantomSkips {
+                sweep,
+                skipped_bound,
+            } => write!(f, "{sweep}: exhaustive sweep claims {skipped_bound} bound skips"),
+        }
+    }
+}
+
+impl std::error::Error for DseViolation {}
+
+fn counts_of(config: &HwConfig) -> Vec<usize> {
+    orianna_compiler::UnitClass::ALL
+        .iter()
+        .map(|c| config.count(*c))
+        .collect()
+}
+
+/// Field-by-field report comparison (bitwise on floats: the sweep
+/// promises identical reports, not merely close ones).
+fn report_diff(a: &SimReport, b: &SimReport) -> Option<&'static str> {
+    if a.cycles != b.cycles {
+        return Some("cycles");
+    }
+    if a.time_ms.to_bits() != b.time_ms.to_bits() {
+        return Some("time_ms");
+    }
+    if a.energy_mj.to_bits() != b.energy_mj.to_bits() {
+        return Some("energy_mj");
+    }
+    if a.instructions != b.instructions {
+        return Some("instructions");
+    }
+    if a.unit_busy != b.unit_busy {
+        return Some("unit_busy");
+    }
+    if a.contention != b.contention {
+        return Some("contention");
+    }
+    None
+}
+
+fn frontier_diff(want: &[ParetoPoint], got: &[ParetoPoint]) -> Option<usize> {
+    for (i, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+        let same = w.config == g.config
+            && w.cycles == g.cycles
+            && w.energy_mj.to_bits() == g.energy_mj.to_bits()
+            && w.resources == g.resources;
+        if !same {
+            return Some(i);
+        }
+    }
+    if want.len() != got.len() {
+        return Some(want.len().min(got.len()));
+    }
+    None
+}
+
+fn check_one(
+    sweep: String,
+    baseline: &SweepReport,
+    baseline_frontier: &[ParetoPoint],
+    got: &SweepReport,
+    got_frontier: &[ParetoPoint],
+    mode: SweepMode,
+    candidates: usize,
+) -> Result<(), DseViolation> {
+    if got.evaluated + got.cache_hits + got.skipped_bound + got.skipped_budget != candidates {
+        return Err(DseViolation::SkipAccounting {
+            sweep,
+            evaluated: got.evaluated,
+            cache_hits: got.cache_hits,
+            skipped_bound: got.skipped_bound,
+            skipped_budget: got.skipped_budget,
+            candidates,
+        });
+    }
+    if mode == SweepMode::Exhaustive && got.skipped_bound != 0 {
+        return Err(DseViolation::PhantomSkips {
+            sweep,
+            skipped_bound: got.skipped_bound,
+        });
+    }
+    match (&baseline.best, &got.best) {
+        (None, None) => {}
+        (Some((wc, wr)), Some((gc, gr))) => {
+            if wc != gc {
+                return Err(DseViolation::BestConfigDiverges {
+                    sweep,
+                    want: counts_of(wc),
+                    got: counts_of(gc),
+                });
+            }
+            if let Some(field) = report_diff(wr, gr) {
+                return Err(DseViolation::BestReportDiverges { sweep, field });
+            }
+        }
+        (want, _) => {
+            return Err(DseViolation::WinnerExistence {
+                sweep,
+                baseline_found: want.is_some(),
+            });
+        }
+    }
+    if let Some(index) = frontier_diff(baseline_frontier, got_frontier) {
+        return Err(DseViolation::FrontierDiverges {
+            sweep,
+            want_len: baseline_frontier.len(),
+            got_len: got_frontier.len(),
+            index,
+        });
+    }
+    Ok(())
+}
+
+/// Checks that every `(thread count, sweep mode)` combination — plus a
+/// context built with the workspace-default parallelism, i.e. the
+/// `ORIANNA_THREADS` knob — reproduces the serial exhaustive sweep
+/// exactly: same winner, same report bits, same Pareto frontier.
+///
+/// # Errors
+/// Returns the first [`DseViolation`] found.
+pub fn check_dse(
+    workload: &Workload<'_>,
+    candidates: &[HwConfig],
+    budget: &Resources,
+    objective: Objective,
+    threads: &[usize],
+) -> Result<(), DseViolation> {
+    let mut baseline_ctx = DseContext::with_parallelism(workload, Parallelism::serial());
+    let baseline = baseline_ctx.sweep(candidates, budget, objective, SweepMode::Exhaustive);
+    check_one(
+        "serial exhaustive".to_string(),
+        &baseline,
+        baseline_ctx.frontier(),
+        &baseline,
+        baseline_ctx.frontier(),
+        SweepMode::Exhaustive,
+        candidates.len(),
+    )?;
+
+    let mut runs: Vec<(String, Parallelism)> = threads
+        .iter()
+        .map(|&t| (format!("{t} threads"), Parallelism::with_threads(t)))
+        .collect();
+    runs.push(("default parallelism".to_string(), Parallelism::default()));
+    for (label, par) in runs {
+        for mode in [SweepMode::Exhaustive, SweepMode::Pruned] {
+            let mut ctx = DseContext::with_parallelism(workload, par);
+            let got = ctx.sweep(candidates, budget, objective, mode);
+            check_one(
+                format!("{label}, {mode:?}"),
+                &baseline,
+                baseline_ctx.frontier(),
+                &got,
+                ctx.frontier(),
+                mode,
+                candidates.len(),
+            )?;
+        }
+    }
+    Ok(())
+}

@@ -18,6 +18,9 @@
 //! * [`simcheck`] — cycle-level simulator invariants (OoO ≤ in-order,
 //!   critical path is a lower bound, more units never hurt,
 //!   batch ≡ sequential);
+//! * [`dsecheck`] — design-space-exploration equivalence: the pruned,
+//!   multi-threaded hardware sweep must pick the bitwise-same design and
+//!   Pareto frontier as a serial exhaustive sweep;
 //! * [`snapshot`] — golden mnemonic-stream snapshots of the compiled
 //!   applications with an `ORIANNA_BLESS=1` update flow.
 //!
@@ -25,11 +28,13 @@
 //! scale with the `ORIANNA_VERIFY_CASES` environment variable so CI can
 //! run a bounded smoke pass while local runs go deeper.
 
+pub mod dsecheck;
 pub mod gen;
 pub mod oracle;
 pub mod simcheck;
 pub mod snapshot;
 
+pub use dsecheck::{check_dse, DseViolation};
 pub use gen::{generate, Family, GenConfig};
 pub use oracle::{check_graph, OracleFailure, OracleReport};
 pub use simcheck::{check_batch, check_workload, sample_configs, SimViolation};
