@@ -62,6 +62,10 @@ fn median_ns(warmup: usize, reps: usize, mut f: impl FnMut()) -> u128 {
 
 struct Results {
     entries: Vec<(String, u128)>,
+    /// Raw per-rep samples for rows recorded via
+    /// [`record_interleaved`](Self::record_interleaved), kept so ratios
+    /// within the family can be computed *paired* (rep i vs rep i).
+    samples: Vec<(String, Vec<u128>)>,
     reps: usize,
 }
 
@@ -72,12 +76,90 @@ impl Results {
         self.entries.push((name.to_string(), ns));
     }
 
+    /// Records a family of rows whose medians will be *compared to each
+    /// other*: reps are interleaved round-robin across the rows so that
+    /// slow clock/thermal drift over the run biases every row equally
+    /// instead of systematically penalizing whichever row is measured
+    /// last. Sequential blocks (plain [`record`](Self::record)) showed
+    /// ~2% drift between identical code paths, which is larger than the
+    /// effects the sweep-family ratios report.
+    fn record_interleaved(
+        &mut self,
+        mut rows: Vec<(String, Box<dyn FnMut() + '_>)>,
+        warmup: usize,
+    ) {
+        for (_, f) in rows.iter_mut() {
+            for _ in 0..warmup {
+                f();
+            }
+        }
+        let mut samples: Vec<Vec<u128>> = vec![Vec::with_capacity(self.reps); rows.len()];
+        for _ in 0..self.reps {
+            for ((_, f), s) in rows.iter_mut().zip(samples.iter_mut()) {
+                let t = Instant::now();
+                f();
+                s.push(t.elapsed().as_nanos());
+            }
+        }
+        for ((name, _), s) in rows.into_iter().zip(samples) {
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            let ns = sorted[sorted.len() / 2];
+            println!("  {name}: {ns} ns");
+            self.entries.push((name.clone(), ns));
+            self.samples.push((name, s));
+        }
+    }
+
     fn get(&self, name: &str) -> u128 {
         self.entries
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, ns)| *ns)
             .expect("entry recorded")
+    }
+
+    /// Re-records `canonical`'s measurement under `alias`. Used when
+    /// the cost gate collapses two requested widths to the same
+    /// executable configuration on this host (e.g. every auto width
+    /// clamps to one worker on a single-core box): the rows then run
+    /// identical code, and measuring them separately would only report
+    /// timer noise as a phantom speedup or slowdown.
+    fn alias(&mut self, alias: &str, canonical: &str) {
+        let ns = self.get(canonical);
+        println!("  {alias}: {ns} ns (gated to the same configuration as {canonical})");
+        self.entries.push((alias.to_string(), ns));
+        let s = self
+            .samples
+            .iter()
+            .find(|(n, _)| n == canonical)
+            .map(|(_, s)| s.clone())
+            .expect("canonical row has interleaved samples");
+        self.samples.push((alias.to_string(), s));
+    }
+
+    /// Median of the per-rep ratios `base_i / other_i` between two rows
+    /// of one interleaved family. Pairing cancels the drift the two
+    /// rows share (rep i of each row ran back-to-back), so this is a
+    /// far tighter speedup estimator than a ratio of two independent
+    /// medians — for identical code paths it converges on 1.0 instead
+    /// of 1.0 ± the block-to-block drift.
+    fn paired_speedup(&self, base: &str, other: &str) -> f64 {
+        let find = |name: &str| {
+            self.samples
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s)
+                .expect("interleaved row recorded")
+        };
+        let (b, o) = (find(base), find(other));
+        let mut ratios: Vec<f64> = b
+            .iter()
+            .zip(o)
+            .map(|(&b, &o)| b as f64 / o as f64)
+            .collect();
+        ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+        ratios[ratios.len() / 2]
     }
 }
 
@@ -115,6 +197,7 @@ fn to_json(mode: &str, reps: usize, results: &Results, speedups: &[(String, f64)
 fn bench_solver(reps: usize) -> (Results, Vec<(String, f64)>) {
     let mut results = Results {
         entries: Vec::new(),
+        samples: Vec::new(),
         reps,
     };
     let mut speedups = Vec::new();
@@ -174,6 +257,7 @@ fn dse_configs() -> Vec<HwConfig> {
 fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
     let mut results = Results {
         entries: Vec::new(),
+        samples: Vec::new(),
         reps,
     };
     let apps = all_apps(2024);
@@ -212,32 +296,59 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
         bram: u64::MAX / 4,
         dsp: u64::MAX / 4,
     };
-    let sweep_row = |results: &mut Results, name: &str, threads: usize, mode: SweepMode| {
+    // Auto mode is what the fix ships: the requested width is a
+    // *budget*, clamped to real cores and cost-gated per sweep, so the
+    // parallel rows measure the gated configuration users actually get
+    // rather than a forced oversubscription. The four exhaustive rows
+    // are compared against each other, so their reps interleave.
+    let make_sweep = |threads: usize, mode: SweepMode| {
         let decoded = &decoded;
         let configs = &configs;
         let roomy = &roomy;
-        results.record(name, 1, move || {
+        move || {
             let mut ctx =
-                DseContext::with_decoded(decoded.clone(), Parallelism::with_threads(threads));
+                DseContext::with_decoded(decoded.clone(), Parallelism::auto_with_threads(threads));
             let report = ctx.sweep(configs, roomy, Objective::Latency, mode);
             std::hint::black_box((report.evaluated, report.skipped_bound));
-        });
+        }
     };
+    // Requested widths whose gated budget collapses to the same
+    // configuration (every width, on a single-core host) execute
+    // identical code and share one measurement via `Results::alias`.
+    let budget =
+        |threads: usize| Parallelism::auto_with_threads(threads).effective_threads(u64::MAX);
+    let mut sweep_family: Vec<(String, Box<dyn FnMut() + '_>)> = Vec::new();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut canonical: Vec<(usize, String)> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        sweep_row(
-            &mut results,
-            &format!("dse_sweep_200/parallel{threads}"),
-            threads,
-            SweepMode::Exhaustive,
-        );
+        let name = format!("dse_sweep_200/parallel{threads}");
+        let b = budget(threads);
+        if let Some((_, canon)) = canonical.iter().find(|(cb, _)| *cb == b) {
+            aliases.push((name, canon.clone()));
+        } else {
+            canonical.push((b, name.clone()));
+            sweep_family.push((name, Box::new(make_sweep(threads, SweepMode::Exhaustive))));
+        }
     }
-    sweep_row(&mut results, "dse_sweep_200/pruned", 1, SweepMode::Pruned);
-    sweep_row(
-        &mut results,
-        "dse_sweep_200/pruned_parallel4",
-        4,
-        SweepMode::Pruned,
-    );
+    sweep_family.push((
+        "dse_sweep_200/pruned".into(),
+        Box::new(make_sweep(1, SweepMode::Pruned)),
+    ));
+    if budget(4) == budget(1) {
+        aliases.push((
+            "dse_sweep_200/pruned_parallel4".into(),
+            "dse_sweep_200/pruned".into(),
+        ));
+    } else {
+        sweep_family.push((
+            "dse_sweep_200/pruned_parallel4".into(),
+            Box::new(make_sweep(4, SweepMode::Pruned)),
+        ));
+    }
+    results.record_interleaved(sweep_family, 1);
+    for (alias, canon) in aliases {
+        results.alias(&alias, &canon);
+    }
     {
         let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
         let r = ctx.sweep(&configs, &roomy, Objective::Latency, SweepMode::Pruned);
@@ -285,25 +396,28 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
 
     let fresh = results.get("dse_sweep_200/fresh") as f64;
     let scratch_ns = results.get("dse_sweep_200/scratch") as f64;
-    let serial_sweep = results.get("dse_sweep_200/parallel1") as f64;
     let mut speedups = vec![(
         "scratch_vs_fresh/dse_sweep_200".to_string(),
         fresh / scratch_ns,
     )];
+    // The sweep family was measured interleaved, so its ratios use the
+    // paired per-rep estimator — see `Results::paired_speedup`.
     for threads in [2usize, 4, 8] {
-        let t = results.get(&format!("dse_sweep_200/parallel{threads}")) as f64;
         speedups.push((
             format!("parallel{threads}_vs_serial/dse_sweep_200"),
-            serial_sweep / t,
+            results.paired_speedup(
+                "dse_sweep_200/parallel1",
+                &format!("dse_sweep_200/parallel{threads}"),
+            ),
         ));
     }
     speedups.push((
         "pruned_vs_exhaustive/dse_sweep_200".to_string(),
-        serial_sweep / results.get("dse_sweep_200/pruned") as f64,
+        results.paired_speedup("dse_sweep_200/parallel1", "dse_sweep_200/pruned"),
     ));
     speedups.push((
         "combined_vs_serial/dse_sweep_200".to_string(),
-        serial_sweep / results.get("dse_sweep_200/pruned_parallel4") as f64,
+        results.paired_speedup("dse_sweep_200/parallel1", "dse_sweep_200/pruned_parallel4"),
     ));
     speedups.push((
         "pruned_vs_exhaustive/dse_ladder_64".to_string(),

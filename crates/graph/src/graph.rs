@@ -226,8 +226,19 @@ impl FactorGraph {
         sys.var_dims
             .extend(self.values.iter().map(|(_, v)| v.dim()));
         sys.factors.clear();
-        // Below this size, dispatch overhead outweighs the work.
+        // Linearizing one factor evaluates its residual and a Jacobian
+        // block per key — a few hundred flop-equivalents per residual
+        // dimension once manifold chart maps are counted. The estimate
+        // feeds the auto-mode cost gate (DESIGN §3.2.4); fixed-thread
+        // configurations keep the historic floor of 32 factors.
+        const LINEARIZE_FLOPS_PER_ROW: u64 = 256;
         const MIN_PARALLEL_FACTORS: usize = 32;
+        let work: u64 = self
+            .factors
+            .iter()
+            .map(|f| f.dim() as u64 * LINEARIZE_FLOPS_PER_ROW)
+            .sum();
+        let par = par.gate(work);
         if !par.is_parallel() || self.factors.len() < MIN_PARALLEL_FACTORS {
             sys.factors.extend(
                 self.factors

@@ -15,7 +15,8 @@
 
 use crate::config::HwConfig;
 use crate::sim::{
-    simulate_decoded_with, DecodedWorkload, IssuePolicy, SimReport, SimScratch, Workload,
+    simulate_decoded_with, with_sim_scratch, DecodedWorkload, IssuePolicy, SimReport, SimScratch,
+    Workload,
 };
 use crate::templates::Resources;
 use orianna_compiler::UnitClass;
@@ -262,26 +263,30 @@ impl DseContext {
         if !todo.is_empty() {
             let decoded = &self.decoded;
             let cursor = AtomicUsize::new(0);
-            let mut fresh: Vec<(usize, SimReport)> = scoped_workers(&self.par, todo.len(), |_| {
-                let mut scratch = SimScratch::default();
-                let mut done = Vec::new();
-                loop {
-                    let t = cursor.fetch_add(1, Ordering::Relaxed);
-                    if t >= todo.len() {
-                        break;
+            // Auto mode gates the fan-out on candidate count × scoreboard
+            // cost; results are merged by index either way.
+            let par = self.par.gate(decoded.sweep_work(todo.len()));
+            let mut fresh: Vec<(usize, SimReport)> = scoped_workers(&par, todo.len(), |_| {
+                with_sim_scratch(|scratch| {
+                    let mut done = Vec::new();
+                    loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        if t >= todo.len() {
+                            break;
+                        }
+                        let i = todo[t];
+                        done.push((
+                            i,
+                            simulate_decoded_with(
+                                decoded,
+                                &configs[i],
+                                IssuePolicy::OutOfOrder,
+                                scratch,
+                            ),
+                        ));
                     }
-                    let i = todo[t];
-                    done.push((
-                        i,
-                        simulate_decoded_with(
-                            decoded,
-                            &configs[i],
-                            IssuePolicy::OutOfOrder,
-                            &mut scratch,
-                        ),
-                    ));
-                }
-                done
+                    done
+                })
             })
             .into_iter()
             .flatten()
@@ -364,43 +369,47 @@ impl DseContext {
         let cursor = AtomicUsize::new(0);
         let scored = Mutex::new(seed);
         let skips = AtomicUsize::new(0);
-        let mut fresh: Vec<(usize, SimReport)> = scoped_workers(&self.par, todo.len(), |_| {
-            let mut scratch = SimScratch::default();
-            let mut done = Vec::new();
-            loop {
-                let t = cursor.fetch_add(1, Ordering::Relaxed);
-                if t >= todo.len() {
-                    break;
-                }
-                let i = todo[t];
-                if mode == SweepMode::Pruned {
-                    let (bc, be, br) = &bounds[t];
-                    let dominated = scored
-                        .lock()
-                        .expect("dominance set lock")
-                        .iter()
-                        .any(|(c, e, r)| dominates_pt(*c, *e, r, *bc, *be, br));
-                    if dominated {
-                        skips.fetch_add(1, Ordering::Relaxed);
-                        continue;
+        // Auto mode gates the fan-out on candidate count × scoreboard
+        // cost; the winner and frontier are identical either way.
+        let par = self.par.gate(decoded.sweep_work(todo.len()));
+        let mut fresh: Vec<(usize, SimReport)> = scoped_workers(&par, todo.len(), |_| {
+            with_sim_scratch(|scratch| {
+                let mut done = Vec::new();
+                loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= todo.len() {
+                        break;
                     }
+                    let i = todo[t];
+                    if mode == SweepMode::Pruned {
+                        let (bc, be, br) = &bounds[t];
+                        let dominated = scored
+                            .lock()
+                            .expect("dominance set lock")
+                            .iter()
+                            .any(|(c, e, r)| dominates_pt(*c, *e, r, *bc, *be, br));
+                        if dominated {
+                            skips.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    let report = simulate_decoded_with(
+                        decoded,
+                        &candidates[i],
+                        IssuePolicy::OutOfOrder,
+                        scratch,
+                    );
+                    if mode == SweepMode::Pruned {
+                        scored.lock().expect("dominance set lock").push((
+                            report.cycles,
+                            report.energy_mj,
+                            candidates[i].resources(),
+                        ));
+                    }
+                    done.push((i, report));
                 }
-                let report = simulate_decoded_with(
-                    decoded,
-                    &candidates[i],
-                    IssuePolicy::OutOfOrder,
-                    &mut scratch,
-                );
-                if mode == SweepMode::Pruned {
-                    scored.lock().expect("dominance set lock").push((
-                        report.cycles,
-                        report.energy_mj,
-                        candidates[i].resources(),
-                    ));
-                }
-                done.push((i, report));
-            }
-            done
+                done
+            })
         })
         .into_iter()
         .flatten()

@@ -316,6 +316,20 @@ impl DecodedWorkload {
         self.nodes.len()
     }
 
+    /// Scoreboard cost model for the parallel gate: one list-scheduling
+    /// pass costs roughly this many flop-equivalent work units per node
+    /// (dependence scan, pool scan, heap churn — tens of nanoseconds).
+    /// Calibrated with the bench suite (DESIGN §3.2.4).
+    pub const SIM_NODE_WORK: u64 = 64;
+
+    /// Estimated work (in the abstract units of
+    /// [`Parallelism::effective_threads`]) of scoreboarding this trace
+    /// against `candidates` configurations — what the DSE sweeps hand to
+    /// the auto-mode cost gate before fanning out.
+    pub fn sweep_work(&self, candidates: usize) -> u64 {
+        candidates as u64 * self.nodes.len() as u64 * Self::SIM_NODE_WORK
+    }
+
     /// Dependence-only critical path in cycles — the makespan with
     /// unlimited units, identical to [`critical_path_cycles`] on the
     /// source workload.
@@ -433,6 +447,24 @@ pub struct SimScratch {
     finish: Vec<u64>,
     /// Unit free-times per class, indexed by [`UnitClass::index`].
     pools: Vec<Vec<u64>>,
+}
+
+/// Runs `f` with this thread's persistent [`SimScratch`].
+///
+/// The worker-pool threads behind `scoped_workers` are persistent, so a
+/// thread-local scratch survives from one sweep to the next: a DSE worker
+/// pays the scoreboard allocations once per thread, not once per parallel
+/// region. Re-entrant calls (none exist today) fall back to a fresh
+/// scratch rather than aliasing the thread-local one.
+pub fn with_sim_scratch<R>(f: impl FnOnce(&mut SimScratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::default());
+    }
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut SimScratch::default()),
+    })
 }
 
 /// Runs only the configuration-dependent scoreboard over an
@@ -585,6 +617,13 @@ pub fn simulate_batch(
     policy: IssuePolicy,
     par: &Parallelism,
 ) -> Vec<SimReport> {
+    // Auto mode gates on the total scoreboard work; small batches run
+    // serially rather than paying pool dispatch (identical results).
+    let work: u64 = workloads
+        .iter()
+        .map(|w| w.num_instructions() as u64 * DecodedWorkload::SIM_NODE_WORK)
+        .sum();
+    let par = &par.gate(work);
     if !par.is_parallel() || workloads.len() <= 1 {
         return workloads
             .iter()

@@ -18,7 +18,9 @@
 //! * [`par`] — the [`Parallelism`] configuration and the shared worker
 //!   pool behind every parallel path in the workspace,
 //! * [`scratch`] — per-thread reusable buffers so the hot QR/matmul
-//!   kernels allocate no per-operation temporaries.
+//!   kernels allocate no per-operation temporaries,
+//! * [`simd`] — runtime feature detection for the AVX f64×4 panel
+//!   microkernels (bitwise identical to their scalar fallbacks).
 //!
 //! All kernels are written from scratch on `f64`; no external linear algebra
 //! crates are used.
@@ -40,6 +42,7 @@ pub mod panel;
 pub mod par;
 pub mod qr;
 pub mod scratch;
+pub mod simd;
 pub mod solve;
 pub mod triangular;
 

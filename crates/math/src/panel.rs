@@ -18,10 +18,27 @@
 //! * [`givens_triangularize`] — in-place Givens-rotation core with the same
 //!   rotation schedule (and rotation count) as [`crate::givens_qr`].
 //!
+//! ## SIMD dispatch
+//!
+//! The two hot inner loops — the matmul accumulate and the Householder
+//! apply ([`reflect_left`]) — have AVX f64×4 variants selected at runtime
+//! via [`crate::simd::enabled`]. Both vectorize **across output columns**:
+//! each of the four lanes owns one column and accumulates its `k` (or row)
+//! terms in the same ascending order as the scalar loop, with a separate
+//! multiply and add per term (no FMA). Lane-independent vectorization plus
+//! unfused arithmetic means every output element sees the identical IEEE
+//! operation sequence, so the AVX kernels are bitwise identical to the
+//! scalar fallbacks ([`matmul_into_scalar`], [`reflect_left_scalar`],
+//! [`triangularize_scalar`] — kept public as conformance references). The
+//! Householder *norm* ([`householder_vector`]) is deliberately left scalar:
+//! it is a sequential reduction whose summation order defines the bitwise
+//! contract, and it is O(rows) against the apply's O(rows × width).
+//!
 //! All kernels record MACs identically to the `Mat`-based paths they mirror
 //! so the paper's arithmetic-saving accounting is unaffected.
 
 use crate::macs;
+use crate::simd;
 
 /// Width of the column chunk held in register accumulators by
 /// [`matmul_into`]. Four `f64`s fill a 256-bit vector register; the chunk is
@@ -30,12 +47,33 @@ const CHUNK: usize = 4;
 
 /// Blocked matrix product `out = a · b` on flat row-major buffers where `a`
 /// is `m×k`, `b` is `k×n` and `out` is `m×n`. Zero rows of `a` are skipped
-/// exactly like the naive kernel. Does **not** record MACs — callers that
-/// model arithmetic cost record `m·k·n` themselves.
+/// exactly like the naive kernel. Uses the AVX f64×4 accumulate kernel when
+/// available (bitwise identical to the scalar chunks — see the module
+/// docs). Does **not** record MACs — callers that model arithmetic cost
+/// record `m·k·n` themselves.
 ///
 /// # Panics
 /// Panics (in debug builds) when the slice lengths disagree with the shapes.
 pub fn matmul_into(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    matmul_into_impl(out, a, b, m, k, n, simd::enabled());
+}
+
+/// The scalar reference for [`matmul_into`]: identical arithmetic, never
+/// dispatches to SIMD. Public so conformance tests can compare the two
+/// paths bitwise regardless of the host CPU.
+pub fn matmul_into_scalar(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    matmul_into_impl(out, a, b, m, k, n, false);
+}
+
+fn matmul_into_impl(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    use_simd: bool,
+) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -44,7 +82,17 @@ pub fn matmul_into(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n:
     while c0 < n {
         let w = CHUNK.min(n - c0);
         match w {
-            4 => matmul_chunk::<4>(out, a, b, m, k, n, c0),
+            4 => {
+                #[cfg(target_arch = "x86_64")]
+                if use_simd {
+                    // Safety: `use_simd` implies AVX was detected.
+                    unsafe { avx::matmul_chunk4(out, a, b, m, k, n, c0) };
+                    c0 += w;
+                    continue;
+                }
+                let _ = use_simd;
+                matmul_chunk::<4>(out, a, b, m, k, n, c0);
+            }
             3 => matmul_chunk::<3>(out, a, b, m, k, n, c0),
             2 => matmul_chunk::<2>(out, a, b, m, k, n, c0),
             _ => matmul_chunk::<1>(out, a, b, m, k, n, c0),
@@ -91,12 +139,23 @@ fn matmul_chunk<const W: usize>(
 /// bitwise identical to `householder_qr(&a).r` for the same data. `vbuf`
 /// must hold at least `rows` elements.
 pub fn triangularize(panel: &mut [f64], rows: usize, width: usize, vbuf: &mut [f64]) {
+    triangularize_impl(panel, rows, width, vbuf, simd::enabled());
+}
+
+/// The scalar reference for [`triangularize`]: forces the scalar
+/// Householder apply. Public so conformance tests can compare the two
+/// paths bitwise regardless of the host CPU.
+pub fn triangularize_scalar(panel: &mut [f64], rows: usize, width: usize, vbuf: &mut [f64]) {
+    triangularize_impl(panel, rows, width, vbuf, false);
+}
+
+fn triangularize_impl(panel: &mut [f64], rows: usize, width: usize, vbuf: &mut [f64], simd: bool) {
     debug_assert_eq!(panel.len(), rows * width);
     debug_assert!(vbuf.len() >= rows);
     for k in 0..width.min(rows.saturating_sub(1)) {
         let v = &mut vbuf[..rows - k];
         if householder_vector(panel, rows, width, k, v) {
-            reflect_left(panel, rows, width, v, k);
+            reflect_left_impl(panel, rows, width, v, k, simd);
         }
     }
     // Clean sub-diagonal residue exactly like `householder_qr`: reflections
@@ -111,7 +170,8 @@ pub fn triangularize(panel: &mut [f64], rows: usize, width: usize, vbuf: &mut [f
 /// Computes the normalized Householder vector annihilating column `k` of the
 /// panel below the diagonal into `v` (length `rows − k`). Returns `false`
 /// when the column is already zero there. Arithmetic mirrors the `Mat`-based
-/// helper in [`crate::qr`] operation for operation.
+/// helper in [`crate::qr`] operation for operation. Deliberately scalar —
+/// the norm is an order-sensitive sequential reduction (module docs).
 pub fn householder_vector(
     panel: &[f64],
     rows: usize,
@@ -147,19 +207,134 @@ pub fn householder_vector(
 }
 
 /// Applies `(I − 2 v vᵀ)` to rows `k..` of the `rows × width` panel,
-/// column-major traversal identical to the `Mat`-based helper.
+/// column-major traversal identical to the `Mat`-based helper. Uses the
+/// AVX four-column kernel when available (bitwise identical — each lane
+/// owns one column and runs the scalar operation sequence).
 pub fn reflect_left(panel: &mut [f64], rows: usize, width: usize, v: &[f64], k: usize) {
+    reflect_left_impl(panel, rows, width, v, k, simd::enabled());
+}
+
+/// The scalar reference for [`reflect_left`]. Public so conformance tests
+/// can compare the two paths bitwise regardless of the host CPU.
+pub fn reflect_left_scalar(panel: &mut [f64], rows: usize, width: usize, v: &[f64], k: usize) {
+    reflect_left_impl(panel, rows, width, v, k, false);
+}
+
+fn reflect_left_impl(
+    panel: &mut [f64],
+    rows: usize,
+    width: usize,
+    v: &[f64],
+    k: usize,
+    use_simd: bool,
+) {
     debug_assert_eq!(v.len(), rows - k);
-    for c in 0..width {
-        let mut dot = 0.0;
-        for i in k..rows {
-            dot += v[i - k] * panel[i * width + c];
+    let mut c = 0;
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        while c + 4 <= width {
+            // Safety: `use_simd` implies AVX was detected; columns
+            // `c..c + 4` are in bounds for every touched row.
+            unsafe { avx::reflect_cols4(panel, rows, width, v, k, c) };
+            macs::record(4 * 2 * (rows - k));
+            c += 4;
         }
-        let f = 2.0 * dot;
-        for i in k..rows {
-            panel[i * width + c] -= f * v[i - k];
-        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_simd;
+    while c < width {
+        reflect_col(panel, rows, width, v, k, c);
         macs::record(2 * (rows - k));
+        c += 1;
+    }
+}
+
+/// One column of the Householder apply: dot in ascending row order, then
+/// the rank-1 update. Both the scalar and remainder paths use this.
+#[inline]
+fn reflect_col(panel: &mut [f64], rows: usize, width: usize, v: &[f64], k: usize, c: usize) {
+    let mut dot = 0.0;
+    for i in k..rows {
+        dot += v[i - k] * panel[i * width + c];
+    }
+    let f = 2.0 * dot;
+    for i in k..rows {
+        panel[i * width + c] -= f * v[i - k];
+    }
+}
+
+/// AVX f64×4 variants of the hot inner loops. Every kernel vectorizes
+/// across four output columns — one column per lane — with separate
+/// multiply and add intrinsics, so each element's IEEE operation sequence
+/// is exactly the scalar one (see the module docs).
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd, _mm256_sub_pd,
+    };
+
+    /// Output columns `c0..c0 + 4` of `out = a · b`, lane `j` owning
+    /// column `c0 + j`: ascending-`k` accumulation with the naive
+    /// zero-row skip, bitwise identical to `matmul_chunk::<4>`.
+    ///
+    /// # Safety
+    /// Requires AVX; `c0 + 4 <= n` and the shapes must match the slices.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn matmul_chunk4(
+        out: &mut [f64],
+        a: &[f64],
+        b: &[f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        c0: usize,
+    ) {
+        debug_assert!(c0 + 4 <= n);
+        for r in 0..m {
+            let arow = &a[r * k..(r + 1) * k];
+            let mut acc = _mm256_setzero_pd();
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = _mm256_loadu_pd(b.as_ptr().add(kk * n + c0));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(av), brow));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(r * n + c0), acc);
+        }
+    }
+
+    /// Householder apply to columns `c0..c0 + 4`, lane `j` owning column
+    /// `c0 + j`: per lane the dot accumulates in ascending row order and
+    /// the update subtracts `f·vᵢ` exactly like `reflect_col`.
+    ///
+    /// # Safety
+    /// Requires AVX; `c0 + 4 <= width` and `v.len() == rows - k`.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn reflect_cols4(
+        panel: &mut [f64],
+        rows: usize,
+        width: usize,
+        v: &[f64],
+        k: usize,
+        c0: usize,
+    ) {
+        debug_assert!(c0 + 4 <= width);
+        debug_assert_eq!(v.len(), rows - k);
+        let mut dot = _mm256_setzero_pd();
+        for i in k..rows {
+            let vi = _mm256_set1_pd(*v.get_unchecked(i - k));
+            let row = _mm256_loadu_pd(panel.as_ptr().add(i * width + c0));
+            dot = _mm256_add_pd(dot, _mm256_mul_pd(vi, row));
+        }
+        let f = _mm256_mul_pd(_mm256_set1_pd(2.0), dot);
+        for i in k..rows {
+            let vi = _mm256_set1_pd(*v.get_unchecked(i - k));
+            let row = _mm256_loadu_pd(panel.as_ptr().add(i * width + c0));
+            let updated = _mm256_sub_pd(row, _mm256_mul_pd(f, vi));
+            _mm256_storeu_pd(panel.as_mut_ptr().add(i * width + c0), updated);
+        }
     }
 }
 
@@ -267,6 +442,64 @@ mod tests {
     }
 
     #[test]
+    fn simd_matmul_is_bitwise_identical_to_scalar() {
+        // Both dispatch outcomes must agree bitwise whatever this CPU
+        // supports; when AVX is active this exercises the real mixed
+        // (SIMD body + scalar remainder) path over odd widths.
+        for (m, k, n, seed) in [
+            (1, 1, 4, 21),
+            (5, 7, 8, 22),
+            (6, 3, 9, 23),
+            (9, 9, 11, 24),
+            (4, 16, 17, 25),
+            (13, 2, 19, 26),
+        ] {
+            let a = random_like(m, k, seed);
+            let b = random_like(k, n, seed + 100);
+            let mut dispatched = vec![0.0f64; m * n];
+            let mut scalar = vec![0.0f64; m * n];
+            matmul_into(&mut dispatched, a.as_slice(), b.as_slice(), m, k, n);
+            matmul_into_scalar(&mut scalar, a.as_slice(), b.as_slice(), m, k, n);
+            assert_eq!(dispatched, scalar, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn simd_reflect_is_bitwise_identical_to_scalar() {
+        for (rows, width, k, seed) in [
+            (6, 4, 0, 31),
+            (8, 9, 2, 32),
+            (12, 7, 5, 33),
+            (5, 12, 1, 34),
+            (16, 16, 3, 35),
+        ] {
+            let base = random_like(rows, width, seed);
+            let mut v: Vec<f64> = (0..rows - k).map(|i| (i as f64 + 1.0).recip()).collect();
+            let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            v.iter_mut().for_each(|x| *x /= vnorm);
+            let mut dispatched = base.as_slice().to_vec();
+            let mut scalar = base.as_slice().to_vec();
+            reflect_left(&mut dispatched, rows, width, &v, k);
+            reflect_left_scalar(&mut scalar, rows, width, &v, k);
+            assert_eq!(dispatched, scalar, "{rows}x{width} k={k}");
+        }
+    }
+
+    #[test]
+    fn simd_reflect_records_same_macs_as_scalar() {
+        let rows = 9;
+        let width = 10;
+        let k = 2;
+        let base = random_like(rows, width, 41);
+        let v: Vec<f64> = (0..rows - k).map(|i| (i as f64 + 0.5).sin()).collect();
+        let mut a = base.as_slice().to_vec();
+        let (_, simd_macs) = macs::measure(|| reflect_left(&mut a, rows, width, &v, k));
+        let mut b = base.as_slice().to_vec();
+        let (_, scalar_macs) = macs::measure(|| reflect_left_scalar(&mut b, rows, width, &v, k));
+        assert_eq!(simd_macs, scalar_macs);
+    }
+
+    #[test]
     fn triangularize_matches_householder_qr_bitwise() {
         for (m, n, seed) in [(4, 4, 1), (6, 3, 2), (3, 5, 3), (8, 8, 4), (9, 2, 5)] {
             let a = random_like(m, n, seed);
@@ -275,6 +508,10 @@ mod tests {
             let mut vbuf = vec![0.0f64; m];
             triangularize(&mut panel, m, n, &mut vbuf);
             assert_eq!(panel.as_slice(), reference.as_slice(), "{m}x{n}");
+            // And the forced-scalar path agrees with the dispatched one.
+            let mut panel2 = a.as_slice().to_vec();
+            triangularize_scalar(&mut panel2, m, n, &mut vbuf);
+            assert_eq!(panel2, panel, "{m}x{n} scalar");
         }
     }
 

@@ -6,50 +6,70 @@
 //! policy lives in one place:
 //!
 //! * [`Parallelism`] — the user-facing knob: how many worker threads a
-//!   parallel section may use. Defaults to the machine's available cores;
-//!   `threads <= 1` selects the serial reference path everywhere.
-//! * [`run_tasks`] — executes a deterministic, *ordered* task list on a
-//!   lazily-started global worker pool and returns the results in task
-//!   order. Determinism is by construction: callers decide the task split
-//!   deterministically, each task is a pure function of its owned inputs,
-//!   and results are merged by index — never by completion order — so any
-//!   thread count produces bitwise-identical output.
+//!   parallel section may use, and whether the cost model may gate a
+//!   region back to serial ([`Parallelism::auto`]). Defaults to auto mode
+//!   with the machine's available cores; `threads <= 1` selects the serial
+//!   reference path everywhere.
+//! * [`run_tasks`] — executes a deterministic, *ordered* task list on the
+//!   worker pool and returns the results in task order. Determinism is by
+//!   construction: callers decide the task split deterministically, each
+//!   task is a pure function of its owned inputs, and results are merged
+//!   by index — never by completion order — so any thread count produces
+//!   bitwise-identical output.
+//! * [`scoped_workers`] / [`try_scoped_workers`] — the borrow-friendly
+//!   sibling: runs `n` copies of a closure that may capture references to
+//!   caller-owned data, merging outputs by worker id.
 //!
-//! The pool is a fixed set of detached workers fed through a channel; a
-//! [`run_tasks`] call enqueues lightweight "drainer" jobs that pull tasks
-//! from the call's own queue, and the calling thread drains that queue
-//! too. Pool workers therefore *accelerate* a call but are never required
-//! for progress — on a single-core machine, or with a saturated pool, the
-//! caller completes all tasks itself.
+//! Both entry points dispatch onto one lazily-started **persistent pool**
+//! of parked worker threads. A parallel region publishes a type-erased job
+//! descriptor, wakes as many workers as it wants helpers, and the workers
+//! claim worker ids from the job's atomic cursor. The calling thread
+//! always participates and, crucially, *claims every id the pool has not
+//! taken yet* — pool workers accelerate a call but are never required for
+//! progress, so a saturated (or single-core) machine degrades to inline
+//! serial execution instead of deadlocking. Dispatch therefore costs a
+//! couple of microseconds (one queue push + wakeup), not a thread spawn,
+//! and because the workers are persistent their thread-local scratch pools
+//! ([`crate::scratch`]) survive from one parallel region to the next.
 
+use std::any::Any;
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 /// How many worker threads a parallel section may use.
 ///
 /// `threads <= 1` disables parallel dispatch entirely: every consumer
-/// falls back to its serial reference implementation. Results are
-/// independent of `threads` (see the determinism tests in
+/// falls back to its serial reference implementation. In **auto** mode
+/// (the default) each consumer additionally gates its region through
+/// [`Parallelism::effective_threads`] with an estimated amount of work,
+/// so regions too small to amortize dispatch run serially no matter how
+/// many threads are configured. Results are independent of both `threads`
+/// and the gating decision (see the determinism tests in
 /// `tests/parallel.rs`); only wall-clock time changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
     /// Maximum concurrent worker threads (including the calling thread).
     pub threads: usize,
+    /// Cost-model gating: when set, regions below the work threshold run
+    /// serially even though `threads > 1`.
+    auto: bool,
 }
 
 impl Default for Parallelism {
-    /// The `ORIANNA_THREADS` environment override when set (and a valid
-    /// positive integer), otherwise all available cores. This is the one
-    /// thread knob of the workspace: the solver's iteration loops and the
-    /// hardware DSE sweeps both start from `Parallelism::default()`, so a
-    /// single environment variable pins every parallel section at once.
+    /// Auto (cost-gated) mode with the `ORIANNA_THREADS` environment
+    /// override when set (and a valid positive integer), otherwise all
+    /// available cores; either way the count is clamped to the cores the
+    /// machine actually has — oversubscribing a small container is a pure
+    /// loss. This is the one thread knob of the workspace: the solver's
+    /// iteration loops and the hardware DSE sweeps both start from
+    /// `Parallelism::default()`, so a single environment variable pins
+    /// every parallel section at once.
     fn default() -> Self {
-        Self {
-            threads: env_threads().unwrap_or_else(available_threads),
-        }
+        Self::auto()
     }
 }
 
@@ -61,22 +81,97 @@ fn env_threads() -> Option<usize> {
     raw.trim().parse::<usize>().ok().map(|t| t.max(1))
 }
 
+/// Default estimated-work threshold (abstract units ≈ flops ≈ serial
+/// nanoseconds) below which auto mode runs a region serially. Calibrated
+/// on the bench suite: pool dispatch plus by-index merge costs a handful
+/// of microseconds, so a region needs a couple hundred microseconds of
+/// serial work before a second worker can pay for itself (DESIGN §3.2.4).
+pub const AUTO_WORK_THRESHOLD: u64 = 200_000;
+
+/// The active auto-mode threshold: `ORIANNA_PAR_THRESHOLD` when set to a
+/// non-negative integer, otherwise [`AUTO_WORK_THRESHOLD`]. Read once.
+pub fn auto_threshold() -> u64 {
+    static THRESHOLD: OnceLock<u64> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("ORIANNA_PAR_THRESHOLD")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .unwrap_or(AUTO_WORK_THRESHOLD)
+    })
+}
+
 impl Parallelism {
     /// The serial reference configuration.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            auto: false,
+        }
     }
 
-    /// A configuration with exactly `threads` workers (clamped to ≥ 1).
+    /// A configuration with exactly `threads` workers (clamped to ≥ 1),
+    /// **not** cost-gated: parallel sections dispatch regardless of size.
+    /// This is the determinism-test configuration; production callers
+    /// want [`Parallelism::auto`].
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            auto: false,
+        }
+    }
+
+    /// Cost-gated mode with the `ORIANNA_THREADS` override (clamped to
+    /// available cores) or all available cores.
+    pub fn auto() -> Self {
+        let avail = available_threads();
+        Self {
+            threads: env_threads().unwrap_or(avail).min(avail),
+            auto: true,
+        }
+    }
+
+    /// Cost-gated mode with at most `threads` workers, clamped to ≥ 1 and
+    /// to the machine's available cores.
+    pub fn auto_with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1).min(available_threads()),
+            auto: true,
         }
     }
 
     /// Whether parallel dispatch is enabled at all.
     pub fn is_parallel(&self) -> bool {
         self.threads > 1
+    }
+
+    /// Whether cost-model gating is active.
+    pub fn is_auto(&self) -> bool {
+        self.auto
+    }
+
+    /// Worker count the cost model grants a region of estimated `work`
+    /// (abstract units ≈ flops ≈ serial nanoseconds). Non-auto
+    /// configurations always get `threads`. Auto mode returns 1 below
+    /// [`auto_threshold`] and then ramps: one extra worker per threshold
+    /// of work, capped at `threads`, so each granted worker has enough
+    /// work to amortize its share of dispatch and merge overhead.
+    pub fn effective_threads(&self, work: u64) -> usize {
+        if !self.auto || self.threads <= 1 {
+            return self.threads;
+        }
+        let t = auto_threshold().max(1);
+        if work < t {
+            1
+        } else {
+            self.threads.min((work / t) as usize + 1)
+        }
+    }
+
+    /// The concrete (non-auto) configuration the cost model grants a
+    /// region of estimated `work`: consumers call this once per region
+    /// and then branch on [`Parallelism::is_parallel`] as before.
+    pub fn gate(&self, work: u64) -> Parallelism {
+        Parallelism::with_threads(self.effective_threads(work))
     }
 }
 
@@ -87,89 +182,358 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A parallel region that could not produce its results.
+///
+/// Surfaced by [`try_scoped_workers`]; the panicking sibling
+/// [`scoped_workers`] re-raises the original payload instead.
+pub enum ParError {
+    /// A worker closure panicked. `message` is the stringified payload
+    /// (when it was a `&str` or `String`); `payload` is the original
+    /// panic value so callers can re-raise it intact.
+    WorkerPanicked {
+        /// Worker id (0 = the calling thread) that panicked first.
+        worker: usize,
+        /// Human-readable panic message, best effort.
+        message: String,
+        /// The original panic payload.
+        payload: Box<dyn Any + Send + 'static>,
+    },
+    /// A worker finished without storing its result — a pool-protocol
+    /// violation that should be unreachable; surfaced structurally
+    /// instead of via `unwrap` so callers can diagnose it.
+    MissingResult {
+        /// Worker id whose slot stayed empty.
+        worker: usize,
+    },
+}
+
+impl ParError {
+    fn message_of(payload: &(dyn Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+}
+
+impl std::fmt::Debug for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::WorkerPanicked {
+                worker, message, ..
+            } => f
+                .debug_struct("WorkerPanicked")
+                .field("worker", worker)
+                .field("message", message)
+                .finish_non_exhaustive(),
+            ParError::MissingResult { worker } => f
+                .debug_struct("MissingResult")
+                .field("worker", worker)
+                .finish(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::WorkerPanicked {
+                worker, message, ..
+            } => {
+                write!(f, "parallel worker {worker} panicked: {message}")
+            }
+            ParError::MissingResult { worker } => {
+                write!(f, "parallel worker {worker} produced no result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Type-erased entry point of a scoped job: runs worker `id` of the job
+/// whose context lives behind `ctx`.
+type RunFn = unsafe fn(ctx: *const (), id: usize);
+
+/// Shared state of one parallel region, published to the pool by
+/// reference count. The raw `ctx` pointer targets stack data of the
+/// dispatching caller; it is only dereferenced by workers that claimed an
+/// id `< workers` from `next`, and the caller does not return before
+/// `pending` reaches zero, so every dereference happens while the stack
+/// frame is alive.
+struct JobShared {
+    run: RunFn,
+    ctx: *const (),
+    /// Total worker ids of this job (id 0 belongs to the caller).
+    workers: usize,
+    /// Claim cursor: the next unclaimed worker id (starts at 1).
+    next: AtomicUsize,
+    /// Unfinished worker ids; the caller waits for this to hit zero.
+    pending: AtomicUsize,
+    /// First panic observed by any worker, with its worker id.
+    panic: Mutex<Option<(usize, Box<dyn Any + Send + 'static>)>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// Safety: `ctx` is only dereferenced under the claim protocol described
+// on [`JobShared`], and `try_scoped_workers` requires `F: Sync` (the
+// closure is shared across threads) and `R: Send` (results move back to
+// the caller).
+unsafe impl Send for JobShared {}
+unsafe impl Sync for JobShared {}
+
+impl JobShared {
+    /// Claims and runs worker ids until the cursor is exhausted. Shared
+    /// by pool workers and (for ids the pool never took) the caller.
+    fn service(&self) {
+        loop {
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            if id >= self.workers {
+                return;
+            }
+            self.run_one(id);
+        }
+    }
+
+    /// Runs one claimed worker id under a panic guard and retires it.
+    fn run_one(&self, id: usize) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, id) }));
+        if let Err(payload) = outcome {
+            let mut slot = self.panic.lock().expect("panic slot");
+            slot.get_or_insert((id, payload));
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Hold the lock while notifying so the caller cannot check
+            // `pending` and block between our decrement and the wakeup.
+            let _guard = self.done_lock.lock().expect("done lock");
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks the caller until every claimed id has retired.
+    fn wait(&self) {
+        let mut guard = self.done_lock.lock().expect("done lock");
+        while self.pending.load(Ordering::Acquire) != 0 {
+            guard = self.done_cv.wait(guard).expect("done wait");
+        }
+    }
+}
+
+/// The persistent pool: parked worker threads plus the injector queue
+/// they drain. Jobs are `Arc`s, so a worker that wakes up to an already
+/// finished job (its cursor exhausted by the caller) simply discards the
+/// reference — the stale entry never touches the job's context.
+struct PoolShared {
+    inject: Mutex<VecDeque<Arc<JobShared>>>,
+    wake: Condvar,
+}
 
 struct Pool {
-    sender: Sender<Job>,
+    shared: Arc<PoolShared>,
     workers: usize,
 }
 
 /// The global pool is sized generously (at least 8 workers) so that
 /// determinism tests exercise true cross-thread execution even on small
-/// machines; idle workers cost nothing.
+/// machines; parked workers cost nothing.
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
         let workers = available_threads().max(8);
-        let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let shared = Arc::new(PoolShared {
+            inject: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+        });
         for i in 0..workers {
-            let receiver = Arc::clone(&receiver);
+            let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name(format!("orianna-par-{i}"))
                 .spawn(move || loop {
-                    let job = match receiver.lock() {
-                        Ok(rx) => rx.recv(),
-                        Err(_) => break,
+                    let job = {
+                        let mut queue = match shared.inject.lock() {
+                            Ok(q) => q,
+                            Err(_) => return,
+                        };
+                        loop {
+                            if let Some(job) = queue.pop_front() {
+                                break job;
+                            }
+                            queue = match shared.wake.wait(queue) {
+                                Ok(q) => q,
+                                Err(_) => return,
+                            };
+                        }
                     };
-                    match job {
-                        Ok(job) => job(),
-                        Err(_) => break, // pool dropped
-                    }
+                    job.service();
                 })
                 .expect("spawn pool worker");
         }
-        Pool { sender, workers }
+        Pool { shared, workers }
     })
 }
 
-type TaskQueue<R> = Arc<Mutex<VecDeque<(usize, Box<dyn FnOnce() -> R + Send>)>>>;
-
-fn drain<R: Send>(queue: &TaskQueue<R>, results: &Sender<(usize, thread::Result<R>)>) {
-    loop {
-        let next = queue.lock().expect("task queue").pop_front();
-        let Some((idx, task)) = next else { break };
-        let outcome = catch_unwind(AssertUnwindSafe(task));
-        if results.send((idx, outcome)).is_err() {
-            break;
+/// Publishes `job` to at most `helpers` pool workers.
+fn dispatch(job: &Arc<JobShared>, helpers: usize) {
+    let pool = pool();
+    let n = helpers.min(pool.workers);
+    if n == 0 {
+        return;
+    }
+    {
+        let mut queue = pool.shared.inject.lock().expect("injector");
+        for _ in 0..n {
+            queue.push_back(Arc::clone(job));
+        }
+    }
+    if n + 1 >= pool.workers {
+        pool.shared.wake.notify_all();
+    } else {
+        for _ in 0..n {
+            pool.shared.wake.notify_one();
         }
     }
 }
+
+/// Runs up to `min(par.threads, workers)` copies of `f` on the persistent
+/// worker pool and returns their outputs in worker-id order, surfacing
+/// worker panics as a structured [`ParError`] instead of unwinding.
+///
+/// See [`scoped_workers`] for the execution contract; this is the same
+/// call with `Result` error reporting, for callers that want to attach
+/// context before failing.
+pub fn try_scoped_workers<R, F>(par: &Parallelism, workers: usize, f: F) -> Result<Vec<R>, ParError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = par.threads.min(workers).max(1);
+    if n == 1 {
+        return match catch_unwind(AssertUnwindSafe(|| f(0))) {
+            Ok(r) => Ok(vec![r]),
+            Err(payload) => Err(ParError::WorkerPanicked {
+                worker: 0,
+                message: ParError::message_of(payload.as_ref()),
+                payload,
+            }),
+        };
+    }
+
+    // One result slot per worker id; each id writes only its own slot,
+    // and the caller reads them only after `pending` hits zero.
+    let slots: Vec<UnsafeCell<Option<R>>> = (0..n).map(|_| UnsafeCell::new(None)).collect();
+    struct Ctx<'a, R, F> {
+        f: &'a F,
+        slots: *const UnsafeCell<Option<R>>,
+    }
+    unsafe fn run_one<R, F: Fn(usize) -> R>(ctx: *const (), id: usize) {
+        let ctx = unsafe { &*(ctx as *const Ctx<'_, R, F>) };
+        let result = (ctx.f)(id);
+        unsafe { *(*ctx.slots.add(id)).get() = Some(result) };
+    }
+    let ctx = Ctx {
+        f: &f,
+        slots: slots.as_ptr(),
+    };
+    let job = Arc::new(JobShared {
+        run: run_one::<R, F>,
+        ctx: (&ctx as *const Ctx<'_, R, F>).cast(),
+        workers: n,
+        next: AtomicUsize::new(1),
+        pending: AtomicUsize::new(n),
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    dispatch(&job, n - 1);
+
+    // The caller runs worker 0, then claims every id the pool has not
+    // taken — it alone guarantees progress — and finally waits for the
+    // ids that pool workers did claim.
+    job.run_one(0);
+    job.service();
+    job.wait();
+
+    if let Some((worker, payload)) = job.panic.lock().expect("panic slot").take() {
+        return Err(ParError::WorkerPanicked {
+            worker,
+            message: ParError::message_of(payload.as_ref()),
+            payload,
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(worker, cell)| cell.into_inner().ok_or(ParError::MissingResult { worker }))
+        .collect()
+}
+
+/// Runs up to `min(par.threads, workers)` copies of `f` on the persistent
+/// worker pool and returns their outputs in worker-id order.
+///
+/// This is the borrow-friendly sibling of [`run_tasks`]: the closure may
+/// capture references to caller-owned data (no `'static` bound), which is
+/// what the hardware sweeps need — a worker borrows the decoded workload
+/// and the candidate configurations while owning its per-worker scratch.
+/// Callers distribute work themselves, typically by pulling indices from
+/// a shared `AtomicUsize`, and must merge results by item index (never by
+/// completion order) to stay deterministic.
+///
+/// Worker 0 runs on the calling thread, and the caller claims every
+/// worker id the pool does not take, so progress never depends on the
+/// scheduler; with `par.threads <= 1` or `workers <= 1` the single worker
+/// runs inline and the call is the serial reference path. A panicking
+/// worker propagates to the caller with its original payload; use
+/// [`try_scoped_workers`] to receive a [`ParError`] instead.
+pub fn scoped_workers<R, F>(par: &Parallelism, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_scoped_workers(par, workers, f) {
+        Ok(out) => out,
+        Err(ParError::WorkerPanicked { payload, .. }) => resume_unwind(payload),
+        Err(e @ ParError::MissingResult { .. }) => panic!("{e}"),
+    }
+}
+
+type Task<R> = Box<dyn FnOnce() -> R + Send + 'static>;
 
 /// Runs `tasks` with up to `threads` concurrent workers and returns their
 /// results **in task order**. With `threads <= 1` (or a single task) the
 /// tasks run inline on the calling thread, in order — the serial
 /// reference. A panicking task is re-raised on the caller after all
 /// remaining tasks complete.
-pub fn run_tasks<R: Send + 'static>(
-    threads: usize,
-    tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
-) -> Vec<R> {
+pub fn run_tasks<R: Send + 'static>(threads: usize, tasks: Vec<Task<R>>) -> Vec<R> {
     let n = tasks.len();
     if threads <= 1 || n <= 1 {
         return tasks.into_iter().map(|t| t()).collect();
     }
-    let queue: TaskQueue<R> = Arc::new(Mutex::new(tasks.into_iter().enumerate().collect()));
-    let (tx, rx) = channel();
-    let helpers = (threads - 1).min(n - 1).min(pool().workers);
-    for _ in 0..helpers {
-        let queue = Arc::clone(&queue);
-        let tx = tx.clone();
-        pool()
-            .sender
-            .send(Box::new(move || drain(&queue, &tx)))
-            .expect("pool accepts jobs");
-    }
-    // The caller participates; it alone guarantees progress.
-    drain(&queue, &tx);
-    drop(tx);
+    let queue: Mutex<VecDeque<(usize, Task<R>)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let workers = threads.min(n);
+    let per_worker = scoped_workers(&Parallelism::with_threads(workers), workers, |_| {
+        // Drain the shared queue; a panicking task is caught so the
+        // remaining tasks still complete, mirroring the historic
+        // channel-pool semantics.
+        let mut done: Vec<(usize, thread::Result<R>)> = Vec::new();
+        loop {
+            let next = queue.lock().expect("task queue").pop_front();
+            let Some((idx, task)) = next else { break };
+            done.push((idx, catch_unwind(AssertUnwindSafe(task))));
+        }
+        done
+    });
 
     let mut slots: Vec<Option<thread::Result<R>>> = (0..n).map(|_| None).collect();
-    for (idx, outcome) in rx {
+    for (idx, outcome) in per_worker.into_iter().flatten() {
         slots[idx] = Some(outcome);
     }
     let mut out = Vec::with_capacity(n);
-    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut panic: Option<Box<dyn Any + Send>> = None;
     for slot in slots {
         match slot.expect("every task reports exactly once") {
             Ok(r) => out.push(r),
@@ -203,58 +567,6 @@ where
         })
         .collect();
     run_tasks(par.threads, tasks)
-}
-
-/// Runs up to `min(par.threads, workers)` copies of `f` on scoped worker
-/// threads and returns their outputs in worker-id order.
-///
-/// This is the borrow-friendly sibling of [`run_tasks`]: the closure may
-/// capture references to caller-owned data (scoped threads, no `'static`
-/// bound), which is what the hardware sweeps need — a worker borrows the
-/// decoded workload and the candidate configurations while owning its
-/// per-worker scratch. Callers distribute work themselves, typically by
-/// pulling indices from a shared `AtomicUsize`, and must merge results by
-/// item index (never by completion order) to stay deterministic.
-///
-/// Worker 0 runs on the calling thread, so progress never depends on the
-/// scheduler; with `par.threads <= 1` or `workers <= 1` the single worker
-/// runs inline and the call is the serial reference path. A panicking
-/// worker propagates to the caller when the scope joins.
-pub fn scoped_workers<R, F>(par: &Parallelism, workers: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let n = par.threads.min(workers).max(1);
-    if n == 1 {
-        return vec![f(0)];
-    }
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let (first, rest) = out.split_first_mut().expect("n >= 1");
-        let f = &f;
-        let handles: Vec<_> = rest
-            .iter_mut()
-            .enumerate()
-            .map(|(i, slot)| s.spawn(move || *slot = Some(f(i + 1))))
-            .collect();
-        // Run worker 0 inline, guarded so a panic still joins the spawned
-        // workers before unwinding (mirroring `run_tasks`); the original
-        // payload is re-raised with its message intact.
-        let inline = catch_unwind(AssertUnwindSafe(|| *first = Some(f(0))));
-        let mut panic = inline.err();
-        for h in handles {
-            if let Err(p) = h.join() {
-                panic.get_or_insert(p);
-            }
-        }
-        if let Some(p) = panic {
-            resume_unwind(p);
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every worker produced a result"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -292,6 +604,36 @@ mod tests {
             seen.lock().unwrap().len() >= 2,
             "expected cross-thread execution"
         );
+    }
+
+    #[test]
+    fn pool_threads_persist_across_calls() {
+        // Two back-to-back parallel regions must reuse pool threads
+        // rather than spawning fresh ones: the set of thread ids seen by
+        // helper workers (id > 0) in the second call may not contain a
+        // thread that was spawned after the first call completed. We
+        // can't observe spawn times directly, so assert the weaker —but
+        // still spawn-detecting— property that repeated regions only ever
+        // see pool-named threads.
+        let caller = thread::current().id();
+        for _ in 0..3 {
+            let names = scoped_workers(&Parallelism::with_threads(4), 4, |_| {
+                // The caller legitimately claims helper ids the pool was
+                // too slow to take; only off-caller work must be on pool
+                // threads.
+                if thread::current().id() == caller {
+                    None
+                } else {
+                    thread::current().name().map(str::to_string)
+                }
+            });
+            for name in names.into_iter().flatten() {
+                assert!(
+                    name.starts_with("orianna-par-"),
+                    "helper ran on non-pool thread {name}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -339,9 +681,20 @@ mod tests {
     #[test]
     fn parallelism_defaults_and_clamping() {
         assert!(Parallelism::default().threads >= 1);
+        assert!(Parallelism::default().is_auto());
+        assert!(
+            Parallelism::default().threads <= available_threads(),
+            "default must clamp to available cores"
+        );
         assert_eq!(Parallelism::with_threads(0).threads, 1);
         assert!(!Parallelism::serial().is_parallel());
         assert!(Parallelism::with_threads(4).is_parallel());
+        assert!(!Parallelism::with_threads(4).is_auto());
+        assert_eq!(
+            Parallelism::auto_with_threads(usize::MAX).threads,
+            available_threads(),
+            "auto clamps to available cores"
+        );
     }
 
     #[test]
@@ -350,7 +703,11 @@ mod tests {
         // not race other tests reading `Parallelism::default()`.
         std::env::set_var("ORIANNA_THREADS", "3");
         assert_eq!(env_threads(), Some(3));
-        assert_eq!(Parallelism::default().threads, 3);
+        assert_eq!(
+            Parallelism::default().threads,
+            3.min(available_threads()),
+            "env override is clamped to the cores the machine has"
+        );
         std::env::set_var("ORIANNA_THREADS", "0");
         assert_eq!(env_threads(), Some(1), "zero clamps to one");
         std::env::set_var("ORIANNA_THREADS", "not-a-number");
@@ -358,6 +715,28 @@ mod tests {
         std::env::remove_var("ORIANNA_THREADS");
         assert_eq!(env_threads(), None);
         assert!(Parallelism::default().threads >= 1);
+    }
+
+    #[test]
+    fn auto_mode_gates_small_regions_serial() {
+        let auto = Parallelism {
+            threads: 8,
+            auto: true,
+        };
+        let t = auto_threshold();
+        assert_eq!(auto.effective_threads(0), 1);
+        assert_eq!(auto.effective_threads(t.saturating_sub(1)), 1);
+        assert!(auto.effective_threads(t) >= 2, "at-threshold work fans out");
+        assert_eq!(
+            auto.effective_threads(u64::MAX / 2),
+            8,
+            "huge regions get every configured thread"
+        );
+        assert!(!auto.gate(0).is_parallel());
+        assert!(auto.gate(u64::MAX / 2).is_parallel());
+        // Non-auto configurations are never gated.
+        let fixed = Parallelism::with_threads(4);
+        assert_eq!(fixed.effective_threads(0), 4);
     }
 
     #[test]
@@ -414,5 +793,49 @@ mod tests {
             }
             id
         });
+    }
+
+    #[test]
+    fn try_scoped_workers_surfaces_structured_panic() {
+        let err = try_scoped_workers(&Parallelism::with_threads(4), 4, |id| {
+            if id == 2 {
+                panic!("structured boom {id}");
+            }
+            id
+        })
+        .expect_err("worker 2 panicked");
+        match err {
+            ParError::WorkerPanicked {
+                worker, message, ..
+            } => {
+                assert_eq!(worker, 2);
+                assert!(message.contains("structured boom"), "message={message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // Display carries the worker id and message for logs.
+        let err = try_scoped_workers(&Parallelism::serial(), 1, |_| -> usize {
+            panic!("inline boom")
+        })
+        .expect_err("inline worker panicked");
+        assert!(err.to_string().contains("worker 0"));
+        assert!(err.to_string().contains("inline boom"));
+    }
+
+    #[test]
+    fn try_scoped_workers_recovers_after_panic() {
+        // The pool must stay serviceable after a panicking region: the
+        // panic is contained to the job, not the worker thread.
+        for round in 0..4 {
+            let result = try_scoped_workers(&Parallelism::with_threads(4), 4, |id| {
+                if id == 1 {
+                    panic!("round {round}");
+                }
+                id * 2
+            });
+            assert!(result.is_err(), "round {round}");
+        }
+        let ok = scoped_workers(&Parallelism::with_threads(4), 4, |id| id + 1);
+        assert_eq!(ok, vec![1, 2, 3, 4]);
     }
 }

@@ -42,8 +42,20 @@ pub fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
             best_fit.or(largest).map(|(i, _)| pool.swap_remove(i))
         })
         .unwrap_or_default();
+    // Zeroing audit: recycled buffers come back dirty from their previous
+    // user, so the clear + resize pair below is what re-establishes the
+    // documented all-zero contract — `clear` drops the stale length to 0
+    // and `resize` writes 0.0 into every handed-out element, including
+    // when a larger best-fit buffer serves a smaller request. Callers that
+    // accumulate into the slice (the panel gather paths, Householder
+    // vbufs) rely on this; the debug assert keeps the contract honest if
+    // the pooling strategy ever changes.
     buf.clear();
     buf.resize(len, 0.0);
+    debug_assert!(
+        buf.iter().all(|&x| x == 0.0),
+        "scratch pool handed out a non-zeroed buffer"
+    );
     let out = f(&mut buf);
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
@@ -100,6 +112,24 @@ mod tests {
                 assert!(pool[0].capacity() >= 1024);
             });
         });
+    }
+
+    #[test]
+    fn dirty_buffers_are_rezeroed_across_size_classes() {
+        // Regression test for the zeroing contract on the best-fit path:
+        // a large buffer dirtied by a big request must hand out an
+        // all-zero prefix when it later serves a *smaller* request (its
+        // stale tail beyond `len` is invisible but its prefix is not).
+        POOL.with(|p| p.borrow_mut().clear());
+        with_buf(256, |b| b.fill(7.25));
+        with_buf(100, |b| {
+            assert_eq!(b.len(), 100);
+            assert!(b.iter().all(|&x| x == 0.0), "stale prefix leaked");
+            b.fill(-1.0);
+        });
+        // And growing back to the original size must not resurrect the
+        // dirtied tail either.
+        with_buf(256, |b| assert!(b.iter().all(|&x| x == 0.0)));
     }
 
     #[test]

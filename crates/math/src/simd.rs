@@ -1,0 +1,59 @@
+//! Runtime SIMD feature detection for the panel microkernels.
+//!
+//! The f64×4 kernels in [`crate::panel`] are written with explicit AVX
+//! intrinsics (separate multiply and add — **never** FMA, which would
+//! change rounding) so that each output element performs exactly the same
+//! IEEE operations in exactly the same order as the scalar reference.
+//! That makes them *bitwise identical* to the scalar fallbacks, and the
+//! dispatch here is therefore purely a performance decision:
+//!
+//! * on x86-64 the AVX path is used when the CPU reports the feature
+//!   (`is_x86_feature_detected!`), checked once and cached;
+//! * `ORIANNA_NO_SIMD=1` (any non-empty value other than `0`) forces the
+//!   scalar fallbacks — the CI matrix runs the whole suite this way so the
+//!   fallback path stays green;
+//! * every other architecture always takes the scalar path.
+
+use std::sync::OnceLock;
+
+/// Whether the AVX f64×4 kernels are active: compiled in for this
+/// architecture, reported by the CPU, and not disabled via
+/// `ORIANNA_NO_SIMD`. Detected once per process and cached.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| detect_avx() && !disabled_by_env())
+}
+
+/// `ORIANNA_NO_SIMD` set to any non-empty value except `0` forces the
+/// scalar fallbacks.
+fn disabled_by_env() -> bool {
+    std::env::var("ORIANNA_NO_SIMD").is_ok_and(|raw| {
+        let v = raw.trim();
+        !v.is_empty() && v != "0"
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_avx() -> bool {
+    std::arch::is_x86_feature_detected!("avx")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_avx() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable() {
+        // Whatever the answer is on this machine, it must not flip
+        // between queries (consumers cache per-call, not per-element).
+        let first = enabled();
+        for _ in 0..3 {
+            assert_eq!(enabled(), first);
+        }
+    }
+}

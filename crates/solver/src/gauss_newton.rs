@@ -142,7 +142,6 @@ impl GaussNewton {
         // the cache (parked there by an earlier solve over the same
         // topology) or allocated once, then allocation-free per iteration.
         let mut ws: Option<Workspace> = None;
-        let use_arena = !s.parallelism.is_parallel();
 
         while iterations < s.max_iterations && !converged {
             iterations += 1;
@@ -156,6 +155,12 @@ impl GaussNewton {
                     let ordering = s.ordering.resolve(graph);
                     SolvePlan::for_system(&sys, ordering.as_slice())
                 })?;
+                // The arena path wins whenever the cost gate would run
+                // elimination serially anyway (which under the auto
+                // default includes every system below the work
+                // threshold); batched execution is reserved for systems
+                // the gate deems big enough to fan out.
+                let use_arena = s.parallelism.effective_threads(built.estimated_flops()) <= 1;
                 if use_arena {
                     ws = Some(
                         cache

@@ -127,7 +127,6 @@ impl LevenbergMarquardt {
         // Serial solves reuse one workspace arena across iterations —
         // damping changes values only, so the layout stays valid.
         let mut ws: Option<Workspace> = None;
-        let use_arena = !s.parallelism.is_parallel();
 
         while iterations < s.max_iterations && !converged && lambda <= s.max_lambda {
             iterations += 1;
@@ -138,6 +137,9 @@ impl LevenbergMarquardt {
                 plan = Some(SolvePlan::for_system(&sys, ordering.as_slice())?);
             }
             let plan_ref = plan.as_ref().unwrap();
+            // Arena execution whenever the cost gate would run the
+            // elimination serially anyway (see gauss_newton.rs).
+            let use_arena = s.parallelism.effective_threads(plan_ref.estimated_flops()) <= 1;
             let owned_delta;
             let delta: &Vec64 = if use_arena {
                 let w = ws.get_or_insert_with(|| plan_ref.workspace());

@@ -268,6 +268,9 @@ pub struct SolvePlan {
     batched: Schedule,
     /// Arena layout of the serial schedule (see [`crate::workspace`]).
     layout: WorkspaceLayout,
+    /// Estimated numeric-phase flops (from the structural panel shapes),
+    /// feeding [`Parallelism`]'s auto-mode cost gate.
+    flops: u64,
 }
 
 impl SolvePlan {
@@ -340,6 +343,21 @@ impl SolvePlan {
             factor_rows,
             &var_dims,
         );
+        // Structural flops estimate of the numeric phase: a Householder
+        // triangularization of a rows × (cols + 1) panel costs about
+        // 2 · rows · width · min(width, rows) multiply–adds, plus one
+        // panel's worth of gather traffic. Shapes are symbolic (row
+        // bounds), so this is an upper estimate — exactly what the
+        // parallel cost gate wants (DESIGN §3.2.4).
+        let flops = serial
+            .steps
+            .iter()
+            .map(|s| {
+                let rows = s.rows as u64;
+                let width = s.cols as u64 + 1;
+                2 * rows * width * width.min(rows) + rows * width
+            })
+            .sum();
         Ok(Self {
             fingerprint,
             order: order.to_vec(),
@@ -348,6 +366,7 @@ impl SolvePlan {
             serial,
             batched,
             layout,
+            flops,
         })
     }
 
@@ -370,6 +389,15 @@ impl SolvePlan {
     /// serial order — the plan-time preview of the Fig. 17 samples.
     pub fn step_shapes(&self) -> Vec<(usize, usize)> {
         self.serial.steps.iter().map(|s| (s.rows, s.cols)).collect()
+    }
+
+    /// Estimated numeric-phase flops, derived from the structural panel
+    /// shapes at build time. This is the work figure the auto-mode cost
+    /// gate compares against its threshold
+    /// ([`Parallelism::effective_threads`]); it is an upper estimate
+    /// because the shapes are structural row bounds.
+    pub fn estimated_flops(&self) -> u64 {
+        self.flops
     }
 
     /// Cheap shape check: does `sys` have the layout this plan was built
@@ -403,8 +431,12 @@ impl SolvePlan {
             self.fingerprint,
             "plan/system structure fingerprints diverge"
         );
+        // Auto mode gates on the plan's estimated work: small systems run
+        // the serial schedule no matter how many threads are configured
+        // (results are bitwise identical either way — only time changes).
+        let par = par.gate(self.flops);
         let conditionals = if par.is_parallel() && self.order.len() > 1 {
-            self.run_batched(sys, par)?
+            self.run_batched(sys, &par)?
         } else {
             self.run_serial(sys)?
         };
