@@ -12,14 +12,20 @@
 
 use orianna_apps::all_apps;
 use orianna_compiler::{compile, UnitClass};
-use orianna_graph::natural_ordering;
+use orianna_graph::{
+    natural_ordering, BetweenFactor, Factor, LinearFactor, LinearSystem, Ordering, PriorFactor,
+    Values, VarId, Variable,
+};
 use orianna_hw::{
     simulate_decoded, simulate_decoded_with, DecodedWorkload, DseContext, HwConfig, IssuePolicy,
     Objective, Resources, SimScratch, SweepMode, Workload,
 };
+use orianna_lie::Pose2;
 use orianna_math::Parallelism;
+use orianna_solver::IncrementalSolver;
 use orianna_solver::{eliminate, SolvePlan};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -225,7 +231,145 @@ fn bench_solver(reps: usize) -> (Results, Vec<(String, f64)>) {
         let arena = results.get(&format!("solve/arena/{name}")) as f64;
         speedups.push((format!("arena_vs_planless/{name}"), planless / arena));
     }
+    bench_incremental(&mut results, &mut speedups);
     (results, speedups)
+}
+
+/// A `n`-pose odometry chain fed one update at a time, plus its pose ids.
+fn build_chain_solver(n: usize) -> (IncrementalSolver, Vec<VarId>) {
+    let mut inc = IncrementalSolver::new();
+    let mut ids = Vec::with_capacity(n);
+    let v0 = inc.add_variable(Variable::Pose2(Pose2::identity()));
+    ids.push(v0);
+    inc.update(vec![
+        Arc::new(PriorFactor::pose2(v0, Pose2::identity(), 0.1)) as Arc<dyn Factor>,
+    ])
+    .expect("prior update");
+    for k in 1..n {
+        let v = inc.add_variable(Variable::Pose2(Pose2::new(0.0, k as f64, 0.001)));
+        inc.update(vec![Arc::new(BetweenFactor::pose2(
+            ids[k - 1],
+            v,
+            Pose2::new(0.0, 1.0, 0.0),
+            0.2,
+        )) as Arc<dyn Factor>])
+            .expect("odometry update");
+        ids.push(v);
+    }
+    (inc, ids)
+}
+
+/// Per-update latency on a grown 2k-pose trajectory: the Bayes-tree
+/// incremental update (affected-subtree re-elimination + wildfire
+/// back-substitution) vs the full re-elimination a batch solver pays per
+/// new factor, plus the loop-closure case where the affected subtree
+/// spans a long root path. Both paths start from cached linearizations —
+/// each rep linearizes only the new factor — so the rows compare
+/// elimination strategies, not linearization caching.
+fn bench_incremental(results: &mut Results, speedups: &mut Vec<(String, f64)>) {
+    const N: usize = 2000;
+
+    // Bayes-tree row: one more odometry update per rep.
+    let (mut inc, mut ids) = build_chain_solver(N);
+    results.record("incremental_update/bayes_2k", 3, || {
+        let k = ids.len();
+        let v = inc.add_variable(Variable::Pose2(Pose2::new(0.0, k as f64, 0.001)));
+        inc.update(vec![Arc::new(BetweenFactor::pose2(
+            ids[k - 1],
+            v,
+            Pose2::new(0.0, 1.0, 0.0),
+            0.2,
+        )) as Arc<dyn Factor>])
+            .expect("bayes odometry update");
+        ids.push(v);
+    });
+    println!(
+        "  incremental_update counters: {} cliques, {} re-eliminated, {} wildfire vars, {} slab reuses, {} full rebuilds",
+        inc.clique_count(),
+        inc.cliques_reeliminated(),
+        inc.wildfire_vars(),
+        inc.slab_reuses(),
+        inc.full_rebuilds()
+    );
+
+    // Loop-closure row: every update also closes a 64-pose loop, forcing
+    // the affected closure up a long root path.
+    let (mut inc_loop, mut loop_ids) = build_chain_solver(N);
+    results.record("incremental_update/bayes_2k_loop", 3, || {
+        let k = loop_ids.len();
+        let v = inc_loop.add_variable(Variable::Pose2(Pose2::new(0.0, k as f64, 0.001)));
+        inc_loop
+            .update(vec![
+                Arc::new(BetweenFactor::pose2(
+                    loop_ids[k - 1],
+                    v,
+                    Pose2::new(0.0, 1.0, 0.0),
+                    0.2,
+                )) as Arc<dyn Factor>,
+                Arc::new(BetweenFactor::pose2(
+                    loop_ids[k - 64],
+                    v,
+                    Pose2::new(0.0, 64.0, 0.0),
+                    0.3,
+                )),
+            ])
+            .expect("loop-closure update");
+        loop_ids.push(v);
+    });
+
+    // Full re-elimination baseline: same stream of cached linear
+    // factors, but every update eliminates the whole trajectory.
+    let mut values = Values::default();
+    let mut sys = LinearSystem {
+        factors: Vec::new(),
+        var_dims: Vec::new(),
+    };
+    let push = |values: &mut Values, sys: &mut LinearSystem, f: &dyn Factor| {
+        let (blocks, err) = f.linearize(values);
+        sys.factors.push(LinearFactor {
+            keys: f.keys().to_vec(),
+            blocks,
+            rhs: -&err,
+        });
+    };
+    let v0 = values.insert(Variable::Pose2(Pose2::identity()));
+    sys.var_dims.push(3);
+    push(
+        &mut values,
+        &mut sys,
+        &PriorFactor::pose2(v0, Pose2::identity(), 0.1),
+    );
+    for k in 1..N {
+        values.insert(Variable::Pose2(Pose2::new(0.0, k as f64, 0.001)));
+        sys.var_dims.push(3);
+        push(
+            &mut values,
+            &mut sys,
+            &BetweenFactor::pose2(VarId(k - 1), VarId(k), Pose2::new(0.0, 1.0, 0.0), 0.2),
+        );
+    }
+    results.record("incremental_update/full_2k", 3, || {
+        let k = sys.var_dims.len();
+        values.insert(Variable::Pose2(Pose2::new(0.0, k as f64, 0.001)));
+        sys.var_dims.push(3);
+        push(
+            &mut values,
+            &mut sys,
+            &BetweenFactor::pose2(VarId(k - 1), VarId(k), Pose2::new(0.0, 1.0, 0.0), 0.2),
+        );
+        let ordering = Ordering::from_order((0..sys.var_dims.len()).map(VarId).collect());
+        let (bn, _) = eliminate(&sys, &ordering).expect("full re-elimination");
+        std::hint::black_box(bn.back_substitute().expect("full back-substitution"));
+    });
+
+    let full = results.get("incremental_update/full_2k") as f64;
+    let bayes = results.get("incremental_update/bayes_2k") as f64;
+    let bayes_loop = results.get("incremental_update/bayes_2k_loop") as f64;
+    speedups.push(("bayes_vs_full/incremental_update".to_string(), full / bayes));
+    speedups.push((
+        "bayes_loop_vs_full/incremental_update".to_string(),
+        full / bayes_loop,
+    ));
 }
 
 /// 200 candidate unit mixes, the shape of a generator DSE sweep.

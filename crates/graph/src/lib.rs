@@ -63,6 +63,8 @@ pub use factors::{
 };
 pub use graph::{FactorGraph, GraphError};
 pub use linear::{LinearFactor, LinearSystem};
-pub use ordering::{min_degree_ordering, natural_ordering, Ordering};
+pub use ordering::{
+    extract_cliques, min_degree_ordering, natural_ordering, Ordering, SymbolicClique,
+};
 pub use values::Values;
 pub use variable::{VarId, Variable};

@@ -96,6 +96,85 @@ pub fn min_degree_ordering(graph: &FactorGraph) -> Ordering {
     Ordering { order }
 }
 
+/// One clique of a Bayes (clique) tree, extracted from the conditional
+/// structure of an elimination pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicClique {
+    /// Frontal variables, ascending in elimination order (the last one is
+    /// the clique's interface to its parent).
+    pub frontals: Vec<VarId>,
+    /// Separator variables (eliminated after every frontal), ascending in
+    /// elimination order.
+    pub separator: Vec<VarId>,
+    /// Index of the parent clique in the returned vector, `None` for
+    /// roots.
+    pub parent: Option<usize>,
+}
+
+/// Extracts the clique tree (Bayes tree) implied by an elimination pass.
+///
+/// `conds` lists, in elimination order, each eliminated variable together
+/// with the separator (parent) variables of its conditional — all of which
+/// must be eliminated later in the same pass. Cliques follow the standard
+/// Bayes-tree construction (Kaess et al., iSAM2): walking the conditionals
+/// in *reverse* elimination order, variable `v` with parents `S_v` joins
+/// the clique `C_p` of its earliest-eliminated parent `p` exactly when
+/// `S_v` equals the frontal+separator set of `C_p`; otherwise it roots a
+/// new child clique of `C_p` with separator `S_v`. A variable with no
+/// parents roots a new tree (the result is a forest when the graph has
+/// several connected components).
+///
+/// # Panics
+/// Panics if a parent variable is not eliminated later in `conds` — the
+/// input must be dependence-closed, which every full or affected-subtree
+/// elimination is by construction.
+pub fn extract_cliques(conds: &[(VarId, Vec<VarId>)]) -> Vec<SymbolicClique> {
+    use std::collections::HashMap;
+    // Position of each variable in the elimination order; parents must be
+    // eliminated later than their child conditional.
+    let pos: HashMap<VarId, usize> = conds.iter().enumerate().map(|(i, c)| (c.0, i)).collect();
+    let mut cliques: Vec<SymbolicClique> = Vec::new();
+    let mut clique_of: HashMap<VarId, usize> = HashMap::new();
+    for (i, (v, parents)) in conds.iter().enumerate().rev() {
+        debug_assert!(
+            parents.iter().all(|p| pos.get(p).is_some_and(|&j| j > i)),
+            "parents of {v} must be eliminated later in the pass"
+        );
+        if parents.is_empty() {
+            clique_of.insert(*v, cliques.len());
+            cliques.push(SymbolicClique {
+                frontals: vec![*v],
+                separator: Vec::new(),
+                parent: None,
+            });
+            continue;
+        }
+        // The clique of the earliest-eliminated parent is either extended
+        // (when the parent sets coincide) or becomes this clique's parent.
+        let p = *parents.iter().min_by_key(|p| pos[p]).expect("non-empty");
+        let cp = clique_of[&p];
+        let scope_len = cliques[cp].frontals.len() + cliques[cp].separator.len();
+        let merge = parents.len() == scope_len
+            && parents
+                .iter()
+                .all(|q| cliques[cp].frontals.contains(q) || cliques[cp].separator.contains(q));
+        if merge {
+            cliques[cp].frontals.insert(0, *v);
+            clique_of.insert(*v, cp);
+        } else {
+            let mut separator = parents.clone();
+            separator.sort_by_key(|q| pos[q]);
+            clique_of.insert(*v, cliques.len());
+            cliques.push(SymbolicClique {
+                frontals: vec![*v],
+                separator,
+                parent: Some(cp),
+            });
+        }
+    }
+    cliques
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +221,90 @@ mod tests {
     #[should_panic(expected = "not a permutation")]
     fn from_order_validates() {
         Ordering::from_order(vec![VarId(0), VarId(0)]);
+    }
+
+    /// Chain conditionals x0|x1, x1|x2, ..., x_{n-1} produce one clique
+    /// per edge: [x_{n-2}, x_{n-1}] at the root merges, every earlier
+    /// variable roots a child clique [x_i ; x_{i+1}].
+    #[test]
+    fn chain_cliques_are_pairwise() {
+        let n = 5;
+        let conds: Vec<(VarId, Vec<VarId>)> = (0..n)
+            .map(|i| {
+                let parents = if i + 1 < n {
+                    vec![VarId(i + 1)]
+                } else {
+                    vec![]
+                };
+                (VarId(i), parents)
+            })
+            .collect();
+        let cliques = extract_cliques(&conds);
+        assert_eq!(cliques.len(), n - 1);
+        // Root: [x3, x4], no separator.
+        assert_eq!(cliques[0].frontals, vec![VarId(3), VarId(4)]);
+        assert!(cliques[0].separator.is_empty());
+        assert_eq!(cliques[0].parent, None);
+        // Children: [x_i ; x_{i+1}] hanging off the next clique up.
+        for (k, c) in cliques.iter().enumerate().skip(1) {
+            let i = n - 2 - k;
+            assert_eq!(c.frontals, vec![VarId(i)]);
+            assert_eq!(c.separator, vec![VarId(i + 1)]);
+            assert_eq!(c.parent, Some(k - 1));
+        }
+    }
+
+    /// A conditional whose parents equal the full scope of its parent
+    /// clique merges into it (x0 | x1, x2 with root clique [x1, x2]).
+    #[test]
+    fn full_scope_parents_merge() {
+        let conds = vec![
+            (VarId(0), vec![VarId(1), VarId(2)]),
+            (VarId(1), vec![VarId(2)]),
+            (VarId(2), vec![]),
+        ];
+        let cliques = extract_cliques(&conds);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].frontals, vec![VarId(0), VarId(1), VarId(2)]);
+    }
+
+    /// Disconnected components yield a forest: two roots, no cross links.
+    #[test]
+    fn components_yield_forest() {
+        let conds = vec![
+            (VarId(0), vec![VarId(1)]),
+            (VarId(1), vec![]),
+            (VarId(2), vec![VarId(3)]),
+            (VarId(3), vec![]),
+        ];
+        let cliques = extract_cliques(&conds);
+        assert_eq!(cliques.len(), 2);
+        assert!(cliques.iter().all(|c| c.parent.is_none()));
+        let mut roots: Vec<_> = cliques.iter().map(|c| c.frontals.clone()).collect();
+        roots.sort();
+        assert_eq!(roots[0], vec![VarId(0), VarId(1)]);
+        assert_eq!(roots[1], vec![VarId(2), VarId(3)]);
+    }
+
+    /// A landmark-style branch: two children observing a shared pose pair
+    /// attach as sibling cliques under the same parent.
+    #[test]
+    fn shared_separator_makes_siblings() {
+        let conds = vec![
+            (VarId(0), vec![VarId(4)]),
+            (VarId(1), vec![VarId(4)]),
+            (VarId(2), vec![VarId(3), VarId(4)]),
+            (VarId(3), vec![VarId(4)]),
+            (VarId(4), vec![]),
+        ];
+        let cliques = extract_cliques(&conds);
+        // Root [x2, x3, x4] (x3|x4 merges into [x4]; x2|x3,x4 merges
+        // again), then x1 and x0 each root a child [xi ; x4].
+        assert_eq!(cliques.len(), 3);
+        assert_eq!(cliques[0].frontals, vec![VarId(2), VarId(3), VarId(4)]);
+        for c in &cliques[1..] {
+            assert_eq!(c.separator, vec![VarId(4)]);
+            assert_eq!(c.parent, Some(0));
+        }
     }
 }

@@ -38,6 +38,7 @@
 //! assert!((g.values().get(b).as_pose2().x() - 1.0).abs() < 1e-9);
 //! ```
 
+pub mod bayes_tree;
 pub mod elimination;
 pub mod gauss_newton;
 pub mod incremental;

@@ -920,22 +920,20 @@ mod tests {
     }
 
     #[test]
-    fn arena_solve_is_reusable_across_relinearizations() {
+    fn arena_solve_is_reusable_across_relinearizations() -> Result<(), SolveError> {
         let mut g = looped_chain(7);
         let ordering = natural_ordering(&g);
-        let plan = SolvePlan::for_graph(&g, ordering.as_slice()).unwrap();
+        let plan = SolvePlan::for_graph(&g, ordering.as_slice())?;
         let mut ws = plan.workspace();
         for _ in 0..3 {
             let sys = g.linearize();
-            let fresh = eliminate(&sys, &ordering)
-                .unwrap()
-                .0
-                .back_substitute()
-                .unwrap();
-            let delta = plan.solve_in(&sys, &mut ws).unwrap().clone();
+            let (bn, _) = eliminate(&sys, &ordering)?;
+            let fresh = bn.back_substitute()?;
+            let delta = plan.solve_in(&sys, &mut ws)?.clone();
             assert_eq!(delta.as_slice(), fresh.as_slice());
             g.retract_all(&delta);
         }
+        Ok(())
     }
 
     #[test]

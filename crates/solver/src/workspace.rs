@@ -510,3 +510,280 @@ impl Workspace {
         self.arena.len()
     }
 }
+
+/// Recycles clique-slab buffers across Bayes-tree surgery. When an
+/// affected clique is detached its slab buffer returns here; the cliques
+/// re-eliminated in its place draw from the pool, so steady-state
+/// streaming updates allocate no new slab storage. Unlike the monolithic
+/// [`Workspace`] arena — invalidated wholesale by any topology change —
+/// the pool only ever touches the buffers of *affected* cliques.
+#[derive(Debug, Clone, Default)]
+pub struct SlabPool {
+    free: Vec<Vec<f64>>,
+    takes: usize,
+    reuses: usize,
+}
+
+/// Retained free buffers beyond this are dropped (bounds pool growth when
+/// a rebuild releases a whole tree at once).
+const SLAB_POOL_CAP: usize = 256;
+
+impl SlabPool {
+    /// Hands out a zero-filled buffer of exactly `len` doubles, reusing a
+    /// returned buffer's allocation when one is available.
+    fn take(&mut self, len: usize) -> Vec<f64> {
+        self.takes += 1;
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reuses += 1;
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a slab buffer to the pool.
+    fn put(&mut self, buf: Vec<f64>) {
+        if self.free.len() < SLAB_POOL_CAP {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers handed out in total.
+    pub fn takes(&self) -> usize {
+        self.takes
+    }
+
+    /// Buffers served from a recycled allocation.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+}
+
+/// Packed layout of one conditional inside a [`CliqueSlab`] buffer:
+/// `R` (dv×dv row-major), the parent blocks (dv×width row-major each) and
+/// the RHS, all at fixed offsets.
+#[derive(Debug, Clone)]
+struct SlabCond {
+    var: VarId,
+    dv: usize,
+    r_off: usize,
+    rhs_off: usize,
+    /// `(parent var, buffer offset, width)` in separator-layout order.
+    parents: Vec<(VarId, usize, usize)>,
+}
+
+/// The packed conditional payload of one Bayes-tree clique: every frontal
+/// conditional's `[R | S… | d]` rows in a single pooled buffer. The slab
+/// lives as long as the clique — re-eliminating a disjoint part of the
+/// tree never touches it — and back-substitution solves straight out of
+/// the packed storage.
+#[derive(Debug, Clone, Default)]
+pub struct CliqueSlab {
+    buf: Vec<f64>,
+    conds: Vec<SlabCond>,
+}
+
+impl CliqueSlab {
+    /// Packs the conditionals of one clique (frontals in elimination
+    /// order) into a pooled buffer.
+    pub(crate) fn pack(conds: &[Conditional], pool: &mut SlabPool) -> Self {
+        let len: usize = conds
+            .iter()
+            .map(|c| {
+                let dv = c.r.rows();
+                dv * dv + dv + c.parents.iter().map(|(_, s)| dv * s.cols()).sum::<usize>()
+            })
+            .sum();
+        let mut buf = pool.take(len);
+        let mut metas = Vec::with_capacity(conds.len());
+        let mut off = 0;
+        for c in conds {
+            let dv = c.r.rows();
+            let r_off = off;
+            for d in 0..dv {
+                buf[off..off + dv].copy_from_slice(c.r.row(d));
+                off += dv;
+            }
+            let mut parents = Vec::with_capacity(c.parents.len());
+            for (p, s) in &c.parents {
+                let w = s.cols();
+                parents.push((*p, off, w));
+                for d in 0..dv {
+                    buf[off..off + w].copy_from_slice(s.row(d));
+                    off += w;
+                }
+            }
+            let rhs_off = off;
+            for d in 0..dv {
+                buf[off + d] = c.rhs[d];
+            }
+            off += dv;
+            metas.push(SlabCond {
+                var: c.var,
+                dv,
+                r_off,
+                rhs_off,
+                parents,
+            });
+        }
+        debug_assert_eq!(off, len);
+        Self { buf, conds: metas }
+    }
+
+    /// Returns the slab's buffer to the pool.
+    pub(crate) fn release(self, pool: &mut SlabPool) {
+        pool.put(self.buf);
+    }
+
+    /// Number of packed conditionals (= clique frontals).
+    pub(crate) fn cond_count(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// Frontal variable of conditional `i`.
+    pub(crate) fn cond_var(&self, i: usize) -> VarId {
+        self.conds[i].var
+    }
+
+    /// Solves conditional `i` for its frontal segment given the current
+    /// stacked Δ (parents must already hold their solved values):
+    /// `out = R⁻¹ (d − Σ Sⱼ Δ_parent(j))`. Mirrors
+    /// [`BayesNet::back_substitute`](crate::elimination::BayesNet::back_substitute)
+    /// term for term on the packed storage. Returns `None` on a
+    /// numerically singular diagonal.
+    pub(crate) fn solve_cond(
+        &self,
+        i: usize,
+        delta: &Vec64,
+        offsets: &[usize],
+        out: &mut Vec<f64>,
+    ) -> Option<()> {
+        let c = &self.conds[i];
+        out.clear();
+        out.extend_from_slice(&self.buf[c.rhs_off..c.rhs_off + c.dv]);
+        for &(p, off, w) in &c.parents {
+            let po = offsets[p.0];
+            for (d, o) in out.iter_mut().enumerate() {
+                let row = &self.buf[off + d * w..off + d * w + w];
+                let mut acc = 0.0;
+                for (col, &s) in row.iter().enumerate() {
+                    acc += s * delta[po + col];
+                }
+                *o -= acc;
+            }
+            macs::record(c.dv * w);
+        }
+        // In-place back-substitution on the packed upper-triangular R.
+        for d in (0..c.dv).rev() {
+            let row = &self.buf[c.r_off + d * c.dv..c.r_off + (d + 1) * c.dv];
+            let mut acc = out[d];
+            for j in d + 1..c.dv {
+                acc -= row[j] * out[j];
+            }
+            let diag = row[d];
+            if diag.abs() < 1e-13 {
+                return None;
+            }
+            out[d] = acc / diag;
+            macs::record(c.dv - d);
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod slab_tests {
+    use super::*;
+    use orianna_graph::VarId;
+
+    fn cond(var: usize, parents: &[(usize, usize)], dv: usize) -> Conditional {
+        let mut r = Mat::zeros(dv, dv);
+        for i in 0..dv {
+            for j in i..dv {
+                r[(i, j)] = 1.0 + (var + i + 2 * j) as f64 * 0.25;
+            }
+        }
+        let mut rhs = Vec64::zeros(dv);
+        for i in 0..dv {
+            rhs[i] = (var + i) as f64 * 0.5 - 1.0;
+        }
+        let parents = parents
+            .iter()
+            .map(|&(p, w)| {
+                let mut s = Mat::zeros(dv, w);
+                for i in 0..dv {
+                    for j in 0..w {
+                        s[(i, j)] = (p + i) as f64 * 0.1 - j as f64 * 0.3;
+                    }
+                }
+                (VarId(p), s)
+            })
+            .collect();
+        Conditional {
+            var: VarId(var),
+            r,
+            parents,
+            rhs,
+        }
+    }
+
+    /// Slab solves match the reference conditional arithmetic exactly
+    /// (same term order ⇒ bitwise).
+    #[test]
+    fn slab_solve_matches_reference() {
+        let conds = vec![cond(0, &[(1, 3), (2, 2)], 3), cond(1, &[(2, 2)], 3)];
+        let var_dims = [3usize, 3, 2];
+        let offsets = [0usize, 3, 6];
+        let mut delta = Vec64::zeros(8);
+        for i in 0..8 {
+            delta[i] = (i as f64 * 0.37).sin();
+        }
+        let mut pool = SlabPool::default();
+        let slab = CliqueSlab::pack(&conds, &mut pool);
+        let mut out = Vec::new();
+        for (i, c) in conds.iter().enumerate() {
+            slab.solve_cond(i, &delta, &offsets, &mut out).unwrap();
+            // Reference: rhs − Σ S Δp, then triangular back-substitution.
+            let mut rhs = c.rhs.clone();
+            for (p, s) in &c.parents {
+                let dp = delta.segment(offsets[p.0], var_dims[p.0]);
+                rhs = &rhs - &s.mul_vec(&dp);
+            }
+            let dv = orianna_math::triangular::back_substitute(&c.r, &rhs).unwrap();
+            for d in 0..c.r.rows() {
+                assert_eq!(out[d], dv[d], "cond {i} row {d}");
+            }
+        }
+    }
+
+    /// Released buffers are reused by later packs.
+    #[test]
+    fn pool_recycles_buffers() {
+        let mut pool = SlabPool::default();
+        let slab = CliqueSlab::pack(&[cond(0, &[(1, 2)], 2)], &mut pool);
+        assert_eq!((pool.takes(), pool.reuses()), (1, 0));
+        slab.release(&mut pool);
+        let slab2 = CliqueSlab::pack(&[cond(3, &[], 3)], &mut pool);
+        assert_eq!((pool.takes(), pool.reuses()), (2, 1));
+        let mut out = Vec::new();
+        assert!(slab2
+            .solve_cond(0, &Vec64::zeros(12), &[0, 2, 4, 6], &mut out)
+            .is_some());
+    }
+
+    /// A singular packed diagonal reports `None` instead of dividing.
+    #[test]
+    fn singular_diagonal_is_detected() {
+        let mut c = cond(0, &[], 2);
+        c.r[(1, 1)] = 0.0;
+        let mut pool = SlabPool::default();
+        let slab = CliqueSlab::pack(&[c], &mut pool);
+        let mut out = Vec::new();
+        assert!(slab
+            .solve_cond(0, &Vec64::zeros(2), &[0], &mut out)
+            .is_none());
+    }
+}

@@ -30,12 +30,16 @@
 
 pub mod dsecheck;
 pub mod gen;
+pub mod incremental;
 pub mod oracle;
 pub mod simcheck;
 pub mod snapshot;
 
 pub use dsecheck::{check_dse, DseViolation};
 pub use gen::{generate, Family, GenConfig};
+pub use incremental::{
+    batch_reference, check_incremental, IncrementalReport, IncrementalViolation, INCREMENTAL_TOL,
+};
 pub use oracle::{check_graph, OracleFailure, OracleReport};
 pub use simcheck::{check_batch, check_workload, sample_configs, SimViolation};
 pub use snapshot::{render, SnapshotResult};

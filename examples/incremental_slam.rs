@@ -1,7 +1,8 @@
-//! Online (incremental) SLAM with the iSAM-style solver: odometry factors
+//! Online (incremental) SLAM with the iSAM2-style solver: odometry factors
 //! stream in one keyframe at a time, each update re-eliminates only the
-//! affected part of the Bayes net, and periodic relinearization keeps the
-//! estimate at the batch Gauss-Newton fixpoint.
+//! affected cliques of the Bayes tree, and fluid relinearization keeps the
+//! estimate at the batch Gauss-Newton fixpoint without rebuilding the
+//! untouched subtrees.
 //!
 //! ```text
 //! cargo run --release --example incremental_slam
@@ -64,10 +65,11 @@ fn main() {
         let est = solver.estimate();
         let err = est.get(v).as_pose2().translation_distance(&truth[k]);
         println!(
-            "keyframe {k:>2}: {} factors, {} marginalized, estimate error {:.3} m \
-             (dead-reckoning {:.3} m)",
+            "keyframe {k:>2}: {} factors, {} marginalized, {} cliques, \
+             estimate error {:.3} m (dead-reckoning {:.3} m)",
             solver.num_factors(),
             solver.num_marginalized(),
+            solver.clique_count(),
             err,
             dead_reckoned.translation_distance(&truth[k])
         );
@@ -89,5 +91,13 @@ fn main() {
     println!(
         "final mean window error: {mean_err:.4} m over the last {} keyframes",
         window.len()
+    );
+    println!(
+        "bayes tree: {} cliques re-eliminated, {} back-substituted vars, \
+         {} slab reuses, {} full rebuilds",
+        solver.cliques_reeliminated(),
+        solver.wildfire_vars(),
+        solver.slab_reuses(),
+        solver.full_rebuilds()
     );
 }
