@@ -8,7 +8,14 @@
 //! reused [`SimScratch`] over a 200-config DSE sweep) — suitable for
 //! committing as a baseline and uploading from CI.
 //!
-//! Usage: `orianna-bench [--quick] [--out-dir DIR]`
+//! Usage: `orianna-bench [server] [--quick] [--out-dir DIR]`
+//!
+//! With the `server` subcommand the binary instead benchmarks the
+//! fleet-scale solver service: the same seeded synthetic traffic is
+//! driven through the batching [`SolverServer`] and through the naive
+//! plan-per-request baseline (outcomes cross-checked **bitwise**), and
+//! `BENCH_server.json` records throughput, the served/naive speedup,
+//! and exact p50/p95/p99 request latencies.
 
 use orianna_apps::all_apps;
 use orianna_compiler::{compile, UnitClass};
@@ -31,24 +38,31 @@ use std::time::Instant;
 struct Args {
     quick: bool,
     out_dir: String,
+    server: bool,
 }
 
 fn parse_args() -> Args {
     let mut quick = false;
     let mut out_dir = ".".to_string();
+    let mut server = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "server" => server = true,
             "--quick" => quick = true,
             "--out-dir" => out_dir = it.next().expect("--out-dir needs a value"),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: orianna-bench [--quick] [--out-dir DIR]");
+                eprintln!("usage: orianna-bench [server] [--quick] [--out-dir DIR]");
                 std::process::exit(2);
             }
         }
     }
-    Args { quick, out_dir }
+    Args {
+        quick,
+        out_dir,
+        server,
+    }
 }
 
 /// Median wall time of `reps` timed calls (after `warmup` untimed ones).
@@ -570,8 +584,137 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
     (results, speedups)
 }
 
+/// Fleet-serving baseline: identical seeded traffic through the batching
+/// server and through the naive plan-per-request path, outcomes
+/// cross-checked bitwise, throughput and exact latency percentiles
+/// recorded. The served run repeats `reps` times (fresh server each rep,
+/// interleaved with naive reps) and the medians are reported.
+fn bench_server(reps: usize, quick: bool) -> (Results, Vec<(String, f64)>) {
+    use orianna_server::{
+        install_sessions, oracle::compare_reports, plan_traffic, run_load, run_naive_load,
+        LoadSpec, ServerConfig, SolverServer,
+    };
+
+    let mut results = Results {
+        entries: Vec::new(),
+        samples: Vec::new(),
+        reps,
+    };
+    // Batched same-topology fleet traffic: many sessions, few topologies,
+    // GN-only so every request can ride a shared plan.
+    let spec = LoadSpec {
+        seed: 0xF1EE7,
+        clients: 8,
+        batch_sessions: 48,
+        topologies: 4,
+        lm_every: 0,
+        incremental_sessions: 0,
+        ops_per_client: if quick { 25 } else { 75 },
+        variables: 10,
+        density: 0.3,
+        ..LoadSpec::default()
+    };
+    let plan = plan_traffic(&spec);
+    let total_ops = plan.total_ops();
+    println!(
+        "  traffic: {} sessions over {} topologies, {} clients x {} ops",
+        plan.sessions.len(),
+        spec.topologies,
+        spec.clients,
+        spec.ops_per_client
+    );
+
+    let config = || ServerConfig {
+        queue_capacity: 4096,
+        max_batch: 16,
+        shards: 8,
+        ..ServerConfig::default()
+    };
+
+    // Interleave served/naive reps so drift biases both equally.
+    let mut served_walls = Vec::with_capacity(reps);
+    let mut naive_walls = Vec::with_capacity(reps);
+    let mut served_last = None;
+    let mut naive_last = None;
+    for _ in 0..reps {
+        let server = SolverServer::new(config());
+        install_sessions(&server, &plan).expect("install sessions");
+        let served = run_load(&server, &plan);
+        assert_eq!(served.errors(), 0, "served run must be clean");
+        server.shutdown();
+        if served_last.is_none() {
+            let m = server.metrics();
+            println!(
+                "  served: {} plan executions for {} requests, max batch {}, \
+                 {} plan misses, {} ws builds",
+                m.batches, m.completed, m.max_batch, m.cache.plan_misses, m.cache.workspace_builds
+            );
+        }
+        served_walls.push(served.wall_ns);
+        served_last = Some(served);
+
+        let naive = run_naive_load(&plan).expect("naive run");
+        assert_eq!(naive.errors(), 0, "naive run must be clean");
+        naive_walls.push(naive.wall_ns);
+        naive_last = Some(naive);
+    }
+    let served = served_last.expect("at least one rep");
+    let naive = naive_last.expect("at least one rep");
+
+    // Equal-accuracy guarantee: the speedup below compares bitwise
+    // identical results, not an approximation.
+    compare_reports(&served.outcomes, &naive.outcomes)
+        .unwrap_or_else(|e| panic!("served/naive outcomes diverge: {e}"));
+
+    let median = |walls: &mut Vec<u64>| {
+        walls.sort_unstable();
+        walls[walls.len() / 2]
+    };
+    let served_wall = median(&mut served_walls);
+    let naive_wall = median(&mut naive_walls);
+    let served_rps = total_ops as f64 * 1e9 / served_wall as f64;
+    let naive_rps = total_ops as f64 * 1e9 / naive_wall as f64;
+
+    let mut put = |name: &str, ns: u64| {
+        println!("  {name}: {ns} ns");
+        results.entries.push((name.to_string(), u128::from(ns)));
+    };
+    put("server/served_wall", served_wall);
+    put("server/naive_wall", naive_wall);
+    put("server/served_p50", served.percentile_ns(0.50));
+    put("server/served_p95", served.percentile_ns(0.95));
+    put("server/served_p99", served.percentile_ns(0.99));
+    put("server/naive_p50", naive.percentile_ns(0.50));
+    put("server/naive_p95", naive.percentile_ns(0.95));
+    put("server/naive_p99", naive.percentile_ns(0.99));
+    println!("  served throughput: {served_rps:.0} req/s, naive: {naive_rps:.0} req/s");
+
+    let speedups = vec![(
+        "served_vs_naive/throughput".to_string(),
+        served_rps / naive_rps,
+    )];
+    (results, speedups)
+}
+
 fn main() {
     let args = parse_args();
+
+    if args.server {
+        let (mode, reps) = if args.quick {
+            ("server-quick", 2)
+        } else {
+            ("server-full", 5)
+        };
+        println!("orianna-bench ({mode} mode, {reps} reps)");
+        println!("server:");
+        let (results, speedups) = bench_server(reps, args.quick);
+        let json = to_json(mode, reps, &results, &speedups);
+        let path = format!("{}/BENCH_server.json", args.out_dir);
+        std::fs::write(&path, json).expect("write BENCH_server.json");
+        println!("wrote {path}");
+        return;
+    }
+
     let (mode, reps) = if args.quick {
         ("quick", 10)
     } else {

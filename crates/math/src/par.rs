@@ -73,12 +73,29 @@ impl Default for Parallelism {
     }
 }
 
-/// Parses the `ORIANNA_THREADS` override; `None` when unset or not a
-/// positive integer (values are clamped to ≥ 1 like
-/// [`Parallelism::with_threads`]).
-fn env_threads() -> Option<usize> {
-    let raw = std::env::var("ORIANNA_THREADS").ok()?;
+/// Parses one `ORIANNA_THREADS`-style value; `None` when not a positive
+/// integer (values are clamped to ≥ 1 like [`Parallelism::with_threads`]).
+/// Malformed values therefore fall back to auto-detection instead of
+/// being silently re-tried on a later read.
+fn parse_threads(raw: &str) -> Option<usize> {
     raw.trim().parse::<usize>().ok().map(|t| t.max(1))
+}
+
+/// The `ORIANNA_THREADS` override; `None` when unset or malformed.
+///
+/// The environment is read and parsed **once per process**:
+/// `Parallelism::default()` sits on every solve's hot path (optimizer
+/// construction, DSE sweeps, server sessions), and `std::env::var` takes a
+/// process-wide lock plus a UTF-8 validation per call. The knob is a
+/// deployment setting, not a runtime one, so later mutations of the
+/// variable are intentionally ignored.
+fn env_threads() -> Option<usize> {
+    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("ORIANNA_THREADS")
+            .ok()
+            .and_then(|raw| parse_threads(&raw))
+    })
 }
 
 /// Default estimated-work threshold (abstract units ≈ flops ≈ serial
@@ -88,14 +105,22 @@ fn env_threads() -> Option<usize> {
 /// serial work before a second worker can pay for itself (DESIGN §3.2.4).
 pub const AUTO_WORK_THRESHOLD: u64 = 200_000;
 
+/// Parses one `ORIANNA_PAR_THRESHOLD`-style value; `None` when not a
+/// non-negative integer, so malformed overrides fall back to
+/// [`AUTO_WORK_THRESHOLD`] instead of partially applying.
+fn parse_threshold(raw: &str) -> Option<u64> {
+    raw.trim().parse::<u64>().ok()
+}
+
 /// The active auto-mode threshold: `ORIANNA_PAR_THRESHOLD` when set to a
-/// non-negative integer, otherwise [`AUTO_WORK_THRESHOLD`]. Read once.
+/// non-negative integer, otherwise [`AUTO_WORK_THRESHOLD`]. Read and
+/// parsed once per process, like [`env_threads`].
 pub fn auto_threshold() -> u64 {
     static THRESHOLD: OnceLock<u64> = OnceLock::new();
     *THRESHOLD.get_or_init(|| {
         std::env::var("ORIANNA_PAR_THRESHOLD")
             .ok()
-            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .and_then(|raw| parse_threshold(&raw))
             .unwrap_or(AUTO_WORK_THRESHOLD)
     })
 }
@@ -698,23 +723,51 @@ mod tests {
     }
 
     #[test]
-    fn orianna_threads_env_override() {
-        // `env_threads` parses the override directly so the assertion does
-        // not race other tests reading `Parallelism::default()`.
-        std::env::set_var("ORIANNA_THREADS", "3");
-        assert_eq!(env_threads(), Some(3));
+    fn orianna_threads_parsing() {
+        // The pure parser: valid positive integers clamp to ≥ 1, anything
+        // malformed is `None` so the auto (all-cores) default applies
+        // instead of a silently re-parsed garbage value.
+        assert_eq!(parse_threads("3"), Some(3));
+        assert_eq!(parse_threads(" 5 "), Some(5), "whitespace is trimmed");
+        assert_eq!(parse_threads("0"), Some(1), "zero clamps to one");
+        assert_eq!(parse_threads("not-a-number"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("-2"), None, "negatives fall back to auto");
+        assert_eq!(parse_threads("2.5"), None, "fractions fall back to auto");
+    }
+
+    #[test]
+    fn orianna_par_threshold_parsing() {
+        assert_eq!(parse_threshold("250000"), Some(250_000));
+        assert_eq!(parse_threshold(" 0 "), Some(0));
+        assert_eq!(parse_threshold("lots"), None, "garbage keeps the default");
+        assert_eq!(parse_threshold("-1"), None);
+        assert!(auto_threshold() >= 1 || auto_threshold() == 0);
+    }
+
+    #[test]
+    fn env_overrides_are_read_once() {
+        // The environment is parsed a single time per process; later
+        // mutations must not change the configuration mid-run (the knob
+        // used to be re-read on every `Parallelism::default()`, i.e. once
+        // per solve). Whatever the ambient value was at first read, the
+        // cached result is stable against subsequent env churn.
+        let before = env_threads();
+        let threshold_before = auto_threshold();
+        std::env::set_var("ORIANNA_THREADS", "7");
+        std::env::set_var("ORIANNA_PAR_THRESHOLD", "12345");
+        assert_eq!(env_threads(), before, "thread override is cached");
         assert_eq!(
-            Parallelism::default().threads,
-            3.min(available_threads()),
-            "env override is clamped to the cores the machine has"
+            auto_threshold(),
+            threshold_before,
+            "threshold override is cached"
         );
-        std::env::set_var("ORIANNA_THREADS", "0");
-        assert_eq!(env_threads(), Some(1), "zero clamps to one");
-        std::env::set_var("ORIANNA_THREADS", "not-a-number");
-        assert_eq!(env_threads(), None, "garbage falls back to cores");
         std::env::remove_var("ORIANNA_THREADS");
-        assert_eq!(env_threads(), None);
+        std::env::remove_var("ORIANNA_PAR_THRESHOLD");
+        assert_eq!(env_threads(), before);
+        // And the default stays well-formed no matter what was cached.
         assert!(Parallelism::default().threads >= 1);
+        assert!(Parallelism::default().threads <= available_threads());
     }
 
     #[test]

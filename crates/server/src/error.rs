@@ -1,0 +1,74 @@
+//! Structured server errors.
+//!
+//! Every failure mode of the serving runtime is an enum variant — the
+//! server never panics on bad input, a full queue, or a failed solve, and
+//! never drops a request silently: a submitted request either completes
+//! with an outcome or its ticket resolves to one of these errors.
+
+use crate::session::SessionId;
+use orianna_solver::SolveError;
+
+/// A request the server could not serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The bounded request queue was full at submission time. This is
+    /// *backpressure*, not failure: the caller should retry later or shed
+    /// load. Carries the configured capacity so operators can tell which
+    /// bound fired.
+    Overloaded {
+        /// Queue capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The request named a session this server never created.
+    UnknownSession(SessionId),
+    /// The request kind does not apply to the session's flavor (e.g. an
+    /// incremental extension sent to a batch session).
+    WrongFlavor {
+        /// Session the request addressed.
+        session: SessionId,
+        /// What the request asked for.
+        requested: &'static str,
+    },
+    /// The underlying solve failed; the structured solver error is
+    /// preserved for triage.
+    Solve(SolveError),
+    /// A worker or client abandoned a lock while holding it (a panic in
+    /// foreign code); the session or ticket is unusable.
+    Poisoned,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Overloaded { capacity } => {
+                write!(f, "request queue full (capacity {capacity}); retry later")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::UnknownSession(id) => write!(f, "unknown session {}", id.0),
+            ServerError::WrongFlavor { session, requested } => write!(
+                f,
+                "session {} does not support {requested} requests",
+                session.0
+            ),
+            ServerError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServerError::Poisoned => write!(f, "internal lock poisoned by a panic"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for ServerError {
+    fn from(e: SolveError) -> Self {
+        ServerError::Solve(e)
+    }
+}

@@ -1,0 +1,551 @@
+//! Seeded synthetic fleet traffic: thousands of sessions, mixed
+//! topologies, concurrent closed-loop clients.
+//!
+//! A [`LoadSpec`] expands deterministically into a [`TrafficPlan`]: the
+//! session roster (batch GN/LM sessions drawn from a small pool of shared
+//! generator topologies, plus incremental sessions each owned by exactly
+//! one client) and one op script per client. Batch solves carry a seeded
+//! perturbation, so they are order-independent and the same plan can be
+//! replayed through the concurrent server ([`run_load`]), the sequential
+//! oracle ([`crate::oracle::replay_sequential`]), or the naive
+//! plan-per-request baseline ([`run_naive_load`]) and compared bitwise.
+//! Incremental ops appear only in their owner's script, which executes
+//! closed-loop, so per-session op order is identical in every replay.
+
+use crate::error::ServerError;
+use crate::server::{Request, SolverServer};
+use crate::session::{splitmix64, BatchFlavor, Perturb, Session, SessionId, SolveOutcome};
+use orianna_solver::{GaussNewtonSettings, LevenbergMarquardtSettings};
+use orianna_verify::{generate, Family, GenConfig};
+use std::time::Instant;
+
+/// Perturbation half-width applied by generated traffic — small enough to
+/// stay inside every family's convergence basin.
+pub const LOAD_PERTURB_SCALE: f64 = 0.02;
+
+/// Knobs describing a synthetic fleet workload.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Master seed; everything below derives from it.
+    pub seed: u64,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Batch sessions (Gauss-Newton unless claimed by `lm_every`).
+    pub batch_sessions: usize,
+    /// Distinct topologies shared among the batch sessions — smaller
+    /// values mean more same-topology coalescing.
+    pub topologies: usize,
+    /// Every n-th batch session solves with Levenberg-Marquardt
+    /// (unbatched path); 0 disables LM traffic.
+    pub lm_every: usize,
+    /// Incremental Bayes-tree sessions, each owned by one client.
+    pub incremental_sessions: usize,
+    /// Requests each client issues.
+    pub ops_per_client: usize,
+    /// Generator families to draw topologies from.
+    pub families: Vec<Family>,
+    /// Primary-variable count per generated graph.
+    pub variables: usize,
+    /// Optional-factor density in `[0, 1]`.
+    pub density: f64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0xF1EE7,
+            clients: 8,
+            batch_sessions: 64,
+            topologies: 6,
+            lm_every: 0,
+            incremental_sessions: 8,
+            ops_per_client: 50,
+            families: Family::ALL.to_vec(),
+            variables: 10,
+            density: 0.3,
+        }
+    }
+}
+
+/// One session in the roster.
+#[derive(Debug, Clone)]
+pub enum SessionSpec {
+    /// A fixed-topology batch session.
+    Batch {
+        /// Generator config — sessions sharing a config share a topology
+        /// fingerprint (the batching key).
+        cfg: GenConfig,
+        /// Solve with LM (unbatched) instead of GN.
+        lm: bool,
+    },
+    /// An incremental session growing from a seeded anchor.
+    Incremental {
+        /// Anchor/odometry seed.
+        seed: u64,
+    },
+}
+
+/// One scripted client request.
+#[derive(Debug, Clone, Copy)]
+pub enum OpSpec {
+    /// Perturb-and-solve a batch session (by roster index).
+    Solve {
+        /// Roster index of the target session.
+        session: usize,
+        /// The deterministic perturbation.
+        perturb: Perturb,
+    },
+    /// Extend an incremental session (by roster index).
+    Extend {
+        /// Roster index of the target session.
+        session: usize,
+        /// Poses to append.
+        steps: usize,
+    },
+}
+
+/// A fully expanded, deterministic workload: roster + per-client scripts.
+#[derive(Debug, Clone)]
+pub struct TrafficPlan {
+    /// Session roster; roster index == [`SessionId`] after
+    /// [`install_sessions`].
+    pub sessions: Vec<SessionSpec>,
+    /// One op script per client, executed closed-loop in order.
+    pub scripts: Vec<Vec<OpSpec>>,
+}
+
+impl TrafficPlan {
+    /// Total requests across every client.
+    pub fn total_ops(&self) -> usize {
+        self.scripts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Expands a spec into concrete traffic. Pure: same spec, same plan.
+pub fn plan_traffic(spec: &LoadSpec) -> TrafficPlan {
+    let clients = spec.clients.max(1);
+    let topologies = spec.topologies.max(1);
+    let families = if spec.families.is_empty() {
+        Family::ALL.to_vec()
+    } else {
+        spec.families.clone()
+    };
+
+    // Topology pool: sessions sharing an entry share a fingerprint.
+    let topo_pool: Vec<GenConfig> = (0..topologies)
+        .map(|t| {
+            GenConfig::new(
+                families[t % families.len()],
+                spec.variables + (t / families.len()) * 2,
+                spec.density,
+                splitmix64(spec.seed ^ 0xA11CE ^ t as u64),
+            )
+        })
+        .collect();
+
+    let mut sessions: Vec<SessionSpec> = (0..spec.batch_sessions)
+        .map(|s| SessionSpec::Batch {
+            cfg: topo_pool[s % topologies],
+            lm: spec.lm_every > 0 && s % spec.lm_every == spec.lm_every - 1,
+        })
+        .collect();
+    let incr_base = sessions.len();
+    sessions.extend(
+        (0..spec.incremental_sessions).map(|j| SessionSpec::Incremental {
+            seed: splitmix64(spec.seed ^ 0x1BC ^ j as u64),
+        }),
+    );
+
+    // Scripts: each incremental session belongs to client `j % clients`;
+    // batch targets are drawn by seeded hash.
+    let mut scripts: Vec<Vec<OpSpec>> = vec![Vec::new(); clients];
+    for (c, script) in scripts.iter_mut().enumerate() {
+        let owned_incr: Vec<usize> = (0..spec.incremental_sessions)
+            .filter(|j| j % clients == c)
+            .map(|j| incr_base + j)
+            .collect();
+        for i in 0..spec.ops_per_client {
+            let draw = splitmix64(spec.seed ^ ((c as u64) << 32) ^ i as u64);
+            let use_incr = !owned_incr.is_empty() && (spec.batch_sessions == 0 || i % 4 == 3);
+            if use_incr {
+                script.push(OpSpec::Extend {
+                    session: owned_incr[(draw >> 8) as usize % owned_incr.len()],
+                    steps: 1 + (draw as usize % 3),
+                });
+            } else if spec.batch_sessions > 0 {
+                script.push(OpSpec::Solve {
+                    session: (draw >> 16) as usize % spec.batch_sessions,
+                    perturb: Perturb::new(draw, LOAD_PERTURB_SCALE),
+                });
+            }
+        }
+    }
+    TrafficPlan { sessions, scripts }
+}
+
+/// Registers the plan's roster on `server`, in roster order — so roster
+/// index `i` becomes `SessionId(i)` on a fresh server.
+///
+/// # Errors
+/// Propagates incremental-anchor solve errors.
+pub fn install_sessions(
+    server: &SolverServer,
+    plan: &TrafficPlan,
+) -> Result<Vec<SessionId>, ServerError> {
+    plan.sessions
+        .iter()
+        .map(|spec| match spec {
+            SessionSpec::Batch { cfg, lm } => {
+                let graph = generate(cfg);
+                let flavor = if *lm {
+                    BatchFlavor::Levenberg(LevenbergMarquardtSettings::default())
+                } else {
+                    BatchFlavor::GaussNewton(GaussNewtonSettings::default())
+                };
+                server.create_batch_session(graph, flavor)
+            }
+            SessionSpec::Incremental { seed } => server.create_incremental_session(*seed),
+        })
+        .collect()
+}
+
+/// Builds the plan's roster as bare [`Session`]s (no server) — the
+/// sequential oracle and the naive baseline share session construction
+/// with the served path byte for byte.
+///
+/// # Errors
+/// Propagates incremental-anchor solve errors.
+pub fn build_sessions(plan: &TrafficPlan) -> Result<Vec<Session>, ServerError> {
+    plan.sessions
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| match spec {
+            SessionSpec::Batch { cfg, lm } => {
+                let graph = generate(cfg);
+                let flavor = if *lm {
+                    BatchFlavor::Levenberg(LevenbergMarquardtSettings::default())
+                } else {
+                    BatchFlavor::GaussNewton(GaussNewtonSettings::default())
+                };
+                Session::batch(SessionId(i as u64), graph, flavor)
+            }
+            SessionSpec::Incremental { seed } => Session::incremental(SessionId(i as u64), *seed),
+        })
+        .collect()
+}
+
+/// What one traffic replay produced: per-client, per-op outcomes plus
+/// exact client-side latency samples.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Wall-clock of the whole replay, nanoseconds.
+    pub wall_ns: u64,
+    /// Outcome of every op, indexed `[client][op]` in script order.
+    pub outcomes: Vec<Vec<Result<SolveOutcome, ServerError>>>,
+    /// Exact per-request latencies, sorted ascending, nanoseconds.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Requests replayed.
+    pub fn requests(&self) -> usize {
+        self.outcomes.iter().map(Vec::len).sum()
+    }
+
+    /// Requests that returned an error.
+    pub fn errors(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flatten()
+            .filter(|o| o.is_err())
+            .count()
+    }
+
+    /// Completed requests per second of wall-clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.requests() as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Exact latency percentile (nearest-rank) from the client-side
+    /// samples; 0 when empty.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_ns[rank - 1]
+    }
+}
+
+fn collect_report(
+    started: Instant,
+    outcomes: Vec<Vec<Result<SolveOutcome, ServerError>>>,
+    mut latencies: Vec<u64>,
+) -> LoadReport {
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    latencies.sort_unstable();
+    LoadReport {
+        wall_ns,
+        outcomes,
+        latencies_ns: latencies,
+    }
+}
+
+/// Drives the plan against a running server: one closed-loop thread per
+/// client, `Overloaded` retried with backoff (backpressure, not failure).
+/// Sessions must already be installed in roster order.
+pub fn run_load(server: &SolverServer, plan: &TrafficPlan) -> LoadReport {
+    let started = Instant::now();
+    let mut outcomes: Vec<Vec<Result<SolveOutcome, ServerError>>> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .scripts
+            .iter()
+            .map(|script| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(script.len());
+                    let mut lats = Vec::with_capacity(script.len());
+                    for op in script {
+                        let request = match *op {
+                            OpSpec::Solve { session, perturb } => Request::Solve {
+                                session: SessionId(session as u64),
+                                perturb: Some(perturb),
+                            },
+                            OpSpec::Extend { session, steps } => Request::Extend {
+                                session: SessionId(session as u64),
+                                steps,
+                            },
+                        };
+                        let t0 = Instant::now();
+                        let res = loop {
+                            match server.solve_blocking(request) {
+                                Err(ServerError::Overloaded { .. }) => {
+                                    std::thread::yield_now();
+                                }
+                                other => break other,
+                            }
+                        };
+                        lats.push(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                        out.push(res);
+                    }
+                    (out, lats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, lats) = h.join().expect("load client");
+            outcomes.push(out);
+            latencies.extend(lats);
+        }
+    });
+    collect_report(started, outcomes, latencies)
+}
+
+/// The naive per-request baseline: the same traffic and the same client
+/// concurrency, but every solve rebuilds the whole tenant session from
+/// scratch — graph, warm operating point, symbolic plan, workspace — as
+/// a stateless cache-less service would. No shared cache, no workspace
+/// pools, no coalescing. GN results are bitwise-identical to the served
+/// path (both run the same session code), making throughput ratios an
+/// equal-accuracy comparison.
+///
+/// # Errors
+/// Propagates session-construction errors.
+pub fn run_naive_load(plan: &TrafficPlan) -> Result<LoadReport, ServerError> {
+    let sessions = build_sessions(plan)?;
+    let started = Instant::now();
+    let mut outcomes: Vec<Vec<Result<SolveOutcome, ServerError>>> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let sessions = &sessions;
+        let handles: Vec<_> = plan
+            .scripts
+            .iter()
+            .map(|script| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(script.len());
+                    let mut lats = Vec::with_capacity(script.len());
+                    for op in script {
+                        let t0 = Instant::now();
+                        let res = match *op {
+                            OpSpec::Solve { session, perturb } => {
+                                naive_solve(&plan.sessions[session], session, perturb)
+                            }
+                            OpSpec::Extend { session, steps } => sessions[session].extend(steps),
+                        };
+                        lats.push(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                        out.push(res);
+                    }
+                    (out, lats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, lats) = h.join().expect("naive client");
+            outcomes.push(out);
+            latencies.extend(lats);
+        }
+    });
+    Ok(collect_report(started, outcomes, latencies))
+}
+
+/// One naive request: rebuild the tenant's session from scratch —
+/// regenerate the graph, re-converge the warm operating point, rebuild
+/// the symbolic plan, allocate a fresh workspace — then run the exact
+/// same per-request solve the server runs. This is what a stateless,
+/// cache-less service pays per request for state the server holds warm,
+/// and because both paths execute identical session code the outcomes
+/// are bitwise-equal (the equal-accuracy half of the speedup claim).
+fn naive_solve(
+    spec: &SessionSpec,
+    roster_index: usize,
+    perturb: Perturb,
+) -> Result<SolveOutcome, ServerError> {
+    let SessionSpec::Batch { cfg, lm } = spec else {
+        return Err(ServerError::WrongFlavor {
+            session: SessionId(roster_index as u64),
+            requested: "naive batch solve",
+        });
+    };
+    if *lm {
+        // LM is unbatched on the server too; reuse the session path.
+        let session = Session::batch(
+            SessionId(roster_index as u64),
+            generate(cfg),
+            BatchFlavor::Levenberg(LevenbergMarquardtSettings::default()),
+        )?;
+        return session.solve_direct(Some(perturb));
+    }
+    let session = Session::batch(
+        SessionId(roster_index as u64),
+        generate(cfg),
+        BatchFlavor::GaussNewton(GaussNewtonSettings::default()),
+    )?;
+    let plan = session.build_plan()?;
+    let mut ws = plan.workspace();
+    session.solve_with_plan(&plan, &mut ws, Some(perturb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    fn small_spec() -> LoadSpec {
+        LoadSpec {
+            clients: 3,
+            batch_sessions: 6,
+            topologies: 2,
+            incremental_sessions: 2,
+            ops_per_client: 8,
+            variables: 6,
+            ..LoadSpec::default()
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let spec = small_spec();
+        let a = plan_traffic(&spec);
+        let b = plan_traffic(&spec);
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        assert_eq!(a.total_ops(), b.total_ops());
+        for (sa, sb) in a.scripts.iter().zip(&b.scripts) {
+            for (oa, ob) in sa.iter().zip(sb) {
+                match (oa, ob) {
+                    (
+                        OpSpec::Solve {
+                            session: s1,
+                            perturb: p1,
+                        },
+                        OpSpec::Solve {
+                            session: s2,
+                            perturb: p2,
+                        },
+                    ) => {
+                        assert_eq!(s1, s2);
+                        assert_eq!(p1, p2);
+                    }
+                    (
+                        OpSpec::Extend {
+                            session: s1,
+                            steps: k1,
+                        },
+                        OpSpec::Extend {
+                            session: s2,
+                            steps: k2,
+                        },
+                    ) => {
+                        assert_eq!(s1, s2);
+                        assert_eq!(k1, k2);
+                    }
+                    _ => panic!("op kinds diverge"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_sessions_have_exactly_one_owner() {
+        let plan = plan_traffic(&small_spec());
+        let incr: Vec<usize> = plan
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, SessionSpec::Incremental { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        for &s in &incr {
+            let owners: Vec<usize> = plan
+                .scripts
+                .iter()
+                .enumerate()
+                .filter(|(_, script)| {
+                    script
+                        .iter()
+                        .any(|op| matches!(op, OpSpec::Extend { session, .. } if *session == s))
+                })
+                .map(|(c, _)| c)
+                .collect();
+            assert!(owners.len() <= 1, "incremental session {s} has {owners:?}");
+        }
+    }
+
+    #[test]
+    fn topology_pool_actually_collides() {
+        let plan = plan_traffic(&small_spec());
+        let mut fps = std::collections::HashMap::new();
+        for s in &plan.sessions {
+            if let SessionSpec::Batch { cfg, .. } = s {
+                *fps.entry(generate(cfg).structure_fingerprint())
+                    .or_insert(0) += 1;
+            }
+        }
+        assert!(fps.len() <= 2, "2 topologies configured, got {}", fps.len());
+        assert!(fps.values().any(|&n| n >= 2), "fingerprints must collide");
+    }
+
+    #[test]
+    fn served_load_runs_clean_on_a_small_spec() {
+        let spec = small_spec();
+        let plan = plan_traffic(&spec);
+        let server = SolverServer::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        install_sessions(&server, &plan).unwrap();
+        let report = run_load(&server, &plan);
+        assert_eq!(report.requests(), plan.total_ops());
+        assert_eq!(report.errors(), 0);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.percentile_ns(0.5) <= report.percentile_ns(0.99));
+        server.shutdown();
+        let m = server.metrics();
+        assert_eq!(m.completed as usize, plan.total_ops());
+    }
+}

@@ -1,0 +1,282 @@
+//! Server instrumentation: request/batch/cache counters and a lock-free
+//! latency histogram with tail quantiles.
+//!
+//! All counters are relaxed atomics — they are observability, not
+//! synchronization, and must never serialize the worker loop. Latency is
+//! recorded into power-of-two nanosecond buckets (64 of them cover
+//! 1 ns..≈584 years), so `p50/p95/p99` are bucket-resolution estimates:
+//! the reported value is the upper bound of the bucket containing the
+//! quantile, at most 2× the true value. The load generator additionally
+//! records exact client-side percentiles for the committed baselines;
+//! the histogram is for always-on production telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A power-of-two latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, ns: u64) {
+        // Bucket b holds samples in [2^b, 2^(b+1)); 0 ns lands in bucket 0.
+        let b = (64 - ns.max(1).leading_zeros() - 1) as usize;
+        self.counts[b].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile computation.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram copy.
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    counts: [u64; BUCKETS],
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the bucket holding quantile `q` in `[0, 1]`
+    /// (0 when empty). Monotone in `q`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the q-th sample, 1-based, clamped to [1, n].
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket b, capped by the observed max.
+                let upper = if b + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Aggregated cache statistics across every shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan lookups served from a shard.
+    pub plan_hits: u64,
+    /// Plan lookups that built a fresh plan.
+    pub plan_misses: u64,
+    /// Workspace checkouts served by a parked arena.
+    pub workspace_reuses: u64,
+    /// Workspace checkouts that allocated a fresh arena.
+    pub workspace_builds: u64,
+    /// Workspaces dropped by pool-cap overflow or invalidation.
+    pub workspace_evictions: u64,
+    /// Plans dropped by invalidation.
+    pub invalidations: u64,
+}
+
+/// The server's always-on counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused with `Overloaded`.
+    pub rejected_overload: AtomicU64,
+    /// Requests completed (successfully or with a solve error).
+    pub completed: AtomicU64,
+    /// Requests that completed with a solve error.
+    pub solve_errors: AtomicU64,
+    /// Plan executions (a batch of k requests counts once).
+    pub batches: AtomicU64,
+    /// Requests that rode a batch of size ≥ 2.
+    pub coalesced: AtomicU64,
+    /// Largest batch executed.
+    pub max_batch: AtomicU64,
+    /// End-to-end latency (submit → outcome) histogram.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Records the execution of one batch of `k` requests.
+    pub fn record_batch(&self, k: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if k >= 2 {
+            self.coalesced.fetch_add(k, Ordering::Relaxed);
+        }
+        self.max_batch.fetch_max(k, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter, plus the cache totals.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests refused with `Overloaded`.
+    pub rejected_overload: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completed requests whose solve failed.
+    pub solve_errors: u64,
+    /// Plan executions.
+    pub batches: u64,
+    /// Requests that rode a batch of size ≥ 2.
+    pub coalesced: u64,
+    /// Largest batch executed.
+    pub max_batch: u64,
+    /// Aggregated sharded-cache statistics.
+    pub cache: CacheStats,
+    /// End-to-end latency histogram.
+    pub latency: LatencySnapshot,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn capture(m: &Metrics, cache: CacheStats) -> Self {
+        Self {
+            accepted: m.accepted.load(Ordering::Relaxed),
+            rejected_overload: m.rejected_overload.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            solve_errors: m.solve_errors.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            coalesced: m.coalesced.load(Ordering::Relaxed),
+            max_batch: m.max_batch.load(Ordering::Relaxed),
+            cache,
+            latency: m.latency.snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} accepted, {} rejected (overload), {} completed, {} solve errors",
+            self.accepted, self.rejected_overload, self.completed, self.solve_errors
+        )?;
+        writeln!(
+            f,
+            "batching: {} plan executions, {} coalesced requests, max batch {}",
+            self.batches, self.coalesced, self.max_batch
+        )?;
+        writeln!(
+            f,
+            "cache: {} plan hits / {} misses, {} ws reuses / {} builds / {} evictions, {} invalidations",
+            self.cache.plan_hits,
+            self.cache.plan_misses,
+            self.cache.workspace_reuses,
+            self.cache.workspace_builds,
+            self.cache.workspace_evictions,
+            self.cache.invalidations
+        )?;
+        write!(
+            f,
+            "latency: p50 ≤ {} ns, p95 ≤ {} ns, p99 ≤ {} ns, max {} ns ({} samples)",
+            self.latency.quantile_ns(0.50),
+            self.latency.quantile_ns(0.95),
+            self.latency.quantile_ns(0.99),
+            self.latency.max_ns(),
+            self.latency.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for ns in [100u64, 200, 300, 400, 100_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.max_ns(), 100_000);
+        let p50 = s.quantile_ns(0.50);
+        assert!((200..=511).contains(&p50), "p50={p50}");
+        // The tail quantile lands in the bucket of the extreme sample.
+        let p99 = s.quantile_ns(0.99);
+        assert!((65_536..=131_071).contains(&p99), "p99={p99}");
+        assert!(s.quantile_ns(0.0) <= s.quantile_ns(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile_ns(0.5), 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn quantile_is_capped_by_max() {
+        let h = LatencyHistogram::default();
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.99), 1_000_000, "cap at observed max");
+    }
+
+    #[test]
+    fn zero_and_tiny_samples_are_recorded() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.snapshot().count(), 2);
+    }
+
+    #[test]
+    fn batch_recording_tracks_coalescing() {
+        let m = Metrics::default();
+        m.record_batch(1);
+        m.record_batch(4);
+        m.record_batch(2);
+        assert_eq!(m.batches.load(Ordering::Relaxed), 3);
+        assert_eq!(m.coalesced.load(Ordering::Relaxed), 6);
+        assert_eq!(m.max_batch.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,256 @@
+//! Bounded MPMC request queue — the heart of the lightweight runtime.
+//!
+//! Built directly on `std::sync` primitives in the spirit of
+//! `orianna_math::par`: a mutex-guarded ring (`VecDeque`) plus one
+//! condvar for consumers. Producers never block — a full queue returns
+//! the item to the caller immediately so the server can surface
+//! structured backpressure ([`crate::ServerError::Overloaded`]) instead
+//! of stalling robots mid-control-loop. Consumers block until an item
+//! arrives or the queue closes, and a closed queue still drains: workers
+//! finish everything accepted before shutdown, so accepted requests are
+//! never dropped silently.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. Carries the item back so nothing is lost.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue was at capacity.
+    Full(T),
+    /// The queue has been closed by shutdown.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO with batch draining.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or closed.
+    /// Never blocks.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` only when the queue is closed **and**
+    /// drained — the worker-loop exit condition.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue wait");
+        }
+    }
+
+    /// Removes up to `max` queued items matching `pred`, front to back,
+    /// without blocking. This is the batching hook: a worker that popped a
+    /// request coalesces every same-topology request already waiting into
+    /// one plan execution. Non-matching items keep their relative order.
+    pub fn drain_matching(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        let mut st = self.state.lock().expect("queue lock");
+        let mut i = 0;
+        while i < st.items.len() && out.len() < max {
+            if pred(&st.items[i]) {
+                // `remove` preserves the order of the remaining items.
+                out.push(st.items.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and blocked consumers wake to drain the remainder and observe the
+    /// close.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        match q.push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        match q.push(2) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 2),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1), "accepted items drain after close");
+        assert_eq!(q.pop(), None, "then consumers observe the close");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q = BoundedQueue::<u32>::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7).unwrap();
+        assert!(matches!(q.push(8), Err(PushError::Full(8))));
+    }
+
+    #[test]
+    fn drain_matching_preserves_order_and_bound() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let evens = q.drain_matching(3, |x| x % 2 == 0);
+        assert_eq!(evens, vec![0, 2, 4], "bounded, front-to-back");
+        let rest: Vec<_> = std::iter::from_fn(|| {
+            let mut st = q.state.lock().unwrap();
+            st.items.pop_front()
+        })
+        .collect();
+        assert_eq!(rest, vec![1, 3, 5, 6, 7, 8, 9], "others keep order");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let mut item = p * 1000 + i;
+                    loop {
+                        match q.push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100u64).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

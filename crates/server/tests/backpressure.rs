@@ -1,0 +1,178 @@
+//! Graceful degradation under overload (ISSUE: fleet-scale serving,
+//! backpressure satellite).
+//!
+//! A server with a tiny queue bound is hit with a burst far beyond its
+//! capacity. The contract under test: overload surfaces as structured
+//! [`ServerError::Overloaded`] backpressure — the server never panics,
+//! never drops an accepted request silently, keeps serving after the
+//! burst, and its counters account for every submission exactly.
+
+use orianna_graph::{BetweenFactor, FactorGraph, PriorFactor};
+use orianna_lie::Pose2;
+use orianna_server::{
+    BatchFlavor, Perturb, Request, ServerConfig, ServerError, SolverServer, Ticket,
+};
+use orianna_solver::GaussNewtonSettings;
+
+fn chain(n: usize) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_pose2(Pose2::new(0.05, i as f64 + 0.3, -0.05)))
+        .collect();
+    g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.05));
+    for w in ids.windows(2) {
+        g.add_factor(BetweenFactor::pose2(
+            w[0],
+            w[1],
+            Pose2::new(0.0, 1.0, 0.0),
+            0.1,
+        ));
+    }
+    g
+}
+
+fn tiny_server(queue_capacity: usize) -> SolverServer {
+    SolverServer::new(ServerConfig {
+        workers: 1,
+        queue_capacity,
+        max_batch: 4,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+}
+
+#[test]
+fn burst_overload_returns_structured_backpressure() {
+    let server = tiny_server(2);
+    // A moderately large problem keeps the single worker busy long
+    // enough for the burst to hit the bound.
+    let id = server
+        .create_batch_session(
+            chain(60),
+            BatchFlavor::GaussNewton(GaussNewtonSettings::default()),
+        )
+        .unwrap();
+
+    const BURST: u64 = 256;
+    let mut accepted: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..BURST {
+        match server.submit(Request::Solve {
+            session: id,
+            perturb: Some(Perturb::new(i, 0.02)),
+        }) {
+            Ok(t) => accepted.push(t),
+            Err(ServerError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2, "the error names the bound that fired");
+                rejected += 1;
+            }
+            Err(other) => panic!("burst must only see Overloaded, got {other}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 256-deep burst into capacity 2 must shed load"
+    );
+
+    // Every accepted request resolves — none were dropped silently.
+    let accepted_n = accepted.len() as u64;
+    for t in accepted {
+        t.wait().expect("accepted requests complete");
+    }
+
+    // The server is still healthy after the burst.
+    let after = server
+        .solve_blocking(Request::Solve {
+            session: id,
+            perturb: Some(Perturb::new(9999, 0.02)),
+        })
+        .expect("server serves normally after overload");
+    assert!(after.converged);
+
+    server.shutdown();
+    let m = server.metrics();
+    assert_eq!(m.accepted, accepted_n + 1);
+    assert_eq!(m.rejected_overload, rejected);
+    assert_eq!(m.completed, accepted_n + 1, "accounting is exact");
+    assert_eq!(m.solve_errors, 0);
+}
+
+#[test]
+fn concurrent_burst_from_many_clients_stays_sane() {
+    let server = tiny_server(4);
+    let id = server
+        .create_batch_session(
+            chain(40),
+            BatchFlavor::GaussNewton(GaussNewtonSettings::default()),
+        )
+        .unwrap();
+
+    const CLIENTS: u64 = 6;
+    const PER_CLIENT: u64 = 40;
+    let (accepted, rejected) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    for i in 0..PER_CLIENT {
+                        match server.submit(Request::Solve {
+                            session: id,
+                            perturb: Some(Perturb::new(c << 32 | i, 0.02)),
+                        }) {
+                            Ok(t) => {
+                                ok += 1;
+                                // Closed-loop half the time, fire-and-forget
+                                // otherwise — both must resolve.
+                                if i % 2 == 0 {
+                                    t.wait().expect("accepted request completes");
+                                } else {
+                                    drop(t);
+                                }
+                            }
+                            Err(ServerError::Overloaded { .. }) => shed += 1,
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0, 0), |(a, r), (ok, shed)| (a + ok, r + shed))
+    });
+
+    server.shutdown();
+    let m = server.metrics();
+    assert_eq!(m.accepted, accepted);
+    assert_eq!(m.rejected_overload, rejected);
+    assert_eq!(
+        accepted + rejected,
+        CLIENTS * PER_CLIENT,
+        "no request unaccounted"
+    );
+    assert_eq!(m.completed, accepted, "every accepted request completed");
+    assert_eq!(m.solve_errors, 0);
+}
+
+#[test]
+fn submissions_after_shutdown_are_refused_not_dropped() {
+    let server = tiny_server(8);
+    let id = server
+        .create_batch_session(
+            chain(6),
+            BatchFlavor::GaussNewton(GaussNewtonSettings::default()),
+        )
+        .unwrap();
+    server.shutdown();
+    assert!(matches!(
+        server.submit(Request::Solve {
+            session: id,
+            perturb: None
+        }),
+        Err(ServerError::ShuttingDown)
+    ));
+}

@@ -118,6 +118,74 @@ impl GaussNewton {
         self.optimize_with_cache(graph, &mut cache)
     }
 
+    /// [`optimize`](GaussNewton::optimize) against an externally
+    /// checked-out plan and workspace — the multi-tenant serving path,
+    /// where a sharded cache owns both and hands them to whichever worker
+    /// thread executes the request. Always runs the serial arena path
+    /// (`solve_in`), so the result is bitwise identical to
+    /// [`optimize`](GaussNewton::optimize) with serial settings over the
+    /// same graph; the settings' `parallelism` only steers linearization.
+    ///
+    /// # Errors
+    /// Propagates [`SolveError`] from elimination; `PlanMismatch` when
+    /// the plan or workspace does not belong to this graph's structure.
+    pub fn optimize_with_plan(
+        &self,
+        graph: &mut FactorGraph,
+        plan: &SolvePlan,
+        ws: &mut Workspace,
+    ) -> Result<GaussNewtonReport, SolveError> {
+        let s = &self.settings;
+        let initial_error = graph.total_error();
+        let mut error = initial_error;
+        let mut converged = error <= s.abs_tol;
+        let mut iterations = 0;
+        let mut sys = orianna_graph::LinearSystem {
+            factors: Vec::new(),
+            var_dims: Vec::new(),
+        };
+
+        while iterations < s.max_iterations && !converged {
+            iterations += 1;
+            graph.linearize_into(&s.parallelism, &mut sys);
+            let delta = plan.solve_in(&sys, ws)?;
+
+            let mut scale = 1.0;
+            let mut best: Option<(f64, Vec64)> = None;
+            for _ in 0..=s.max_step_halvings {
+                let step = delta.scale(scale);
+                let candidate = graph.values().retract_all(&step);
+                let e = graph.total_error_with(&candidate);
+                if e < error || s.max_step_halvings == 0 {
+                    best = Some((e, step));
+                    break;
+                }
+                if best.as_ref().is_none_or(|(be, _)| e < *be) {
+                    best = Some((e, step));
+                }
+                scale *= 0.5;
+            }
+            let (new_error, step) = best.expect("at least one candidate evaluated");
+            graph.retract_all(&step);
+
+            let improvement = (error - new_error).abs() / error.max(1e-300);
+            error = new_error;
+            if error <= s.abs_tol || improvement <= s.rel_tol {
+                converged = true;
+            }
+        }
+
+        Ok(GaussNewtonReport {
+            iterations,
+            initial_error,
+            final_error: error,
+            converged,
+            last_stats: EliminationStats {
+                steps: ws.stats().to_vec(),
+            },
+        })
+    }
+
     /// [`optimize`](GaussNewton::optimize) with a caller-owned
     /// [`PlanCache`], letting repeated solves over the same topology
     /// (e.g. the mission harness's randomized trials — same structure,
@@ -162,11 +230,7 @@ impl GaussNewton {
                 // the gate deems big enough to fan out.
                 let use_arena = s.parallelism.effective_threads(built.estimated_flops()) <= 1;
                 if use_arena {
-                    ws = Some(
-                        cache
-                            .take_workspace(fp, s.ordering.cache_tag())
-                            .unwrap_or_else(|| built.workspace()),
-                    );
+                    ws = Some(cache.checkout_workspace(&built, s.ordering.cache_tag()));
                 }
                 plan = Some(built);
                 plan_fp = Some(fp);
@@ -360,6 +424,52 @@ mod tests {
         let report = GaussNewton::default().optimize(&mut g).unwrap();
         assert_eq!(report.iterations, 0);
         assert!(report.converged);
+    }
+
+    #[test]
+    fn optimize_with_plan_is_bitwise_identical_to_optimize() {
+        let build = || {
+            let mut g = FactorGraph::new();
+            let ids: Vec<_> = (0..6)
+                .map(|i| g.add_pose2(Pose2::new(0.15, i as f64 * 0.9, -0.2)))
+                .collect();
+            g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
+            for w in ids.windows(2) {
+                g.add_factor(BetweenFactor::pose2(
+                    w[0],
+                    w[1],
+                    Pose2::new(0.0, 1.0, 0.0),
+                    0.1,
+                ));
+            }
+            g.add_factor(GpsFactor::new(ids[4], &[0.0, 4.0], 0.3));
+            (g, ids)
+        };
+        let serial = GaussNewton::new(GaussNewtonSettings {
+            parallelism: crate::Parallelism::serial(),
+            ..Default::default()
+        });
+
+        let (mut direct, ids) = build();
+        let r1 = serial.optimize(&mut direct).unwrap();
+
+        let (mut via_plan, _) = build();
+        let sys = via_plan.linearize();
+        let plan = SolvePlan::for_system(&sys, natural_ordering(&via_plan).as_slice()).unwrap();
+        let mut ws = plan.workspace();
+        let r2 = serial
+            .optimize_with_plan(&mut via_plan, &plan, &mut ws)
+            .unwrap();
+
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.final_error.to_bits(), r2.final_error.to_bits());
+        for id in ids {
+            let a = direct.values().get(id).as_pose2();
+            let b = via_plan.values().get(id).as_pose2();
+            assert_eq!(a.x().to_bits(), b.x().to_bits());
+            assert_eq!(a.y().to_bits(), b.y().to_bits());
+            assert_eq!(a.theta().to_bits(), b.theta().to_bits());
+        }
     }
 
     #[test]

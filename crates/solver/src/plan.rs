@@ -668,15 +668,38 @@ fn store_new_factor(
 /// on the first solve and reuse it for every later one. Keys are
 /// `(structure fingerprint, ordering tag)`, so graphs whose topology
 /// changes simply miss and build fresh plans.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PlanCache {
     plans: HashMap<(u64, u8), Arc<SolvePlan>>,
-    /// Parked workspaces, keyed like the plans they belong to. Solvers
-    /// take one before iterating and store it back afterwards, so repeated
-    /// solves over the same topology reuse the arena allocation.
-    workspaces: HashMap<(u64, u8), Workspace>,
+    /// Parked workspace pools, keyed like the plans they belong to.
+    /// Solvers take one before iterating and store it back afterwards, so
+    /// repeated solves over the same topology reuse the arena allocation;
+    /// concurrent same-topology solves (a server batch) check out several
+    /// at once, one per in-flight request.
+    workspaces: HashMap<(u64, u8), Vec<Workspace>>,
+    /// Parked workspaces kept per key; parking beyond the cap drops the
+    /// arena (counted in `workspace_evictions`).
+    workspace_cap: usize,
     hits: usize,
     misses: usize,
+    workspace_reuses: usize,
+    workspace_builds: usize,
+    workspace_evictions: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            plans: HashMap::new(),
+            workspaces: HashMap::new(),
+            workspace_cap: usize::MAX,
+            hits: 0,
+            misses: 0,
+            workspace_reuses: 0,
+            workspace_builds: 0,
+            workspace_evictions: 0,
+        }
+    }
 }
 
 impl PlanCache {
@@ -708,18 +731,65 @@ impl PlanCache {
         Ok(plan)
     }
 
-    /// Takes the parked workspace for `(fingerprint, tag)`, if any. The
+    /// Bounds how many workspaces may sit parked per `(fingerprint, tag)`
+    /// key; parking beyond the cap drops the arena instead (counted by
+    /// [`PlanCache::workspace_evictions`]). Defaults to unbounded — the
+    /// single-caller solvers park at most one — while pooled multi-tenant
+    /// callers set a small cap so one hot topology cannot hoard memory.
+    pub fn set_workspace_cap(&mut self, cap: usize) {
+        self.workspace_cap = cap.max(1);
+        // An existing oversized pool shrinks on the next park, not here:
+        // outstanding checkouts may still come home first.
+    }
+
+    /// Takes a parked workspace for `(fingerprint, tag)`, if any. The
     /// caller owns it for the duration of a solve and should park it back
     /// with [`PlanCache::store_workspace`].
     pub fn take_workspace(&mut self, fingerprint: u64, tag: u8) -> Option<Workspace> {
-        self.workspaces.remove(&(fingerprint, tag))
+        let ws = self
+            .workspaces
+            .get_mut(&(fingerprint, tag))
+            .and_then(Vec::pop);
+        if ws.is_some() {
+            self.workspace_reuses += 1;
+        }
+        ws
+    }
+
+    /// Checks out a workspace for `plan`: a parked one when available,
+    /// a freshly allocated arena otherwise (counted by
+    /// [`PlanCache::workspace_builds`]). The exclusive return value is the
+    /// double-checkout guarantee — a parked arena is *moved* to exactly
+    /// one caller and cannot be handed out again until parked back.
+    pub fn checkout_workspace(&mut self, plan: &SolvePlan, tag: u8) -> Workspace {
+        self.take_workspace(plan.fingerprint(), tag)
+            .unwrap_or_else(|| {
+                self.workspace_builds += 1;
+                plan.workspace()
+            })
     }
 
     /// Parks a workspace for reuse by the next solve over the same
-    /// structure.
+    /// structure. A pool already at the workspace cap drops the arena
+    /// instead and counts an eviction.
     pub fn store_workspace(&mut self, fingerprint: u64, tag: u8, ws: Workspace) {
         debug_assert_eq!(ws.fingerprint(), fingerprint);
-        self.workspaces.insert((fingerprint, tag), ws);
+        let pool = self.workspaces.entry((fingerprint, tag)).or_default();
+        if pool.len() < self.workspace_cap {
+            pool.push(ws);
+        } else {
+            self.workspace_evictions += 1;
+        }
+    }
+
+    /// Drops the plan and every parked workspace of `(fingerprint, tag)`.
+    /// Returns whether a plan was actually cached. Outstanding
+    /// checkouts are unaffected — parking them back later simply
+    /// repopulates the pool for a rebuilt plan of the same structure.
+    pub fn invalidate(&mut self, fingerprint: u64, tag: u8) -> bool {
+        let dropped = self.workspaces.remove(&(fingerprint, tag));
+        self.workspace_evictions += dropped.map_or(0, |pool| pool.len());
+        self.plans.remove(&(fingerprint, tag)).is_some()
     }
 
     /// Plans served from the cache.
@@ -730,6 +800,26 @@ impl PlanCache {
     /// Plans built fresh.
     pub fn misses(&self) -> usize {
         self.misses
+    }
+
+    /// Workspace checkouts served by a parked arena.
+    pub fn workspace_reuses(&self) -> usize {
+        self.workspace_reuses
+    }
+
+    /// Workspace checkouts that had to allocate a fresh arena.
+    pub fn workspace_builds(&self) -> usize {
+        self.workspace_builds
+    }
+
+    /// Workspaces dropped by cap overflow or invalidation.
+    pub fn workspace_evictions(&self) -> usize {
+        self.workspace_evictions
+    }
+
+    /// Workspaces currently parked across all keys.
+    pub fn parked_workspaces(&self) -> usize {
+        self.workspaces.values().map(Vec::len).sum()
     }
 
     /// Plans currently stored.
@@ -1003,6 +1093,57 @@ mod tests {
         let ws = cache.take_workspace(fp, 0).expect("parked workspace");
         assert_eq!(ws.fingerprint(), fp);
         assert!(cache.take_workspace(fp, 0).is_none());
+    }
+
+    #[test]
+    fn workspace_pool_checkout_park_and_counters() {
+        let g = looped_chain(6);
+        let fp = g.structure_fingerprint();
+        let ordering = natural_ordering(&g);
+        let mut cache = PlanCache::new();
+        let plan = cache
+            .get_or_build(fp, 0, || SolvePlan::for_graph(&g, ordering.as_slice()))
+            .unwrap();
+
+        // First two checkouts allocate; distinct allocations get distinct ids.
+        let a = cache.checkout_workspace(&plan, 0);
+        let b = cache.checkout_workspace(&plan, 0);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(cache.workspace_builds(), 2);
+        assert_eq!(cache.workspace_reuses(), 0);
+
+        // Parked arenas come back (LIFO), counted as reuses.
+        cache.store_workspace(fp, 0, a);
+        cache.store_workspace(fp, 0, b);
+        assert_eq!(cache.parked_workspaces(), 2);
+        let b2 = cache.checkout_workspace(&plan, 0);
+        let a2 = cache.checkout_workspace(&plan, 0);
+        assert_eq!(cache.workspace_reuses(), 2);
+        assert_eq!(cache.workspace_builds(), 2, "no fresh allocations");
+
+        // A cap of one evicts the second park.
+        cache.set_workspace_cap(1);
+        cache.store_workspace(fp, 0, a2);
+        cache.store_workspace(fp, 0, b2);
+        assert_eq!(cache.parked_workspaces(), 1);
+        assert_eq!(cache.workspace_evictions(), 1);
+
+        // Invalidation drops the plan and the parked pool.
+        assert!(cache.invalidate(fp, 0));
+        assert!(!cache.invalidate(fp, 0), "second invalidate is a no-op");
+        assert_eq!(cache.parked_workspaces(), 0);
+        assert_eq!(cache.workspace_evictions(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn workspace_clone_gets_fresh_id() {
+        let g = looped_chain(4);
+        let plan = SolvePlan::for_graph(&g, natural_ordering(&g).as_slice()).unwrap();
+        let ws = plan.workspace();
+        let cloned = ws.clone();
+        assert_ne!(ws.id(), cloned.id());
+        assert_eq!(ws.fingerprint(), cloned.fingerprint());
     }
 
     #[test]

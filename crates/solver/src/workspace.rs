@@ -234,6 +234,7 @@ impl WorkspaceLayout {
     /// Allocates a workspace sized for this layout.
     pub(crate) fn workspace(&self, fingerprint: u64) -> Workspace {
         Workspace {
+            id: next_workspace_id(),
             fingerprint,
             arena: vec![0.0; self.arena_len],
             vbuf: vec![0.0; self.max_rows],
@@ -468,12 +469,24 @@ impl WorkspaceLayout {
     }
 }
 
+/// Hands out process-unique workspace ids. Pool-accounting code (the
+/// server's sharded cache, the concurrency stress tests) uses the id to
+/// prove a parked arena is never checked out twice concurrently — two
+/// distinct allocations can never share an id.
+fn next_workspace_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The reusable numeric state of arena-backed execution: one flat arena
 /// holding every panel, plus the scratch vectors and outputs. Created by
 /// [`SolvePlan::workspace`](crate::plan::SolvePlan::workspace); valid only
 /// for the plan (fingerprint) that created it.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Workspace {
+    /// Process-unique identity of this allocation (fresh on clone).
+    pub(crate) id: u64,
     pub(crate) fingerprint: u64,
     pub(crate) arena: Vec<f64>,
     /// Householder scratch (`max_rows` long).
@@ -488,7 +501,33 @@ pub struct Workspace {
     pub(crate) stats: Vec<EliminationStep>,
 }
 
+impl Clone for Workspace {
+    /// Clones the numeric state under a **fresh id**: identity tracks the
+    /// allocation, not the contents, so a clone parked in a pool is never
+    /// mistaken for its original.
+    fn clone(&self) -> Self {
+        Self {
+            id: next_workspace_id(),
+            fingerprint: self.fingerprint,
+            arena: self.arena.clone(),
+            vbuf: self.vbuf.clone(),
+            rhs_buf: self.rhs_buf.clone(),
+            live_rows: self.live_rows.clone(),
+            delta: self.delta.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
 impl Workspace {
+    /// Process-unique identity of this allocation. Stable for the
+    /// lifetime of the workspace; never reused by another allocation
+    /// (clones get fresh ids). Pool implementations key their
+    /// double-checkout/lost-workspace accounting on it.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Fingerprint of the plan this workspace was sized for.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint

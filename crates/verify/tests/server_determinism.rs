@@ -1,0 +1,122 @@
+//! Server determinism (ISSUE: fleet-scale serving, determinism
+//! satellite): batched, sharded, multi-worker server solves must be
+//! **bitwise identical** to a sequential per-session replay —
+//! independent of shard count, batch size, worker count, client count,
+//! and `ORIANNA_THREADS` — over all four generator families.
+//!
+//! The property leans on the serving determinism contract: per-request
+//! solves are serial pure functions of `(session state, request)`,
+//! parallelism exists only across requests, and incremental sessions are
+//! closed-loop single-owner. The sequential oracle executes the same
+//! per-request code with one unsharded cache; `compare_reports` checks
+//! digests, error bits, and iteration counts op by op.
+//!
+//! Case counts scale with `ORIANNA_VERIFY_CASES` like the other sweeps.
+
+use orianna_server::{
+    oracle::{check_server, compare_reports, replay_sequential},
+    plan_traffic, run_load, run_naive_load, LoadSpec, ServerConfig, SolverServer,
+};
+use orianna_verify::{cases_per_family, Family};
+use proptest::prelude::*;
+
+fn family_of(i: usize) -> Family {
+    Family::ALL[i % Family::ALL.len()]
+}
+
+fn spec(family: Family, seed: u64, clients: usize, sessions: usize, ops: usize) -> LoadSpec {
+    LoadSpec {
+        seed,
+        clients,
+        batch_sessions: sessions,
+        topologies: 2,
+        lm_every: 5,
+        incremental_sessions: 2,
+        ops_per_client: ops,
+        families: vec![family],
+        variables: 6,
+        density: 0.3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        cases_per_family(16) as u32
+    ))]
+
+    /// Random `(family, server shape, traffic seed)` points: the served
+    /// outcomes equal the sequential replay bit for bit.
+    #[test]
+    fn served_equals_sequential_bitwise(
+        fam in 0usize..4,
+        workers in 1usize..4,
+        shards in 1usize..6,
+        max_batch in 1usize..7,
+        clients in 1usize..4,
+        seed in 0u64..1024,
+    ) {
+        let plan = plan_traffic(&spec(family_of(fam), seed, clients, 5, 6));
+        let config = ServerConfig {
+            workers,
+            shards,
+            max_batch,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        };
+        check_server(config, &plan).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// The same traffic through maximally different server shapes produces
+/// identical outcomes — shard count, batch size, and worker count are
+/// pure performance knobs.
+#[test]
+fn server_shape_never_changes_results() {
+    for (case, family) in Family::ALL.iter().enumerate() {
+        let plan = plan_traffic(&spec(*family, 0xD15C0 + case as u64, 3, 6, 8));
+        let sequential = replay_sequential(&plan).unwrap_or_else(|e| panic!("{e}"));
+        for (workers, shards, max_batch) in [(1, 1, 1), (4, 7, 6), (2, 16, 2)] {
+            let server = SolverServer::new(ServerConfig {
+                workers,
+                shards,
+                max_batch,
+                queue_capacity: 512,
+                ..ServerConfig::default()
+            });
+            orianna_server::install_sessions(&server, &plan).unwrap();
+            let report = run_load(&server, &plan);
+            server.shutdown();
+            compare_reports(&report.outcomes, &sequential).unwrap_or_else(|e| {
+                panic!(
+                    "{} with workers={workers} shards={shards} batch={max_batch}: {e}",
+                    family.name()
+                )
+            });
+        }
+    }
+}
+
+/// The naive plan-per-request baseline reaches the same fixed points for
+/// batchable (GN) traffic — the speedup claimed in BENCH_server.json is
+/// an equal-accuracy comparison, not an approximation trade.
+#[test]
+fn naive_baseline_matches_served_results_bitwise() {
+    let plan = plan_traffic(&LoadSpec {
+        seed: 0xACC,
+        clients: 2,
+        batch_sessions: 4,
+        topologies: 2,
+        lm_every: 0,
+        incremental_sessions: 0,
+        ops_per_client: 6,
+        families: vec![Family::Pose2Slam, Family::Planning],
+        variables: 6,
+        density: 0.25,
+    });
+    let server = SolverServer::new(ServerConfig::default());
+    orianna_server::install_sessions(&server, &plan).unwrap();
+    let served = run_load(&server, &plan);
+    server.shutdown();
+    let naive = run_naive_load(&plan).unwrap_or_else(|e| panic!("{e}"));
+    compare_reports(&served.outcomes, &naive.outcomes).unwrap_or_else(|e| panic!("{e}"));
+}
