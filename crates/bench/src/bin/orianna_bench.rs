@@ -39,21 +39,28 @@ struct Args {
     quick: bool,
     out_dir: String,
     server: bool,
+    /// Row-name substring filter: rows not containing it are neither
+    /// measured nor written, so CI smoke jobs can time a subset.
+    filter: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut quick = false;
     let mut out_dir = ".".to_string();
     let mut server = false;
+    let mut filter = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "server" => server = true,
             "--quick" => quick = true,
             "--out-dir" => out_dir = it.next().expect("--out-dir needs a value"),
+            "--filter" => filter = Some(it.next().expect("--filter needs a substring")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: orianna-bench [server] [--quick] [--out-dir DIR]");
+                eprintln!(
+                    "usage: orianna-bench [server] [--quick] [--out-dir DIR] [--filter SUBSTRING]"
+                );
                 std::process::exit(2);
             }
         }
@@ -62,6 +69,7 @@ fn parse_args() -> Args {
         quick,
         out_dir,
         server,
+        filter,
     }
 }
 
@@ -87,10 +95,30 @@ struct Results {
     /// within the family can be computed *paired* (rep i vs rep i).
     samples: Vec<(String, Vec<u128>)>,
     reps: usize,
+    /// `--filter` substring: rows whose names do not contain it are
+    /// skipped entirely (not measured, not written).
+    filter: Option<String>,
 }
 
 impl Results {
+    fn new(reps: usize, filter: Option<String>) -> Self {
+        Self {
+            entries: Vec::new(),
+            samples: Vec::new(),
+            reps,
+            filter,
+        }
+    }
+
+    /// Whether `--filter` admits this row name.
+    fn admits(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
     fn record(&mut self, name: &str, warmup: usize, f: impl FnMut()) {
+        if !self.admits(name) {
+            return;
+        }
         let ns = median_ns(warmup, self.reps, f);
         println!("  {name}: {ns} ns");
         self.entries.push((name.to_string(), ns));
@@ -108,6 +136,10 @@ impl Results {
         mut rows: Vec<(String, Box<dyn FnMut() + '_>)>,
         warmup: usize,
     ) {
+        rows.retain(|(name, _)| self.admits(name));
+        if rows.is_empty() {
+            return;
+        }
         for (_, f) in rows.iter_mut() {
             for _ in 0..warmup {
                 f();
@@ -131,12 +163,13 @@ impl Results {
         }
     }
 
-    fn get(&self, name: &str) -> u128 {
+    /// The recorded median for `name`, or `None` when `--filter`
+    /// skipped the row.
+    fn get_opt(&self, name: &str) -> Option<u128> {
         self.entries
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, ns)| *ns)
-            .expect("entry recorded")
     }
 
     /// Re-records `canonical`'s measurement under `alias`. Used when
@@ -146,7 +179,14 @@ impl Results {
     /// identical code, and measuring them separately would only report
     /// timer noise as a phantom speedup or slowdown.
     fn alias(&mut self, alias: &str, canonical: &str) {
-        let ns = self.get(canonical);
+        if !self.admits(alias) {
+            return;
+        }
+        // The canonical row may itself have been skipped by `--filter`;
+        // an alias without a measurement is skipped with it.
+        let Some(ns) = self.get_opt(canonical) else {
+            return;
+        };
         println!("  {alias}: {ns} ns (gated to the same configuration as {canonical})");
         self.entries.push((alias.to_string(), ns));
         let s = self
@@ -164,22 +204,16 @@ impl Results {
     /// far tighter speedup estimator than a ratio of two independent
     /// medians — for identical code paths it converges on 1.0 instead
     /// of 1.0 ± the block-to-block drift.
-    fn paired_speedup(&self, base: &str, other: &str) -> f64 {
-        let find = |name: &str| {
-            self.samples
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, s)| s)
-                .expect("interleaved row recorded")
-        };
-        let (b, o) = (find(base), find(other));
+    fn paired_speedup(&self, base: &str, other: &str) -> Option<f64> {
+        let find = |name: &str| self.samples.iter().find(|(n, _)| n == name).map(|(_, s)| s);
+        let (b, o) = (find(base)?, find(other)?);
         let mut ratios: Vec<f64> = b
             .iter()
             .zip(o)
             .map(|(&b, &o)| b as f64 / o as f64)
             .collect();
         ratios.sort_unstable_by(|a, b| a.total_cmp(b));
-        ratios[ratios.len() / 2]
+        Some(ratios[ratios.len() / 2])
     }
 }
 
@@ -213,20 +247,16 @@ fn to_json(mode: &str, reps: usize, results: &Results, speedups: &[(String, f64)
 
 /// Solver baselines: one Gauss-Newton solve iteration (eliminate +
 /// back-substitute) per benchmark application, on the reference path, the
-/// planned path, and the arena path.
-fn bench_solver(reps: usize) -> (Results, Vec<(String, f64)>) {
-    let mut results = Results {
-        entries: Vec::new(),
-        samples: Vec::new(),
-        reps,
-    };
+/// planned path, the serial arena path, and the level-scheduled parallel
+/// arena at 2 and 4 cost-gated threads.
+fn bench_solver(reps: usize, filter: Option<String>) -> (Results, Vec<(String, f64)>) {
+    let mut results = Results::new(reps, filter);
     let mut speedups = Vec::new();
     for app in all_apps(2024) {
         let algo = app.algorithm("localization");
         let ordering = natural_ordering(&algo.graph);
         let sys = algo.graph.linearize();
         let plan = SolvePlan::for_system(&sys, ordering.as_slice()).unwrap();
-        let mut ws = plan.workspace();
         let name = app.name.replace(' ', "_");
 
         results.record(&format!("solve/planless/{name}"), 3, || {
@@ -237,13 +267,76 @@ fn bench_solver(reps: usize) -> (Results, Vec<(String, f64)>) {
             let (bn, _) = plan.execute(&sys, &Parallelism::serial()).unwrap();
             std::hint::black_box(bn.back_substitute().unwrap());
         });
-        results.record(&format!("solve/arena/{name}"), 3, || {
-            std::hint::black_box(plan.solve_in(&sys, &mut ws).unwrap().len());
-        });
 
-        let planless = results.get(&format!("solve/planless/{name}")) as f64;
-        let arena = results.get(&format!("solve/arena/{name}")) as f64;
-        speedups.push((format!("arena_vs_planless/{name}"), planless / arena));
+        // The arena rows are compared against each other, so they are
+        // measured interleaved; a requested width whose cost-gated
+        // configuration collapses to an already-recorded one (e.g. every
+        // width on a single-core host) runs identical code — the arena
+        // path is bitwise identical at any thread count — and shares
+        // that row's measurement via `Results::alias`.
+        let mut ws = plan.workspace();
+        let mut arena_family: Vec<(String, Box<dyn FnMut() + '_>)> = vec![(
+            format!("solve/arena/{name}"),
+            Box::new({
+                let plan = &plan;
+                let sys = &sys;
+                move || {
+                    std::hint::black_box(plan.solve_in(sys, &mut ws).unwrap().len());
+                }
+            }),
+        )];
+        let mut aliases: Vec<(String, String)> = Vec::new();
+        let mut canonical: Vec<(Parallelism, String)> =
+            vec![(Parallelism::serial(), format!("solve/arena/{name}"))];
+        for threads in [2usize, 4] {
+            let row = format!("solve/arena_parallel{threads}/{name}");
+            let par = Parallelism::auto_with_threads(threads);
+            // A gated-but-serial config executes the same code as the
+            // serial arena row (solve_in_with delegates), so it aliases.
+            let key = if par.is_parallel() {
+                par
+            } else {
+                Parallelism::serial()
+            };
+            if let Some((_, canon)) = canonical.iter().find(|(c, _)| *c == key) {
+                aliases.push((row, canon.clone()));
+            } else {
+                canonical.push((key, row.clone()));
+                let mut wsp = plan.workspace();
+                let plan = &plan;
+                let sys = &sys;
+                arena_family.push((
+                    row,
+                    Box::new(move || {
+                        std::hint::black_box(
+                            plan.solve_in_with(sys, &mut wsp, &par).unwrap().len(),
+                        );
+                    }),
+                ));
+            }
+        }
+        results.record_interleaved(arena_family, 3);
+        for (alias, canon) in aliases {
+            results.alias(&alias, &canon);
+        }
+
+        if let (Some(planless), Some(arena)) = (
+            results.get_opt(&format!("solve/planless/{name}")),
+            results.get_opt(&format!("solve/arena/{name}")),
+        ) {
+            speedups.push((
+                format!("arena_vs_planless/{name}"),
+                planless as f64 / arena as f64,
+            ));
+        }
+        for threads in [2usize, 4] {
+            if let Some(ratio) = results.paired_speedup(
+                &format!("solve/arena/{name}"),
+                &format!("solve/arena_parallel{threads}/{name}"),
+            ) {
+                speedups.push((format!("arena_parallel{threads}_vs_arena/{name}"), ratio));
+            }
+        }
     }
     bench_incremental(&mut results, &mut speedups);
     (results, speedups)
@@ -282,6 +375,14 @@ fn build_chain_solver(n: usize) -> (IncrementalSolver, Vec<VarId>) {
 /// elimination strategies, not linearization caching.
 fn bench_incremental(results: &mut Results, speedups: &mut Vec<(String, f64)>) {
     const N: usize = 2000;
+    // Building the 2k-pose chains dominates this function's cost;
+    // skip it entirely when `--filter` admits none of its rows.
+    if !["bayes_2k", "bayes_2k_loop", "full_2k"]
+        .iter()
+        .any(|r| results.admits(&format!("incremental_update/{r}")))
+    {
+        return;
+    }
 
     // Bayes-tree row: one more odometry update per rep.
     let (mut inc, mut ids) = build_chain_solver(N);
@@ -376,14 +477,21 @@ fn bench_incremental(results: &mut Results, speedups: &mut Vec<(String, f64)>) {
         std::hint::black_box(bn.back_substitute().expect("full back-substitution"));
     });
 
-    let full = results.get("incremental_update/full_2k") as f64;
-    let bayes = results.get("incremental_update/bayes_2k") as f64;
-    let bayes_loop = results.get("incremental_update/bayes_2k_loop") as f64;
-    speedups.push(("bayes_vs_full/incremental_update".to_string(), full / bayes));
-    speedups.push((
-        "bayes_loop_vs_full/incremental_update".to_string(),
-        full / bayes_loop,
-    ));
+    let full = results.get_opt("incremental_update/full_2k");
+    if let (Some(full), Some(bayes)) = (full, results.get_opt("incremental_update/bayes_2k")) {
+        speedups.push((
+            "bayes_vs_full/incremental_update".to_string(),
+            full as f64 / bayes as f64,
+        ));
+    }
+    if let (Some(full), Some(bayes_loop)) =
+        (full, results.get_opt("incremental_update/bayes_2k_loop"))
+    {
+        speedups.push((
+            "bayes_loop_vs_full/incremental_update".to_string(),
+            full as f64 / bayes_loop as f64,
+        ));
+    }
 }
 
 /// 200 candidate unit mixes, the shape of a generator DSE sweep.
@@ -412,12 +520,8 @@ fn dse_configs() -> Vec<HwConfig> {
 /// per-call scratch vs a reused [`SimScratch`], then the [`DseContext`]
 /// sweep at 1/2/4/8 threads and with bound-first pruning, plus a
 /// 64-rung uniform ladder where pruning crosses the saturation knee.
-fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
-    let mut results = Results {
-        entries: Vec::new(),
-        samples: Vec::new(),
-        reps,
-    };
+fn bench_sim(reps: usize, filter: Option<String>) -> (Results, Vec<(String, f64)>) {
+    let mut results = Results::new(reps, filter);
     let apps = all_apps(2024);
     let algo = apps[3].algorithm("localization");
     let prog = compile(&algo.graph, &natural_ordering(&algo.graph)).unwrap();
@@ -470,21 +574,24 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
             std::hint::black_box((report.evaluated, report.skipped_bound));
         }
     };
-    // Requested widths whose gated budget collapses to the same
-    // configuration (every width, on a single-core host) execute
-    // identical code and share one measurement via `Results::alias`.
-    let budget =
-        |threads: usize| Parallelism::auto_with_threads(threads).effective_threads(u64::MAX);
+    // Requested widths whose clamped configurations are *equal* (every
+    // width, on a single-core host) execute identical code and share
+    // one measurement via `Results::alias`. The dedup key is the full
+    // `Parallelism` value — an earlier revision keyed on the effective
+    // thread budget alone, which aliased rows whose gating behaviour
+    // still differed (same budget, different cost-gate decisions across
+    // the sweep's per-config flop counts).
+    let knob = |threads: usize| Parallelism::auto_with_threads(threads);
     let mut sweep_family: Vec<(String, Box<dyn FnMut() + '_>)> = Vec::new();
     let mut aliases: Vec<(String, String)> = Vec::new();
-    let mut canonical: Vec<(usize, String)> = Vec::new();
+    let mut canonical: Vec<(Parallelism, String)> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let name = format!("dse_sweep_200/parallel{threads}");
-        let b = budget(threads);
-        if let Some((_, canon)) = canonical.iter().find(|(cb, _)| *cb == b) {
+        let k = knob(threads);
+        if let Some((_, canon)) = canonical.iter().find(|(ck, _)| *ck == k) {
             aliases.push((name, canon.clone()));
         } else {
-            canonical.push((b, name.clone()));
+            canonical.push((k, name.clone()));
             sweep_family.push((name, Box::new(make_sweep(threads, SweepMode::Exhaustive))));
         }
     }
@@ -492,7 +599,7 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
         "dse_sweep_200/pruned".into(),
         Box::new(make_sweep(1, SweepMode::Pruned)),
     ));
-    if budget(4) == budget(1) {
+    if knob(4) == knob(1) {
         aliases.push((
             "dse_sweep_200/pruned_parallel4".into(),
             "dse_sweep_200/pruned".into(),
@@ -507,7 +614,7 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
     for (alias, canon) in aliases {
         results.alias(&alias, &canon);
     }
-    {
+    if results.admits("dse_sweep_200/pruned") {
         let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
         let r = ctx.sweep(&configs, &roomy, Objective::Latency, SweepMode::Pruned);
         println!(
@@ -544,43 +651,54 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
             let report = ctx.sweep(ladder, roomy, Objective::Latency, SweepMode::Pruned);
             std::hint::black_box((report.evaluated, report.skipped_bound));
         });
-        let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
-        let r = ctx.sweep(ladder, roomy, Objective::Latency, SweepMode::Pruned);
-        println!(
-            "  dse_ladder_64 pruning: {} evaluated, {} bound-skipped",
-            r.evaluated, r.skipped_bound
-        );
+        if results.admits("dse_ladder_64/pruned") {
+            let mut ctx = DseContext::with_decoded(decoded.clone(), Parallelism::serial());
+            let r = ctx.sweep(ladder, roomy, Objective::Latency, SweepMode::Pruned);
+            println!(
+                "  dse_ladder_64 pruning: {} evaluated, {} bound-skipped",
+                r.evaluated, r.skipped_bound
+            );
+        }
     }
 
-    let fresh = results.get("dse_sweep_200/fresh") as f64;
-    let scratch_ns = results.get("dse_sweep_200/scratch") as f64;
-    let mut speedups = vec![(
-        "scratch_vs_fresh/dse_sweep_200".to_string(),
-        fresh / scratch_ns,
-    )];
-    // The sweep family was measured interleaved, so its ratios use the
-    // paired per-rep estimator — see `Results::paired_speedup`.
-    for threads in [2usize, 4, 8] {
+    let mut speedups = Vec::new();
+    if let (Some(fresh), Some(scratch_ns)) = (
+        results.get_opt("dse_sweep_200/fresh"),
+        results.get_opt("dse_sweep_200/scratch"),
+    ) {
         speedups.push((
-            format!("parallel{threads}_vs_serial/dse_sweep_200"),
-            results.paired_speedup(
-                "dse_sweep_200/parallel1",
-                &format!("dse_sweep_200/parallel{threads}"),
-            ),
+            "scratch_vs_fresh/dse_sweep_200".to_string(),
+            fresh as f64 / scratch_ns as f64,
         ));
     }
-    speedups.push((
-        "pruned_vs_exhaustive/dse_sweep_200".to_string(),
-        results.paired_speedup("dse_sweep_200/parallel1", "dse_sweep_200/pruned"),
-    ));
-    speedups.push((
-        "combined_vs_serial/dse_sweep_200".to_string(),
-        results.paired_speedup("dse_sweep_200/parallel1", "dse_sweep_200/pruned_parallel4"),
-    ));
-    speedups.push((
-        "pruned_vs_exhaustive/dse_ladder_64".to_string(),
-        results.get("dse_ladder_64/exhaustive") as f64 / results.get("dse_ladder_64/pruned") as f64,
-    ));
+    // The sweep family was measured interleaved, so its ratios use the
+    // paired per-rep estimator — see `Results::paired_speedup`. A `None`
+    // (row skipped by `--filter`) simply drops the ratio row.
+    for threads in [2usize, 4, 8] {
+        if let Some(ratio) = results.paired_speedup(
+            "dse_sweep_200/parallel1",
+            &format!("dse_sweep_200/parallel{threads}"),
+        ) {
+            speedups.push((format!("parallel{threads}_vs_serial/dse_sweep_200"), ratio));
+        }
+    }
+    if let Some(ratio) = results.paired_speedup("dse_sweep_200/parallel1", "dse_sweep_200/pruned") {
+        speedups.push(("pruned_vs_exhaustive/dse_sweep_200".to_string(), ratio));
+    }
+    if let Some(ratio) =
+        results.paired_speedup("dse_sweep_200/parallel1", "dse_sweep_200/pruned_parallel4")
+    {
+        speedups.push(("combined_vs_serial/dse_sweep_200".to_string(), ratio));
+    }
+    if let (Some(ex), Some(pr)) = (
+        results.get_opt("dse_ladder_64/exhaustive"),
+        results.get_opt("dse_ladder_64/pruned"),
+    ) {
+        speedups.push((
+            "pruned_vs_exhaustive/dse_ladder_64".to_string(),
+            ex as f64 / pr as f64,
+        ));
+    }
     (results, speedups)
 }
 
@@ -589,17 +707,13 @@ fn bench_sim(reps: usize) -> (Results, Vec<(String, f64)>) {
 /// cross-checked bitwise, throughput and exact latency percentiles
 /// recorded. The served run repeats `reps` times (fresh server each rep,
 /// interleaved with naive reps) and the medians are reported.
-fn bench_server(reps: usize, quick: bool) -> (Results, Vec<(String, f64)>) {
+fn bench_server(reps: usize, quick: bool, filter: Option<String>) -> (Results, Vec<(String, f64)>) {
     use orianna_server::{
         install_sessions, oracle::compare_reports, plan_traffic, run_load, run_naive_load,
         LoadSpec, ServerConfig, SolverServer,
     };
 
-    let mut results = Results {
-        entries: Vec::new(),
-        samples: Vec::new(),
-        reps,
-    };
+    let mut results = Results::new(reps, filter);
     // Batched same-topology fleet traffic: many sessions, few topologies,
     // GN-only so every request can ride a shared plan.
     let spec = LoadSpec {
@@ -676,6 +790,9 @@ fn bench_server(reps: usize, quick: bool) -> (Results, Vec<(String, f64)>) {
     let naive_rps = total_ops as f64 * 1e9 / naive_wall as f64;
 
     let mut put = |name: &str, ns: u64| {
+        if !results.admits(name) {
+            return;
+        }
         println!("  {name}: {ns} ns");
         results.entries.push((name.to_string(), u128::from(ns)));
     };
@@ -707,7 +824,7 @@ fn main() {
         };
         println!("orianna-bench ({mode} mode, {reps} reps)");
         println!("server:");
-        let (results, speedups) = bench_server(reps, args.quick);
+        let (results, speedups) = bench_server(reps, args.quick, args.filter.clone());
         let json = to_json(mode, reps, &results, &speedups);
         let path = format!("{}/BENCH_server.json", args.out_dir);
         std::fs::write(&path, json).expect("write BENCH_server.json");
@@ -723,9 +840,9 @@ fn main() {
 
     println!("orianna-bench ({mode} mode, {reps} reps)");
     println!("solver:");
-    let (solver_results, solver_speedups) = bench_solver(reps);
+    let (solver_results, solver_speedups) = bench_solver(reps, args.filter.clone());
     println!("sim:");
-    let (sim_results, sim_speedups) = bench_sim(reps);
+    let (sim_results, sim_speedups) = bench_sim(reps, args.filter.clone());
 
     let solver_json = to_json(mode, reps, &solver_results, &solver_speedups);
     let sim_json = to_json(mode, reps, &sim_results, &sim_speedups);

@@ -36,7 +36,7 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -283,18 +283,34 @@ impl std::error::Error for ParError {}
 /// whose context lives behind `ctx`.
 type RunFn = unsafe fn(ctx: *const (), id: usize);
 
+/// Claim-cursor value of a job with no active region: any id claimed
+/// from it is far beyond every plausible worker count, so a stale pool
+/// worker that wakes up between regions bails without touching the job's
+/// context. Far below `usize::MAX` so stray `fetch_add`s never wrap.
+const IDLE_CURSOR: usize = usize::MAX / 2;
+
 /// Shared state of one parallel region, published to the pool by
 /// reference count. The raw `ctx` pointer targets stack data of the
 /// dispatching caller; it is only dereferenced by workers that claimed an
 /// id `< workers` from `next`, and the caller does not return before
 /// `pending` reaches zero, so every dereference happens while the stack
 /// frame is alive.
+///
+/// `run`/`ctx`/`workers` are atomics so a [`WorkerTeam`] can reuse one
+/// `JobShared` allocation across regions: the caller rewrites them while
+/// the job is idle (`pending == 0`, `next == IDLE_CURSOR`) and then
+/// publishes the region with one release store of `next = 1`. A worker's
+/// acquire claim on `next` therefore orders its reads of `run`/`ctx`/
+/// `workers` after the caller's writes; workers woken through the
+/// injector queue are ordered by the queue mutex as well.
 struct JobShared {
-    run: RunFn,
-    ctx: *const (),
-    /// Total worker ids of this job (id 0 belongs to the caller).
-    workers: usize,
-    /// Claim cursor: the next unclaimed worker id (starts at 1).
+    /// The region's entry point ([`RunFn`] bits; meaningless while idle).
+    run: AtomicUsize,
+    ctx: AtomicPtr<()>,
+    /// Total worker ids of this region (id 0 belongs to the caller).
+    workers: AtomicUsize,
+    /// Claim cursor: the next unclaimed worker id (starts at 1; parked at
+    /// [`IDLE_CURSOR`] between a reusable team's regions).
     next: AtomicUsize,
     /// Unfinished worker ids; the caller waits for this to hit zero.
     pending: AtomicUsize,
@@ -312,12 +328,30 @@ unsafe impl Send for JobShared {}
 unsafe impl Sync for JobShared {}
 
 impl JobShared {
+    /// A fresh job with the claim cursor parked: nothing runs until a
+    /// region is published.
+    fn idle() -> Self {
+        Self {
+            run: AtomicUsize::new(0),
+            ctx: AtomicPtr::new(std::ptr::null_mut()),
+            workers: AtomicUsize::new(0),
+            next: AtomicUsize::new(IDLE_CURSOR),
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
     /// Claims and runs worker ids until the cursor is exhausted. Shared
     /// by pool workers and (for ids the pool never took) the caller.
     fn service(&self) {
         loop {
-            let id = self.next.fetch_add(1, Ordering::Relaxed);
-            if id >= self.workers {
+            // Acquire pairs with the release store of `next = 1` that
+            // published the region, ordering the `run`/`ctx`/`workers`
+            // reads below after the caller's writes.
+            let id = self.next.fetch_add(1, Ordering::AcqRel);
+            if id >= self.workers.load(Ordering::Acquire) {
                 return;
             }
             self.run_one(id);
@@ -326,7 +360,9 @@ impl JobShared {
 
     /// Runs one claimed worker id under a panic guard and retires it.
     fn run_one(&self, id: usize) {
-        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, id) }));
+        let run: RunFn = unsafe { std::mem::transmute(self.run.load(Ordering::Acquire)) };
+        let ctx: *const () = self.ctx.load(Ordering::Acquire);
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { run(ctx, id) }));
         if let Err(payload) = outcome {
             let mut slot = self.panic.lock().expect("panic slot");
             slot.get_or_insert((id, payload));
@@ -370,7 +406,10 @@ fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let workers = available_threads().max(8);
         let shared = Arc::new(PoolShared {
-            inject: Mutex::new(VecDeque::new()),
+            // Dispatch caps the backlog at one entry per worker, so this
+            // initial capacity is also the queue's final capacity — the
+            // injector never reallocates.
+            inject: Mutex::new(VecDeque::with_capacity(workers)),
             wake: Condvar::new(),
         });
         for i in 0..workers {
@@ -401,18 +440,27 @@ fn pool() -> &'static Pool {
     })
 }
 
-/// Publishes `job` to at most `helpers` pool workers.
+/// Publishes `job` to at most `helpers` pool workers. The backlog is
+/// capped at one queue entry per pool worker: the publishing caller
+/// services every region itself, so pool pickup is an accelerator, never
+/// a correctness need — and the cap pins the queue at its initial
+/// capacity, keeping dispatch allocation-free even when a busy machine
+/// leaves stale entries undrained.
 fn dispatch(job: &Arc<JobShared>, helpers: usize) {
     let pool = pool();
-    let n = helpers.min(pool.workers);
-    if n == 0 {
+    if helpers == 0 || pool.workers == 0 {
         return;
     }
-    {
+    let n = {
         let mut queue = pool.shared.inject.lock().expect("injector");
+        let n = helpers.min(pool.workers.saturating_sub(queue.len()));
         for _ in 0..n {
             queue.push_back(Arc::clone(job));
         }
+        n
+    };
+    if n == 0 {
+        return;
     }
     if n + 1 >= pool.workers {
         pool.shared.wake.notify_all();
@@ -464,9 +512,9 @@ where
         slots: slots.as_ptr(),
     };
     let job = Arc::new(JobShared {
-        run: run_one::<R, F>,
-        ctx: (&ctx as *const Ctx<'_, R, F>).cast(),
-        workers: n,
+        run: AtomicUsize::new(run_one::<R, F> as RunFn as usize),
+        ctx: AtomicPtr::new((&ctx as *const Ctx<'_, R, F>).cast_mut().cast()),
+        workers: AtomicUsize::new(n),
         next: AtomicUsize::new(1),
         pending: AtomicUsize::new(n),
         panic: Mutex::new(None),
@@ -522,6 +570,113 @@ where
         Ok(out) => out,
         Err(ParError::WorkerPanicked { payload, .. }) => resume_unwind(payload),
         Err(e @ ParError::MissingResult { .. }) => panic!("{e}"),
+    }
+}
+
+/// A reusable parallel region: one persistent [`JobShared`] allocation
+/// that dispatches closures onto the shared worker pool with **zero
+/// steady-state heap allocations**.
+///
+/// [`scoped_workers`] allocates a fresh job descriptor and result slots
+/// per region — fine for coarse regions, but the solver's per-level
+/// elimination fan-out sits inside an allocation-free hot loop (the
+/// counting-allocator test in `orianna-solver` pins it). A `WorkerTeam`
+/// amortizes the descriptor: regions after the first reuse the `Arc`, the
+/// injector queue's retained capacity, and the pool's parked threads, so
+/// the only per-region costs are atomics, a queue push, and a wakeup.
+///
+/// Unlike [`scoped_workers`] the closures return nothing: workers
+/// communicate through caller-owned state (disjoint slices indexed by a
+/// claimed item id), which is exactly the deterministic by-index merge
+/// discipline the module docs require.
+///
+/// # Region protocol
+///
+/// `run` publishes a region by rewriting the idle descriptor
+/// (`pending == 0`, cursor parked at [`IDLE_CURSOR`]) and release-storing
+/// `next = 1` as the single "go" signal; the caller executes worker 0,
+/// claims every id the pool does not take, waits for the rest, and parks
+/// the cursor again. A stale pool worker waking up between regions claims
+/// an id `>= workers` from the parked cursor and bails without touching
+/// `ctx`; one waking during a later region joins that region, which is
+/// sound because the claim's acquire pairs with the publish store.
+pub struct WorkerTeam {
+    job: Arc<JobShared>,
+}
+
+impl Default for WorkerTeam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cloning yields a *fresh* team: regions are serialized per team via
+/// `&mut self`, so sharing the descriptor across clones would let two
+/// owners overlap regions. A team carries no state worth copying.
+impl Clone for WorkerTeam {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WorkerTeam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerTeam").finish_non_exhaustive()
+    }
+}
+
+impl WorkerTeam {
+    /// Creates a team with an idle job descriptor (the one allocation).
+    pub fn new() -> Self {
+        Self {
+            job: Arc::new(JobShared::idle()),
+        }
+    }
+
+    /// Runs `f(id)` for every worker id in `0..min(threads, workers)`,
+    /// worker 0 on the calling thread. Allocation-free after the first
+    /// few regions (pool spawn and injector growth are one-time costs).
+    /// With one effective worker, `f(0)` runs inline — the serial path.
+    ///
+    /// `&mut self` serializes regions per team; a worker panic is
+    /// re-raised on the caller after the region fully retires.
+    pub fn run<F>(&mut self, threads: usize, workers: usize, f: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = threads.min(workers).max(1);
+        if n == 1 {
+            f(0);
+            return;
+        }
+        unsafe fn run_ref<F: Fn(usize)>(ctx: *const (), id: usize) {
+            let f = unsafe { &*(ctx as *const F) };
+            f(id);
+        }
+        let job = &self.job;
+        debug_assert_eq!(job.pending.load(Ordering::Acquire), 0, "region overlap");
+        // Stage the region while the cursor is parked, then publish it
+        // with the release store of `next = 1` (see JobShared docs).
+        job.run
+            .store(run_ref::<F> as RunFn as usize, Ordering::Relaxed);
+        job.ctx
+            .store((f as *const F).cast_mut().cast(), Ordering::Relaxed);
+        job.workers.store(n, Ordering::Relaxed);
+        job.pending.store(n, Ordering::Relaxed);
+        job.next.store(1, Ordering::Release);
+        dispatch(job, n - 1);
+        job.run_one(0);
+        job.service();
+        job.wait();
+        // Park the cursor before surfacing any panic so the team stays
+        // reusable either way.
+        job.next.store(IDLE_CURSOR, Ordering::Release);
+        // Drop the guard before unwinding — an `if let` on the locked
+        // temporary would hold (and poison) the mutex across the panic.
+        let panicked = job.panic.lock().expect("panic slot").take();
+        if let Some((_, payload)) = panicked {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -873,6 +1028,69 @@ mod tests {
         .expect_err("inline worker panicked");
         assert!(err.to_string().contains("worker 0"));
         assert!(err.to_string().contains("inline boom"));
+    }
+
+    #[test]
+    fn worker_team_runs_every_id_across_reused_regions() {
+        let mut team = WorkerTeam::new();
+        for round in 0..5usize {
+            for n in [1usize, 2, 4, 8] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                team.run(n, n, &|id: usize| {
+                    hits[id].fetch_add(1, Ordering::Relaxed);
+                });
+                for (id, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::Relaxed),
+                        1,
+                        "round {round} n {n} id {id} ran exactly once"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_team_claim_cursor_merges_by_index() {
+        // The canonical solver usage: workers drain a shared item cursor
+        // and write disjoint slots; every item is taken exactly once.
+        let mut team = WorkerTeam::new();
+        let items = 153usize;
+        for threads in [2usize, 4, 8] {
+            let cursor = AtomicUsize::new(0);
+            let out: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+            team.run(threads, items, &|_id: usize| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    break;
+                }
+                out[i].fetch_add(i * 7 + 1, Ordering::Relaxed);
+            });
+            for (i, o) in out.iter().enumerate() {
+                assert_eq!(o.load(Ordering::Relaxed), i * 7 + 1, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_team_survives_panicking_region() {
+        let mut team = WorkerTeam::new();
+        for round in 0..3 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                team.run(4, 4, &|id: usize| {
+                    if id == 1 {
+                        panic!("team boom {round}");
+                    }
+                });
+            }));
+            assert!(r.is_err(), "round {round}");
+            // The very next region on the same descriptor must work.
+            let sum = AtomicUsize::new(0);
+            team.run(4, 4, &|id: usize| {
+                sum.fetch_add(id + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 10);
+        }
     }
 
     #[test]

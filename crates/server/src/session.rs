@@ -4,11 +4,14 @@
 //! batch nonlinear problem (Gauss-Newton or Levenberg-Marquardt over a
 //! fixed-topology [`FactorGraph`]) or an incremental Bayes-tree solver
 //! whose structure grows over time. Sessions are `Sync` — a mutex guards
-//! the mutable state — and every solve entry point here is **serial and
-//! deterministic**: the server gets its parallelism from fanning out
-//! *across* sessions in a batch, never from inside one solve, which is
-//! what makes batched results bitwise-identical to sequential ones at
-//! any worker count, shard count, or batch size.
+//! the mutable state — and every solve entry point here is
+//! **deterministic**: batched results are bitwise-identical to
+//! sequential ones at any worker count, shard count, or batch size.
+//! The server gets its coarse parallelism from fanning out *across*
+//! sessions in a batch; *within* one solve it additionally inherits the
+//! level-scheduled parallel arena, which is bitwise-identical to the
+//! serial arena at every thread count (see `orianna_solver::workspace`),
+//! so within-solve threading never weakens the determinism contract.
 //!
 //! The sequential oracle ([`crate::oracle`]) replays traffic through
 //! these same methods with a single-threaded cache, so server and
@@ -17,7 +20,7 @@
 use crate::error::ServerError;
 use orianna_graph::{BetweenFactor, Factor, FactorGraph, PriorFactor, Values, VarId, Variable};
 use orianna_lie::Pose2;
-use orianna_math::{Parallelism, Vec64};
+use orianna_math::Vec64;
 use orianna_solver::{
     GaussNewton, GaussNewtonSettings, IncrementalSolver, LevenbergMarquardt,
     LevenbergMarquardtSettings, SolveError, SolvePlan, Workspace,
@@ -159,23 +162,30 @@ pub enum BatchFlavor {
     /// plan, so same-topology requests coalesce through one symbolic
     /// factorization.
     GaussNewton(GaussNewtonSettings),
-    /// Levenberg-Marquardt — served unbatched: damping rows make the
-    /// eliminated structure λ-dependent, so LM requests run the
-    /// optimizer's own plan path instead of a shared cached plan.
+    /// Levenberg-Marquardt — served unbatched, through a **session-local**
+    /// cached plan: λ scales only the *values* of the appended damping
+    /// rows, never their sparsity, so one symbolic factorization of the
+    /// damped system serves every iteration of every request. (LM still
+    /// does not batch across sessions — requests at different
+    /// linearization trajectories have nothing symbolic to share beyond
+    /// the session.)
     Levenberg(LevenbergMarquardtSettings),
 }
 
-/// Gauss-Newton settings as the server runs them: the caller's knobs
-/// with parallelism forced serial (determinism contract — see the
-/// module docs).
-pub fn server_gn_settings(mut s: GaussNewtonSettings) -> GaussNewtonSettings {
-    s.parallelism = Parallelism::serial();
+/// Gauss-Newton settings as the server runs them. Historically this
+/// forced parallelism serial — the old batched executor's merge order
+/// depended on the thread count. The arena path the server now runs is
+/// bitwise-identical to serial at every thread count (parallel levels
+/// write disjoint regions through the same per-step kernel), so the
+/// caller's parallelism passes through untouched and the determinism
+/// contract holds by construction.
+pub fn server_gn_settings(s: GaussNewtonSettings) -> GaussNewtonSettings {
     s
 }
 
-/// Levenberg-Marquardt settings as the server runs them (serial).
-pub fn server_lm_settings(mut s: LevenbergMarquardtSettings) -> LevenbergMarquardtSettings {
-    s.parallelism = Parallelism::serial();
+/// Levenberg-Marquardt settings as the server runs them (pass-through —
+/// see [`server_gn_settings`]).
+pub fn server_lm_settings(s: LevenbergMarquardtSettings) -> LevenbergMarquardtSettings {
     s
 }
 
@@ -189,6 +199,11 @@ enum Inner {
         graph: FactorGraph,
         initial: Values,
         settings: LevenbergMarquardtSettings,
+        /// Session-local plan over the damped structure and its arena,
+        /// built lazily on the first served request (topology is fixed
+        /// for the session's lifetime, so they never invalidate). Boxed
+        /// to keep the variant near the others' size.
+        plan: Option<Box<(SolvePlan, Workspace)>>,
     },
     Incremental {
         solver: Box<IncrementalSolver>,
@@ -267,6 +282,7 @@ impl Session {
                         graph,
                         initial,
                         settings,
+                        plan: None,
                     }),
                     solves: AtomicU64::new(0),
                 })
@@ -392,7 +408,11 @@ impl Session {
         })
     }
 
-    /// Serves one solve on an LM session (unbatched path).
+    /// Serves one solve on an LM session (unbatched path). The first
+    /// request builds the session's damped-system plan and workspace;
+    /// later requests skip the symbolic phase entirely
+    /// ([`LevenbergMarquardt::optimize_with_plan`], bitwise identical to
+    /// the planless `optimize`).
     ///
     /// # Errors
     /// [`ServerError::WrongFlavor`] on non-LM sessions; solve errors
@@ -403,6 +423,7 @@ impl Session {
             graph,
             initial,
             settings,
+            plan,
         } = &mut *inner
         else {
             return Err(ServerError::WrongFlavor {
@@ -413,7 +434,14 @@ impl Session {
         if let Some(p) = &perturb {
             *graph.values_mut() = initial.retract_all(&perturb_delta(initial.total_dim(), p));
         }
-        let report = LevenbergMarquardt::new(*settings).optimize(graph)?;
+        let lm = LevenbergMarquardt::new(*settings);
+        if plan.is_none() {
+            let p = lm.plan(graph)?;
+            let ws = p.workspace();
+            *plan = Some(Box::new((p, ws)));
+        }
+        let (p, ws) = &mut **plan.as_mut().expect("plan just built");
+        let report = lm.optimize_with_plan(graph, p, ws)?;
         self.solves.fetch_add(1, Ordering::Relaxed);
         Ok(SolveOutcome {
             session: self.id,

@@ -121,10 +121,12 @@ impl GaussNewton {
     /// [`optimize`](GaussNewton::optimize) against an externally
     /// checked-out plan and workspace — the multi-tenant serving path,
     /// where a sharded cache owns both and hands them to whichever worker
-    /// thread executes the request. Always runs the serial arena path
-    /// (`solve_in`), so the result is bitwise identical to
+    /// thread executes the request. Runs the arena path with the
+    /// settings' within-solve parallelism
+    /// ([`SolvePlan::solve_in_with`], bitwise identical to the serial
+    /// arena at any thread count), so the result is bitwise identical to
     /// [`optimize`](GaussNewton::optimize) with serial settings over the
-    /// same graph; the settings' `parallelism` only steers linearization.
+    /// same graph no matter how `parallelism` is configured.
     ///
     /// # Errors
     /// Propagates [`SolveError`] from elimination; `PlanMismatch` when
@@ -148,7 +150,7 @@ impl GaussNewton {
         while iterations < s.max_iterations && !converged {
             iterations += 1;
             graph.linearize_into(&s.parallelism, &mut sys);
-            let delta = plan.solve_in(&sys, ws)?;
+            let delta = plan.solve_in_with(&sys, ws, &s.parallelism)?;
 
             let mut scale = 1.0;
             let mut best: Option<(f64, Vec64)> = None;
@@ -206,9 +208,12 @@ impl GaussNewton {
         let mut iterations = 0;
         let mut plan: Option<std::sync::Arc<SolvePlan>> = None;
         let mut plan_fp: Option<u64> = None;
-        // Serial solves run against a reusable workspace arena: taken from
+        // Every solve runs against a reusable workspace arena: taken from
         // the cache (parked there by an earlier solve over the same
         // topology) or allocated once, then allocation-free per iteration.
+        // Systems the cost gate deems big enough fan out *inside* the
+        // arena (level-parallel elimination, bitwise identical to serial),
+        // so there is no separate allocating batched path anymore.
         let mut ws: Option<Workspace> = None;
 
         while iterations < s.max_iterations && !converged {
@@ -223,28 +228,13 @@ impl GaussNewton {
                     let ordering = s.ordering.resolve(graph);
                     SolvePlan::for_system(&sys, ordering.as_slice())
                 })?;
-                // The arena path wins whenever the cost gate would run
-                // elimination serially anyway (which under the auto
-                // default includes every system below the work
-                // threshold); batched execution is reserved for systems
-                // the gate deems big enough to fan out.
-                let use_arena = s.parallelism.effective_threads(built.estimated_flops()) <= 1;
-                if use_arena {
-                    ws = Some(cache.checkout_workspace(&built, s.ordering.cache_tag()));
-                }
+                ws = Some(cache.checkout_workspace(&built, s.ordering.cache_tag()));
                 plan = Some(built);
                 plan_fp = Some(fp);
             }
             let plan_ref = plan.as_ref().unwrap();
-            let owned_delta;
-            let delta: &Vec64 = if let Some(w) = ws.as_mut() {
-                plan_ref.solve_in(&sys, w)?
-            } else {
-                let (bn, stats) = plan_ref.execute(&sys, &s.parallelism)?;
-                last_stats = stats;
-                owned_delta = bn.back_substitute()?;
-                &owned_delta
-            };
+            let w = ws.as_mut().expect("workspace checked out with the plan");
+            let delta: &Vec64 = plan_ref.solve_in_with(&sys, w, &s.parallelism)?;
 
             // Step-halving line search. Trial steps only move the
             // estimates, so each candidate is scored by re-evaluating the

@@ -124,8 +124,10 @@ impl LevenbergMarquardt {
             var_dims: Vec::new(),
         };
         let mut plan: Option<SolvePlan> = None;
-        // Serial solves reuse one workspace arena across iterations —
-        // damping changes values only, so the layout stays valid.
+        // Every iteration reuses one workspace arena — damping changes
+        // values only, so the layout stays valid. Parallelism, when
+        // enabled, runs *inside* the arena path (level-scheduled, bitwise
+        // identical to serial — see workspace.rs).
         let mut ws: Option<Workspace> = None;
 
         while iterations < s.max_iterations && !converged && lambda <= s.max_lambda {
@@ -137,18 +139,90 @@ impl LevenbergMarquardt {
                 plan = Some(SolvePlan::for_system(&sys, ordering.as_slice())?);
             }
             let plan_ref = plan.as_ref().unwrap();
-            // Arena execution whenever the cost gate would run the
-            // elimination serially anyway (see gauss_newton.rs).
-            let use_arena = s.parallelism.effective_threads(plan_ref.estimated_flops()) <= 1;
-            let owned_delta;
-            let delta: &Vec64 = if use_arena {
-                let w = ws.get_or_insert_with(|| plan_ref.workspace());
-                plan_ref.solve_in(&sys, w)?
+            let w = ws.get_or_insert_with(|| plan_ref.workspace());
+            let delta: &Vec64 = plan_ref.solve_in_with(&sys, w, &s.parallelism)?;
+            let candidate = graph.values().retract_all(delta);
+            let new_error = graph.total_error_with(&candidate);
+            if new_error < error {
+                *graph.values_mut() = candidate;
+                let improvement = (error - new_error) / error.max(1e-300);
+                error = new_error;
+                lambda = (lambda * s.lambda_down).max(1e-12);
+                if error <= s.abs_tol || improvement <= s.rel_tol {
+                    converged = true;
+                }
             } else {
-                let (bn, _) = plan_ref.execute(&sys, &s.parallelism)?;
-                owned_delta = bn.back_substitute()?;
-                &owned_delta
-            };
+                lambda *= s.lambda_up;
+            }
+        }
+
+        Ok(LevenbergMarquardtReport {
+            iterations,
+            initial_error,
+            final_error: error,
+            converged,
+            final_lambda: lambda,
+        })
+    }
+
+    /// Builds the [`SolvePlan`] for the *damped* system of `graph` at the
+    /// current linearization point.
+    ///
+    /// λ only scales the values of the appended `√λ·I` rows, never their
+    /// sparsity, so one plan serves every iteration of every
+    /// [`optimize_with_plan`](LevenbergMarquardt::optimize_with_plan) call
+    /// over the same topology — the same reuse contract as
+    /// [`GaussNewton`](crate::GaussNewton) plans, which lets a serving
+    /// cache share LM plans across requests.
+    ///
+    /// # Errors
+    /// Propagates [`SolveError`] from the symbolic analysis.
+    pub fn plan(&self, graph: &FactorGraph) -> Result<SolvePlan, SolveError> {
+        let s = &self.settings;
+        let mut sys = LinearSystem {
+            factors: Vec::new(),
+            var_dims: Vec::new(),
+        };
+        graph.linearize_into(&s.parallelism, &mut sys);
+        append_damping(&mut sys, s.initial_lambda);
+        let ordering = s.ordering.resolve(graph);
+        SolvePlan::for_system(&sys, ordering.as_slice())
+    }
+
+    /// [`optimize`](LevenbergMarquardt::optimize) against an externally
+    /// checked-out plan and workspace — parity with
+    /// [`GaussNewton::optimize_with_plan`](crate::GaussNewton::optimize_with_plan),
+    /// so LM serving sessions can share a cached plan instead of paying
+    /// the symbolic phase per request. The plan must come from
+    /// [`plan`](LevenbergMarquardt::plan) (or any structurally identical
+    /// damped system). Bitwise identical to plain `optimize` over the
+    /// same graph at any thread count.
+    ///
+    /// # Errors
+    /// Propagates [`SolveError`]; `PlanMismatch` when the plan or
+    /// workspace does not belong to this graph's damped structure.
+    pub fn optimize_with_plan(
+        &self,
+        graph: &mut FactorGraph,
+        plan: &SolvePlan,
+        ws: &mut Workspace,
+    ) -> Result<LevenbergMarquardtReport, SolveError> {
+        let s = &self.settings;
+        let initial_error = graph.total_error();
+        let mut error = initial_error;
+        let mut lambda = s.initial_lambda;
+        let mut converged = error <= s.abs_tol;
+        let mut iterations = 0;
+        let mut sys = LinearSystem {
+            factors: Vec::new(),
+            var_dims: Vec::new(),
+        };
+
+        while iterations < s.max_iterations && !converged && lambda <= s.max_lambda {
+            iterations += 1;
+            graph.linearize_into(&s.parallelism, &mut sys);
+            append_damping(&mut sys, lambda);
+            let delta: &Vec64 = plan.solve_in_with(&sys, ws, &s.parallelism)?;
             let candidate = graph.values().retract_all(delta);
             let new_error = graph.total_error_with(&candidate);
             if new_error < error {
@@ -292,6 +366,60 @@ mod tests {
             let a = g_lm.values().get(id).as_pose2();
             let b = g_gn.values().get(id).as_pose2();
             assert!(a.translation_distance(b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn optimize_with_plan_is_bitwise_identical_to_optimize() {
+        // The serving path (cached plan + workspace) must be a pure
+        // restructuring of plain optimize: identical iterate sequence,
+        // identical floats, not merely "close".
+        let build = || {
+            let mut g = FactorGraph::new();
+            let ids: Vec<_> = (0..6)
+                .map(|i| g.add_pose2(Pose2::new(0.2, i as f64 * 0.8, 0.15)))
+                .collect();
+            g.add_factor(PriorFactor::pose2(ids[0], Pose2::identity(), 0.01));
+            for w in ids.windows(2) {
+                g.add_factor(BetweenFactor::pose2(
+                    w[0],
+                    w[1],
+                    Pose2::new(0.0, 1.0, 0.0),
+                    0.1,
+                ));
+            }
+            g.add_factor(BetweenFactor::pose2(
+                ids[1],
+                ids[4],
+                Pose2::new(0.0, 3.0, 0.0),
+                0.3,
+            ));
+            (g, ids)
+        };
+        let lm = LevenbergMarquardt::new(LevenbergMarquardtSettings {
+            ordering: OrderingChoice::MinDegree,
+            ..Default::default()
+        });
+
+        let (mut plain, ids) = build();
+        let r1 = lm.optimize(&mut plain).unwrap();
+
+        let (mut via_plan, _) = build();
+        let plan = lm.plan(&via_plan).unwrap();
+        let mut ws = plan.workspace();
+        let r2 = lm
+            .optimize_with_plan(&mut via_plan, &plan, &mut ws)
+            .unwrap();
+
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.final_error.to_bits(), r2.final_error.to_bits());
+        assert_eq!(r1.final_lambda.to_bits(), r2.final_lambda.to_bits());
+        for id in ids {
+            let a = plain.values().get(id).as_pose2();
+            let b = via_plan.values().get(id).as_pose2();
+            assert_eq!(a.x().to_bits(), b.x().to_bits());
+            assert_eq!(a.y().to_bits(), b.y().to_bits());
+            assert_eq!(a.theta().to_bits(), b.theta().to_bits());
         }
     }
 

@@ -502,6 +502,52 @@ impl SolvePlan {
         }
     }
 
+    /// Arena-backed solve with **within-solve parallelism**: elimination
+    /// runs the layout's dependency levels (independent elimination-tree
+    /// subtrees) concurrently, back-substitution the reverse levels —
+    /// each gated per level by the flop cost model, so small graphs and
+    /// thin chains stay on the serial inline path. Every step writes a
+    /// disjoint panel / Δ segment and performs arithmetic identical to
+    /// the serial sweep, so the result is **bitwise identical to
+    /// [`SolvePlan::solve_in`] at any thread count** (proptested in
+    /// `orianna-verify`), and the steady state stays allocation-free
+    /// (per-worker scratch and the dispatch descriptor live inside `ws`).
+    ///
+    /// With `par` serial this *is* `solve_in`.
+    ///
+    /// # Errors
+    /// Same as [`SolvePlan::solve_in`] — failures re-run the serial sweep
+    /// so the reported error matches the reference path.
+    pub fn solve_in_with<'w>(
+        &self,
+        sys: &LinearSystem,
+        ws: &'w mut Workspace,
+        par: &Parallelism,
+    ) -> Result<&'w orianna_math::Vec64, SolveError> {
+        if !self.matches(sys) || ws.fingerprint != self.fingerprint {
+            return Err(SolveError::PlanMismatch);
+        }
+        match self.layout.eliminate_in_with(sys, ws, par) {
+            Ok(()) => {
+                self.layout.back_substitute_in_with(ws, par)?;
+                Ok(&ws.delta)
+            }
+            Err(ArenaError::Fallback) => {
+                let (conditionals, stats) = self.run_serial(sys)?;
+                let bn = BayesNet {
+                    conditionals,
+                    var_dims: (*self.var_dims).clone(),
+                };
+                let delta = bn.back_substitute()?;
+                ws.stats.clear();
+                ws.stats.extend(stats);
+                ws.delta = delta;
+                Ok(&ws.delta)
+            }
+            Err(ArenaError::Solve(e)) => Err(e),
+        }
+    }
+
     /// Arena-backed variant of [`SolvePlan::execute`] (serial schedule):
     /// eliminates inside `ws` and materializes the conditionals into an
     /// owned [`BayesNet`] for callers that keep them (the incremental

@@ -9,9 +9,16 @@
 
 use orianna_graph::{natural_ordering, BetweenFactor, FactorGraph, PriorFactor};
 use orianna_lie::Pose2;
+use orianna_math::Parallelism;
 use orianna_solver::SolvePlan;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they share the one global
+/// counting allocator, and a concurrent test's allocations would bleed
+/// into the counted window.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -50,6 +57,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn arena_solve_is_allocation_free_in_steady_state() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
     // A loopy pose chain: multi-variable frontals, separators, and new
     // factors flowing between elimination steps.
     let mut g = FactorGraph::new();
@@ -98,6 +106,78 @@ fn arena_solve_is_allocation_free_in_steady_state() {
     );
     // Sanity: the counted runs really solved the system.
     let reference = plan.solve_in(&sys, &mut ws).expect("solves");
+    for i in 0..warm.len() {
+        assert_eq!(warm[i].to_bits(), reference[i].to_bits());
+    }
+}
+
+#[test]
+fn parallel_arena_solve_is_allocation_free_in_steady_state() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // A star: 12 independent leaves under one hub, so elimination level 0
+    // holds 12 concurrent steps and the forced 4-thread configuration
+    // actually dispatches workers every solve.
+    let mut g = FactorGraph::new();
+    let leaves: Vec<_> = (0..12)
+        .map(|i| g.add_pose2(Pose2::new(0.1, i as f64 * 0.7, 0.05)))
+        .collect();
+    let hub = g.add_pose2(Pose2::new(0.0, -1.0, 0.0));
+    g.add_factor(PriorFactor::pose2(hub, Pose2::identity(), 0.05));
+    for (i, &leaf) in leaves.iter().enumerate() {
+        g.add_factor(BetweenFactor::pose2(
+            leaf,
+            hub,
+            Pose2::new(0.0, i as f64 * 0.5 - 3.0, 0.0),
+            0.1,
+        ));
+    }
+
+    let sys = g.linearize();
+    let ordering = natural_ordering(&g);
+    let plan = SolvePlan::for_system(&sys, ordering.as_slice()).expect("plan builds");
+    let mut ws = plan.workspace();
+    let par = Parallelism::with_threads(4);
+
+    // Warm-up: the first parallel solves spawn the worker pool, grow its
+    // injector queue, and size the per-worker scratch — all one-time.
+    let warm = plan
+        .solve_in_with(&sys, &mut ws, &par)
+        .expect("warm-up solves")
+        .clone();
+    plan.solve_in_with(&sys, &mut ws, &par).expect("warm-up 2");
+
+    // Pool worker threads spawned by the warm-up may still be inside
+    // their (allocating) startup path when this thread re-runs — on a
+    // loaded single-core host they can first get scheduled minutes
+    // later, inside the counted window. Allow the window a couple of
+    // settling retries: a straggler vanishes by the next attempt, while
+    // a real per-solve allocation fails every attempt.
+    let mut counted = usize::MAX;
+    for _ in 0..3 {
+        ALLOCS.store(0, Ordering::SeqCst);
+        ENABLED.store(true, Ordering::SeqCst);
+        for _ in 0..5 {
+            let delta = plan
+                .solve_in_with(&sys, &mut ws, &par)
+                .expect("steady-state solves");
+            assert_eq!(delta.len(), warm.len());
+        }
+        ENABLED.store(false, Ordering::SeqCst);
+        counted = ALLOCS.load(Ordering::SeqCst);
+        if counted == 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+
+    assert_eq!(
+        counted, 0,
+        "parallel arena solve allocated {counted} times in steady state"
+    );
+    // Sanity: the counted runs really solved the system, identically to
+    // the serial arena.
+    let mut ws2 = plan.workspace();
+    let reference = plan.solve_in(&sys, &mut ws2).expect("serial solves");
     for i in 0..warm.len() {
         assert_eq!(warm[i].to_bits(), reference[i].to_bits());
     }

@@ -1,0 +1,136 @@
+//! Property tests for within-solve parallelism (ISSUE: parallel arena
+//! elimination): on graphs drawn from every generator family, the
+//! level-scheduled parallel arena path must be **bitwise identical** to
+//! the serial arena path at every forced thread count — delta vector,
+//! elimination stats, and the incremental wildfire solution alike. Run
+//! under the CI `ORIANNA_THREADS` × `ORIANNA_NO_SIMD` matrix, these
+//! cases cover the thread-count × SIMD grid of the determinism contract.
+
+use orianna_graph::{natural_ordering, BetweenFactor, Factor, PriorFactor, Variable};
+use orianna_lie::Pose2;
+use orianna_math::Parallelism;
+use orianna_solver::{IncrementalSolver, SolvePlan};
+use orianna_verify::{generate, Family, GenConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn family_of(idx: usize) -> Family {
+    Family::ALL[idx % Family::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `solve_in_with` at forced thread counts 2/4/8 reproduces
+    /// `solve_in` bit for bit: the delta vector and every elimination
+    /// stat. `with_threads` is not cost-gated, so dispatch happens even
+    /// on these small graphs — the test exercises the real worker path.
+    #[test]
+    fn parallel_arena_is_bitwise_identical_to_serial(
+        fam in 0usize..4,
+        vars in 3usize..16,
+        dstep in 0usize..5,
+        seed in 0u64..512,
+    ) {
+        let g = generate(&GenConfig::new(family_of(fam), vars, dstep as f64 * 0.25, seed));
+        let sys = g.linearize();
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).expect("plan builds");
+
+        let mut ws = plan.workspace();
+        let delta_ref = plan.solve_in(&sys, &mut ws).expect("serial arena solves").clone();
+        let stats_ref = ws.stats().to_vec();
+
+        for threads in [2usize, 4, 8] {
+            let par = Parallelism::with_threads(threads);
+            let mut wsp = plan.workspace();
+            let delta = plan
+                .solve_in_with(&sys, &mut wsp, &par)
+                .expect("parallel arena solves");
+            prop_assert_eq!(delta.len(), delta_ref.len());
+            for i in 0..delta.len() {
+                prop_assert!(
+                    delta[i].to_bits() == delta_ref[i].to_bits(),
+                    "delta[{}] diverged at {} threads", i, threads
+                );
+            }
+            prop_assert_eq!(wsp.stats().len(), stats_ref.len());
+            for (i, (a, b)) in wsp.stats().iter().zip(&stats_ref).enumerate() {
+                prop_assert!(a == b, "stats[{}] diverged at {} threads", i, threads);
+            }
+        }
+    }
+
+    /// A workspace that has run parallel regions still serves the plain
+    /// serial entry point unchanged — mixing entry points on one
+    /// workspace never contaminates results.
+    #[test]
+    fn workspace_reuse_across_entry_points_is_stable(
+        fam in 0usize..4,
+        vars in 3usize..10,
+        seed in 0u64..256,
+    ) {
+        let g = generate(&GenConfig::new(family_of(fam), vars, 0.5, seed));
+        let sys = g.linearize();
+        let ordering = natural_ordering(&g);
+        let plan = SolvePlan::for_system(&sys, ordering.as_slice()).expect("plan builds");
+
+        let mut ws = plan.workspace();
+        let delta_ref = plan.solve_in(&sys, &mut ws).expect("serial solves").clone();
+        let par = Parallelism::with_threads(4);
+        plan.solve_in_with(&sys, &mut ws, &par).expect("parallel solves");
+        let delta = plan.solve_in(&sys, &mut ws).expect("serial solves again");
+        for i in 0..delta.len() {
+            prop_assert!(delta[i].to_bits() == delta_ref[i].to_bits(), "delta[{}]", i);
+        }
+    }
+
+    /// The incremental solver's parallel wildfire waves reproduce the
+    /// serial DFS bit for bit over a branching (binary-tree) pose graph,
+    /// where waves actually hold several independent cliques.
+    #[test]
+    fn parallel_wildfire_matches_serial_bitwise(
+        n in 4usize..24,
+        seed in 0u64..256,
+    ) {
+        let noise = |k: u64| {
+            let bits = (seed ^ k).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((bits >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.1
+        };
+        let run = |par: Parallelism| {
+            let mut solver = IncrementalSolver::new();
+            solver.set_parallelism(par);
+            let anchor = Pose2::new(noise(0), noise(1), noise(2));
+            let mut ids = vec![solver.add_variable(Variable::Pose2(anchor))];
+            solver
+                .update(vec![Arc::new(PriorFactor::pose2(ids[0], anchor, 0.1)) as Arc<dyn Factor>])
+                .expect("anchor update");
+            for i in 1..n {
+                let k = i as u64;
+                let parent = ids[(i - 1) / 2];
+                let motion = Pose2::new(noise(3 * k), 1.0 + noise(3 * k + 1), noise(3 * k + 2));
+                let guess = Pose2::new(0.0, i as f64, 0.0);
+                let v = solver.add_variable(Variable::Pose2(guess));
+                solver
+                    .update(vec![
+                        Arc::new(BetweenFactor::pose2(parent, v, motion, 0.2)) as Arc<dyn Factor>
+                    ])
+                    .expect("tree update");
+                ids.push(v);
+            }
+            solver.relinearize().expect("relinearize");
+            solver.delta().clone()
+        };
+        let delta_ref = run(Parallelism::serial());
+        for threads in [2usize, 4, 8] {
+            let delta = run(Parallelism::with_threads(threads));
+            prop_assert_eq!(delta.len(), delta_ref.len());
+            for i in 0..delta.len() {
+                prop_assert!(
+                    delta[i].to_bits() == delta_ref[i].to_bits(),
+                    "delta[{}] diverged at {} threads", i, threads
+                );
+            }
+        }
+    }
+}
