@@ -45,7 +45,7 @@ pub struct GeneratorResult {
     pub history: Vec<(UnitClass, u64)>,
 }
 
-fn score(report: &SimReport, objective: Objective) -> f64 {
+pub(crate) fn score(report: &SimReport, objective: Objective) -> f64 {
     match objective {
         Objective::Latency => report.cycles as f64,
         Objective::Energy => report.energy_mj,
@@ -488,6 +488,21 @@ impl DseContext {
     /// Requests answered from the memo.
     pub fn cache_hits(&self) -> usize {
         self.hits
+    }
+
+    /// Requests that paid for a fresh scoreboard walk
+    /// (`sim_calls() - cache_hits()`). Every miss inserts exactly one
+    /// memo entry, so on a context fed deduplicated candidate lists this
+    /// equals [`Self::memo_len`] — the search driver asserts exactly that
+    /// (simulations == unique configurations evaluated).
+    pub fn cache_misses(&self) -> usize {
+        self.calls - self.hits
+    }
+
+    /// Number of distinct `(configuration, policy)` pairs held in the
+    /// memo.
+    pub fn memo_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Candidates skipped via admissible lower bounds, sweeps and greedy

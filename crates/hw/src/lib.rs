@@ -15,6 +15,11 @@
 //! * [`sim`] — the runtime controller model: out-of-order and in-order
 //!   instruction issue over the compiled streams of all algorithms in an
 //!   application (Sec. 6.3).
+//! * [`search`] — search-based design-space exploration at 10³–10⁴
+//!   candidate scale: seeded proposers (regularized evolution,
+//!   bound-guided ranking), a deduplicating driver with admissible bound
+//!   gating, multi-workload co-design objectives, and an exact
+//!   pruned-sweep polish (DESIGN.md §3.4.2).
 //!
 //! The simulator substitutes for the paper's Xilinx ZC706 prototype; see
 //! DESIGN.md §1 for the substitution rationale.
@@ -39,6 +44,7 @@
 
 pub mod config;
 pub mod generator;
+pub mod search;
 pub mod sim;
 pub mod templates;
 
@@ -46,6 +52,11 @@ pub use config::{HwConfig, CLOCK_MHZ};
 pub use generator::{
     generate, generate_with, manual_matmul_heavy, manual_qr_heavy, manual_uniform, DseContext,
     GeneratorResult, Objective, ParetoPoint, SweepMode, SweepReport,
+};
+pub use search::{
+    canon_key, canonical_hash, default_proposers, search, search_default, BoundGuidedProposer,
+    CanonKey, Combine, EvolutionProposer, Proposer, ProposerCtx, SearchBest, SearchConfig,
+    SearchOutcome, SearchSpace, SearchStats, SplitMix64, Trial, TrialLog, TrialPhase, WorkloadSet,
 };
 pub use sim::{
     critical_path_cycles, simulate, simulate_batch, simulate_decoded, simulate_decoded_with,

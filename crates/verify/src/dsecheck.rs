@@ -8,8 +8,8 @@
 //! checks the compiled numeric path against the analytic one.
 
 use orianna_hw::{
-    DseContext, HwConfig, Objective, ParetoPoint, Resources, SimReport, SweepMode, SweepReport,
-    Workload,
+    search_default, DseContext, HwConfig, Objective, ParetoPoint, Resources, SearchSpace,
+    SimReport, SweepMode, SweepReport, Workload, WorkloadSet,
 };
 use orianna_math::Parallelism;
 
@@ -273,4 +273,320 @@ pub fn check_dse(
         }
     }
     Ok(())
+}
+
+/// A violated search-DSE invariant ([`check_search`]).
+#[derive(Debug, Clone)]
+pub enum SearchViolation {
+    /// The search reported a better objective than the exhaustive argmin
+    /// over the same space — impossible: the search only ever simulates
+    /// members of the space.
+    BeatsExhaustive {
+        /// The search's reported objective.
+        search: f64,
+        /// The exhaustive argmin objective.
+        exhaustive: f64,
+    },
+    /// One of search and exhaustive found an in-budget winner, the other
+    /// did not.
+    WinnerExistence {
+        /// Whether the search found a winner.
+        search_found: bool,
+        /// Whether the exhaustive sweep found a winner.
+        exhaustive_found: bool,
+    },
+    /// A fresh pruned sweep over the recorded polish neighborhood did not
+    /// reproduce the search's final answer bitwise.
+    PolishDiverges {
+        /// The field that diverges (`config`, `cycles`, `energy_mj`,
+        /// `score`, or `existence`).
+        field: &'static str,
+    },
+    /// The proposal dispositions do not add up.
+    DedupAccounting {
+        /// Proposals received from proposers.
+        proposed: usize,
+        /// Unique in-space, in-budget, un-gated proposals.
+        accepted: usize,
+        /// Rejected as duplicates.
+        duplicates: usize,
+        /// Rejected as outside the search space.
+        out_of_space: usize,
+        /// Rejected as over the resource budget.
+        over_budget: usize,
+        /// Skipped by the admissible bound gate.
+        bound_gated: usize,
+    },
+    /// Fresh scoreboard walks diverged from unique memo entries — a
+    /// re-proposed configuration was re-simulated instead of answered
+    /// from the memo.
+    MemoAccounting {
+        /// Fresh scoreboard walks (`cache_misses` over all contexts).
+        simulations: usize,
+        /// Unique memo entries over all contexts.
+        memo_len: usize,
+    },
+    /// Seed + search phase simulations diverged from
+    /// `(seeded + accepted) × workloads`.
+    SearchSimAccounting {
+        /// Fresh walks recorded during the seed + search phases.
+        search_simulations: usize,
+        /// The expected count.
+        expected: usize,
+    },
+    /// A re-run at a different thread count produced a different trial
+    /// log — the search is not thread-count deterministic.
+    LogDiverges {
+        /// Label of the diverging run.
+        run: String,
+        /// First differing JSON line.
+        line: usize,
+    },
+    /// A re-run at a different thread count produced different stats.
+    StatsDiverge {
+        /// Label of the diverging run.
+        run: String,
+    },
+}
+
+impl std::fmt::Display for SearchViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchViolation::BeatsExhaustive { search, exhaustive } => write!(
+                f,
+                "search objective {search} beats the exhaustive argmin {exhaustive} (impossible)"
+            ),
+            SearchViolation::WinnerExistence {
+                search_found,
+                exhaustive_found,
+            } => write!(
+                f,
+                "search {} a winner, exhaustive {}",
+                if *search_found {
+                    "found"
+                } else {
+                    "did not find"
+                },
+                if *exhaustive_found {
+                    "found one"
+                } else {
+                    "did not"
+                },
+            ),
+            SearchViolation::PolishDiverges { field } => write!(
+                f,
+                "pruned sweep over the polish neighborhood diverges from the search answer \
+                 in `{field}`"
+            ),
+            SearchViolation::DedupAccounting {
+                proposed,
+                accepted,
+                duplicates,
+                out_of_space,
+                over_budget,
+                bound_gated,
+            } => write!(
+                f,
+                "{proposed} proposed != {accepted} accepted + {duplicates} duplicate + \
+                 {out_of_space} out-of-space + {over_budget} over-budget + {bound_gated} gated"
+            ),
+            SearchViolation::MemoAccounting {
+                simulations,
+                memo_len,
+            } => write!(
+                f,
+                "{simulations} fresh simulations != {memo_len} unique memo entries"
+            ),
+            SearchViolation::SearchSimAccounting {
+                search_simulations,
+                expected,
+            } => write!(
+                f,
+                "{search_simulations} search-phase simulations != expected {expected}"
+            ),
+            SearchViolation::LogDiverges { run, line } => {
+                write!(f, "{run}: trial log diverges from serial at line {line}")
+            }
+            SearchViolation::StatsDiverge { run } => {
+                write!(f, "{run}: search stats diverge from serial")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchViolation {}
+
+/// What [`check_search`] measured, for ratio assertions in tests
+/// (e.g. `simulations × 10 ≤ space_size`).
+#[derive(Debug, Clone)]
+pub struct SearchSummary {
+    /// The search's best objective, when a winner exists.
+    pub best_score: Option<f64>,
+    /// The exhaustive argmin objective (only computed on spaces with at
+    /// most 4 096 configurations).
+    pub exhaustive_score: Option<f64>,
+    /// Fresh scoreboard walks the whole search (polish included) paid
+    /// for, memo-hit-adjusted.
+    pub simulations: usize,
+    /// Size of the search space.
+    pub space_size: u128,
+}
+
+fn objective_score(report: &SimReport, objective: Objective) -> f64 {
+    match objective {
+        Objective::Latency => report.cycles as f64,
+        Objective::Energy => report.energy_mj,
+    }
+}
+
+fn first_diff_line(a: &str, b: &str) -> usize {
+    a.lines()
+        .zip(b.lines())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.lines().count().min(b.lines().count()))
+}
+
+/// Checks the search-DSE oracles on one workload:
+///
+/// 1. **Never beats exhaustive**: on enumerable spaces (≤4 096
+///    configurations) the search's objective can never be better than
+///    the exhaustive argmin. The [`SearchSummary`] carries both scores
+///    so callers can additionally pin zero regret where the budget
+///    guarantees it.
+/// 2. **Polish is exact**: a fresh serial pruned sweep over the recorded
+///    polish neighborhood reproduces the search's final answer bitwise.
+/// 3. **Accounting is exact**: proposal dispositions add up, fresh
+///    simulations equal unique memo entries, and seed + search phase
+///    walks equal `(seeded + accepted) × workloads`.
+/// 4. **Thread-count determinism**: re-running the identical seed at
+///    every requested thread count — plus workspace-default parallelism,
+///    i.e. the `ORIANNA_THREADS` knob — reproduces the serial trial log
+///    bitwise, stats included.
+///
+/// # Errors
+/// Returns the first [`SearchViolation`] found.
+pub fn check_search(
+    workload: &Workload<'_>,
+    space: &SearchSpace,
+    budget: &Resources,
+    objective: Objective,
+    seed: u64,
+    threads: &[usize],
+) -> Result<SearchSummary, SearchViolation> {
+    let mut set = WorkloadSet::single(
+        "wl",
+        DseContext::with_parallelism(workload, Parallelism::serial()),
+        objective,
+    );
+    let outcome = search_default(&mut set, space, budget, seed);
+
+    let s = outcome.stats;
+    if s.proposed != s.accepted + s.duplicates + s.out_of_space + s.over_budget + s.bound_gated {
+        return Err(SearchViolation::DedupAccounting {
+            proposed: s.proposed,
+            accepted: s.accepted,
+            duplicates: s.duplicates,
+            out_of_space: s.out_of_space,
+            over_budget: s.over_budget,
+            bound_gated: s.bound_gated,
+        });
+    }
+    if set.simulations() != set.memo_len() {
+        return Err(SearchViolation::MemoAccounting {
+            simulations: set.simulations(),
+            memo_len: set.memo_len(),
+        });
+    }
+    let expected = (s.seeded + s.accepted) * set.len();
+    if s.search_simulations != expected {
+        return Err(SearchViolation::SearchSimAccounting {
+            search_simulations: s.search_simulations,
+            expected,
+        });
+    }
+
+    // Polish oracle: one pruned sweep over everything the polish swept,
+    // on a fresh context, must land on the same answer bitwise.
+    if let Some(best) = &outcome.best {
+        let mut fresh = DseContext::with_parallelism(workload, Parallelism::serial());
+        let sweep = fresh.sweep(
+            &outcome.polish_neighborhood,
+            budget,
+            objective,
+            SweepMode::Pruned,
+        );
+        match sweep.best {
+            None => return Err(SearchViolation::PolishDiverges { field: "existence" }),
+            Some((config, report)) => {
+                if config != best.config {
+                    return Err(SearchViolation::PolishDiverges { field: "config" });
+                }
+                if report.cycles != best.per_workload[0].0 {
+                    return Err(SearchViolation::PolishDiverges { field: "cycles" });
+                }
+                if report.energy_mj.to_bits() != best.per_workload[0].1.to_bits() {
+                    return Err(SearchViolation::PolishDiverges { field: "energy_mj" });
+                }
+                if objective_score(&report, objective).to_bits() != best.score.to_bits() {
+                    return Err(SearchViolation::PolishDiverges { field: "score" });
+                }
+            }
+        }
+    }
+
+    // Exhaustive comparison, only on spaces small enough to enumerate.
+    let mut exhaustive_score = None;
+    if space.size() <= 4096 {
+        let mut ex = DseContext::with_parallelism(workload, Parallelism::serial());
+        let sweep = ex.sweep(&space.enumerate(), budget, objective, SweepMode::Exhaustive);
+        match (&outcome.best, &sweep.best) {
+            (None, None) => {}
+            (Some(b), Some((_, report))) => {
+                let want = objective_score(report, objective);
+                if b.score < want {
+                    return Err(SearchViolation::BeatsExhaustive {
+                        search: b.score,
+                        exhaustive: want,
+                    });
+                }
+                exhaustive_score = Some(want);
+            }
+            (search, exhaustive) => {
+                return Err(SearchViolation::WinnerExistence {
+                    search_found: search.is_some(),
+                    exhaustive_found: exhaustive.is_some(),
+                });
+            }
+        }
+    }
+
+    // Thread-count determinism: bitwise-identical trial logs and stats.
+    let base_log = outcome.log.to_json_lines();
+    let mut runs: Vec<(String, Parallelism)> = threads
+        .iter()
+        .map(|&t| (format!("{t} threads"), Parallelism::with_threads(t)))
+        .collect();
+    runs.push(("default parallelism".to_string(), Parallelism::default()));
+    for (run, par) in runs {
+        let mut set_t =
+            WorkloadSet::single("wl", DseContext::with_parallelism(workload, par), objective);
+        let got = search_default(&mut set_t, space, budget, seed);
+        let got_log = got.log.to_json_lines();
+        if got_log != base_log {
+            return Err(SearchViolation::LogDiverges {
+                run,
+                line: first_diff_line(&base_log, &got_log),
+            });
+        }
+        if got.stats != outcome.stats {
+            return Err(SearchViolation::StatsDiverge { run });
+        }
+    }
+
+    Ok(SearchSummary {
+        best_score: outcome.best.map(|b| b.score),
+        exhaustive_score,
+        simulations: set.simulations(),
+        space_size: space.size(),
+    })
 }

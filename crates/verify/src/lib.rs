@@ -20,7 +20,10 @@
 //!   batch ≡ sequential);
 //! * [`dsecheck`] — design-space-exploration equivalence: the pruned,
 //!   multi-threaded hardware sweep must pick the bitwise-same design and
-//!   Pareto frontier as a serial exhaustive sweep;
+//!   Pareto frontier as a serial exhaustive sweep; and search-DSE
+//!   oracles (search never beats exhaustive, polish reproduces a pruned
+//!   sweep bitwise, dedup/memo accounting exact, trial logs
+//!   thread-count deterministic);
 //! * [`snapshot`] — golden mnemonic-stream snapshots of the compiled
 //!   applications with an `ORIANNA_BLESS=1` update flow.
 //!
@@ -35,7 +38,7 @@ pub mod oracle;
 pub mod simcheck;
 pub mod snapshot;
 
-pub use dsecheck::{check_dse, DseViolation};
+pub use dsecheck::{check_dse, check_search, DseViolation, SearchSummary, SearchViolation};
 pub use gen::{generate, Family, GenConfig};
 pub use incremental::{
     batch_reference, check_incremental, IncrementalReport, IncrementalViolation, INCREMENTAL_TOL,
